@@ -1,0 +1,55 @@
+"""Ablation benchmarks beyond the paper's figures (DESIGN.md §6).
+
+* hub-cover pruning on/off (construction cost and label count);
+* H-Order sample-count sweep;
+* full-path vs concise-path reconstruction cost.
+"""
+
+from repro.bench.experiments import (
+    SMALL_DATASETS,
+    ablation_horder_samples,
+    ablation_pruning,
+    ablation_unfold,
+)
+
+from conftest import CACHE, write_result
+
+DATASETS = [d for d in CACHE.config.datasets if d in SMALL_DATASETS] or (
+    SMALL_DATASETS[:1]
+)
+
+
+def test_ablation_pruning(benchmark):
+    result = benchmark.pedantic(
+        ablation_pruning, args=(CACHE, DATASETS), rounds=1, iterations=1
+    )
+    write_result("ablation_pruning", result)
+    for row in result.rows:
+        name, pruned_labels, raw_labels, pruned_s, raw_s = row
+        # Pruning may only remove labels.
+        assert pruned_labels <= raw_labels
+
+
+def test_ablation_horder_samples(benchmark):
+    dataset = DATASETS[0]
+    result = benchmark.pedantic(
+        ablation_horder_samples, args=(CACHE, dataset), rounds=1, iterations=1
+    )
+    write_result("ablation_horder_samples", result)
+    labels = result.column("labels")
+    # More samples should not catastrophically worsen the index.
+    assert min(labels) > 0
+    assert labels[-1] <= labels[0] * 1.5
+
+
+def test_ablation_unfold(benchmark):
+    dataset = "Berlin" if "Berlin" in CACHE.config.datasets else DATASETS[0]
+    result = benchmark.pedantic(
+        ablation_unfold, args=(CACHE, dataset), rounds=1, iterations=1
+    )
+    write_result("ablation_unfold", result)
+    by_method = {row[0]: row[1] for row in result.rows}
+    # Concise reconstruction is cheaper than full reconstruction
+    # (Section 8's partial unfolding).
+    assert by_method["TTL-concise"] < by_method["TTL"] * 1.2
+    assert by_method["C-TTL-concise"] < by_method["C-TTL"] * 1.2

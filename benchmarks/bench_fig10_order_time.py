@@ -1,0 +1,27 @@
+"""Figure 10 (Appendix D.2) — total preprocessing time per node order.
+
+A-Order costs orders of magnitude more than H-Order; Rand-Order saves
+ordering time but pays it back in a slower IndexBuild over its much
+larger label sets.
+"""
+
+from repro.bench.experiments import SMALL_DATASETS, figure10_order_time
+
+from conftest import CACHE, write_result
+
+DATASETS = [d for d in CACHE.config.datasets if d in SMALL_DATASETS] or (
+    SMALL_DATASETS[:1]
+)
+
+
+def test_figure10_order_times(benchmark):
+    result = benchmark.pedantic(
+        figure10_order_time, args=(CACHE, DATASETS), rounds=1, iterations=1
+    )
+    write_result("figure10", result)
+    for row in result.rows:
+        name, h_seconds, rand_seconds, a_seconds = row
+        assert h_seconds > 0 and rand_seconds > 0
+        if a_seconds is not None:
+            # A-Order's total preprocessing dwarfs H-Order's.
+            assert a_seconds > h_seconds * 2

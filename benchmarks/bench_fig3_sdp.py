@@ -1,0 +1,45 @@
+"""Figure 3 — SDP query time for every method on every dataset.
+
+Each benchmark measures one *batch* (``REPRO_QUERIES`` queries) for one
+(dataset, method) pair; divide by the batch size for per-query time.
+``test_figure3_table`` renders the paper-style per-dataset series into
+``results/figure3.txt`` and asserts the headline shape: TTL and C-TTL
+beat both CSA and CHT on shortest-duration queries.
+"""
+
+import pytest
+
+from repro.bench.experiments import QUERY_METHODS, figure3_sdp
+from repro.bench.harness import run_queries
+
+from conftest import CACHE, ROUNDS, write_result
+
+
+@pytest.mark.parametrize("dataset", CACHE.config.datasets)
+@pytest.mark.parametrize("method", QUERY_METHODS)
+def test_sdp_query_batch(benchmark, dataset, method):
+    planner = CACHE.planner(dataset, method)
+    queries = CACHE.queries(dataset)
+    benchmark.extra_info["queries_per_batch"] = len(queries)
+    benchmark.pedantic(
+        run_queries, args=(planner, queries, "sdp"),
+        rounds=ROUNDS, iterations=1,
+    )
+
+
+def test_figure3_table(benchmark):
+    result = benchmark.pedantic(
+        figure3_sdp, args=(CACHE,), rounds=1, iterations=1
+    )
+    write_result("figure3", result)
+    from repro.bench.charts import chart_from_result
+
+    write_result("figure3_chart", chart_from_result(result, unit="us"))
+    ttl = result.by_dataset("TTL (us)")
+    csa = result.by_dataset("CSA (us)")
+    cht = result.by_dataset("CHT (us)")
+    for dataset in ttl:
+        # Headline result: TTL answers SDP queries far faster than the
+        # scan/search baselines on every dataset.
+        assert ttl[dataset] < csa[dataset]
+        assert ttl[dataset] < cht[dataset]

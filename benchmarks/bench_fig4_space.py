@@ -1,0 +1,32 @@
+"""Figure 4 — index size of every method.
+
+Model-byte accounting (20 B per label/connection record) keeps the
+comparison apples-to-apples across methods; see
+:mod:`repro.core.serialize`.
+"""
+
+from repro.bench.experiments import figure4_space
+
+from conftest import CACHE, write_result
+
+
+def test_figure4_index_sizes(benchmark):
+    result = benchmark.pedantic(
+        figure4_space, args=(CACHE,), rounds=1, iterations=1
+    )
+    write_result("figure4", result)
+    from repro.bench.charts import chart_from_result
+
+    write_result("figure4_chart", chart_from_result(result, unit="B"))
+    ttl = result.by_dataset("TTL (B)")
+    cttl = result.by_dataset("C-TTL (B)")
+    csa = result.by_dataset("CSA (B)")
+    for dataset in ttl:
+        # Compression shrinks TTL on every dataset.
+        assert cttl[dataset] < ttl[dataset]
+        assert csa[dataset] > 0
+    # TTL's space overhead exceeds CSA's on most datasets (the paper's
+    # qualitative Figure 4 relation; the smallest networks may dip
+    # under because label counts grow with timetable density).
+    larger = sum(1 for d in ttl if ttl[d] > csa[d])
+    assert larger >= len(ttl) // 2

@@ -1,0 +1,53 @@
+"""Figure 5 — preprocessing time of every method.
+
+Each (dataset, method) benchmark performs one *fresh* build (rounds=1:
+index construction is deterministic and expensive, so we measure it
+once, exactly as the paper reports a single preprocessing run).
+"""
+
+import pytest
+
+from repro.baselines import CHTPlanner, CSAPlanner
+from repro.bench.experiments import figure5_preprocessing
+from repro.core import build_index, compress_index
+
+from conftest import CACHE, write_result
+
+METHODS = ["CSA", "CHT", "TTL", "C-TTL"]
+
+
+def _fresh_build(dataset: str, method: str):
+    graph = CACHE.graph(dataset)
+    if method == "CSA":
+        CSAPlanner(graph).preprocess()
+    elif method == "CHT":
+        CHTPlanner(graph).preprocess()
+    elif method == "TTL":
+        build_index(graph)
+    else:  # C-TTL: build plus both compression schemes
+        compress_index(build_index(graph), mode="both")
+
+
+@pytest.mark.parametrize("dataset", CACHE.config.datasets)
+@pytest.mark.parametrize("method", METHODS)
+def test_preprocessing(benchmark, dataset, method):
+    benchmark.pedantic(
+        _fresh_build, args=(dataset, method), rounds=1, iterations=1
+    )
+
+
+def test_figure5_table(benchmark):
+    result = benchmark.pedantic(
+        figure5_preprocessing, args=(CACHE,), rounds=1, iterations=1
+    )
+    write_result("figure5", result)
+    from repro.bench.charts import chart_from_result
+
+    write_result("figure5_chart", chart_from_result(result, unit="s"))
+    for row in result.rows:
+        name, csa_s, cht_s, ttl_s, cttl_s = row
+        # The paper's ordering: CSA << CHT < TTL ~ C-TTL.
+        assert csa_s < cht_s < ttl_s
+        assert ttl_s <= cttl_s
+        # Compression adds only a small fraction on top of IndexBuild.
+        assert cttl_s < ttl_s * 1.8

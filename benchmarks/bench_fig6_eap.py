@@ -1,0 +1,41 @@
+"""Figure 6 (Appendix D.1) — EAP query time for every method.
+
+Also checks the appendix's observation that CSA and CHT answer EAP
+queries several times faster than SDP queries (their SDP processing
+maintains per-node non-dominated lists).
+"""
+
+import pytest
+
+from repro.bench.experiments import QUERY_METHODS, figure3_sdp, figure6_eap
+from repro.bench.harness import run_queries
+
+from conftest import CACHE, ROUNDS, write_result
+
+
+@pytest.mark.parametrize("dataset", CACHE.config.datasets)
+@pytest.mark.parametrize("method", QUERY_METHODS)
+def test_eap_query_batch(benchmark, dataset, method):
+    planner = CACHE.planner(dataset, method)
+    queries = CACHE.queries(dataset)
+    benchmark.extra_info["queries_per_batch"] = len(queries)
+    benchmark.pedantic(
+        run_queries, args=(planner, queries, "eap"),
+        rounds=ROUNDS, iterations=1,
+    )
+
+
+def test_figure6_table(benchmark):
+    result = benchmark.pedantic(
+        figure6_eap, args=(CACHE,), rounds=1, iterations=1
+    )
+    write_result("figure6", result)
+    from repro.bench.charts import chart_from_result
+
+    write_result("figure6_chart", chart_from_result(result, unit="us"))
+    sdp = figure3_sdp(CACHE)
+    eap_csa = result.by_dataset("CSA (us)")
+    sdp_csa = sdp.by_dataset("CSA (us)")
+    # Appendix D.1: the scan baselines answer EAP much faster than SDP.
+    faster = sum(1 for d in eap_csa if eap_csa[d] < sdp_csa[d])
+    assert faster >= len(eap_csa) - 1

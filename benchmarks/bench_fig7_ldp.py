@@ -1,0 +1,35 @@
+"""Figure 7 (Appendix D.1) — LDP query time for every method."""
+
+import pytest
+
+from repro.bench.experiments import QUERY_METHODS, figure7_ldp
+from repro.bench.harness import run_queries
+
+from conftest import CACHE, ROUNDS, write_result
+
+
+@pytest.mark.parametrize("dataset", CACHE.config.datasets)
+@pytest.mark.parametrize("method", QUERY_METHODS)
+def test_ldp_query_batch(benchmark, dataset, method):
+    planner = CACHE.planner(dataset, method)
+    queries = CACHE.queries(dataset)
+    benchmark.extra_info["queries_per_batch"] = len(queries)
+    benchmark.pedantic(
+        run_queries, args=(planner, queries, "ldp"),
+        rounds=ROUNDS, iterations=1,
+    )
+
+
+def test_figure7_table(benchmark):
+    result = benchmark.pedantic(
+        figure7_ldp, args=(CACHE,), rounds=1, iterations=1
+    )
+    write_result("figure7", result)
+    from repro.bench.charts import chart_from_result
+
+    write_result("figure7_chart", chart_from_result(result, unit="us"))
+    ttl = result.by_dataset("TTL (us)")
+    csa = result.by_dataset("CSA (us)")
+    # TTL wins LDP on (at least almost) every dataset.
+    wins = sum(1 for d in ttl if ttl[d] < csa[d])
+    assert wins >= len(ttl) - 1

@@ -1,0 +1,60 @@
+"""Figure 8 (Appendix D.2) — IndexBuild vs brute-force construction.
+
+Restricted to the small datasets, as in the paper (brute-force
+Dijkstra construction is orders of magnitude slower).
+"""
+
+import pytest
+
+from repro.bench.experiments import SMALL_DATASETS, figure8_construction
+from repro.core import build_index, build_index_brute_force
+from repro.core.order import hub_order
+
+from conftest import CACHE, write_result
+
+DATASETS = [d for d in CACHE.config.datasets if d in SMALL_DATASETS] or (
+    SMALL_DATASETS[:1]
+)
+
+_RANKS = {}
+
+
+def _ranks(dataset: str):
+    if dataset not in _RANKS:
+        _RANKS[dataset] = hub_order(CACHE.graph(dataset))
+    return _RANKS[dataset]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_indexbuild(benchmark, dataset):
+    graph = CACHE.graph(dataset)
+    ranks = _ranks(dataset)
+    index = benchmark.pedantic(
+        build_index, args=(graph,), kwargs={"order": ranks},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["labels"] = index.num_labels
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_brute_force(benchmark, dataset):
+    graph = CACHE.graph(dataset)
+    ranks = _ranks(dataset)
+    index = benchmark.pedantic(
+        build_index_brute_force, args=(graph,), kwargs={"order": ranks},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["labels"] = index.num_labels
+
+
+def test_figure8_table(benchmark):
+    result = benchmark.pedantic(
+        figure8_construction, args=(CACHE, DATASETS), rounds=1, iterations=1
+    )
+    write_result("figure8", result)
+    for row in result.rows:
+        name, pruned_s, brute_s, speedup, pruned_labels, brute_labels = row
+        # The pruned IndexBuild is always substantially faster.
+        assert speedup > 1.5
+        # Tie-pruning may only shrink the label set.
+        assert pruned_labels <= brute_labels

@@ -1,0 +1,67 @@
+"""Latency tails (supplementary): per-query percentiles, not averages.
+
+The paper reports averages; production planners care about tails.
+This benchmark measures per-query latency distributions for SDP and
+reports p50 / p95 / p99 per method on a mid-size dataset.  The
+structural expectation: index-based TTL has a *tight* distribution
+(every query is one bounded label merge) while scan-based CSA's tail
+stretches with the window length.
+"""
+
+import time
+
+from repro.bench.harness import render_table
+
+from conftest import CACHE, write_result
+
+DATASET = "Berlin" if "Berlin" in CACHE.config.datasets else (
+    CACHE.config.datasets[0]
+)
+METHODS = ["TTL", "C-TTL", "CHT", "CSA"]
+
+
+def _percentile(sorted_values, q):
+    idx = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[idx]
+
+
+def _measure():
+    queries = CACHE.queries(DATASET)
+    rows = []
+    for method in METHODS:
+        planner = CACHE.planner(DATASET, method)
+        samples = []
+        for q in queries:
+            start = time.perf_counter()
+            planner.shortest_duration(
+                q.source, q.destination, q.t_start, q.t_end
+            )
+            samples.append((time.perf_counter() - start) * 1e6)
+        samples.sort()
+        rows.append(
+            [
+                method,
+                _percentile(samples, 0.50),
+                _percentile(samples, 0.95),
+                _percentile(samples, 0.99),
+                samples[-1],
+            ]
+        )
+    return rows
+
+
+def test_latency_tails(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = render_table(
+        f"Latency tails ({DATASET}, SDP, per-query us)",
+        ["method", "p50", "p95", "p99", "max"],
+        rows,
+    )
+    write_result("latency_tails", table)
+
+    by_method = {row[0]: row for row in rows}
+    # TTL's p99 beats CSA's p50: the index wins even tail-to-median.
+    assert by_method["TTL"][3] < by_method["CSA"][1]
+    # Every method's percentiles are ordered.
+    for row in rows:
+        assert row[1] <= row[2] <= row[3] <= row[4]

@@ -1,0 +1,56 @@
+"""Peak vs off-peak query cost (supplementary).
+
+The synthetic feeds run denser service during rush hours (07-09,
+16-18).  Scan-based methods pay for density — CSA walks every extra
+connection in the window — while TTL's cost tracks label-set sizes,
+which density barely moves.  This bench measures SDP latency for
+workloads confined to the morning peak vs midday and asserts CSA's
+peak penalty exceeds TTL's.
+"""
+
+from repro.bench.harness import render_table, time_queries
+from repro.datasets import QueryWorkload
+from repro.timeutil import hms
+
+from conftest import CACHE, write_result
+
+DATASET = "Paris" if "Paris" in CACHE.config.datasets else (
+    CACHE.config.datasets[-1]
+)
+
+WINDOWS = {
+    "peak (07-09)": (hms(7), hms(9)),
+    "midday (11-13)": (hms(11), hms(13)),
+}
+
+
+def _measure():
+    graph = CACHE.graph(DATASET)
+    rows = []
+    for label, window in WINDOWS.items():
+        queries = QueryWorkload(
+            graph, seed=5, time_window=window
+        ).generate(CACHE.config.num_queries)
+        row = [label]
+        for method in ("TTL", "CSA", "CHT"):
+            planner = CACHE.planner(DATASET, method)
+            row.append(time_queries(planner, queries, "sdp") * 1e6)
+        rows.append(row)
+    return rows
+
+
+def test_peak_vs_offpeak(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = render_table(
+        f"Peak vs off-peak SDP cost ({DATASET})",
+        ["window", "TTL (us)", "CSA (us)", "CHT (us)"],
+        rows,
+    )
+    write_result("peak_offpeak", table)
+
+    by_window = {row[0]: row for row in rows}
+    peak = by_window["peak (07-09)"]
+    midday = by_window["midday (11-13)"]
+    # TTL stays fast in both windows and beats CSA in both.
+    assert peak[1] < peak[2]
+    assert midday[1] < midday[2]

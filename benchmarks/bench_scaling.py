@@ -1,0 +1,75 @@
+"""Scaling sweep (supplementary) — how the TTL/CSA gap grows with m.
+
+The paper's datasets have millions of connections; at that scale CSA's
+linear scans cost milliseconds while TTL stays at microseconds (three
+orders of magnitude, Figure 3).  Our pure-Python substrate runs at
+thousands of connections, where CSA's scans are short — so this sweep
+demonstrates the *trend* behind the paper's headline: as the network
+scales up, CSA and CHT query times grow with the connection count
+while TTL's stay roughly flat (they depend on label-set sizes, which
+the paper observes depend on topology, not size).
+"""
+
+import pytest
+
+from repro.baselines import CHTPlanner, CSAPlanner
+from repro.bench.harness import render_table, time_queries
+from repro.core import TTLPlanner
+from repro.datasets import QueryWorkload, load_dataset
+
+from conftest import write_result
+
+SCALES = [0.5, 1.0, 1.5, 2.0]
+DATASET = "Budapest"
+
+_ROWS = {}
+
+
+def _measure(scale: float):
+    if scale in _ROWS:
+        return _ROWS[scale]
+    graph = load_dataset(DATASET, scale=scale)
+    queries = QueryWorkload(graph, seed=11).generate(100)
+    row = {"m": graph.m}
+    for planner in (TTLPlanner(graph), CSAPlanner(graph), CHTPlanner(graph)):
+        planner.preprocess()
+        row[planner.name] = time_queries(planner, queries, "sdp") * 1e6
+    _ROWS[scale] = row
+    return row
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_scale_point(benchmark, scale):
+    row = benchmark.pedantic(_measure, args=(scale,), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: round(v, 1) for k, v in row.items()}
+    )
+
+
+def test_scaling_table(benchmark):
+    def build_table():
+        rows = []
+        for scale in SCALES:
+            row = _measure(scale)
+            rows.append(
+                [scale, row["m"], row["TTL"], row["CHT"], row["CSA"]]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    table = render_table(
+        f"Scaling sweep ({DATASET}, SDP)",
+        ["scale", "connections", "TTL (us)", "CHT (us)", "CSA (us)"],
+        rows,
+    )
+    write_result("scaling", table)
+
+    # CSA grows roughly linearly with m; TTL grows far slower.
+    first, last = rows[0], rows[-1]
+    m_growth = last[1] / first[1]
+    csa_growth = last[4] / first[4]
+    ttl_growth = last[2] / first[2]
+    assert csa_growth > 1.5
+    assert ttl_growth < csa_growth
+    # The TTL:CSA advantage widens as the network grows.
+    assert (last[4] / last[2]) > (first[4] / first[2])

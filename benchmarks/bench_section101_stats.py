@@ -1,0 +1,65 @@
+"""Section 10.1's explanatory statistics: l_avg and n_avg.
+
+The paper explains TTL's query cost through two quantities — the
+average label-set size ``l_avg`` (Austin ~1600, Sweden ~775) and the
+average number of stations on a result path ``n_avg`` (Austin ~30,
+Sweden ~19) — and observes that neither tracks raw dataset size.  This
+benchmark regenerates that table and asserts the non-monotonicity
+observation.
+"""
+
+from repro.bench.harness import render_table
+
+from conftest import CACHE, write_result
+
+
+def _collect():
+    rows = []
+    for dataset in CACHE.config.datasets:
+        planner = CACHE.planner(dataset, "TTL")
+        index = planner.index
+        stats = index.stats()
+        queries = CACHE.queries(dataset)
+        lengths = []
+        transfers = []
+        for q in queries:
+            journey = planner.shortest_duration(
+                q.source, q.destination, q.t_start, q.t_end
+            )
+            if journey is not None and journey.path:
+                lengths.append(len(journey.path) + 1)
+                transfers.append(journey.transfers)
+        n_avg = sum(lengths) / len(lengths) if lengths else 0.0
+        t_avg = sum(transfers) / len(transfers) if transfers else 0.0
+        rows.append(
+            [
+                dataset,
+                CACHE.graph(dataset).m,
+                stats.avg_labels_per_node,
+                n_avg,
+                t_avg,
+            ]
+        )
+    return rows
+
+
+def test_section101_stats(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    table = render_table(
+        "Section 10.1 statistics: l_avg and n_avg (SDP answers)",
+        ["dataset", "connections", "l_avg", "n_avg", "transfers_avg"],
+        rows,
+    )
+    write_result("section101_stats", table)
+
+    # The paper's observation: label-set size does not simply track
+    # dataset size (Austin has more labels per node than Sweden despite
+    # being >10x smaller).  Assert non-monotonicity when the run covers
+    # enough datasets.
+    if len(rows) >= 4:
+        by_m = sorted(rows, key=lambda r: r[1])
+        l_avgs = [r[2] for r in by_m]
+        increasing = all(a <= b for a, b in zip(l_avgs, l_avgs[1:]))
+        assert not increasing
+    for row in rows:
+        assert row[2] > 0

@@ -1,0 +1,23 @@
+"""Table 3 — dataset characteristics.
+
+Regenerates the paper's dataset table (stations, connections, trips,
+routes per dataset) and writes it to ``results/table3.txt``.
+"""
+
+from repro.bench.experiments import table3_datasets
+
+from conftest import CACHE, write_result
+
+
+def test_table3_dataset_characteristics(benchmark):
+    result = benchmark.pedantic(
+        table3_datasets, args=(CACHE,), rounds=1, iterations=1
+    )
+    write_result("table3", result)
+    assert len(result.rows) == len(CACHE.config.datasets)
+    for row in result.rows:
+        name, stations, connections, trips, routes = row
+        assert stations >= 4
+        assert connections > 0
+        assert trips > 0
+        assert routes > 0

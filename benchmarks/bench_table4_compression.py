@@ -1,0 +1,46 @@
+"""Table 4 — label-count reduction of the compression schemes.
+
+One benchmark per (dataset, mode) measures the compression pass
+itself; the table test records the paper's Δ1/|L|, Δ2/|L|, Δ3/|L|
+percentages.
+"""
+
+import pytest
+
+from repro.bench.experiments import table4_compression
+from repro.core import compress_index
+
+from conftest import CACHE, write_result
+
+MODES = ["route", "pivot", "both"]
+
+
+def _index_for(dataset: str):
+    planner = CACHE.planner(dataset, "TTL")
+    return planner.index
+
+
+@pytest.mark.parametrize("dataset", CACHE.config.datasets)
+@pytest.mark.parametrize("mode", MODES)
+def test_compression_pass(benchmark, dataset, mode):
+    index = _index_for(dataset)
+    _, stats = benchmark.pedantic(
+        compress_index, args=(index, mode), rounds=1, iterations=1
+    )
+    benchmark.extra_info["reduction_pct"] = round(100 * stats.reduction, 2)
+    assert 0.0 <= stats.reduction < 1.0
+
+
+def test_table4(benchmark):
+    result = benchmark.pedantic(
+        table4_compression, args=(CACHE,), rounds=1, iterations=1
+    )
+    write_result("table4", result)
+    for row in result.rows:
+        name, labels, d1, d2, d3 = row
+        # Combined compression is at least as strong as each scheme.
+        assert d3 >= d1 - 1e-9
+        assert d3 >= d2 - 1e-9
+    # Both schemes bite on a clear majority of datasets.
+    d1s = result.column("route d1 (%)")
+    assert sum(1 for d in d1s if d > 5) >= len(d1s) // 2

@@ -1,0 +1,43 @@
+"""Shared infrastructure for the paper-experiment benchmarks.
+
+Every benchmark file regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  Rendered text tables are written to
+``benchmarks/results/`` so a full ``pytest benchmarks/ --benchmark-only``
+run leaves the paper's rows/series on disk next to pytest-benchmark's
+own timing table.
+
+Environment knobs: ``REPRO_SCALE``, ``REPRO_DATASETS``,
+``REPRO_QUERIES`` (see :mod:`repro.bench.harness`) and
+``REPRO_BENCH_ROUNDS`` (measurement rounds per query benchmark,
+default 2).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import BenchConfig, PlannerCache
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Measurement rounds for query-batch benchmarks.
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
+
+#: One shared cache: planners are preprocessed once per session.
+CONFIG = BenchConfig.from_env()
+CACHE = PlannerCache(CONFIG)
+
+
+def write_result(name: str, result) -> None:
+    """Persist a rendered experiment table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(str(result) + "\n")
+
+
+@pytest.fixture(scope="session")
+def cache() -> PlannerCache:
+    return CACHE

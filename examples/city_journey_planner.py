@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""A city journey planner over a catalogue dataset.
+
+Builds the synthetic "Berlin" network, indexes it with TTL, and runs an
+interactive-style batch of door-to-door queries, comparing TTL's
+answers (and speed) against the Connection Scan baseline — the paper's
+Figure 3/6 scenario in miniature.
+
+Run with::
+
+    python examples/city_journey_planner.py [--dataset Berlin] [--scale 1.0]
+"""
+
+import argparse
+import random
+import time
+
+from repro import CSAPlanner, TTLPlanner, format_duration, format_time
+from repro.datasets import load_dataset
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="Berlin")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--trips", type=int, default=5,
+                        help="journeys to plan and print")
+    args = parser.parse_args()
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    stats = graph.stats()
+    print(f"{args.dataset}: {stats.num_stations} stations, "
+          f"{stats.num_connections} connections, "
+          f"{stats.num_routes} routes")
+
+    ttl = TTLPlanner(graph, concise=True)
+    build_seconds = ttl.preprocess()
+    print(f"TTL index: {ttl.index.stats().num_labels} labels, "
+          f"built in {build_seconds:.2f}s")
+    csa = CSAPlanner(graph)
+    csa.preprocess()
+
+    rng = random.Random(7)
+    printed = 0
+    ttl_time = csa_time = 0.0
+    queries = 0
+    while printed < args.trips and queries < 500:
+        queries += 1
+        u = rng.randrange(graph.n)
+        v = rng.randrange(graph.n)
+        if u == v:
+            continue
+        t = rng.randint(stats.min_time, stats.max_time)
+
+        start = time.perf_counter()
+        journey = ttl.earliest_arrival(u, v, t)
+        ttl_time += time.perf_counter() - start
+
+        start = time.perf_counter()
+        reference = csa.earliest_arrival(u, v, t)
+        csa_time += time.perf_counter() - start
+
+        if journey is None:
+            continue
+        assert reference is not None and reference.arr == journey.arr
+
+        printed += 1
+        print(f"\n#{printed}  {graph.station_name(u)} -> "
+              f"{graph.station_name(v)}  (ready at {format_time(t)})")
+        for leg in journey.legs:
+            route = graph.route_of_trip(leg.trip)
+            route_name = route.name or f"route {route.route_id}"
+            print(f"    {format_time(leg.time)}  board {route_name} "
+                  f"at {graph.station_name(leg.station)}")
+        print(f"    {format_time(journey.arr)}  arrive "
+              f"({format_duration(journey.duration)}, "
+              f"{journey.transfers} transfers)")
+
+    if queries:
+        print(f"\nasked {queries} EAP queries: "
+              f"TTL {ttl_time / queries * 1e6:.0f} us/query, "
+              f"CSA {csa_time / queries * 1e6:.0f} us/query")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Explore the compression trade-off (Section 7 / Table 4).
+
+For one dataset, builds the plain TTL index and all three compressed
+variants, then reports label counts, model bytes, and query latency —
+the space/time trade the paper quantifies in Table 4 and Figure 3.
+
+Run with::
+
+    python examples/compression_tradeoffs.py [--dataset Budapest]
+"""
+
+import argparse
+import time
+
+from repro import TTLPlanner
+from repro.core import build_index, compress_index
+from repro.core.cindex import CompressedTTLPlanner
+from repro.core.serialize import index_bytes
+from repro.datasets import QueryWorkload, load_dataset
+
+
+def time_sdp(planner, queries):
+    start = time.perf_counter()
+    for q in queries:
+        planner.shortest_duration(q.source, q.destination, q.t_start, q.t_end)
+    return (time.perf_counter() - start) / len(queries) * 1e6
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="Budapest")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--queries", type=int, default=300)
+    args = parser.parse_args()
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    queries = QueryWorkload(graph, seed=3).generate(args.queries)
+
+    index = build_index(graph)
+    plain = TTLPlanner(graph, index=index)
+    rows = [
+        (
+            "TTL (uncompressed)",
+            index.num_labels,
+            index_bytes(index),
+            time_sdp(plain, queries),
+        )
+    ]
+    for mode in ("route", "pivot", "both"):
+        compressed, stats = compress_index(index, mode=mode)
+        planner = CompressedTTLPlanner(graph, cindex=compressed)
+        rows.append(
+            (
+                f"C-TTL ({mode})",
+                stats.labels_after,
+                compressed.compressed_bytes(),
+                time_sdp(planner, queries),
+            )
+        )
+
+    print(f"{args.dataset}: {graph.n} stations, {graph.m} connections")
+    print(f"{'variant':22s} {'labels':>9s} {'bytes':>11s} "
+          f"{'us/SDP query':>13s} {'space saved':>12s}")
+    base_bytes = rows[0][2]
+    for name, labels, size, micros in rows:
+        saved = 100.0 * (1 - size / base_bytes)
+        print(f"{name:22s} {labels:9,d} {size:11,d} {micros:13.1f} "
+              f"{saved:11.1f}%")
+
+    print("\nInterpretation (cf. Table 4): route-based compression")
+    print("collapses single-vehicle label groups onto the route")
+    print("timetable; pivot-based compression collapses transfer label")
+    print("groups onto their pivot; combined they shrink the index by")
+    print("double-digit percentages at a modest query-time cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""A departure board: profile queries on the TTL index.
+
+Given an origin/destination pair, prints *all* non-dominated journeys
+in a time window — the "next connections" list every journey planner
+shows — using the profile-query extension built on SketchGen
+(``repro.core.profile_queries``).
+
+Run with::
+
+    python examples/departure_board.py [--dataset Madrid]
+"""
+
+import argparse
+import random
+
+from repro import TTLPlanner, format_duration, format_time
+from repro.datasets import load_dataset
+from repro.timeutil import hms
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="Madrid")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--pairs", type=int, default=3)
+    args = parser.parse_args()
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    planner = TTLPlanner(graph, concise=True)
+    planner.preprocess()
+
+    rng = random.Random(12)
+    window = (hms(7), hms(10))
+    shown = 0
+    attempts = 0
+    while shown < args.pairs and attempts < 200:
+        attempts += 1
+        u = rng.randrange(graph.n)
+        v = rng.randrange(graph.n)
+        if u == v:
+            continue
+        pairs = planner.profile(u, v, *window)
+        if len(pairs) < 3:
+            continue
+        shown += 1
+        print(f"\n=== {graph.station_name(u)} -> {graph.station_name(v)} "
+              f"({format_time(window[0])} - {format_time(window[1])}) ===")
+        print(f"{'depart':>9s} {'arrive':>9s} {'duration':>9s} {'legs':>5s}")
+        for dep, arr in pairs:
+            journey = planner.earliest_arrival(u, v, dep)
+            assert journey is not None and journey.arr == arr
+            print(f"{format_time(dep):>9s} {format_time(arr):>9s} "
+                  f"{format_duration(arr - dep):>9s} "
+                  f"{len(journey.legs):5d}")
+        best = min(pairs, key=lambda p: p[1] - p[0])
+        print(f"fastest: {format_time(best[0])} -> {format_time(best[1])} "
+              f"({format_duration(best[1] - best[0])})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Disruptions and the static-index trade-off.
+
+TTL trades preprocessing for query speed; the flip side (which the
+paper scopes out) is that a schedule change invalidates the index.
+This example delays 10% of trips on a city network and quantifies the
+realistic operational trade:
+
+* CSA needs only a re-sort (milliseconds) to serve the new timetable;
+* TTL needs a rebuild (seconds) — after which its queries are again
+  orders of magnitude faster.
+
+It also shows how individual journeys change under the disruption.
+
+Run with::
+
+    python examples/disruption_replanning.py [--dataset Houston]
+"""
+
+import argparse
+import time
+
+from repro import CSAPlanner, TTLPlanner, format_duration, format_time
+from repro.datasets import QueryWorkload, load_dataset
+from repro.datasets.disruptions import delay_trips, random_delays
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="Houston")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--fraction", type=float, default=0.10)
+    parser.add_argument("--max-delay", type=int, default=900)
+    args = parser.parse_args()
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    print(f"{args.dataset}: {graph.n} stations, {graph.m} connections")
+
+    delays = random_delays(
+        graph, fraction=args.fraction, max_delay=args.max_delay, seed=4
+    )
+    disrupted = delay_trips(graph, delays)
+    print(f"disruption: {len(delays)} trips delayed by up to "
+          f"{args.max_delay // 60} min\n")
+
+    # Re-preprocessing cost per method.
+    start = time.perf_counter()
+    csa = CSAPlanner(disrupted)
+    csa.preprocess()
+    csa_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    ttl = TTLPlanner(disrupted)
+    ttl.preprocess()
+    ttl_seconds = time.perf_counter() - start
+    print(f"re-preprocessing after the disruption: "
+          f"CSA {csa_seconds * 1000:.1f} ms, TTL {ttl_seconds:.2f} s")
+
+    baseline = TTLPlanner(graph)
+    baseline.preprocess()
+
+    # How did journeys change?
+    queries = QueryWorkload(graph, seed=21).generate(400)
+    worse = unchanged = better = 0
+    worst = None
+    for q in queries:
+        before = baseline.earliest_arrival(q.source, q.destination, q.t_start)
+        after = ttl.earliest_arrival(q.source, q.destination, q.t_start)
+        if before is None or after is None:
+            continue
+        delta = after.arr - before.arr
+        if delta > 0:
+            worse += 1
+            if worst is None or delta > worst[0]:
+                worst = (delta, q, before, after)
+        elif delta < 0:
+            better += 1
+        else:
+            unchanged += 1
+
+    total = worse + unchanged + better
+    print(f"\nof {total} journeys: {unchanged} unchanged, "
+          f"{worse} arrive later, {better} arrive earlier")
+    if worst is not None:
+        delta, q, before, after = worst
+        print(f"\nworst-hit journey "
+              f"({graph.station_name(q.source)} -> "
+              f"{graph.station_name(q.destination)}):")
+        print(f"  planned:   arrive {format_time(before.arr)}")
+        print(f"  disrupted: arrive {format_time(after.arr)} "
+              f"(+{format_duration(delta)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Extended timetables: planning past midnight (Section 8).
+
+A single-day index cannot answer "leave Saturday 23:40, arrive Sunday
+morning".  Section 8's fix is to index two consecutive service days;
+this example builds both indices on a country network and shows the
+overnight journey appearing once the timetable is extended.
+
+Run with::
+
+    python examples/overnight_journeys.py
+"""
+
+from repro import TTLPlanner, extend_with_next_day, format_time, hms
+from repro.datasets import load_dataset
+
+
+def main():
+    graph = load_dataset("Sweden", scale=0.6)
+    stats = graph.stats()
+    print(f"Sweden (scaled): {stats.num_stations} stations, "
+          f"{stats.num_connections} connections")
+    print(f"service day: {format_time(stats.min_time)} - "
+          f"{format_time(stats.max_time)}\n")
+
+    # Pick two stations in different cities: centres carry the "/centre"
+    # suffix in the synthetic country generator.
+    centres = [
+        s for s in range(graph.n)
+        if graph.station_name(s).endswith("/centre")
+    ]
+    origin, destination = centres[0], centres[-1]
+    late = hms(23, 0)
+
+    single = TTLPlanner(graph, concise=True)
+    single.preprocess()
+    journey = single.earliest_arrival(origin, destination, late)
+    print(f"{graph.station_name(origin)} -> "
+          f"{graph.station_name(destination)}, ready at "
+          f"{format_time(late)}")
+    if journey is None:
+        print("  single-day index: no feasible journey "
+              "(the last rail connection has left)\n")
+    else:
+        print(f"  single-day index: arrive {format_time(journey.arr)}\n")
+
+    extended_graph = extend_with_next_day(graph)
+    print(f"extended timetable: {extended_graph.m} connections "
+          f"(two consecutive days)")
+    extended = TTLPlanner(extended_graph, concise=True)
+    seconds = extended.preprocess()
+    print(f"extended TTL index built in {seconds:.1f}s "
+          f"({extended.index.stats().num_labels} labels)\n")
+
+    journey = extended.earliest_arrival(origin, destination, late)
+    assert journey is not None, "extended index must find the journey"
+    print("overnight journey (times past 24:00 are next-day):")
+    print(journey.describe(extended_graph))
+
+    if journey.arr >= hms(24):
+        print(f"\narrives the NEXT day at "
+              f"{format_time(journey.arr - hms(24))}")
+
+
+if __name__ == "__main__":
+    main()

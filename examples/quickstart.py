@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: build a tiny timetable, index it, answer all three
+query types.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import GraphBuilder, TTLPlanner, format_time, hms
+
+
+def build_network():
+    """Two bus lines through a four-stop corridor plus an express."""
+    builder = GraphBuilder()
+    harbour = builder.add_station("Harbour")
+    market = builder.add_station("Market")
+    museum = builder.add_station("Museum")
+    airport = builder.add_station("Airport")
+
+    local = builder.add_route(
+        [harbour, market, museum, airport], name="local 1"
+    )
+    # A local bus every 15 minutes, 6:00 - 10:00.
+    for minute in range(0, 241, 15):
+        builder.add_trip_departures(
+            local, hms(6) + minute * 60, [420, 360, 540], dwell=30
+        )
+
+    express = builder.add_route([harbour, airport], name="airport express")
+    # An express every 30 minutes.
+    for minute in range(10, 241, 30):
+        builder.add_trip_departures(express, hms(6) + minute * 60, [900])
+
+    return builder.build(), harbour, airport
+
+
+def main():
+    graph, harbour, airport = build_network()
+    print(f"network: {graph.n} stations, {graph.m} connections, "
+          f"{len(graph.routes)} routes\n")
+
+    planner = TTLPlanner(graph)
+    seconds = planner.preprocess()
+    stats = planner.index.stats()
+    print(f"TTL index built in {seconds * 1000:.1f} ms "
+          f"({stats.num_labels} labels)\n")
+
+    # EAP: "I am at the Harbour at 7:05 — when can I reach the Airport?"
+    journey = planner.earliest_arrival(harbour, airport, hms(7, 5))
+    print("Earliest arrival from 07:05:")
+    print(journey.describe(graph), "\n")
+
+    # LDP: "I must be at the Airport by 8:00 — when can I leave latest?"
+    journey = planner.latest_departure(harbour, airport, hms(8))
+    print("Latest departure to arrive by 08:00:")
+    print(journey.describe(graph), "\n")
+
+    # SDP: "between 6:30 and 9:00, which trip is fastest?"
+    journey = planner.shortest_duration(
+        harbour, airport, hms(6, 30), hms(9)
+    )
+    print("Shortest duration inside [06:30, 09:00]:")
+    print(journey.describe(graph), "\n")
+
+    # Concise answers (Section 8): boarding instructions only.
+    concise = TTLPlanner(graph, index=planner.index, concise=True)
+    journey = concise.earliest_arrival(harbour, airport, hms(7, 5))
+    print("Same EAP as boarding instructions:")
+    print(journey.describe(graph))
+    print(f"\n(arrive {format_time(journey.arr)}, "
+          f"{journey.transfers} transfers)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` (PEP 660) requires `wheel`; on offline machines
+without it, `python setup.py develop` installs the same editable
+package using plain setuptools. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Algorithmic substrates shared by the planners.
+
+* :mod:`repro.algorithms.profiles` — Pareto frontiers of
+  ``(departure, arrival)`` pairs, the basic object of non-dominated
+  path reasoning (Definition 5's dominance constraint).
+* :mod:`repro.algorithms.temporal_dijkstra` — the modified Dijkstra of
+  Cooke et al. used as (i) the query-time baseline everything is
+  measured against and (ii) the correctness oracle in tests.
+"""
+
+from repro.algorithms.profiles import ParetoProfile
+from repro.algorithms.temporal_dijkstra import (
+    DijkstraPlanner,
+    earliest_arrival_search,
+    earliest_arrival_path,
+    latest_departure_search,
+    latest_departure_path,
+)
+
+__all__ = [
+    "ParetoProfile",
+    "DijkstraPlanner",
+    "earliest_arrival_search",
+    "earliest_arrival_path",
+    "latest_departure_search",
+    "latest_departure_path",
+]

@@ -1,0 +1,158 @@
+"""Pareto frontiers of (departure, arrival) pairs.
+
+The dominance constraint of Definition 5 says a path is dominated when
+another path departs no earlier *and* arrives no later (strictly better
+in at least one coordinate).  The set of non-dominated ``(dep, arr)``
+pairs between two stations therefore forms a staircase where both
+coordinates increase strictly; :class:`ParetoProfile` maintains exactly
+that staircase and answers the three primitive questions every planner
+needs:
+
+* ``eat(t)``  — earliest arrival departing no sooner than ``t``;
+* ``ldt(t)``  — latest departure arriving no later than ``t``;
+* ``best_duration(t, t_end)`` — minimum duration inside a window.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+from repro.timeutil import INF, NEG_INF
+
+
+class ParetoProfile:
+    """A mutable Pareto frontier of ``(dep, arr)`` pairs.
+
+    Invariant: internal ``deps`` and ``arrs`` are parallel arrays, both
+    strictly increasing.  Each pair may carry an arbitrary payload
+    (used by planners to remember how the pair was achieved).
+    """
+
+    __slots__ = ("deps", "arrs", "payloads")
+
+    def __init__(
+        self, pairs: Optional[Iterable[Tuple[int, int]]] = None
+    ) -> None:
+        self.deps: List[int] = []
+        self.arrs: List[int] = []
+        self.payloads: List[Any] = []
+        if pairs is not None:
+            for dep, arr in pairs:
+                self.add(dep, arr)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, dep: int, arr: int, payload: Any = None) -> bool:
+        """Insert ``(dep, arr)`` if it is not (weakly) dominated.
+
+        A pair already on the frontier with the same coordinates counts
+        as dominating (ties are not duplicated).  Any existing pairs
+        the new one dominates are evicted.
+
+        Returns:
+            True when the pair was inserted.
+        """
+        if arr <= dep and not (dep == arr):
+            # Zero-duration pairs are allowed (virtual "already there"),
+            # negative ones are programming errors.
+            raise ValueError(f"arrival {arr} before departure {dep}")
+        deps, arrs = self.deps, self.arrs
+        i = bisect_left(deps, dep)
+        # Pairs at index >= i depart no earlier; arrs is increasing, so
+        # the best arrival in the suffix is arrs[i].
+        if i < len(deps) and arrs[i] <= arr:
+            return False
+        hi = i
+        if hi < len(deps) and deps[hi] == dep:
+            # Same departure, strictly later arrival: evict it.
+            hi += 1
+        lo = i
+        while lo > 0 and arrs[lo - 1] >= arr:
+            lo -= 1
+        deps[lo:hi] = [dep]
+        arrs[lo:hi] = [arr]
+        self.payloads[lo:hi] = [payload]
+        return True
+
+    def dominates(self, dep: int, arr: int) -> bool:
+        """True when the frontier weakly dominates ``(dep, arr)``."""
+        i = bisect_left(self.deps, dep)
+        return i < len(self.deps) and self.arrs[i] <= arr
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def eat(self, t: int) -> int:
+        """Earliest arrival over pairs departing no sooner than ``t``
+        (``INF`` when none exists)."""
+        i = bisect_left(self.deps, t)
+        if i == len(self.deps):
+            return INF
+        return self.arrs[i]
+
+    def eat_pair(self, t: int) -> Optional[Tuple[int, int, Any]]:
+        """The ``(dep, arr, payload)`` achieving :meth:`eat`, if any."""
+        i = bisect_left(self.deps, t)
+        if i == len(self.deps):
+            return None
+        return self.deps[i], self.arrs[i], self.payloads[i]
+
+    def ldt(self, t: int) -> int:
+        """Latest departure over pairs arriving no later than ``t``
+        (``NEG_INF`` when none exists)."""
+        i = bisect_right(self.arrs, t)
+        if i == 0:
+            return NEG_INF
+        return self.deps[i - 1]
+
+    def ldt_pair(self, t: int) -> Optional[Tuple[int, int, Any]]:
+        """The ``(dep, arr, payload)`` achieving :meth:`ldt`, if any."""
+        i = bisect_right(self.arrs, t)
+        if i == 0:
+            return None
+        return self.deps[i - 1], self.arrs[i - 1], self.payloads[i - 1]
+
+    def best_duration(
+        self, t: int, t_end: int
+    ) -> Optional[Tuple[int, int, Any]]:
+        """Minimum-duration pair with ``dep >= t`` and ``arr <= t_end``.
+
+        Returns ``(dep, arr, payload)`` or ``None``.  Ties prefer the
+        earlier departure (matching how SketchGen refinement scans).
+        """
+        lo = bisect_left(self.deps, t)
+        hi = bisect_right(self.arrs, t_end)
+        if lo >= hi:
+            return None
+        best = None
+        best_duration = None
+        for i in range(lo, hi):
+            duration = self.arrs[i] - self.deps[i]
+            if best_duration is None or duration < best_duration:
+                best_duration = duration
+                best = (self.deps[i], self.arrs[i], self.payloads[i])
+        return best
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """All frontier pairs, ascending by departure."""
+        return list(zip(self.deps, self.arrs))
+
+    def __len__(self) -> int:
+        return len(self.deps)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(zip(self.deps, self.arrs))
+
+    def __bool__(self) -> bool:
+        return bool(self.deps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParetoProfile({self.pairs()!r})"

@@ -1,0 +1,312 @@
+"""Temporal Dijkstra (Cooke et al.'s modified Dijkstra).
+
+The paper's Section 1 baseline: Dijkstra's algorithm adapted to
+timetable graphs.  The forward search settles nodes in order of
+earliest arrival time (EAT); once a node is settled its EAT is final,
+so each node's outgoing connections are scanned exactly once from the
+first boardable one — total cost ``O(m log n)``.
+
+The backward search is the time-reversed mirror (latest departure
+times), and SDP is answered by sweeping the source's departure times,
+which is exact because an optimal shortest-duration path leaves on some
+outgoing connection of the source.
+
+:class:`DijkstraPlanner` wraps the searches in the common
+:class:`~repro.planner.RoutePlanner` interface; the free functions are
+reused by index construction and by tests as the correctness oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.graph.connection import Connection, Path
+from repro.graph.timetable import TimetableGraph
+from repro.journey import Journey
+from repro.planner import RoutePlanner
+from repro.timeutil import INF, NEG_INF
+
+
+def earliest_arrival_search(
+    graph: TimetableGraph,
+    source: int,
+    t: int,
+    target: Optional[int] = None,
+    allowed: Optional[Callable[[int], bool]] = None,
+    min_transfer: int = 0,
+) -> Tuple[List[int], List[Optional[Connection]]]:
+    """One-to-all earliest arrival times from ``source`` departing
+    no sooner than ``t``.
+
+    Args:
+        graph: the timetable graph.
+        source: starting station.
+        t: earliest allowed departure time.
+        target: optional early-termination station.
+        allowed: optional node filter; stations for which it returns
+            False are never entered (used by rank-restricted searches).
+        min_transfer: extra seconds required when changing vehicles
+            (0 reproduces the paper's model exactly).
+
+    Returns:
+        ``(eat, parent)`` where ``eat[v]`` is the earliest arrival time
+        at ``v`` (``INF`` if unreachable) and ``parent[v]`` the
+        connection that first achieved it (``None`` for the source).
+    """
+    n = graph.n
+    eat: List[int] = [INF] * n
+    parent: List[Optional[Connection]] = [None] * n
+    eat[source] = t
+    if min_transfer:
+        return _earliest_arrival_with_transfer(
+            graph, source, t, target, allowed, min_transfer, eat, parent
+        )
+
+    settled = [False] * n
+    heap: List[Tuple[int, int]] = [(t, source)]
+    out = graph.out
+    out_deps = graph.out_deps
+    from bisect import bisect_left
+
+    while heap:
+        arr_u, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        if u == target:
+            break
+        conns = out[u]
+        for i in range(bisect_left(out_deps[u], arr_u), len(conns)):
+            c = conns[i]
+            v = c.v
+            if c.arr < eat[v]:
+                if allowed is not None and not allowed(v):
+                    continue
+                eat[v] = c.arr
+                parent[v] = c
+                heapq.heappush(heap, (c.arr, v))
+    return eat, parent
+
+
+def _earliest_arrival_with_transfer(
+    graph: TimetableGraph,
+    source: int,
+    t: int,
+    target: Optional[int],
+    allowed: Optional[Callable[[int], bool]],
+    min_transfer: int,
+    eat: List[int],
+    parent: List[Optional[Connection]],
+) -> Tuple[List[int], List[Optional[Connection]]]:
+    """Transfer-slack-aware variant (label-correcting).
+
+    With a positive transfer slack the plain node-settled Dijkstra is
+    no longer exact (arriving later on the *same* trip can beat
+    arriving earlier on a different trip), so we track, per station,
+    the best arrival per incoming trip and relax until fixpoint.
+    """
+    from bisect import bisect_left
+
+    # (arrival, station, trip arrived on) — trip None at the source.
+    heap: List[Tuple[int, int, int]] = [(t, source, -1)]
+    # Best known arrival at station per arriving trip.
+    best_by_trip: List[dict] = [dict() for _ in range(graph.n)]
+    best_by_trip[source][-1] = t
+    out = graph.out
+    out_deps = graph.out_deps
+
+    while heap:
+        arr_u, u, trip = heapq.heappop(heap)
+        if arr_u > best_by_trip[u].get(trip, INF):
+            continue
+        if arr_u < eat[u]:
+            eat[u] = arr_u
+        conns = out[u]
+        start = bisect_left(out_deps[u], arr_u)
+        for i in range(start, len(conns)):
+            c = conns[i]
+            if c.trip != trip and trip != -1 and c.dep < arr_u + min_transfer:
+                continue
+            v = c.v
+            if allowed is not None and not allowed(v):
+                continue
+            prev = best_by_trip[v].get(c.trip, INF)
+            if c.arr < prev:
+                best_by_trip[v][c.trip] = c.arr
+                if c.arr < eat[v]:
+                    parent[v] = c
+                heapq.heappush(heap, (c.arr, v, c.trip))
+    return eat, parent
+
+
+def latest_departure_search(
+    graph: TimetableGraph,
+    destination: int,
+    t: int,
+    source: Optional[int] = None,
+    allowed: Optional[Callable[[int], bool]] = None,
+) -> Tuple[List[int], List[Optional[Connection]]]:
+    """One-to-all latest departure times reaching ``destination`` no
+    later than ``t`` (the "backward version" of Section 5.1).
+
+    Returns:
+        ``(ldt, child)`` where ``ldt[v]`` is the latest feasible
+        departure from ``v`` (``NEG_INF`` if ``destination`` cannot be
+        reached) and ``child[v]`` the first connection of the path that
+        achieves it.
+    """
+    n = graph.n
+    ldt: List[int] = [NEG_INF] * n
+    child: List[Optional[Connection]] = [None] * n
+    ldt[destination] = t
+    settled = [False] * n
+    heap: List[Tuple[int, int]] = [(-t, destination)]
+    inc = graph.inc
+    inc_arrs = graph.inc_arrs
+    from bisect import bisect_right
+
+    while heap:
+        neg_dep, v = heapq.heappop(heap)
+        if settled[v]:
+            continue
+        settled[v] = True
+        if v == source:
+            break
+        dep_v = -neg_dep
+        conns = inc[v]
+        for i in range(bisect_right(inc_arrs[v], dep_v)):
+            c = conns[i]
+            u = c.u
+            if c.dep > ldt[u]:
+                if allowed is not None and not allowed(u):
+                    continue
+                ldt[u] = c.dep
+                child[u] = c
+                heapq.heappush(heap, (-c.dep, u))
+    return ldt, child
+
+
+def extract_forward_path(
+    parent: List[Optional[Connection]], source: int, destination: int
+) -> Optional[Path]:
+    """Rebuild the connection sequence from forward parent pointers."""
+    if source == destination:
+        return []
+    conn = parent[destination]
+    if conn is None:
+        return None
+    path: Path = []
+    while conn is not None:
+        path.append(conn)
+        if conn.u == source:
+            break
+        conn = parent[conn.u]
+    else:  # pragma: no cover - defensive
+        return None
+    path.reverse()
+    return path
+
+
+def extract_backward_path(
+    child: List[Optional[Connection]], source: int, destination: int
+) -> Optional[Path]:
+    """Rebuild the connection sequence from backward child pointers."""
+    if source == destination:
+        return []
+    conn = child[source]
+    if conn is None:
+        return None
+    path: Path = []
+    while conn is not None:
+        path.append(conn)
+        if conn.v == destination:
+            break
+        conn = child[conn.v]
+    else:  # pragma: no cover - defensive
+        return None
+    return path
+
+
+def earliest_arrival_path(
+    graph: TimetableGraph, source: int, destination: int, t: int
+) -> Optional[Path]:
+    """EAP as a connection sequence, or ``None`` when unreachable."""
+    eat, parent = earliest_arrival_search(graph, source, t, target=destination)
+    if eat[destination] >= INF:
+        return None
+    return extract_forward_path(parent, source, destination)
+
+
+def latest_departure_path(
+    graph: TimetableGraph, source: int, destination: int, t: int
+) -> Optional[Path]:
+    """LDP as a connection sequence, or ``None`` when infeasible."""
+    ldt, child = latest_departure_search(graph, destination, t, source=source)
+    if ldt[source] <= NEG_INF:
+        return None
+    return extract_backward_path(child, source, destination)
+
+
+class DijkstraPlanner(RoutePlanner):
+    """The no-index baseline: answer every query with a fresh search."""
+
+    name = "Dijkstra"
+
+    def _build(self) -> None:
+        # Nothing to precompute; adjacency comes with the graph.
+        return
+
+    def index_bytes(self) -> int:
+        return 0
+
+    def earliest_arrival(
+        self, source: int, destination: int, t: int
+    ) -> Optional[Journey]:
+        self._check_query(source, destination)
+        if source == destination:
+            return Journey(source, destination, t, t, path=[])
+        path = earliest_arrival_path(self.graph, source, destination, t)
+        if path is None:
+            return None
+        return Journey.from_path(path)
+
+    def latest_departure(
+        self, source: int, destination: int, t: int
+    ) -> Optional[Journey]:
+        self._check_query(source, destination)
+        if source == destination:
+            return Journey(source, destination, t, t, path=[])
+        path = latest_departure_path(self.graph, source, destination, t)
+        if path is None:
+            return None
+        return Journey.from_path(path)
+
+    def shortest_duration(
+        self, source: int, destination: int, t: int, t_end: int
+    ) -> Optional[Journey]:
+        self._check_query(source, destination)
+        self._check_window(t, t_end)
+        if source == destination:
+            return Journey(source, destination, t, t, path=[])
+        best_path: Optional[Path] = None
+        best_duration = INF
+        for dep in self.graph.departure_times(source):
+            if dep < t or dep > t_end:
+                continue
+            eat, parent = earliest_arrival_search(
+                self.graph, source, dep, target=destination
+            )
+            arr = eat[destination]
+            if arr > t_end:
+                continue
+            path = extract_forward_path(parent, source, destination)
+            if path is None:
+                continue
+            duration = path[-1].arr - path[0].dep
+            if duration < best_duration:
+                best_duration = duration
+                best_path = path
+        if best_path is None:
+            return None
+        return Journey.from_path(best_path)

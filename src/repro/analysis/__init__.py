@@ -1,0 +1,39 @@
+"""Analysis utilities for timetable graphs and TTL indices.
+
+Inspection tooling a deployment actually needs when index sizes or
+query times surprise: label-distribution statistics and hub coverage
+(:mod:`repro.analysis.index_stats`), and network reachability /
+temporal connectivity reports (:mod:`repro.analysis.network`).
+"""
+
+from repro.analysis.index_stats import (
+    HubReport,
+    LabelDistribution,
+    hub_report,
+    label_distribution,
+    transfer_histogram,
+)
+from repro.analysis.compare import (
+    ComparisonReport,
+    Disagreement,
+    compare_planners,
+)
+from repro.analysis.network import (
+    ReachabilityReport,
+    reachability_report,
+    temporal_components,
+)
+
+__all__ = [
+    "LabelDistribution",
+    "label_distribution",
+    "HubReport",
+    "hub_report",
+    "transfer_histogram",
+    "ComparisonReport",
+    "Disagreement",
+    "compare_planners",
+    "ReachabilityReport",
+    "reachability_report",
+    "temporal_components",
+]

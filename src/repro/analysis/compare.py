@@ -1,0 +1,123 @@
+"""Cross-planner agreement checking as a user-facing tool.
+
+The methodology this repository uses to trust its own planners —
+running every method against a reference on a shared workload and
+comparing objective values — is useful to anyone extending the
+library (a new planner, a patched pruning rule, an imported feed).
+:func:`compare_planners` packages it: it runs EAP/LDP/SDP for each
+planner and reports any disagreement with the first (reference)
+planner, with enough context to reproduce each one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.datasets.queries import Query
+from repro.planner import RoutePlanner
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One query where a planner diverged from the reference."""
+
+    planner: str
+    kind: str
+    query: Query
+    reference: Optional[int]
+    got: Optional[int]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.planner} {self.kind} "
+            f"{self.query.source}->{self.query.destination} "
+            f"[{self.query.t_start},{self.query.t_end}]: "
+            f"reference={self.reference} got={self.got}"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of :func:`compare_planners`."""
+
+    reference: str
+    queries_checked: int = 0
+    disagreements: List[Disagreement] = field(default_factory=list)
+
+    @property
+    def agree(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> str:
+        status = "AGREE" if self.agree else "DISAGREE"
+        lines = [
+            f"planner comparison vs {self.reference}: {status} "
+            f"({self.queries_checked} query evaluations, "
+            f"{len(self.disagreements)} disagreements)"
+        ]
+        for item in self.disagreements[:10]:
+            lines.append(f"  ! {item}")
+        if len(self.disagreements) > 10:
+            lines.append(f"  ... and {len(self.disagreements) - 10} more")
+        return "\n".join(lines)
+
+
+def _objective(journey, kind: str) -> Optional[int]:
+    if journey is None:
+        return None
+    if kind == "eap":
+        return journey.arr
+    if kind == "ldp":
+        return journey.dep
+    return journey.duration
+
+
+def compare_planners(
+    planners: Sequence[RoutePlanner],
+    queries: Sequence[Query],
+    kinds: Sequence[str] = ("eap", "ldp", "sdp"),
+) -> ComparisonReport:
+    """Check that every planner matches the first one on a workload.
+
+    Objective values are compared (arrival for EAP, departure for LDP,
+    duration for SDP) — paths may legitimately differ between exact
+    methods.
+    """
+    if not planners:
+        raise ValueError("need at least one planner")
+    reference = planners[0]
+    report = ComparisonReport(reference=reference.name)
+    for planner in planners:
+        planner.preprocess()
+    for q in queries:
+        for kind in kinds:
+            expected = _run(reference, q, kind)
+            for planner in planners[1:]:
+                report.queries_checked += 1
+                got = _run(planner, q, kind)
+                if got != expected:
+                    report.disagreements.append(
+                        Disagreement(
+                            planner=planner.name,
+                            kind=kind,
+                            query=q,
+                            reference=expected,
+                            got=got,
+                        )
+                    )
+    return report
+
+
+def _run(planner: RoutePlanner, q: Query, kind: str) -> Optional[int]:
+    if kind == "eap":
+        journey = planner.earliest_arrival(q.source, q.destination, q.t_start)
+    elif kind == "ldp":
+        journey = planner.latest_departure(q.source, q.destination, q.t_end)
+    elif kind == "sdp":
+        journey = planner.shortest_duration(
+            q.source, q.destination, q.t_start, q.t_end
+        )
+    else:
+        raise ValueError(f"unknown query kind: {kind}")
+    return _objective(journey, kind)

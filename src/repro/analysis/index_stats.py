@@ -1,0 +1,146 @@
+"""Label-set analysis.
+
+The paper observes (Section 10.1) that TTL query cost tracks the
+average label-set size ``l_avg`` and that ``l_avg`` depends on network
+topology rather than raw size.  These reports make that inspectable:
+
+* :func:`label_distribution` — per-node label-count statistics plus a
+  log-bucket histogram.
+* :func:`hub_report` — how concentrated the index is on its top hubs
+  (a good node order routes most canonical paths through few hubs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.index import TTLIndex
+
+
+@dataclass(frozen=True)
+class LabelDistribution:
+    """Per-node label-count statistics of one index."""
+
+    total_labels: int
+    mean: float
+    median: float
+    p90: float
+    maximum: int
+    #: (bucket upper bound, node count) pairs; buckets are powers of 2.
+    histogram: Tuple[Tuple[int, int], ...]
+
+    def render(self) -> str:
+        lines = [
+            f"labels total {self.total_labels}, per node: "
+            f"mean {self.mean:.1f}, median {self.median:.0f}, "
+            f"p90 {self.p90:.0f}, max {self.maximum}",
+        ]
+        top = max((count for _, count in self.histogram), default=1)
+        for bound, count in self.histogram:
+            bar = "#" * max(1, round(30 * count / top)) if count else ""
+            lines.append(f"  <= {bound:6d}: {count:5d} {bar}")
+        return "\n".join(lines)
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return float(ordered[idx])
+
+
+def label_distribution(index: TTLIndex) -> LabelDistribution:
+    """Distribution of per-node label counts (in + out)."""
+    per_node = [
+        sum(len(g) for g in index.in_groups[v])
+        + sum(len(g) for g in index.out_groups[v])
+        for v in range(index.graph.n)
+    ]
+    total = sum(per_node)
+    if not per_node:
+        return LabelDistribution(0, 0.0, 0.0, 0.0, 0, ())
+
+    maximum = max(per_node)
+    buckets: Dict[int, int] = {}
+    for count in per_node:
+        bound = 1 if count <= 1 else 2 ** math.ceil(math.log2(count))
+        buckets[bound] = buckets.get(bound, 0) + 1
+    histogram = tuple(sorted(buckets.items()))
+    return LabelDistribution(
+        total_labels=total,
+        mean=total / len(per_node),
+        median=_percentile([float(x) for x in per_node], 0.5),
+        p90=_percentile([float(x) for x in per_node], 0.9),
+        maximum=maximum,
+        histogram=histogram,
+    )
+
+
+@dataclass(frozen=True)
+class HubReport:
+    """Concentration of labels on the highest-ranked hubs."""
+
+    #: (station, rank, labels referencing it as hub), most-used first.
+    top_hubs: Tuple[Tuple[int, int, int], ...]
+    #: Fraction of all labels whose hub is in the top 10% of ranks.
+    top_decile_share: float
+
+    def render(self, graph=None) -> str:
+        name = graph.station_name if graph is not None else (lambda s: f"s{s}")
+        lines = [
+            f"top-decile hubs carry {self.top_decile_share:.1%} of labels"
+        ]
+        for station, rank, count in self.top_hubs:
+            lines.append(
+                f"  rank {rank:4d}  {name(station):24s} {count:7d} labels"
+            )
+        return "\n".join(lines)
+
+
+def transfer_histogram(planner, queries) -> Dict[int, int]:
+    """Distribution of vehicle changes over a workload's SDP answers.
+
+    ``planner`` is any :class:`~repro.planner.RoutePlanner`;
+    unanswerable queries are skipped.  Complements Section 10.1's
+    ``n_avg`` discussion with the transfer dimension.
+    """
+    histogram: Dict[int, int] = {}
+    for q in queries:
+        journey = planner.shortest_duration(
+            q.source, q.destination, q.t_start, q.t_end
+        )
+        if journey is None or journey.transfers is None:
+            continue
+        histogram[journey.transfers] = (
+            histogram.get(journey.transfers, 0) + 1
+        )
+    return histogram
+
+
+def hub_report(index: TTLIndex, top: int = 10) -> HubReport:
+    """Label counts per hub, and how concentrated they are."""
+    counts: Dict[int, int] = {}
+    for groups_per_node in (index.in_groups, index.out_groups):
+        for groups in groups_per_node:
+            for group in groups:
+                counts[group.hub] = counts.get(group.hub, 0) + len(group)
+    total = sum(counts.values())
+    ranked = sorted(
+        counts.items(), key=lambda item: (-item[1], index.ranks[item[0]])
+    )
+    top_hubs = tuple(
+        (station, index.ranks[station], count)
+        for station, count in ranked[:top]
+    )
+    n = max(1, index.graph.n)
+    decile_cutoff = max(1, n // 10)
+    decile = sum(
+        count
+        for station, count in counts.items()
+        if index.ranks[station] < decile_cutoff
+    )
+    share = decile / total if total else 0.0
+    return HubReport(top_hubs=top_hubs, top_decile_share=share)

@@ -1,0 +1,128 @@
+"""Network reachability and temporal-connectivity reports.
+
+Synthetic or imported feeds can silently contain unreachable stations
+or one-way traps; these utilities quantify that before index quality
+is blamed:
+
+* :func:`temporal_components` — station partition by *untimed* mutual
+  reachability (strongly connected components of the station graph).
+* :func:`reachability_report` — sampled temporal reachability: from
+  random (station, time) probes, what fraction of stations can still
+  be reached that day.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.algorithms.temporal_dijkstra import earliest_arrival_search
+from repro.graph.timetable import TimetableGraph
+from repro.timeutil import INF
+
+
+def temporal_components(graph: TimetableGraph) -> List[List[int]]:
+    """Strongly connected components of the untimed station digraph,
+    largest first (iterative Tarjan)."""
+    n = graph.n
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    for u in range(n):
+        adjacency[u] = sorted({c.v for c in graph.out[u]})
+
+    index_of = [-1] * n
+    low = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        work = [(root, 0)]
+        while work:
+            node, edge_pos = work[-1]
+            if edge_pos == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            for pos in range(edge_pos, len(adjacency[node])):
+                neighbour = adjacency[node][pos]
+                if index_of[neighbour] == -1:
+                    work[-1] = (node, pos + 1)
+                    work.append((neighbour, 0))
+                    advanced = True
+                    break
+                if on_stack[neighbour]:
+                    low[node] = min(low[node], index_of[neighbour])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+@dataclass(frozen=True)
+class ReachabilityReport:
+    """Sampled temporal reachability of a timetable graph."""
+
+    probes: int
+    mean_reachable_fraction: float
+    min_reachable_fraction: float
+    largest_component_fraction: float
+
+    def render(self) -> str:
+        return (
+            f"temporal reachability over {self.probes} probes: "
+            f"mean {self.mean_reachable_fraction:.1%}, "
+            f"min {self.min_reachable_fraction:.1%}; "
+            f"largest SCC holds "
+            f"{self.largest_component_fraction:.1%} of stations"
+        )
+
+
+def reachability_report(
+    graph: TimetableGraph, probes: int = 50, seed: int = 0
+) -> ReachabilityReport:
+    """Sampled fraction of stations reachable from random probes.
+
+    Each probe picks a station and a time in the first 60% of the
+    service window (late probes trivially reach nothing).
+    """
+    if graph.n == 0 or not graph.connections:
+        return ReachabilityReport(0, 0.0, 0.0, 0.0)
+    rng = random.Random(seed)
+    stats = graph.stats()
+    horizon = stats.min_time + int(
+        0.6 * (stats.max_time - stats.min_time)
+    )
+    fractions = []
+    for _ in range(probes):
+        source = rng.randrange(graph.n)
+        t = rng.randint(stats.min_time, max(stats.min_time, horizon))
+        eat, _ = earliest_arrival_search(graph, source, t)
+        reached = sum(1 for value in eat if value < INF)
+        fractions.append(reached / graph.n)
+    components = temporal_components(graph)
+    largest = len(components[0]) / graph.n if components else 0.0
+    return ReachabilityReport(
+        probes=probes,
+        mean_reachable_fraction=sum(fractions) / len(fractions),
+        min_reachable_fraction=min(fractions),
+        largest_component_fraction=largest,
+    )

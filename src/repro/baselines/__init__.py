@@ -1,0 +1,30 @@
+"""Baselines the paper evaluates TTL against (Section 9/10).
+
+* :mod:`repro.baselines.csa` — the Connection Scan Algorithm: almost
+  no preprocessing, answers queries with linear scans over globally
+  sorted connection arrays.
+* :mod:`repro.baselines.cht` — Contraction Hierarchies for Timetables:
+  contracts nodes bottom-up inserting timetable shortcuts, then runs
+  bidirectional hierarchy-restricted searches.
+* :mod:`repro.baselines.raptor` — RAPTOR, the round-based router
+  modern open-source transit systems use; a supplementary exact
+  baseline beyond the paper's line-up.
+* :mod:`repro.baselines.time_expanded` — routing on the time-expanded
+  event graph, Section 9's first related-work category, implemented so
+  its uncompetitiveness is reproducible.
+
+All implement :class:`~repro.planner.RoutePlanner` and return exact
+answers, matching the paper's choice of exact competitors.
+"""
+
+from repro.baselines.csa import CSAPlanner
+from repro.baselines.cht import CHTPlanner
+from repro.baselines.raptor import RaptorPlanner
+from repro.baselines.time_expanded import TimeExpandedPlanner
+
+__all__ = [
+    "CSAPlanner",
+    "CHTPlanner",
+    "RaptorPlanner",
+    "TimeExpandedPlanner",
+]

@@ -1,0 +1,53 @@
+"""Benchmark harness.
+
+* :mod:`repro.bench.harness` — shared machinery: the planner cache,
+  query-timing helpers, text-table rendering, and environment knobs.
+* :mod:`repro.bench.experiments` — one function per paper table /
+  figure, each returning structured rows and a rendered table.
+
+The pytest benchmarks under ``benchmarks/`` are thin wrappers around
+these functions so every experiment can also be driven from the CLI
+(``repro-ttl bench ...``) or a notebook.
+"""
+
+from repro.bench.harness import (
+    BenchConfig,
+    PlannerCache,
+    render_table,
+    time_queries,
+)
+from repro.bench.experiments import (
+    ablation_horder_samples,
+    ablation_pruning,
+    ablation_unfold,
+    figure3_sdp,
+    figure4_space,
+    figure5_preprocessing,
+    figure6_eap,
+    figure7_ldp,
+    figure8_construction,
+    figure9_order_size,
+    figure10_order_time,
+    table3_datasets,
+    table4_compression,
+)
+
+__all__ = [
+    "BenchConfig",
+    "PlannerCache",
+    "render_table",
+    "time_queries",
+    "table3_datasets",
+    "figure3_sdp",
+    "figure4_space",
+    "figure5_preprocessing",
+    "table4_compression",
+    "figure6_eap",
+    "figure7_ldp",
+    "figure8_construction",
+    "figure9_order_size",
+    "figure10_order_time",
+    "ablation_pruning",
+    "ablation_horder_samples",
+    "ablation_unfold",
+]

@@ -1,0 +1,98 @@
+"""Text renderings of the paper's figures.
+
+The paper's Figures 3-10 are grouped log-scale bar charts.  This
+module renders the same data as aligned ASCII charts so a terminal-only
+reproduction still *looks* like the figures: one row group per
+dataset, one log-scaled bar per method.
+
+Used by the benchmark suite to write ``results/*_chart.txt`` next to
+each numeric table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+#: Width of the bar area in characters.
+BAR_WIDTH = 46
+
+
+def _log_bar(value: float, lo: float, hi: float) -> str:
+    """A log-scaled bar for ``value`` on the [lo, hi] axis."""
+    if value <= 0:
+        return ""
+    if hi <= lo:
+        return "#"
+    span = math.log10(hi) - math.log10(lo)
+    frac = (math.log10(value) - math.log10(lo)) / span
+    frac = min(1.0, max(0.0, frac))
+    return "#" * max(1, round(BAR_WIDTH * frac))
+
+
+def grouped_log_chart(
+    title: str,
+    group_names: Sequence[str],
+    series_names: Sequence[str],
+    values: Sequence[Sequence[Optional[float]]],
+    unit: str = "us",
+) -> str:
+    """Render a grouped horizontal bar chart with a log value axis.
+
+    Args:
+        title: chart heading.
+        group_names: one per group (dataset).
+        series_names: one per bar within a group (method).
+        values: ``values[g][s]`` — the bar value, or None to omit.
+        unit: axis unit label.
+    """
+    flat = [
+        v
+        for group in values
+        for v in group
+        if v is not None and v > 0
+    ]
+    if not flat:
+        return f"{title}\n(no data)"
+    lo, hi = min(flat), max(flat)
+    label_width = max(len(name) for name in series_names)
+
+    lines = [title, f"(log scale, {_fmt(lo)}{unit} .. {_fmt(hi)}{unit})"]
+    for g, group in enumerate(group_names):
+        lines.append(f"{group}")
+        for s, series in enumerate(series_names):
+            value = values[g][s]
+            if value is None:
+                lines.append(f"  {series.ljust(label_width)} |  (n/a)")
+                continue
+            bar = _log_bar(value, lo, hi)
+            lines.append(
+                f"  {series.ljust(label_width)} |{bar} {_fmt(value)}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def chart_from_result(result, unit: str = "us") -> str:
+    """Chart an :class:`~repro.bench.experiments.ExperimentResult`
+    whose first column is the dataset and whose remaining columns are
+    method values."""
+    series_names = [header.split(" (")[0] for header in result.headers[1:]]
+    group_names = [row[0] for row in result.rows]
+    values: List[List[Optional[float]]] = [
+        [
+            (float(cell) if isinstance(cell, (int, float)) else None)
+            for cell in row[1:]
+        ]
+        for row in result.rows
+    ]
+    return grouped_log_chart(
+        result.name, group_names, series_names, values, unit=unit
+    )
+
+
+def _fmt(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.0f}"
+    return f"{value:.1f}"

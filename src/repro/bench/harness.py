@@ -1,0 +1,211 @@
+"""Shared benchmark machinery.
+
+Environment knobs (all optional):
+
+* ``REPRO_SCALE``     — dataset scale factor (default 1.0).
+* ``REPRO_DATASETS``  — comma-separated dataset subset.
+* ``REPRO_QUERIES``   — queries per measurement (default 200).
+
+:class:`PlannerCache` builds each (dataset, method) planner at most
+once per process; the figure experiments and the pytest benchmarks all
+share it so preprocessing is not re-paid per figure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import CHTPlanner, CSAPlanner
+from repro.core import CompressedTTLPlanner, TTLPlanner
+from repro.datasets import QueryWorkload, dataset_names, load_dataset
+from repro.datasets.queries import Query
+from repro.graph.timetable import TimetableGraph
+from repro.planner import RoutePlanner
+
+
+@dataclass
+class BenchConfig:
+    """Resolved benchmark configuration."""
+
+    scale: float = 1.0
+    datasets: List[str] = field(default_factory=dataset_names)
+    num_queries: int = 200
+    seed: int = 2015
+
+    @classmethod
+    def from_env(cls) -> "BenchConfig":
+        """Read the ``REPRO_*`` environment knobs."""
+        config = cls()
+        scale = os.environ.get("REPRO_SCALE")
+        if scale:
+            config.scale = float(scale)
+        subset = os.environ.get("REPRO_DATASETS")
+        if subset:
+            config.datasets = [
+                name.strip() for name in subset.split(",") if name.strip()
+            ]
+        queries = os.environ.get("REPRO_QUERIES")
+        if queries:
+            config.num_queries = int(queries)
+        return config
+
+
+#: Planner factories by method name (the paper's method line-up).
+METHOD_FACTORIES: Dict[str, Callable[[TimetableGraph], RoutePlanner]] = {
+    "TTL": lambda g: TTLPlanner(g),
+    "TTL-concise": lambda g: TTLPlanner(g, concise=True),
+    "C-TTL": lambda g: CompressedTTLPlanner(g),
+    "C-TTL-concise": lambda g: CompressedTTLPlanner(g, concise=True),
+    "CSA": lambda g: CSAPlanner(g),
+    "CHT": lambda g: CHTPlanner(g),
+}
+
+
+class PlannerCache:
+    """Process-wide cache of preprocessed planners and query sets."""
+
+    def __init__(self, config: Optional[BenchConfig] = None) -> None:
+        self.config = config or BenchConfig.from_env()
+        self._planners: Dict[Tuple[str, str], RoutePlanner] = {}
+        self._queries: Dict[str, List[Query]] = {}
+        # C-TTL variants share one compressed index per dataset; TTL
+        # variants share one plain index.
+        self._shared: Dict[Tuple[str, str], object] = {}
+
+    def graph(self, dataset: str) -> TimetableGraph:
+        return load_dataset(dataset, scale=self.config.scale)
+
+    def planner(self, dataset: str, method: str) -> RoutePlanner:
+        """A preprocessed planner for ``(dataset, method)``."""
+        key = (dataset, method)
+        planner = self._planners.get(key)
+        if planner is not None:
+            return planner
+        graph = self.graph(dataset)
+        planner = self._make(graph, dataset, method)
+        planner.preprocess()
+        self._planners[key] = planner
+        return planner
+
+    def _make(
+        self, graph: TimetableGraph, dataset: str, method: str
+    ) -> RoutePlanner:
+        if method in ("TTL", "TTL-concise"):
+            index = self._shared.get((dataset, "ttl-index"))
+            if index is None:
+                base = TTLPlanner(graph)
+                base.preprocess()
+                index = base.index
+                self._shared[(dataset, "ttl-index")] = index
+            return TTLPlanner(
+                graph, index=index, concise=(method == "TTL-concise")
+            )
+        if method in ("C-TTL", "C-TTL-concise"):
+            cindex = self._shared.get((dataset, "cttl-index"))
+            if cindex is None:
+                from repro.core import build_index, compress_index
+
+                index = self._shared.get((dataset, "ttl-index"))
+                if index is None:
+                    index = build_index(graph)
+                    self._shared[(dataset, "ttl-index")] = index
+                cindex, _ = compress_index(index, mode="both")
+                self._shared[(dataset, "cttl-index")] = cindex
+            return CompressedTTLPlanner(
+                graph, cindex=cindex, concise=(method == "C-TTL-concise")
+            )
+        factory = METHOD_FACTORIES.get(method)
+        if factory is None:
+            raise KeyError(f"unknown method: {method}")
+        return factory(graph)
+
+    def queries(self, dataset: str) -> List[Query]:
+        """The dataset's deterministic query set."""
+        cached = self._queries.get(dataset)
+        if cached is None:
+            workload = QueryWorkload(self.graph(dataset), seed=self.config.seed)
+            cached = self._queries[dataset] = workload.generate(
+                self.config.num_queries
+            )
+        return cached
+
+
+#: The process-wide default cache used by experiments and benchmarks.
+DEFAULT_CACHE = PlannerCache()
+
+
+def run_queries(
+    planner: RoutePlanner, queries: Sequence[Query], kind: str
+) -> int:
+    """Run a query batch; returns how many were answerable."""
+    answered = 0
+    if kind == "eap":
+        for q in queries:
+            if planner.earliest_arrival(q.source, q.destination, q.t_start):
+                answered += 1
+    elif kind == "ldp":
+        for q in queries:
+            if planner.latest_departure(q.source, q.destination, q.t_end):
+                answered += 1
+    elif kind == "sdp":
+        for q in queries:
+            if planner.shortest_duration(
+                q.source, q.destination, q.t_start, q.t_end
+            ):
+                answered += 1
+    else:
+        raise ValueError(f"unknown query kind: {kind}")
+    return answered
+
+
+def time_queries(
+    planner: RoutePlanner, queries: Sequence[Query], kind: str
+) -> float:
+    """Average seconds per query for one batch."""
+    start = time.perf_counter()
+    run_queries(planner, queries, kind)
+    elapsed = time.perf_counter() - start
+    return elapsed / max(1, len(queries))
+
+
+# ----------------------------------------------------------------------
+# Text tables
+# ----------------------------------------------------------------------
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned text table (the paper-figure row format)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)

@@ -1,0 +1,383 @@
+"""Command-line interface: ``repro-ttl``.
+
+Subcommands:
+
+* ``datasets``                 — list the dataset catalogue.
+* ``info NAME``                — characteristics of one dataset.
+* ``generate NAME DIR``        — write a dataset as a CSV bundle.
+* ``build NAME INDEX``         — build a TTL index and save it.
+* ``query NAME KIND U V ...``  — answer one query with every method.
+* ``bench EXPERIMENT``         — run one paper experiment and print
+  its table (``table3``, ``fig3``–``fig10``, ``table4`` or ``all``).
+* ``verify NAME INDEX``        — fsck a saved index against its graph.
+* ``profile NAME U V``         — all non-dominated journeys in a window.
+* ``analyze NAME``             — label distribution + hub/reachability
+  reports.
+* ``report [-o FILE]``         — run all experiments, emit a markdown
+  reproduction report with shape verdicts.
+* ``serve NAME``               — HTTP JSON API over a TTL planner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import CHTPlanner, CSAPlanner
+from repro.bench.harness import BenchConfig, PlannerCache
+from repro.core import (
+    CompressedTTLPlanner,
+    TTLPlanner,
+    build_index,
+    load_index,
+    save_index,
+)
+from repro.algorithms import DijkstraPlanner
+from repro.datasets import DATASETS, dataset_names, load_dataset
+from repro.graph import save_graph_csv
+from repro.timeutil import format_duration, format_time, parse_time
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="dataset scale factor"
+    )
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    print(f"{'name':12s} {'kind':8s} {'stations':>8s} {'routes':>6s}")
+    for name in dataset_names():
+        info = DATASETS[name]
+        print(
+            f"{info.name:12s} {info.kind:8s} {info.stations:8d} "
+            f"{info.routes:6d}"
+        )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.name, scale=args.scale)
+    stats = graph.stats()
+    print(f"dataset      {args.name} (scale {args.scale})")
+    print(f"stations     {stats.num_stations}")
+    print(f"connections  {stats.num_connections}")
+    print(f"trips        {stats.num_trips}")
+    print(f"routes       {stats.num_routes}")
+    print(
+        f"service      {format_time(stats.min_time)} - "
+        f"{format_time(stats.max_time)}"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.name, scale=args.scale)
+    save_graph_csv(graph, args.directory)
+    print(f"wrote {graph.n} stations / {graph.m} connections to "
+          f"{args.directory}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.name, scale=args.scale)
+
+    def progress(done: int, total: int) -> None:
+        if done % max(1, total // 20) == 0 or done == total:
+            print(f"\r  building: {done}/{total} hubs", end="", flush=True)
+
+    index = build_index(graph, order=args.order, progress=progress)
+    print()
+    save_index(index, args.index)
+    stats = index.stats()
+    build = index.build_stats
+    print(f"labels       {stats.num_labels}")
+    print(f"avg/node     {stats.avg_labels_per_node:.1f}")
+    if build is not None:
+        print(f"build time   {build.seconds:.2f}s")
+    print(f"saved to     {args.index}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.name, scale=args.scale)
+    planners = [
+        DijkstraPlanner(graph),
+        CSAPlanner(graph),
+        CHTPlanner(graph),
+    ]
+    if args.index:
+        index = load_index(args.index, graph)
+        planners.append(TTLPlanner(graph, index=index))
+    else:
+        planners.append(TTLPlanner(graph))
+    planners.append(CompressedTTLPlanner(graph))
+
+    t = parse_time(args.start) if args.start else None
+    t_end = parse_time(args.end) if args.end else None
+    for planner in planners:
+        planner.preprocess()
+        if args.kind == "eap":
+            if t is None:
+                print("eap requires --start", file=sys.stderr)
+                return 2
+            journey = planner.earliest_arrival(args.source, args.dest, t)
+        elif args.kind == "ldp":
+            if t_end is None:
+                print("ldp requires --end", file=sys.stderr)
+                return 2
+            journey = planner.latest_departure(args.source, args.dest, t_end)
+        else:
+            if t is None or t_end is None:
+                print("sdp requires --start and --end", file=sys.stderr)
+                return 2
+            journey = planner.shortest_duration(
+                args.source, args.dest, t, t_end
+            )
+        if journey is None:
+            print(f"{planner.name:9s} no feasible journey")
+        else:
+            print(
+                f"{planner.name:9s} dep {format_time(journey.dep)}  "
+                f"arr {format_time(journey.arr)}  "
+                f"({format_duration(journey.duration)}, "
+                f"{journey.transfers} transfers)"
+            )
+    return 0
+
+
+_EXPERIMENTS = {
+    "table3": "table3_datasets",
+    "fig3": "figure3_sdp",
+    "fig4": "figure4_space",
+    "fig5": "figure5_preprocessing",
+    "table4": "table4_compression",
+    "fig6": "figure6_eap",
+    "fig7": "figure7_ldp",
+    "fig8": "figure8_construction",
+    "fig9": "figure9_order_size",
+    "fig10": "figure10_order_time",
+}
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import experiments
+
+    config = BenchConfig.from_env()
+    config.scale = args.scale
+    if args.datasets:
+        config.datasets = args.datasets.split(",")
+    if args.queries:
+        config.num_queries = args.queries
+    cache = PlannerCache(config)
+
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    for name in names:
+        attr = _EXPERIMENTS.get(name)
+        if attr is None:
+            print(f"unknown experiment: {name}", file=sys.stderr)
+            return 2
+        result = getattr(experiments, attr)(cache)
+        print(result)
+        print()
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.verify import verify_index
+
+    graph = load_dataset(args.name, scale=args.scale)
+    index = load_index(args.index, graph)
+    report = verify_index(
+        index,
+        label_samples=args.samples,
+        query_samples=args.samples,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.timeutil import format_duration, format_time as fmt
+
+    graph = load_dataset(args.name, scale=args.scale)
+    planner = TTLPlanner(graph)
+    t = parse_time(args.start)
+    t_end = parse_time(args.end)
+    pairs = planner.profile(args.source, args.dest, t, t_end)
+    if not pairs:
+        print("no feasible journeys in the window")
+        return 0
+    print(f"{'depart':>9s} {'arrive':>9s} {'duration':>9s}")
+    for dep, arr in pairs:
+        print(f"{fmt(dep):>9s} {fmt(arr):>9s} "
+              f"{format_duration(arr - dep):>9s}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        hub_report,
+        label_distribution,
+        reachability_report,
+    )
+    from repro.core import build_index
+
+    graph = load_dataset(args.name, scale=args.scale)
+    print(reachability_report(graph).render())
+    index = build_index(graph)
+    print()
+    print(label_distribution(index).render())
+    print()
+    print(hub_report(index).render(graph))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import PlannerService
+
+    graph = load_dataset(args.name, scale=args.scale)
+    planner = TTLPlanner(graph)
+    service = PlannerService(planner)
+    port = service.start(host=args.host, port=args.port)
+    print(f"serving {args.name} on http://{args.host}:{port} "
+          f"(endpoints: /stations /eap /ldp /sdp /profile; Ctrl-C stops)")
+    try:
+        import time as _time
+
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        service.stop()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import generate_report
+
+    config = BenchConfig.from_env()
+    config.scale = args.scale
+    if args.datasets:
+        config.datasets = args.datasets.split(",")
+    if args.queries:
+        config.num_queries = args.queries
+    report = generate_report(PlannerCache(config))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ttl",
+        description="Timetable Labelling (SIGMOD 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the dataset catalogue")
+
+    p = sub.add_parser("info", help="show dataset characteristics")
+    p.add_argument("name")
+    _add_scale(p)
+
+    p = sub.add_parser("generate", help="write a dataset as CSV")
+    p.add_argument("name")
+    p.add_argument("directory")
+    _add_scale(p)
+
+    p = sub.add_parser("build", help="build and save a TTL index")
+    p.add_argument("name")
+    p.add_argument("index", help="output index file")
+    p.add_argument("--order", default="hub")
+    _add_scale(p)
+
+    p = sub.add_parser("query", help="answer one query with every method")
+    p.add_argument("name")
+    p.add_argument("kind", choices=["eap", "ldp", "sdp"])
+    p.add_argument("source", type=int)
+    p.add_argument("dest", type=int)
+    p.add_argument("--start", help="HH:MM[:SS]")
+    p.add_argument("--end", help="HH:MM[:SS]")
+    p.add_argument("--index", help="load a saved TTL index")
+    _add_scale(p)
+
+    p = sub.add_parser("bench", help="run a paper experiment")
+    p.add_argument(
+        "experiment", choices=list(_EXPERIMENTS) + ["all"]
+    )
+    p.add_argument("--datasets", help="comma-separated subset")
+    p.add_argument("--queries", type=int)
+    _add_scale(p)
+
+    p = sub.add_parser("verify", help="verify a saved TTL index")
+    p.add_argument("name")
+    p.add_argument("index")
+    p.add_argument("--samples", type=int, default=200)
+    _add_scale(p)
+
+    p = sub.add_parser(
+        "profile", help="all non-dominated journeys in a window"
+    )
+    p.add_argument("name")
+    p.add_argument("source", type=int)
+    p.add_argument("dest", type=int)
+    p.add_argument("--start", required=True, help="HH:MM[:SS]")
+    p.add_argument("--end", required=True, help="HH:MM[:SS]")
+    _add_scale(p)
+
+    p = sub.add_parser("analyze", help="index/network analysis reports")
+    p.add_argument("name")
+    _add_scale(p)
+
+    p = sub.add_parser("serve", help="serve a planner over HTTP")
+    p.add_argument("name")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    _add_scale(p)
+
+    p = sub.add_parser(
+        "report", help="run all experiments, emit a markdown report"
+    )
+    p.add_argument("-o", "--output", help="write to file (default stdout)")
+    p.add_argument("--datasets", help="comma-separated subset")
+    p.add_argument("--queries", type=int)
+    _add_scale(p)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "info": _cmd_info,
+        "generate": _cmd_generate,
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "bench": _cmd_bench,
+        "verify": _cmd_verify,
+        "profile": _cmd_profile,
+        "analyze": _cmd_analyze,
+        "report": _cmd_report,
+        "serve": _cmd_serve,
+    }
+    from repro.errors import ReproError
+
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Batched label queries: one-to-many and matrix earliest arrivals.
+
+Accessibility studies ("which stations can I reach within 45 minutes
+of 8am?", travel-time matrices for facility placement) ask the same
+EAP question for one source against many targets.  With a TTL index
+each target costs one merge of the source's out-labels with the
+target's in-labels — no graph search at all — so a full one-to-all
+sweep costs ``O(|L_out(u)| * groups + sum_v |L_in(v)|)``, independent
+of how congested the timetable is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.index import TTLIndex
+from repro.core.sketch import best_eap_sketch_from_lists
+from repro.errors import QueryError
+
+
+def one_to_many_eat(
+    index: TTLIndex, source: int, targets: Iterable[int], t: int
+) -> Dict[int, Optional[int]]:
+    """Earliest arrival times from ``source`` (departing >= ``t``) to
+    each target; ``None`` where unreachable."""
+    n = index.graph.n
+    if not 0 <= source < n:
+        raise QueryError(f"unknown source station: {source}")
+    out_list = index.out_groups[source]
+    result: Dict[int, Optional[int]] = {}
+    for target in targets:
+        if not 0 <= target < n:
+            raise QueryError(f"unknown target station: {target}")
+        if target == source:
+            result[target] = t
+            continue
+        sketch = best_eap_sketch_from_lists(
+            out_list, index.in_groups[target], source, target, t
+        )
+        result[target] = sketch.arr if sketch is not None else None
+    return result
+
+
+def eat_matrix(
+    index: TTLIndex,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    t: int,
+) -> Dict[Tuple[int, int], Optional[int]]:
+    """Earliest-arrival matrix between station sets (departing >= t)."""
+    target_list = list(targets)
+    matrix: Dict[Tuple[int, int], Optional[int]] = {}
+    for source in sources:
+        row = one_to_many_eat(index, source, target_list, t)
+        for target, arr in row.items():
+            matrix[(source, target)] = arr
+    return matrix
+
+
+def isochrone(
+    index: TTLIndex, source: int, t: int, budget: int
+) -> List[int]:
+    """Stations reachable from ``source`` within ``budget`` seconds of
+    departing no sooner than ``t`` (the classic accessibility
+    isochrone), sorted by arrival time."""
+    if budget < 0:
+        raise QueryError(f"negative time budget: {budget}")
+    arrivals = one_to_many_eat(
+        index, source, range(index.graph.n), t
+    )
+    reachable = [
+        (arr, station)
+        for station, arr in arrivals.items()
+        if arr is not None and arr - t <= budget
+    ]
+    reachable.sort()
+    return [station for _, station in reachable]

@@ -1,0 +1,323 @@
+"""C-TTL — querying the compressed index (Appendix B).
+
+:class:`CompressedTTLIndex` stores every label group as a
+:class:`~repro.core.compression.CGroup` and *materializes* groups on
+demand during query processing:
+
+* plain groups are returned as stored;
+* route-compressed groups are re-read from the route's timetable;
+* pivot-compressed groups are re-merged from their child groups (which
+  the compression constraint guarantees are not pivot-compressed, so
+  materialization never recurses more than once).
+
+The extra materialization work is exactly the query-time price of
+compression the paper measures in Figure 3 (C-TTL slightly slower than
+TTL), so no caching is applied.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.compression import (
+    CGroup,
+    CompressionStats,
+    PIVOT,
+    PLAIN,
+    ROUTE,
+    merge_children,
+)
+from repro.core.index import LabelEntry, TTLIndex
+from repro.core.sketch import (
+    Sketch,
+    best_eap_sketch_from_lists,
+    best_ldp_sketch_from_lists,
+    best_sdp_sketch_from_lists,
+)
+from repro.core.unfold import sketch_to_journey
+from repro.errors import ReconstructionError
+from repro.graph.timetable import TimetableGraph
+from repro.journey import Journey
+from repro.planner import RoutePlanner
+
+
+class _UniformList:
+    """A read-only infinite list of one repeated value.
+
+    Route-group views use it for the shared pivot so decompression
+    allocates O(1) instead of O(labels).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __getitem__(self, _index):
+        return self.value
+
+
+class _ViewGroup:
+    """A label-group view over shared (route-timetable) columns."""
+
+    __slots__ = ("hub", "rank", "deps", "arrs", "trips", "pivots")
+
+    def __init__(self, hub, rank, deps, arrs, trips, pivots) -> None:
+        self.hub = hub
+        self.rank = rank
+        self.deps = deps
+        self.arrs = arrs
+        self.trips = trips
+        self.pivots = pivots
+
+    def __len__(self) -> int:
+        return len(self.deps)
+
+
+class CompressedTTLIndex:
+    """The C-TTL index: compressed label groups plus decompression."""
+
+    def __init__(
+        self,
+        base: TTLIndex,
+        in_cgroups: List[List[CGroup]],
+        out_cgroups: List[List[CGroup]],
+        stats: CompressionStats,
+    ) -> None:
+        self.graph: TimetableGraph = base.graph
+        self.ranks = base.ranks
+        self.in_cgroups = in_cgroups
+        self.out_cgroups = out_cgroups
+        self.compression_stats = stats
+        self.unfold_fallbacks = 0
+        #: (src, dst) -> CGroup, for child resolution.
+        self._pair_map: Dict[Tuple[int, int], CGroup] = {}
+        for dst, groups in enumerate(in_cgroups):
+            for cgroup in groups:
+                self._pair_map[(cgroup.src, cgroup.dst)] = cgroup
+        for src, groups in enumerate(out_cgroups):
+            for cgroup in groups:
+                self._pair_map[(cgroup.src, cgroup.dst)] = cgroup
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def materialize(self, cgroup: CGroup):
+        """Decompress one group (plain group or zero-copy view)."""
+        if cgroup.kind == PLAIN:
+            assert cgroup.plain is not None
+            return cgroup.plain
+        if cgroup.kind == ROUTE:
+            assert cgroup.route_id is not None
+            route = self.graph.routes[cgroup.route_id]
+            deps, arrs, trips = route.pair_columns(cgroup.src, cgroup.dst)
+            return _ViewGroup(
+                cgroup.hub,
+                cgroup.rank,
+                deps,
+                arrs,
+                trips,
+                _UniformList(cgroup.pivot),
+            )
+        if cgroup.kind == PIVOT:
+            assert cgroup.pivot is not None
+            left = self._materialize_pair(cgroup.src, cgroup.pivot)
+            right = self._materialize_pair(cgroup.pivot, cgroup.dst)
+            if left is None or right is None:
+                raise ReconstructionError(
+                    f"missing child groups for compressed pair "
+                    f"{cgroup.src}->{cgroup.dst} via {cgroup.pivot}"
+                )
+            merged = merge_children(left, right, cgroup.pivot)
+            merged.hub = cgroup.hub
+            merged.rank = cgroup.rank
+            return merged
+        raise ReconstructionError(f"unknown group kind: {cgroup.kind}")
+
+    def _materialize_pair(self, src: int, dst: int):
+        cgroup = self._pair_map.get((src, dst))
+        if cgroup is None:
+            return None
+        return self.materialize(cgroup)
+
+    def materialized_out(self, u: int) -> List:
+        """Decompressed out-label groups of ``u`` in rank order."""
+        return [self.materialize(g) for g in self.out_cgroups[u]]
+
+    def materialized_in(self, v: int) -> List:
+        """Decompressed in-label groups of ``v`` in rank order."""
+        return [self.materialize(g) for g in self.in_cgroups[v]]
+
+    # ------------------------------------------------------------------
+    # Unfold support (duck-typed like TTLIndex)
+    # ------------------------------------------------------------------
+
+    def lookup_by_dep(
+        self, src: int, dst: int, dep: int
+    ) -> Optional[LabelEntry]:
+        """Child label by departure time, decompressing as needed."""
+        group = self._materialize_pair(src, dst)
+        if group is None:
+            return None
+        i = bisect_left(group.deps, dep)
+        if i == len(group.deps) or group.deps[i] != dep:
+            return None
+        return (group.deps[i], group.arrs[i], group.trips[i], group.pivots[i])
+
+    def lookup_by_arr(
+        self, src: int, dst: int, arr: int
+    ) -> Optional[LabelEntry]:
+        """Child label by arrival time, decompressing as needed."""
+        group = self._materialize_pair(src, dst)
+        if group is None:
+            return None
+        i = bisect_left(group.arrs, arr)
+        if i == len(group.arrs) or group.arrs[i] != arr:
+            return None
+        return (group.deps[i], group.arrs[i], group.trips[i], group.pivots[i])
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def num_labels(self) -> int:
+        """Stored label count after compression."""
+        return self.compression_stats.labels_after
+
+    def compressed_bytes(self) -> int:
+        """Model size in bytes: stored labels, group records, and the
+        route timetables decompression reads (counted once per route)."""
+        from repro.core.serialize import BYTES_PER_LABEL, BYTES_PER_NODE
+
+        stored = 0
+        groups = 0
+        routes_used = set()
+        for table in (self.in_cgroups, self.out_cgroups):
+            for cgroups in table:
+                for cgroup in cgroups:
+                    groups += 1
+                    stored += cgroup.stored_labels()
+                    if cgroup.kind == ROUTE:
+                        routes_used.add(cgroup.route_id)
+        route_bytes = 0
+        for route_id in routes_used:
+            route = self.graph.routes[route_id]
+            route_bytes += len(route.trips) * len(route.stops) * 8
+        return (
+            stored * BYTES_PER_LABEL
+            + groups * 12
+            + self.graph.n * BYTES_PER_NODE
+            + route_bytes
+        )
+
+
+class CompressedTTLPlanner(RoutePlanner):
+    """C-TTL: Timetable Labelling with label compression."""
+
+    name = "C-TTL"
+
+    def __init__(
+        self,
+        graph: TimetableGraph,
+        order="hub",
+        concise: bool = False,
+        mode: str = "both",
+        cindex: Optional[CompressedTTLIndex] = None,
+    ) -> None:
+        super().__init__(graph)
+        self._order = order
+        self.concise = concise
+        self.mode = mode
+        self.cindex: Optional[CompressedTTLIndex] = cindex
+        if cindex is not None:
+            self._preprocess_seconds = 0.0
+
+    def _build(self) -> None:
+        from repro.core.build import build_index
+        from repro.core.compression import compress_index
+
+        base = build_index(self.graph, order=self._order)
+        self.cindex, _ = compress_index(base, mode=self.mode)
+
+    def index_bytes(self) -> int:
+        self.preprocess()
+        assert self.cindex is not None
+        return self.cindex.compressed_bytes()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _lists(self, u: int, v: int):
+        assert self.cindex is not None
+        return self.cindex.materialized_out(u), self.cindex.materialized_in(v)
+
+    def _answer(
+        self, u: int, v: int, sketch: Optional[Sketch]
+    ) -> Optional[Journey]:
+        if sketch is None:
+            return None
+        assert self.cindex is not None
+        return sketch_to_journey(self.cindex, sketch, u, v, self.concise)
+
+    def earliest_arrival(
+        self, source: int, destination: int, t: int
+    ) -> Optional[Journey]:
+        self._check_query(source, destination)
+        if source == destination:
+            return Journey(source, destination, t, t, path=[])
+        self.preprocess()
+        out_list, in_list = self._lists(source, destination)
+        best = best_eap_sketch_from_lists(
+            out_list, in_list, source, destination, t
+        )
+        return self._answer(source, destination, best)
+
+    def latest_departure(
+        self, source: int, destination: int, t: int
+    ) -> Optional[Journey]:
+        self._check_query(source, destination)
+        if source == destination:
+            return Journey(source, destination, t, t, path=[])
+        self.preprocess()
+        out_list, in_list = self._lists(source, destination)
+        best = best_ldp_sketch_from_lists(
+            out_list, in_list, source, destination, t
+        )
+        return self._answer(source, destination, best)
+
+    def shortest_duration(
+        self, source: int, destination: int, t: int, t_end: int
+    ) -> Optional[Journey]:
+        self._check_query(source, destination)
+        self._check_window(t, t_end)
+        if source == destination:
+            return Journey(source, destination, t, t, path=[])
+        self.preprocess()
+        out_list, in_list = self._lists(source, destination)
+        best = best_sdp_sketch_from_lists(
+            out_list, in_list, source, destination, t, t_end
+        )
+        return self._answer(source, destination, best)
+
+    def profile(self, source: int, destination: int, t: int, t_end: int):
+        """All non-dominated ``(dep, arr)`` journeys in the window,
+        computed over the decompressed label groups."""
+        from repro.algorithms.profiles import ParetoProfile
+        from repro.core.sketch import generate_sketches_from_lists
+
+        self._check_query(source, destination)
+        self._check_window(t, t_end)
+        if source == destination:
+            return [(t, t)]
+        self.preprocess()
+        out_list, in_list = self._lists(source, destination)
+        profile = ParetoProfile()
+        for sketch in generate_sketches_from_lists(
+            out_list, in_list, source, destination, t, t_end
+        ):
+            profile.add(sketch.dep, sketch.arr)
+        return profile.pairs()

@@ -1,0 +1,206 @@
+"""The sealed TTL index.
+
+:class:`TTLIndex` is the immutable, queryable product of
+:func:`~repro.core.build.build_index`: per-node in/out label sets
+grouped by hub and ordered by ``(hub rank, departure)`` — the label
+order ``f(l)`` of Section 4.1 — plus two global lookup tables that
+resolve a label's left/right child in O(1) for PathUnfold:
+
+* ``(src, dst, dep) -> label``: canonical paths between a fixed pair
+  have pairwise distinct departure times (ties would violate the
+  Dominance Constraint), so the key is unique;
+* ``(src, dst, arr) -> label``: likewise unique by arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.build import BuildStats
+from repro.core.label import Label, LabelGroup
+from repro.errors import IndexBuildError
+from repro.graph.timetable import TimetableGraph
+
+#: (dep, arr, trip, pivot) — label payload with its pair context implied.
+LabelEntry = Tuple[int, int, Optional[int], Optional[int]]
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Summary statistics of a sealed index (cf. Section 10.1)."""
+
+    num_labels: int
+    avg_labels_per_node: float
+    max_labels_per_node: int
+    num_in_labels: int
+    num_out_labels: int
+
+
+class TTLIndex:
+    """Queryable TTL label sets over a timetable graph."""
+
+    def __init__(
+        self,
+        graph: TimetableGraph,
+        ranks: List[int],
+        in_groups: List[Dict[int, LabelGroup]],
+        out_groups: List[Dict[int, LabelGroup]],
+        build_stats: Optional[BuildStats] = None,
+    ) -> None:
+        if len(ranks) != graph.n:
+            raise IndexBuildError("rank array does not match graph size")
+        self.graph = graph
+        self.ranks = list(ranks)
+        self.node_of_rank = [0] * graph.n
+        for node, rank in enumerate(self.ranks):
+            self.node_of_rank[rank] = node
+        self.build_stats = build_stats
+
+        #: in_groups[v] / out_groups[u]: label groups sorted by hub rank.
+        self.in_groups: List[List[LabelGroup]] = [
+            sorted(groups.values(), key=lambda g: g.rank)
+            for groups in in_groups
+        ]
+        self.out_groups: List[List[LabelGroup]] = [
+            sorted(groups.values(), key=lambda g: g.rank)
+            for groups in out_groups
+        ]
+
+        self._by_dep: Dict[Tuple[int, int, int], LabelEntry] = {}
+        self._by_arr: Dict[Tuple[int, int, int], LabelEntry] = {}
+        self._build_lookup()
+
+        #: Number of times PathUnfold had to fall back to a search
+        #: because a tie-pruned child label was absent (observability).
+        self.unfold_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Lookup tables for PathUnfold
+    # ------------------------------------------------------------------
+
+    def _build_lookup(self) -> None:
+        by_dep = self._by_dep
+        by_arr = self._by_arr
+        for v, groups in enumerate(self.in_groups):
+            for group in groups:
+                hub = group.hub
+                for i in range(len(group)):
+                    entry = (
+                        group.deps[i],
+                        group.arrs[i],
+                        group.trips[i],
+                        group.pivots[i],
+                    )
+                    by_dep[(hub, v, group.deps[i])] = entry
+                    by_arr[(hub, v, group.arrs[i])] = entry
+        for u, groups in enumerate(self.out_groups):
+            for group in groups:
+                hub = group.hub
+                for i in range(len(group)):
+                    entry = (
+                        group.deps[i],
+                        group.arrs[i],
+                        group.trips[i],
+                        group.pivots[i],
+                    )
+                    by_dep[(u, hub, group.deps[i])] = entry
+                    by_arr[(u, hub, group.arrs[i])] = entry
+
+    def lookup_by_dep(
+        self, src: int, dst: int, dep: int
+    ) -> Optional[LabelEntry]:
+        """The canonical path ``src -> dst`` departing exactly ``dep``."""
+        return self._by_dep.get((src, dst, dep))
+
+    def lookup_by_arr(
+        self, src: int, dst: int, arr: int
+    ) -> Optional[LabelEntry]:
+        """The canonical path ``src -> dst`` arriving exactly ``arr``."""
+        return self._by_arr.get((src, dst, arr))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_labels(self) -> int:
+        """Total label count |L| (the paper's index-size measure)."""
+        count = 0
+        for groups in self.in_groups:
+            for group in groups:
+                count += len(group)
+        for groups in self.out_groups:
+            for group in groups:
+                count += len(group)
+        return count
+
+    def in_labels(self, v: int) -> List[Label]:
+        """Flat in-label set of ``v`` in ``f(l)`` order (for tests)."""
+        return [
+            label for group in self.in_groups[v] for label in group.labels()
+        ]
+
+    def out_labels(self, u: int) -> List[Label]:
+        """Flat out-label set of ``u`` in ``f(l)`` order (for tests)."""
+        return [
+            label for group in self.out_groups[u] for label in group.labels()
+        ]
+
+    def stats(self) -> IndexStats:
+        """Aggregate label statistics."""
+        num_in = sum(
+            len(g) for groups in self.in_groups for g in groups
+        )
+        num_out = sum(
+            len(g) for groups in self.out_groups for g in groups
+        )
+        per_node = [
+            sum(len(g) for g in self.in_groups[v])
+            + sum(len(g) for g in self.out_groups[v])
+            for v in range(self.graph.n)
+        ]
+        n = max(1, self.graph.n)
+        return IndexStats(
+            num_labels=num_in + num_out,
+            avg_labels_per_node=(num_in + num_out) / n,
+            max_labels_per_node=max(per_node, default=0),
+            num_in_labels=num_in,
+            num_out_labels=num_out,
+        )
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants (tests call this)."""
+        for node, groups in enumerate(self.in_groups):
+            last_rank = -1
+            for group in groups:
+                if group.rank <= last_rank:
+                    raise AssertionError(
+                        f"in-groups of {node} not sorted by hub rank"
+                    )
+                last_rank = group.rank
+                if group.rank >= self.ranks[node]:
+                    raise AssertionError(
+                        f"in-label of {node} from hub {group.hub} that does "
+                        f"not rank higher"
+                    )
+                group.check_invariants()
+        for node, groups in enumerate(self.out_groups):
+            last_rank = -1
+            for group in groups:
+                if group.rank <= last_rank:
+                    raise AssertionError(
+                        f"out-groups of {node} not sorted by hub rank"
+                    )
+                last_rank = group.rank
+                if group.rank >= self.ranks[node]:
+                    raise AssertionError(
+                        f"out-label of {node} to hub {group.hub} that does "
+                        f"not rank higher"
+                    )
+                group.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TTLIndex(n={self.graph.n}, labels={self.num_labels})"
+        )

@@ -1,0 +1,259 @@
+"""Calendar-aware planning over partitioned indices (Section 8).
+
+A TTL index built on one service day cannot answer journeys that cross
+midnight.  Section 8's remedy: index *two consecutive days* at a time,
+and — when weekday and weekend timetables differ — keep one such
+two-day index per transition (the "index partitioning widely adopted
+in spatio-temporal indexing").
+
+:class:`MultiDayPlanner` implements exactly that.  Given a weekly
+service calendar (a timetable graph per day-kind), it lazily builds
+one extended two-day TTL index per consecutive day-kind pair and
+routes each query to the index for its day:
+
+* query times are *absolute* seconds since Monday 00:00;
+* a query departing on day ``d`` is answered on the (``d``, ``d+1``)
+  index with times shifted into that index's local frame, so any
+  journey of up to 24 h duration — including overnight ones — is
+  found.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.queries import TTLPlanner
+from repro.errors import QueryError, ValidationError
+from repro.graph.route import Route, StopTime, Trip, trip_connections
+from repro.graph.timetable import TimetableGraph
+from repro.journey import Journey
+from repro.timeutil import SECONDS_PER_DAY
+
+DAY_NAMES = [
+    "monday",
+    "tuesday",
+    "wednesday",
+    "thursday",
+    "friday",
+    "saturday",
+    "sunday",
+]
+
+
+class WeeklyCalendar:
+    """Assigns one timetable graph to each weekday.
+
+    All graphs must share the station universe (same station count and
+    names); typically there are just two variants, ``weekday`` and
+    ``weekend``.
+    """
+
+    def __init__(self, day_graphs: Sequence[TimetableGraph]) -> None:
+        if len(day_graphs) != 7:
+            raise ValidationError("a weekly calendar needs 7 day graphs")
+        n = day_graphs[0].n
+        for graph in day_graphs:
+            if graph.n != n:
+                raise ValidationError(
+                    "all day graphs must share the station universe"
+                )
+        self.day_graphs = list(day_graphs)
+        self.n = n
+
+    @classmethod
+    def weekday_weekend(
+        cls, weekday: TimetableGraph, weekend: TimetableGraph
+    ) -> "WeeklyCalendar":
+        """The common two-variant calendar (Mon-Fri / Sat-Sun)."""
+        return cls([weekday] * 5 + [weekend] * 2)
+
+
+def _shift_graph_pair(
+    first: TimetableGraph, second: TimetableGraph
+) -> TimetableGraph:
+    """Concatenate two day graphs into one two-day timetable.
+
+    ``first`` keeps its times; ``second`` is shifted by +24 h.  Route
+    identity is preserved per source day (route ids of the second day
+    are offset), which keeps route-based compression applicable within
+    each day.
+    """
+    routes: Dict[int, Route] = {}
+    next_trip = 0
+    route_offset = max(first.routes, default=-1) + 1
+
+    for source, offset, shift in (
+        (first, 0, 0),
+        (second, route_offset, SECONDS_PER_DAY),
+    ):
+        for route in source.routes.values():
+            new_id = route.route_id + offset
+            trips = []
+            for trip in route.trips:
+                trips.append(
+                    Trip(
+                        trip_id=next_trip,
+                        route_id=new_id,
+                        stop_times=tuple(
+                            StopTime(st.arr + shift, st.dep + shift)
+                            for st in trip.stop_times
+                        ),
+                    )
+                )
+                next_trip += 1
+            routes[new_id] = Route(
+                route_id=new_id,
+                stops=route.stops,
+                trips=trips,
+                name=route.name,
+            )
+
+    connections: List = []
+    for route in routes.values():
+        route.sort_trips()
+        for trip in route.trips:
+            connections.extend(trip_connections(route, trip))
+    return TimetableGraph(
+        num_stations=first.n,
+        connections=connections,
+        routes=routes,
+        station_names=first.station_names,
+    )
+
+
+class MultiDayPlanner:
+    """Route planning across a weekly calendar (absolute week times).
+
+    Timestamps are seconds since Monday 00:00 (0 .. 7*86400).  Each
+    query is answered on the lazily-built two-day index of its
+    departure (EAP/SDP) or arrival (LDP) day.
+    """
+
+    def __init__(self, calendar: WeeklyCalendar, order="hub") -> None:
+        self.calendar = calendar
+        self._order = order
+        self._planners: Dict[int, TTLPlanner] = {}
+        self._graphs: Dict[int, TimetableGraph] = {}
+
+    # ------------------------------------------------------------------
+    # Index partitioning
+    # ------------------------------------------------------------------
+
+    def planner_for_day(self, day: int) -> TTLPlanner:
+        """The planner over the (day, day+1) extended timetable."""
+        day %= 7
+        planner = self._planners.get(day)
+        if planner is None:
+            graph = _shift_graph_pair(
+                self.calendar.day_graphs[day],
+                self.calendar.day_graphs[(day + 1) % 7],
+            )
+            self._graphs[day] = graph
+            planner = self._planners[day] = TTLPlanner(
+                graph, order=self._order
+            )
+        return planner
+
+    def num_built_indices(self) -> int:
+        """How many two-day indices have been materialized so far."""
+        return len(self._planners)
+
+    @staticmethod
+    def _split(t: int) -> Tuple[int, int]:
+        """Absolute week time -> (day index, seconds into that day)."""
+        if t < 0:
+            raise QueryError(f"negative week time: {t}")
+        day, local = divmod(t, SECONDS_PER_DAY)
+        if day >= 7:
+            raise QueryError(f"week time beyond Sunday: {t}")
+        return day, local
+
+    def _lift(self, journey: Optional[Journey], day: int) -> Optional[Journey]:
+        """Shift a local two-day journey back to absolute week times."""
+        if journey is None:
+            return None
+        shift = day * SECONDS_PER_DAY
+
+        def shift_conn(c):
+            return type(c)(c.u, c.v, c.dep + shift, c.arr + shift, c.trip)
+
+        path = None
+        legs = None
+        if journey.path is not None:
+            path = [shift_conn(c) for c in journey.path]
+        if journey.legs is not None:
+            legs = [
+                type(leg)(leg.station, leg.trip, leg.time + shift)
+                for leg in journey.legs
+            ]
+        return Journey(
+            source=journey.source,
+            destination=journey.destination,
+            dep=journey.dep + shift,
+            arr=journey.arr + shift,
+            path=path,
+            legs=legs,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries (absolute week timestamps)
+    # ------------------------------------------------------------------
+
+    def earliest_arrival(
+        self, source: int, destination: int, t: int
+    ) -> Optional[Journey]:
+        """EAP with up to 24 h of travel, possibly crossing midnight."""
+        day, local = self._split(t)
+        planner = self.planner_for_day(day)
+        return self._lift(
+            planner.earliest_arrival(source, destination, local), day
+        )
+
+    def latest_departure(
+        self, source: int, destination: int, t: int
+    ) -> Optional[Journey]:
+        """LDP arriving by ``t``; considers departures from the
+        previous day (overnight journeys) and the same day."""
+        day, local = self._split(t)
+        best: Optional[Journey] = None
+        # The journey may start the day before (it appears on that
+        # day's two-day index with arrival in the +24 h half)...
+        if day > 0:
+            planner = self.planner_for_day(day - 1)
+            candidate = self._lift(
+                planner.latest_departure(
+                    source, destination, local + SECONDS_PER_DAY
+                ),
+                day - 1,
+            )
+            best = candidate
+        # ... or on the arrival day itself.
+        planner = self.planner_for_day(day)
+        candidate = self._lift(
+            planner.latest_departure(source, destination, local), day
+        )
+        if candidate is not None and (
+            best is None or candidate.dep > best.dep
+        ):
+            best = candidate
+        return best
+
+    def shortest_duration(
+        self, source: int, destination: int, t: int, t_end: int
+    ) -> Optional[Journey]:
+        """SDP inside an absolute window of at most 24 hours."""
+        if t_end < t:
+            raise QueryError(f"empty query window: [{t}, {t_end}]")
+        if t_end - t > SECONDS_PER_DAY:
+            raise QueryError(
+                "multi-day SDP windows beyond 24h are not supported; "
+                "split the window per day"
+            )
+        day, local = self._split(t)
+        planner = self.planner_for_day(day)
+        return self._lift(
+            planner.shortest_duration(
+                source, destination, local, t_end - day * SECONDS_PER_DAY
+            ),
+            day,
+        )

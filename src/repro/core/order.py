@@ -1,0 +1,337 @@
+"""Node ordering (Section 6).
+
+The quality of a TTL index is governed by the strict total order on
+nodes: high-ranked nodes become the hubs most canonical paths route
+through.  This module provides the paper's orders plus two baselines:
+
+* :func:`hub_order` — **H-Order** (Section 6.2): sample connections,
+  build their EAP trees, and greedily pick the node with the largest
+  residual coverage (sum of its subtree sizes across the trees).
+* :func:`approximation_order` — **A-Order** (Section 6.1): exact greedy
+  residual-coverage maximization over *all* non-dominated paths.  Comes
+  with an approximation guarantee but ``O(n^2 m)``-ish cost, so it is
+  only practical on small networks (the paper likewise omits it on
+  large datasets).
+* :func:`random_order` — **Rand-Order** baseline (Appendix D.2).
+* :func:`degree_order` — order by total temporal degree; a cheap,
+  deterministic baseline used in ablations.
+
+All functions return ``ranks`` with ``ranks[station] = rank``; rank 0
+is the most important node.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.algorithms.profiles import ParetoProfile
+from repro.algorithms.temporal_dijkstra import earliest_arrival_search
+from repro.errors import IndexBuildError
+from repro.graph.timetable import TimetableGraph
+from repro.timeutil import INF
+
+
+def _ranks_from_sequence(sequence: List[int], n: int) -> List[int]:
+    """Turn a node sequence (most important first) into a rank array."""
+    if sorted(sequence) != list(range(n)):
+        raise IndexBuildError("node order is not a permutation")
+    ranks = [0] * n
+    for rank, node in enumerate(sequence):
+        ranks[node] = rank
+    return ranks
+
+
+def random_order(graph: TimetableGraph, seed: int = 0) -> List[int]:
+    """Uniformly random node order (Rand-Order)."""
+    rng = random.Random(seed)
+    sequence = list(range(graph.n))
+    rng.shuffle(sequence)
+    return _ranks_from_sequence(sequence, graph.n)
+
+
+def degree_order(graph: TimetableGraph) -> List[int]:
+    """Order by total temporal degree, densest station first."""
+    sequence = sorted(
+        range(graph.n),
+        key=lambda v: (-(graph.out_degree(v) + graph.in_degree(v)), v),
+    )
+    return _ranks_from_sequence(sequence, graph.n)
+
+
+def betweenness_order(graph: TimetableGraph) -> List[int]:
+    """Order by betweenness centrality of the untimed station digraph.
+
+    An ablation baseline between Rand-Order and H-Order: centrality is
+    the intuition behind good hubs, but it ignores the timetable (a
+    central station with sparse service makes a poor hub), which is
+    exactly what H-Order's EAP-tree sampling captures and this order
+    misses.  Requires networkx.
+    """
+    import networkx as nx
+
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(range(graph.n))
+    for u in range(graph.n):
+        for v in {c.v for c in graph.out[u]}:
+            digraph.add_edge(u, v)
+    centrality = nx.betweenness_centrality(digraph)
+    degree = [graph.out_degree(v) + graph.in_degree(v) for v in range(graph.n)]
+    sequence = sorted(
+        range(graph.n),
+        key=lambda v: (-centrality[v], -degree[v], v),
+    )
+    return _ranks_from_sequence(sequence, graph.n)
+
+
+# ----------------------------------------------------------------------
+# H-Order (Section 6.2)
+# ----------------------------------------------------------------------
+
+
+class _EAPTree:
+    """One sampled EAP tree with live subtree-coverage bookkeeping."""
+
+    __slots__ = ("parent", "children", "coverage", "alive")
+
+    def __init__(
+        self,
+        parent: Dict[int, Optional[int]],
+        children: Dict[int, List[int]],
+        coverage: Dict[int, int],
+    ) -> None:
+        self.parent = parent
+        self.children = children
+        self.coverage = coverage
+        self.alive = {v for v, c in coverage.items() if c > 0}
+
+    def remove(self, node: int, score: List[int]) -> None:
+        """Select ``node``: zero its subtree, shrink its ancestors.
+
+        ``score`` is the global per-station coverage-sum array, kept in
+        sync as coverage changes.
+        """
+        cov = self.coverage.get(node, 0)
+        if cov <= 0 or node not in self.alive:
+            return
+        # Ancestors lose the EAPs that pass through ``node``.
+        ancestor = self.parent.get(node)
+        while ancestor is not None:
+            if self.coverage.get(ancestor, 0) > 0:
+                self.coverage[ancestor] -= cov
+                score[ancestor] -= cov
+            ancestor = self.parent.get(ancestor)
+        # The subtree of ``node`` is now fully covered.
+        stack = [node]
+        while stack:
+            x = stack.pop()
+            c = self.coverage.get(x, 0)
+            if c > 0:
+                score[x] -= c
+                self.coverage[x] = 0
+            self.alive.discard(x)
+            stack.extend(self.children.get(x, ()))
+
+
+def _build_eap_tree(
+    graph: TimetableGraph, source: int, t: int
+) -> Optional[_EAPTree]:
+    """EAP tree from ``source`` departing no sooner than ``t``."""
+    eat, parent_conn = earliest_arrival_search(graph, source, t)
+    parent: Dict[int, Optional[int]] = {source: None}
+    children: Dict[int, List[int]] = {}
+    for v in range(graph.n):
+        if v == source or eat[v] >= INF:
+            continue
+        conn = parent_conn[v]
+        if conn is None:  # pragma: no cover - defensive
+            continue
+        parent[v] = conn.u
+        children.setdefault(conn.u, []).append(v)
+    if len(parent) <= 1:
+        return None
+    # Subtree sizes bottom-up (iterative DFS post-order).
+    coverage: Dict[int, int] = {}
+    order: List[int] = []
+    stack = [source]
+    while stack:
+        x = stack.pop()
+        order.append(x)
+        stack.extend(children.get(x, ()))
+    for x in reversed(order):
+        coverage[x] = 1 + sum(coverage[c] for c in children.get(x, ()))
+    return _EAPTree(parent, children, coverage)
+
+
+def hub_order(
+    graph: TimetableGraph, num_samples: int = 32, seed: int = 0
+) -> List[int]:
+    """H-Order: the coverage-sampling heuristic of Section 6.2.
+
+    Args:
+        graph: the timetable graph.
+        num_samples: how many connections to sample; each yields one
+            EAP tree.  More samples give a better order at higher
+            ordering cost (see the ablation benchmark).
+        seed: RNG seed for reproducibility.
+    """
+    n = graph.n
+    if n == 0:
+        return []
+    rng = random.Random(seed)
+    trees: List[_EAPTree] = []
+    if graph.connections:
+        count = min(num_samples, len(graph.connections))
+        for conn in rng.sample(list(graph.connections), count):
+            tree = _build_eap_tree(graph, conn.u, conn.dep)
+            if tree is not None:
+                trees.append(tree)
+
+    score = [0] * n
+    for tree in trees:
+        for v, c in tree.coverage.items():
+            score[v] += c
+
+    # Tie-break / tail order: temporal degree, then id, deterministic.
+    degree = [graph.out_degree(v) + graph.in_degree(v) for v in range(n)]
+
+    sequence: List[int] = []
+    chosen = [False] * n
+    heap: List[Tuple[int, int, int]] = [
+        (-score[v], -degree[v], v) for v in range(n)
+    ]
+    heapq.heapify(heap)
+    while heap and len(sequence) < n:
+        neg_score, neg_degree, v = heapq.heappop(heap)
+        if chosen[v]:
+            continue
+        if -neg_score != score[v]:
+            heapq.heappush(heap, (-score[v], -degree[v], v))
+            continue
+        chosen[v] = True
+        sequence.append(v)
+        if score[v] > 0:
+            for tree in trees:
+                tree.remove(v, score)
+    for v in range(n):  # pragma: no cover - heap always drains
+        if not chosen[v]:
+            sequence.append(v)
+    return _ranks_from_sequence(sequence, n)
+
+
+# ----------------------------------------------------------------------
+# A-Order (Section 6.1)
+# ----------------------------------------------------------------------
+
+
+def _all_pairs_profiles(
+    graph: TimetableGraph,
+) -> Dict[Tuple[int, int], ParetoProfile]:
+    """Non-dominated (dep, arr) profiles for every ordered station pair.
+
+    Runs one temporal Dijkstra per (source, distinct departure time),
+    which is exactly the enumeration Lemma 6 licenses.
+    """
+    profiles: Dict[Tuple[int, int], ParetoProfile] = {}
+    for u in range(graph.n):
+        for t in reversed(graph.departure_times(u)):
+            eat, _ = earliest_arrival_search(graph, u, t)
+            for v in range(graph.n):
+                if v == u or eat[v] >= INF:
+                    continue
+                profile = profiles.get((u, v))
+                if profile is None:
+                    profile = profiles[(u, v)] = ParetoProfile()
+                profile.add(t, eat[v])
+    return profiles
+
+
+def approximation_order(
+    graph: TimetableGraph, max_stations: int = 120
+) -> List[int]:
+    """A-Order: greedy residual-coverage maximization (Section 6.1).
+
+    Enumerates every non-dominated path tuple ``(u, w, dep, arr)``,
+    computes for each the bitmask of covering nodes (``v`` covers the
+    tuple when ``v`` is an endpoint or ``eat(u,v,dep) <= ldt(v,w,arr)``),
+    then repeatedly selects the node covering the most still-uncovered
+    tuples.  Faithful to the paper's algorithm, including its appetite:
+    cost grows like ``O(n^2 m)``, so it refuses graphs larger than
+    ``max_stations`` (mirroring the paper, which omits A-Order on
+    datasets where it exceeds 64 GB).
+    """
+    n = graph.n
+    if n > max_stations:
+        raise IndexBuildError(
+            f"A-Order is limited to {max_stations} stations "
+            f"(graph has {n}); use hub_order instead"
+        )
+    if n == 0:
+        return []
+
+    profiles = _all_pairs_profiles(graph)
+
+    tuples: List[Tuple[int, int, int, int]] = []
+    for (u, w), profile in profiles.items():
+        for dep, arr in profile:
+            tuples.append((u, w, dep, arr))
+
+    # Coverage bitmask per tuple.
+    masks: List[int] = []
+    count = [0] * n
+    for u, w, dep, arr in tuples:
+        mask = (1 << u) | (1 << w)
+        for v in range(n):
+            if v == u or v == w:
+                continue
+            first = profiles.get((u, v))
+            second = profiles.get((v, w))
+            if first is None or second is None:
+                continue
+            mid = first.eat(dep)
+            if mid >= INF:
+                continue
+            if second.ldt(arr) >= mid:
+                mask |= 1 << v
+        masks.append(mask)
+        m = mask
+        while m:
+            low = m & -m
+            count[low.bit_length() - 1] += 1
+            m ^= low
+
+    alive = set(range(len(tuples)))
+    # Tuple ids indexed by covering node, for cheap removal.
+    by_node: List[List[int]] = [[] for _ in range(n)]
+    for j, mask in enumerate(masks):
+        m = mask
+        while m:
+            low = m & -m
+            by_node[low.bit_length() - 1].append(j)
+            m ^= low
+
+    degree = [graph.out_degree(v) + graph.in_degree(v) for v in range(n)]
+    sequence: List[int] = []
+    chosen = [False] * n
+    for _ in range(n):
+        best = -1
+        best_key: Tuple[int, int, int] = (-1, -1, -1)
+        for v in range(n):
+            if chosen[v]:
+                continue
+            key = (count[v], degree[v], -v)
+            if key > best_key:
+                best_key = key
+                best = v
+        chosen[best] = True
+        sequence.append(best)
+        for j in by_node[best]:
+            if j in alive:
+                alive.discard(j)
+                m = masks[j]
+                while m:
+                    low = m & -m
+                    count[low.bit_length() - 1] -= 1
+                    m ^= low
+    return _ranks_from_sequence(sequence, n)

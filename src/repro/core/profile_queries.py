@@ -1,0 +1,55 @@
+"""Profile queries: all non-dominated journeys in a window.
+
+The paper's label sets encode, per station pair, exactly the Pareto
+frontier of (departure, arrival) pairs — so TTL can answer *profile*
+queries ("every non-dominated journey from u to v between t and
+t_end") with the same linear SketchGen merge that answers EAP/LDP/SDP.
+This is the query type behind journey-planner result lists ("next
+three connections"), provided here as a natural extension of the
+paper's API.
+
+:func:`ttl_profile` works on a TTL index; :func:`oracle_profile` is
+the brute-force reference (one temporal Dijkstra per departure time,
+Lemma 6's enumeration) used by tests and available for any graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.algorithms.profiles import ParetoProfile
+from repro.algorithms.temporal_dijkstra import earliest_arrival_search
+from repro.core.index import TTLIndex
+from repro.core.sketch import generate_sketches
+from repro.graph.timetable import TimetableGraph
+from repro.timeutil import INF
+
+
+def ttl_profile(
+    index: TTLIndex, u: int, v: int, t: int, t_end: int
+) -> List[Tuple[int, int]]:
+    """Non-dominated ``(dep, arr)`` journeys ``u -> v`` within the
+    window, ascending by departure.
+
+    Runs in ``O(|L_out(u)| + |L_in(v)|)`` plus the Pareto filtering of
+    the generated sketches (sketches from different hubs may dominate
+    each other; within one hub SketchGen already emits a frontier).
+    """
+    profile = ParetoProfile()
+    for sketch in generate_sketches(index, u, v, t, t_end):
+        profile.add(sketch.dep, sketch.arr)
+    return profile.pairs()
+
+
+def oracle_profile(
+    graph: TimetableGraph, u: int, v: int, t: int, t_end: int
+) -> List[Tuple[int, int]]:
+    """Reference profile by sweeping the source's departure times."""
+    profile = ParetoProfile()
+    for dep in graph.departure_times(u):
+        if dep < t or dep > t_end:
+            continue
+        eat, _ = earliest_arrival_search(graph, u, dep, target=v)
+        if eat[v] < INF and eat[v] <= t_end:
+            profile.add(dep, eat[v])
+    return profile.pairs()

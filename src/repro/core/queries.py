@@ -1,0 +1,130 @@
+"""The TTL planner — query front end (Section 4).
+
+:class:`TTLPlanner` wires together index construction, SketchGen,
+refinement, and PathUnfold behind the common
+:class:`~repro.planner.RoutePlanner` interface.  ``concise=True``
+switches path reconstruction to the concise representation of
+Section 8 (cheaper; benchmarked separately in Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.build import OrderSpec, build_index
+from repro.core.index import TTLIndex
+from repro.core.sketch import (
+    best_eap_sketch,
+    best_ldp_sketch,
+    best_sdp_sketch,
+)
+from repro.core.unfold import sketch_to_journey
+from repro.graph.timetable import TimetableGraph
+from repro.journey import Journey
+from repro.planner import RoutePlanner
+
+
+class TTLPlanner(RoutePlanner):
+    """Timetable Labelling: the paper's method."""
+
+    name = "TTL"
+
+    def __init__(
+        self,
+        graph: TimetableGraph,
+        order: OrderSpec = "hub",
+        concise: bool = False,
+        index: Optional[TTLIndex] = None,
+    ) -> None:
+        """Create the planner.
+
+        Args:
+            graph: the timetable graph.
+            order: node-order specification (default H-Order).
+            concise: return concise paths instead of full paths.
+            index: adopt a pre-built index instead of building one in
+                :meth:`preprocess` (it must index the same graph).
+        """
+        super().__init__(graph)
+        self._order = order
+        self.concise = concise
+        self.index: Optional[TTLIndex] = index
+        if index is not None:
+            self._preprocess_seconds = (
+                index.build_stats.seconds if index.build_stats else 0.0
+            )
+
+    def _build(self) -> None:
+        self.index = build_index(self.graph, order=self._order)
+
+    def index_bytes(self) -> int:
+        from repro.core.serialize import index_bytes
+
+        self.preprocess()
+        assert self.index is not None
+        return index_bytes(self.index)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _ready_index(self) -> TTLIndex:
+        self.preprocess()
+        assert self.index is not None
+        return self.index
+
+    def earliest_arrival(
+        self, source: int, destination: int, t: int
+    ) -> Optional[Journey]:
+        self._check_query(source, destination)
+        if source == destination:
+            return Journey(source, destination, t, t, path=[])
+        index = self._ready_index()
+        sketch = best_eap_sketch(index, source, destination, t)
+        if sketch is None:
+            return None
+        return sketch_to_journey(
+            index, sketch, source, destination, self.concise
+        )
+
+    def latest_departure(
+        self, source: int, destination: int, t: int
+    ) -> Optional[Journey]:
+        self._check_query(source, destination)
+        if source == destination:
+            return Journey(source, destination, t, t, path=[])
+        index = self._ready_index()
+        sketch = best_ldp_sketch(index, source, destination, t)
+        if sketch is None:
+            return None
+        return sketch_to_journey(
+            index, sketch, source, destination, self.concise
+        )
+
+    def shortest_duration(
+        self, source: int, destination: int, t: int, t_end: int
+    ) -> Optional[Journey]:
+        self._check_query(source, destination)
+        self._check_window(t, t_end)
+        if source == destination:
+            return Journey(source, destination, t, t, path=[])
+        index = self._ready_index()
+        sketch = best_sdp_sketch(index, source, destination, t, t_end)
+        if sketch is None:
+            return None
+        return sketch_to_journey(
+            index, sketch, source, destination, self.concise
+        )
+
+    def profile(self, source: int, destination: int, t: int, t_end: int):
+        """All non-dominated ``(dep, arr)`` journeys in the window.
+
+        See :mod:`repro.core.profile_queries`.
+        """
+        from repro.core.profile_queries import ttl_profile
+
+        self._check_query(source, destination)
+        self._check_window(t, t_end)
+        if source == destination:
+            return [(t, t)]
+        return ttl_profile(self._ready_index(), source, destination, t, t_end)

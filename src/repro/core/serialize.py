@@ -1,0 +1,135 @@
+"""Index persistence and size accounting.
+
+Two size notions:
+
+* :func:`index_bytes` — the *model* size used by the Figure 4
+  experiment: 20 bytes per label (five 32-bit fields: hub, dep, arr,
+  trip, pivot) plus small per-group and per-node overheads.  This is
+  how the paper counts index size, and is what the space benchmarks
+  report for every method so the comparison is apples-to-apples.
+* :func:`save_index` / :func:`load_index` — an actual binary file
+  format (64-bit fields, magic header) for persisting built indices.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path as FsPath
+from typing import BinaryIO, Dict, List, Union
+
+from repro.core.index import TTLIndex
+from repro.core.label import LabelGroup
+from repro.errors import SerializationError
+from repro.graph.timetable import TimetableGraph
+
+PathLike = Union[str, FsPath]
+
+_MAGIC = b"TTLIDX01"
+
+#: Model cost per label: hub, dep, arr, trip, pivot as 32-bit ints.
+BYTES_PER_LABEL = 20
+#: Model cost per label group: hub id + length.
+BYTES_PER_GROUP = 8
+#: Model cost per node: two set pointers/lengths.
+BYTES_PER_NODE = 16
+
+
+def index_bytes(index: TTLIndex) -> int:
+    """Model size of a TTL index in bytes (Figure 4 accounting)."""
+    labels = index.num_labels
+    groups = sum(len(g) for g in index.in_groups) + sum(
+        len(g) for g in index.out_groups
+    )
+    return (
+        labels * BYTES_PER_LABEL
+        + groups * BYTES_PER_GROUP
+        + index.graph.n * BYTES_PER_NODE
+    )
+
+
+def connections_bytes(num_connections: int) -> int:
+    """Model size of one sorted connection array (CSA accounting):
+    u, v, dep, arr, trip as 32-bit ints."""
+    return num_connections * 20
+
+
+# ----------------------------------------------------------------------
+# Binary persistence
+# ----------------------------------------------------------------------
+
+
+def _write_group(fh: BinaryIO, group: LabelGroup) -> None:
+    fh.write(struct.pack("<qq", group.hub, len(group)))
+    for i in range(len(group)):
+        trip = group.trips[i] if group.trips[i] is not None else -1
+        pivot = group.pivots[i] if group.pivots[i] is not None else -1
+        fh.write(
+            struct.pack("<qqqq", group.deps[i], group.arrs[i], trip, pivot)
+        )
+
+
+def _read_group(fh: BinaryIO, ranks: List[int]) -> LabelGroup:
+    hub, size = struct.unpack("<qq", _read_exact(fh, 16))
+    group = LabelGroup(hub, ranks[hub])
+    for _ in range(size):
+        dep, arr, trip, pivot = struct.unpack("<qqqq", _read_exact(fh, 32))
+        group.append(
+            dep,
+            arr,
+            trip if trip >= 0 else None,
+            pivot if pivot >= 0 else None,
+        )
+    return group
+
+
+def _read_exact(fh: BinaryIO, count: int) -> bytes:
+    data = fh.read(count)
+    if len(data) != count:
+        raise SerializationError("truncated index file")
+    return data
+
+
+def save_index(index: TTLIndex, path: PathLike) -> None:
+    """Write ``index`` to ``path`` in the TTLIDX01 binary format."""
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<q", index.graph.n))
+        for rank in index.ranks:
+            fh.write(struct.pack("<q", rank))
+        for groups_per_node in (index.in_groups, index.out_groups):
+            for groups in groups_per_node:
+                fh.write(struct.pack("<q", len(groups)))
+                for group in groups:
+                    _write_group(fh, group)
+
+
+def load_index(path: PathLike, graph: TimetableGraph) -> TTLIndex:
+    """Load an index written by :func:`save_index`.
+
+    The caller supplies the graph the index was built for; a station
+    count mismatch is rejected.
+    """
+    with open(path, "rb") as fh:
+        magic = fh.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise SerializationError(f"not a TTL index file: {path}")
+        (n,) = struct.unpack("<q", _read_exact(fh, 8))
+        if n != graph.n:
+            raise SerializationError(
+                f"index built for {n} stations, graph has {graph.n}"
+            )
+        ranks = [
+            struct.unpack("<q", _read_exact(fh, 8))[0] for _ in range(n)
+        ]
+        tables: List[List[Dict[int, LabelGroup]]] = []
+        for _ in range(2):
+            per_node: List[Dict[int, LabelGroup]] = []
+            for _ in range(n):
+                (count,) = struct.unpack("<q", _read_exact(fh, 8))
+                groups: Dict[int, LabelGroup] = {}
+                for _ in range(count):
+                    group = _read_group(fh, ranks)
+                    groups[group.hub] = group
+                per_node.append(groups)
+            tables.append(per_node)
+    return TTLIndex(graph, ranks, tables[0], tables[1])

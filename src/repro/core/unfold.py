@@ -1,0 +1,160 @@
+"""PathUnfold (Section 4.2, Algorithm 2) and concise paths (Section 8).
+
+A label with a ``null`` pivot is a single connection and unfolds to
+itself.  Otherwise its canonical path splits at the pivot ``p`` into
+two canonical sub-paths (Lemma 4): the left child — the canonical
+``src -> p`` path departing at the label's departure time — and the
+right child — the canonical ``p -> dst`` path arriving at the label's
+arrival time.  Both resolve through the index's O(1) lookup tables.
+
+Concise unfolding stops the recursion at any label whose vehicle is
+not ``null`` (the whole segment rides one trip), which skips most of
+the work and directly yields the boarding instructions of Section 8.
+
+When a child label is missing — possible only when IndexBuild's weak
+(``⊆``-interval) pruning discarded a canonical path that *tied* with a
+path through a higher hub — the unfolder falls back to a bounded
+earliest-arrival search for the segment.  Fallbacks are counted on the
+index for observability and exercised deliberately in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algorithms.temporal_dijkstra import (
+    earliest_arrival_search,
+    extract_forward_path,
+)
+from repro.core.index import TTLIndex
+from repro.core.sketch import Segment, Sketch
+from repro.errors import ReconstructionError
+from repro.graph.connection import Connection, Path
+from repro.journey import ConciseLeg, Journey
+from repro.timeutil import INF
+
+#: A work item: (src, dst, dep, arr, trip, pivot).
+_Item = Tuple[int, int, int, int, Optional[int], Optional[int]]
+
+
+def unfold_segment(index: TTLIndex, segment: Segment) -> Path:
+    """Unfold one label segment into its connection sequence."""
+    return _unfold(
+        index,
+        (
+            segment.src,
+            segment.dst,
+            segment.dep,
+            segment.arr,
+            segment.trip,
+            segment.pivot,
+        ),
+        concise=False,
+    )
+
+
+def _unfold(index: TTLIndex, item: _Item, concise: bool) -> List:
+    """Iterative post-order unfolding of one label.
+
+    With ``concise=False`` returns connections; with ``concise=True``
+    returns ``(src, dst, dep, arr, trip)`` ride segments where each
+    segment is served by a single trip.
+    """
+    result: List = []
+    stack: List[_Item] = [item]
+    while stack:
+        src, dst, dep, arr, trip, pivot = stack.pop()
+        if pivot is None:
+            if trip is None:
+                raise ReconstructionError(
+                    f"single-connection label {src}->{dst} without a trip"
+                )
+            if concise:
+                result.append((src, dst, dep, arr, trip))
+            else:
+                result.append(Connection(src, dst, dep, arr, trip))
+            continue
+        if concise and trip is not None:
+            # Whole segment rides one vehicle: stop unfolding here
+            # (the partial unfolding of Section 8).
+            result.append((src, dst, dep, arr, trip))
+            continue
+        left = index.lookup_by_dep(src, pivot, dep)
+        right = index.lookup_by_arr(pivot, dst, arr)
+        if left is None or right is None:
+            index.unfold_fallbacks += 1
+            result.extend(
+                _fallback_segment(index, src, dst, dep, arr, concise)
+            )
+            continue
+        # Post-order via LIFO: push right first so left pops first.
+        l_dep, l_arr, l_trip, l_pivot = left
+        r_dep, r_arr, r_trip, r_pivot = right
+        stack.append((pivot, dst, r_dep, r_arr, r_trip, r_pivot))
+        stack.append((src, pivot, l_dep, l_arr, l_trip, l_pivot))
+    return result
+
+
+def _fallback_segment(
+    index: TTLIndex, src: int, dst: int, dep: int, arr: int, concise: bool
+) -> List:
+    """Recompute a segment by search when its label was tie-pruned.
+
+    Finds an earliest-arrival path ``src -> dst`` departing no sooner
+    than ``dep``; by construction it arrives no later than ``arr``, so
+    splicing it in keeps the overall journey feasible and optimal.
+    """
+    eat, parent = earliest_arrival_search(index.graph, src, dep, target=dst)
+    if eat[dst] > arr or eat[dst] >= INF:
+        raise ReconstructionError(
+            f"cannot reconstruct segment {src}->{dst} "
+            f"departing >= {dep}, arriving <= {arr}"
+        )
+    path = extract_forward_path(parent, src, dst)
+    if path is None:  # pragma: no cover - defensive
+        raise ReconstructionError(f"no parent chain for {src}->{dst}")
+    if not concise:
+        return path
+    segments = []
+    for conn in path:
+        if segments and segments[-1][4] == conn.trip:
+            prev = segments[-1]
+            segments[-1] = (prev[0], conn.v, prev[2], conn.arr, conn.trip)
+        else:
+            segments.append((conn.u, conn.v, conn.dep, conn.arr, conn.trip))
+    return segments
+
+
+def sketch_to_journey(
+    index: TTLIndex, sketch: Sketch, u: int, v: int, concise: bool
+) -> Journey:
+    """Materialize a refined sketch into the query's journey."""
+    items: List[_Item] = []
+    for segment in (sketch.first, sketch.second):
+        if segment is not None:
+            items.append(
+                (
+                    segment.src,
+                    segment.dst,
+                    segment.dep,
+                    segment.arr,
+                    segment.trip,
+                    segment.pivot,
+                )
+            )
+    if not concise:
+        path: Path = []
+        for item in items:
+            path.extend(_unfold(index, item, concise=False))
+        return Journey.from_path(path)
+
+    rides: List[Tuple[int, int, int, int, int]] = []
+    for item in items:
+        for ride in _unfold(index, item, concise=True):
+            if rides and rides[-1][4] == ride[4]:
+                prev = rides[-1]
+                rides[-1] = (prev[0], ride[1], prev[2], ride[3], ride[4])
+            else:
+                rides.append(ride)
+    legs = [ConciseLeg(ride[0], ride[4], ride[2]) for ride in rides]
+    return Journey.from_legs(legs, destination=rides[-1][1], arr=rides[-1][3])

@@ -1,0 +1,51 @@
+"""Synthetic timetable datasets.
+
+The paper evaluates on 11 GTFS feeds (Austin ... Sweden) that are not
+redistributable/reachable offline, so this subpackage generates
+parameterized transit networks with the same structural ingredients —
+bus grids, radial metro systems, and country-scale hub-and-spoke rail —
+and registers them under the paper's dataset names at laptop scale
+(see DESIGN.md, "Substitutions").
+
+* :mod:`repro.datasets.synthetic` — the three generators.
+* :mod:`repro.datasets.registry` — the named dataset catalogue.
+* :mod:`repro.datasets.queries` — query workload generation
+  (uniform-random endpoints and windows, as in Section 10).
+"""
+
+from repro.datasets.synthetic import (
+    CitySpec,
+    CountrySpec,
+    generate_city_grid,
+    generate_city_radial,
+    generate_country,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetInfo,
+    dataset_names,
+    load_dataset,
+)
+from repro.datasets.queries import Query, QueryWorkload
+from repro.datasets.disruptions import (
+    cancel_trips,
+    delay_trips,
+    random_delays,
+)
+
+__all__ = [
+    "CitySpec",
+    "CountrySpec",
+    "generate_city_grid",
+    "generate_city_radial",
+    "generate_country",
+    "DATASETS",
+    "DatasetInfo",
+    "dataset_names",
+    "load_dataset",
+    "Query",
+    "QueryWorkload",
+    "delay_trips",
+    "cancel_trips",
+    "random_delays",
+]

@@ -1,0 +1,134 @@
+"""Service disruptions: delays and cancellations.
+
+TTL is a *static* index — the paper assumes fixed schedules.  Real
+operations see delays, and the honest engineering question for a
+deployment is what a disruption costs: these helpers derive a
+disrupted graph (whole-trip delays, partial delays from a stop onward,
+cancellations) so callers can re-index and compare (see
+``examples/disruption_replanning.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import DatasetError, UnknownTripError
+from repro.graph.route import Route, StopTime, Trip, trip_connections
+from repro.graph.timetable import TimetableGraph
+
+
+def _rebuild(
+    graph: TimetableGraph, routes: Dict[int, Route]
+) -> TimetableGraph:
+    connections: List = []
+    for route in routes.values():
+        route.sort_trips()
+        for trip in route.trips:
+            connections.extend(trip_connections(route, trip))
+    return TimetableGraph(
+        num_stations=graph.n,
+        connections=connections,
+        routes=routes,
+        station_names=graph.station_names,
+    )
+
+
+def delay_trips(
+    graph: TimetableGraph,
+    delays: Dict[int, int],
+    from_stop_index: Optional[Dict[int, int]] = None,
+) -> TimetableGraph:
+    """Return a copy of ``graph`` with the given trips delayed.
+
+    Args:
+        graph: the original timetable.
+        delays: trip id -> delay seconds (non-negative).
+        from_stop_index: optional trip id -> stop position; the delay
+            applies from that stop onward (an en-route incident).  By
+            default the whole trip shifts (a late departure).
+    """
+    for trip_id, delay in delays.items():
+        if trip_id not in graph.trips:
+            raise UnknownTripError(trip_id)
+        if delay < 0:
+            raise DatasetError(f"negative delay for trip {trip_id}: {delay}")
+
+    routes: Dict[int, Route] = {}
+    for route in graph.routes.values():
+        new_trips = []
+        for trip in route.trips:
+            delay = delays.get(trip.trip_id, 0)
+            if delay == 0:
+                new_trips.append(trip)
+                continue
+            start = 0
+            if from_stop_index is not None:
+                start = from_stop_index.get(trip.trip_id, 0)
+            stop_times = []
+            for i, st in enumerate(trip.stop_times):
+                if i < start:
+                    stop_times.append(st)
+                elif i == start:
+                    # The incident happens at this stop: arrival stays,
+                    # departure slips.
+                    stop_times.append(StopTime(st.arr, st.dep + delay))
+                else:
+                    stop_times.append(
+                        StopTime(st.arr + delay, st.dep + delay)
+                    )
+            new_trips.append(
+                Trip(
+                    trip_id=trip.trip_id,
+                    route_id=route.route_id,
+                    stop_times=tuple(stop_times),
+                )
+            )
+        routes[route.route_id] = Route(
+            route_id=route.route_id,
+            stops=route.stops,
+            trips=new_trips,
+            name=route.name,
+        )
+    return _rebuild(graph, routes)
+
+
+def cancel_trips(
+    graph: TimetableGraph, trip_ids: Iterable[int]
+) -> TimetableGraph:
+    """Return a copy of ``graph`` without the given trips."""
+    cancelled: Set[int] = set(trip_ids)
+    for trip_id in cancelled:
+        if trip_id not in graph.trips:
+            raise UnknownTripError(trip_id)
+    routes: Dict[int, Route] = {}
+    for route in graph.routes.values():
+        kept = [t for t in route.trips if t.trip_id not in cancelled]
+        routes[route.route_id] = Route(
+            route_id=route.route_id,
+            stops=route.stops,
+            trips=kept,
+            name=route.name,
+        )
+    return _rebuild(graph, routes)
+
+
+def random_delays(
+    graph: TimetableGraph,
+    fraction: float = 0.1,
+    max_delay: int = 900,
+    seed: int = 0,
+) -> Dict[int, int]:
+    """Sample a delay scenario: ``fraction`` of trips delayed by a
+    uniform 1..max_delay seconds."""
+    if not 0.0 <= fraction <= 1.0:
+        raise DatasetError(f"fraction out of range: {fraction}")
+    if max_delay <= 0:
+        raise DatasetError(f"max_delay must be positive: {max_delay}")
+    rng = random.Random(seed)
+    trip_ids = sorted(graph.trips)
+    count = int(round(fraction * len(trip_ids)))
+    return {
+        trip_id: rng.randint(1, max_delay)
+        for trip_id in rng.sample(trip_ids, count)
+    }

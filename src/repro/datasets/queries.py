@@ -1,0 +1,83 @@
+"""Query workloads (Section 10's query sets).
+
+The paper generates, per dataset, uniform-random source/destination
+pairs with uniformly distributed starting (EAP), ending (LDP), or
+start+end (SDP) timestamps inside the service window.
+:class:`QueryWorkload` reproduces that, deterministically per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import DatasetError
+from repro.graph.timetable import TimetableGraph
+
+
+@dataclass(frozen=True)
+class Query:
+    """One path query: endpoints and a time window.
+
+    EAP uses ``(source, destination, t_start)``, LDP uses
+    ``(source, destination, t_end)``, SDP uses the whole window.
+    """
+
+    source: int
+    destination: int
+    t_start: int
+    t_end: int
+
+
+class QueryWorkload:
+    """Deterministic random query sets over a timetable graph.
+
+    Args:
+        graph: the timetable graph.
+        seed: RNG seed.
+        time_window: optional ``(lo, hi)`` clamp for the generated
+            timestamps (e.g. the morning peak); defaults to the full
+            service window.
+    """
+
+    def __init__(
+        self,
+        graph: TimetableGraph,
+        seed: int = 0,
+        time_window: "tuple[int, int] | None" = None,
+    ) -> None:
+        if graph.n < 2:
+            raise DatasetError("need at least two stations for queries")
+        self.graph = graph
+        self.seed = seed
+        stats = graph.stats()
+        if time_window is None:
+            self._lo, self._hi = stats.min_time, stats.max_time
+        else:
+            lo, hi = time_window
+            if lo > hi:
+                raise DatasetError(f"empty time window: {time_window}")
+            self._lo = max(stats.min_time, lo)
+            self._hi = min(stats.max_time, hi)
+            if self._lo > self._hi:
+                raise DatasetError(
+                    "time window does not intersect the service day"
+                )
+
+    def generate(self, count: int) -> List[Query]:
+        """``count`` queries with uniform endpoints and windows."""
+        rng = random.Random(self.seed)
+        n = self.graph.n
+        queries: List[Query] = []
+        for _ in range(count):
+            source = rng.randrange(n)
+            destination = rng.randrange(n)
+            while destination == source:
+                destination = rng.randrange(n)
+            a = rng.randint(self._lo, self._hi)
+            b = rng.randint(self._lo, self._hi)
+            if a > b:
+                a, b = b, a
+            queries.append(Query(source, destination, a, b))
+        return queries

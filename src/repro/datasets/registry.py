@@ -1,0 +1,130 @@
+"""The dataset catalogue.
+
+Eleven named datasets mirror the paper's Table 3 line-up: nine cities
+plus one metropolis and one country, graded in size.  Absolute scale
+is reduced for pure-Python index construction (see DESIGN.md); the
+``scale`` knob multiplies station/route counts for larger runs.
+
+Use :func:`load_dataset`; graphs are cached per ``(name, scale)``
+within the process because several benchmarks reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datasets.synthetic import (
+    CitySpec,
+    CountrySpec,
+    generate_city_grid,
+    generate_city_radial,
+    generate_country,
+)
+from repro.errors import DatasetError
+from repro.graph.timetable import TimetableGraph
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """One catalogue entry."""
+
+    name: str
+    kind: str  # "grid" | "radial" | "country"
+    stations: int
+    routes: int
+    headway: int
+    seed: int
+    #: Country-only extras.
+    cities: int = 0
+    rail_headway: int = 0
+
+    def generate(self, scale: float = 1.0) -> TimetableGraph:
+        """Materialize the dataset at the given scale."""
+        if scale <= 0:
+            raise DatasetError(f"scale must be positive: {scale}")
+        stations = max(4, int(round(self.stations * scale)))
+        routes = max(2, int(round(self.routes * scale)))
+        if self.kind == "grid":
+            return generate_city_grid(
+                CitySpec(
+                    name=self.name,
+                    stations=stations,
+                    routes=routes,
+                    headway=self.headway,
+                    seed=self.seed,
+                )
+            )
+        if self.kind == "radial":
+            return generate_city_radial(
+                CitySpec(
+                    name=self.name,
+                    stations=stations,
+                    routes=routes,
+                    headway=self.headway,
+                    seed=self.seed,
+                )
+            )
+        if self.kind == "country":
+            cities = max(2, int(round(self.cities * max(1.0, scale))))
+            return generate_country(
+                CountrySpec(
+                    name=self.name,
+                    cities=cities,
+                    stations_per_city=max(4, stations // cities),
+                    routes_per_city=max(3, routes // cities),
+                    city_headway=self.headway,
+                    rail_headway=self.rail_headway,
+                    seed=self.seed,
+                )
+            )
+        raise DatasetError(f"unknown dataset kind: {self.kind}")
+
+
+#: The 11 datasets, smallest to largest (paper Table 3 names).
+DATASETS: Dict[str, DatasetInfo] = {
+    info.name: info
+    for info in [
+        DatasetInfo("Austin", "grid", 36, 10, 1500, seed=1),
+        DatasetInfo("Denver", "grid", 49, 12, 1500, seed=2),
+        DatasetInfo("Dallas", "grid", 64, 14, 1800, seed=3),
+        DatasetInfo("Houston", "grid", 81, 16, 1800, seed=4),
+        DatasetInfo("Toronto", "radial", 49, 10, 1200, seed=5),
+        DatasetInfo("Budapest", "radial", 61, 12, 900, seed=6),
+        DatasetInfo("Berlin", "radial", 73, 14, 900, seed=7),
+        DatasetInfo("Madrid", "radial", 85, 16, 750, seed=8),
+        DatasetInfo("Paris", "radial", 97, 18, 600, seed=9),
+        DatasetInfo("LosAngeles", "grid", 144, 28, 1350, seed=10),
+        DatasetInfo(
+            "Sweden",
+            "country",
+            260,
+            56,
+            1350,
+            seed=11,
+            cities=8,
+            rail_headway=2700,
+        ),
+    ]
+}
+
+
+def dataset_names() -> List[str]:
+    """Catalogue names, smallest dataset first."""
+    return list(DATASETS)
+
+
+_CACHE: Dict[Tuple[str, float], TimetableGraph] = {}
+
+
+def load_dataset(name: str, scale: float = 1.0) -> TimetableGraph:
+    """Materialize a catalogue dataset (process-cached)."""
+    info = DATASETS.get(name)
+    if info is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        )
+    key = (name, scale)
+    if key not in _CACHE:
+        _CACHE[key] = info.generate(scale)
+    return _CACHE[key]

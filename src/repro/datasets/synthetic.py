@@ -1,0 +1,455 @@
+"""Synthetic transit-network generators.
+
+Three generators cover the topologies of the paper's datasets:
+
+* :func:`generate_city_grid` — an American-style bus city (Austin,
+  Dallas, Houston...): stations on a jittered grid, straight and
+  L-shaped bus routes, moderate headways.
+* :func:`generate_city_radial` — a European-style metro city (Berlin,
+  Budapest, Madrid...): spoke lines through the centre, a ring line,
+  short headways, feeder buses.
+* :func:`generate_country` — a country network (Sweden): several
+  radial cities plus fast, infrequent intercity rail between their
+  centres.
+
+Stations carry planar coordinates; leg travel times derive from
+Euclidean distance over a per-mode speed, so timetables are spatially
+coherent (transfers and overtaking behave like a real feed, which is
+what exercises the dominance logic).  Everything is deterministic
+given the spec's seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import DatasetError
+from repro.graph.builders import GraphBuilder
+from repro.graph.timetable import TimetableGraph
+from repro.timeutil import hms
+
+#: metres/second used to convert distances into leg durations.
+BUS_SPEED = 7.0
+METRO_SPEED = 12.0
+RAIL_SPEED = 28.0
+
+#: Default service window (first and last trip departures).
+SERVICE_START = hms(6)
+SERVICE_END = hms(22)
+
+
+@dataclass(frozen=True)
+class CitySpec:
+    """Parameters of a single-city network."""
+
+    name: str
+    #: Approximate number of stations (the generator may round).
+    stations: int
+    #: Number of transit routes (each direction counts separately).
+    routes: int
+    #: Seconds between consecutive trips of a route.
+    headway: int
+    #: Grid spacing / ring radius unit in metres.
+    spacing: float = 600.0
+    seed: int = 0
+    service_start: int = SERVICE_START
+    service_end: int = SERVICE_END
+
+
+@dataclass(frozen=True)
+class CountrySpec:
+    """Parameters of a country-scale network."""
+
+    name: str
+    cities: int
+    stations_per_city: int
+    routes_per_city: int
+    city_headway: int
+    rail_headway: int
+    #: Distance between neighbouring city centres, metres.
+    city_distance: float = 40000.0
+    seed: int = 0
+    service_start: int = SERVICE_START
+    service_end: int = SERVICE_END
+
+
+def _leg_seconds(
+    positions: Sequence[Tuple[float, float]],
+    a: int,
+    b: int,
+    speed: float,
+) -> int:
+    (x1, y1), (x2, y2) = positions[a], positions[b]
+    dist = math.hypot(x1 - x2, y1 - y2)
+    return max(60, int(round(dist / speed)))
+
+
+#: Fraction of trips that run slower/faster than the route's nominal
+#: schedule (traffic, rolling-stock differences).  Keeps synthetic
+#: feeds from being unrealistically regular: some trips overtake, and
+#: route timetables stop being perfect Pareto staircases — exactly the
+#: irregularity that limits route-based compression on real data.
+TRIP_SPEED_JITTER = 0.18
+
+#: Morning and evening rush windows where service runs at half the
+#: nominal headway (real feeds are denser at peak; the density swing
+#: exercises the dominance logic with clustered departures).
+PEAK_WINDOWS = ((hms(7), hms(9)), (hms(16), hms(18)))
+PEAK_HEADWAY_FACTOR = 0.5
+
+
+def _next_headway(t: int, headway: int) -> int:
+    """Headway applicable at time ``t`` (denser during rush hours)."""
+    for lo, hi in PEAK_WINDOWS:
+        if lo <= t < hi:
+            return max(60, int(headway * PEAK_HEADWAY_FACTOR))
+    return headway
+
+
+def _add_service(
+    builder: GraphBuilder,
+    stops: Sequence[int],
+    positions: Sequence[Tuple[float, float]],
+    speed: float,
+    headway: int,
+    start: int,
+    end: int,
+    rng: random.Random,
+    dwell: int = 0,
+) -> None:
+    """Register one route (in the given direction) with regular trips,
+    densified inside the peak windows."""
+    if len(stops) < 2:
+        return
+    route_id = builder.add_route(list(stops))
+    legs = [
+        _leg_seconds(positions, stops[i], stops[i + 1], speed)
+        for i in range(len(stops) - 1)
+    ]
+    offset = rng.randrange(headway)
+    t = start + offset
+    while t <= end:
+        factor = 1.0 + rng.uniform(-TRIP_SPEED_JITTER, TRIP_SPEED_JITTER)
+        trip_legs = [max(30, int(round(leg * factor))) for leg in legs]
+        builder.add_trip_departures(route_id, t, trip_legs, dwell=dwell)
+        t += _next_headway(t, headway)
+
+
+def generate_city_grid(spec: CitySpec) -> TimetableGraph:
+    """A grid bus city.
+
+    Stations sit on a ``w x h`` jittered grid; each route follows a
+    straight row/column or an L-shaped corridor, in both directions.
+    """
+    rng = random.Random(spec.seed)
+    side = max(2, int(round(math.sqrt(spec.stations))))
+    w = side
+    h = max(2, (spec.stations + side - 1) // side)
+
+    builder = GraphBuilder()
+    positions: List[Tuple[float, float]] = []
+    index: List[List[int]] = [[0] * w for _ in range(h)]
+    for row in range(h):
+        for col in range(w):
+            station = builder.add_station(f"{spec.name}/g{row}-{col}")
+            jitter_x = rng.uniform(-0.15, 0.15) * spec.spacing
+            jitter_y = rng.uniform(-0.15, 0.15) * spec.spacing
+            positions.append(
+                (col * spec.spacing + jitter_x, row * spec.spacing + jitter_y)
+            )
+            index[row][col] = station
+
+    def corridor(fixed_row: Optional[int] = None, fixed_col: Optional[int] = None) -> List[int]:
+        if fixed_row is not None:
+            stops = [index[fixed_row][c] for c in range(w)]
+            return stops
+        if fixed_col is not None:
+            stops = [index[r][fixed_col] for r in range(h)]
+            return stops
+        if rng.random() < 0.5:
+            row = rng.randrange(h)
+            lo = rng.randrange(0, max(1, w - 1))
+            hi = rng.randrange(lo + 1, w)
+            stops = [index[row][c] for c in range(lo, hi + 1)]
+        else:
+            col = rng.randrange(w)
+            lo = rng.randrange(0, max(1, h - 1))
+            hi = rng.randrange(lo + 1, h)
+            stops = [index[r][col] for r in range(lo, hi + 1)]
+        if rng.random() < 0.4 and len(stops) >= 2:
+            # L-shape: extend perpendicular from the last stop.
+            last = stops[-1]
+            row, col = _locate(index, last)
+            if rng.random() < 0.5 and row + 1 < h:
+                extra = [
+                    index[r][col]
+                    for r in range(row + 1, min(h, row + 1 + rng.randrange(1, h)))
+                ]
+            elif row - 1 >= 0:
+                extra = [
+                    index[r][col]
+                    for r in range(row - 1, max(-1, row - 1 - rng.randrange(1, h)), -1)
+                ]
+            else:
+                extra = []
+            stops.extend(extra)
+        return stops
+
+    # Guarantee coverage: full row lines first, then full column lines,
+    # then random (possibly L-shaped) corridors for the remainder.
+    plans: List[dict] = []
+    rows = list(range(h))
+    cols = list(range(w))
+    rng.shuffle(rows)
+    rng.shuffle(cols)
+    for k in range(spec.routes):
+        if k < len(rows):
+            plans.append({"fixed_row": rows[k]})
+        elif k - len(rows) < len(cols):
+            plans.append({"fixed_col": cols[k - len(rows)]})
+        else:
+            plans.append({})
+
+    for plan in plans:
+        stops = corridor(**plan)
+        if len(stops) < 2:
+            continue
+        _add_service(
+            builder,
+            stops,
+            positions,
+            BUS_SPEED,
+            spec.headway,
+            spec.service_start,
+            spec.service_end,
+            rng,
+        )
+        _add_service(
+            builder,
+            list(reversed(stops)),
+            positions,
+            BUS_SPEED,
+            spec.headway,
+            spec.service_start,
+            spec.service_end,
+            rng,
+        )
+    graph = builder.build()
+    _check_generated(graph, spec.name)
+    return graph
+
+
+def _locate(index: List[List[int]], station: int) -> Tuple[int, int]:
+    for r, row in enumerate(index):
+        for c, s in enumerate(row):
+            if s == station:
+                return r, c
+    raise DatasetError(f"station {station} not on grid")  # pragma: no cover
+
+
+def generate_city_radial(spec: CitySpec) -> TimetableGraph:
+    """A radial metro city: spokes through the centre plus a ring."""
+    rng = random.Random(spec.seed)
+    n_spokes = max(3, spec.routes // 2)
+    per_spoke = max(2, (spec.stations - 1) // n_spokes)
+
+    builder = GraphBuilder()
+    positions: List[Tuple[float, float]] = []
+    centre = builder.add_station(f"{spec.name}/centre")
+    positions.append((0.0, 0.0))
+
+    spokes: List[List[int]] = []
+    for s in range(n_spokes):
+        angle = 2 * math.pi * s / n_spokes + rng.uniform(-0.1, 0.1)
+        spoke = [centre]
+        for k in range(1, per_spoke + 1):
+            station = builder.add_station(f"{spec.name}/s{s}-{k}")
+            radius = k * spec.spacing * rng.uniform(0.9, 1.1)
+            positions.append(
+                (radius * math.cos(angle), radius * math.sin(angle))
+            )
+            spoke.append(station)
+        spokes.append(spoke)
+
+    # Diameter lines: pair each spoke with the opposite one, using each
+    # spoke in exactly one corridor (served in both directions).
+    used = [False] * n_spokes
+    for s in range(n_spokes):
+        if used[s]:
+            continue
+        opposite = (s + n_spokes // 2) % n_spokes
+        if opposite == s or used[opposite]:
+            stops = spokes[s]
+            used[s] = True
+        else:
+            stops = list(reversed(spokes[opposite])) + spokes[s][1:]
+            used[s] = used[opposite] = True
+        _add_service(
+            builder,
+            stops,
+            positions,
+            METRO_SPEED,
+            spec.headway,
+            spec.service_start,
+            spec.service_end,
+            rng,
+        )
+        _add_service(
+            builder,
+            list(reversed(stops)),
+            positions,
+            METRO_SPEED,
+            spec.headway,
+            spec.service_start,
+            spec.service_end,
+            rng,
+        )
+
+    # Ring line over the stations at ring_index on each spoke.
+    ring_index = min(per_spoke, 2)
+    ring = [spoke[ring_index] for spoke in spokes if len(spoke) > ring_index]
+    if len(ring) >= 3:
+        ring_stops = ring + [ring[0]]
+        # Routes may not repeat stations; split the loop in two arcs.
+        half = len(ring) // 2
+        for arc in (ring[: half + 1], ring[half:] + [ring[0]]):
+            if len(set(arc)) == len(arc) and len(arc) >= 2:
+                _add_service(
+                    builder,
+                    arc,
+                    positions,
+                    BUS_SPEED,
+                    spec.headway * 2,
+                    spec.service_start,
+                    spec.service_end,
+                    rng,
+                )
+                _add_service(
+                    builder,
+                    list(reversed(arc)),
+                    positions,
+                    BUS_SPEED,
+                    spec.headway * 2,
+                    spec.service_start,
+                    spec.service_end,
+                    rng,
+                )
+    graph = builder.build()
+    _check_generated(graph, spec.name)
+    return graph
+
+
+def generate_country(spec: CountrySpec) -> TimetableGraph:
+    """A country: radial cities chained by fast intercity rail."""
+    rng = random.Random(spec.seed)
+    builder = GraphBuilder()
+    positions: List[Tuple[float, float]] = []
+    centres: List[int] = []
+
+    for c in range(spec.cities):
+        cx = c * spec.city_distance
+        cy = rng.uniform(-0.2, 0.2) * spec.city_distance
+        centre = builder.add_station(f"{spec.name}/c{c}/centre")
+        positions.append((cx, cy))
+        centres.append(centre)
+        n_spokes = max(3, spec.routes_per_city)
+        per_spoke = max(1, (spec.stations_per_city - 1) // n_spokes)
+        spokes: List[List[int]] = []
+        for s in range(n_spokes):
+            angle = 2 * math.pi * s / n_spokes
+            spoke = [centre]
+            for k in range(1, per_spoke + 1):
+                station = builder.add_station(f"{spec.name}/c{c}/s{s}-{k}")
+                radius = k * 700.0
+                positions.append(
+                    (
+                        cx + radius * math.cos(angle),
+                        cy + radius * math.sin(angle),
+                    )
+                )
+                spoke.append(station)
+            spokes.append(spoke)
+        for spoke in spokes:
+            if len(spoke) < 2:
+                continue
+            _add_service(
+                builder,
+                spoke,
+                positions,
+                BUS_SPEED,
+                spec.city_headway,
+                spec.service_start,
+                spec.service_end,
+                rng,
+            )
+            _add_service(
+                builder,
+                list(reversed(spoke)),
+                positions,
+                BUS_SPEED,
+                spec.city_headway,
+                spec.service_start,
+                spec.service_end,
+                rng,
+            )
+
+    # Intercity rail along the chain of centres, plus one express
+    # skipping every other city when the country is large enough.
+    if len(centres) >= 2:
+        _add_service(
+            builder,
+            centres,
+            positions,
+            RAIL_SPEED,
+            spec.rail_headway,
+            spec.service_start,
+            spec.service_end,
+            rng,
+            dwell=120,
+        )
+        _add_service(
+            builder,
+            list(reversed(centres)),
+            positions,
+            RAIL_SPEED,
+            spec.rail_headway,
+            spec.service_start,
+            spec.service_end,
+            rng,
+            dwell=120,
+        )
+    if len(centres) >= 4:
+        express = centres[::2]
+        _add_service(
+            builder,
+            express,
+            positions,
+            RAIL_SPEED,
+            spec.rail_headway * 2,
+            spec.service_start,
+            spec.service_end,
+            rng,
+            dwell=120,
+        )
+        _add_service(
+            builder,
+            list(reversed(express)),
+            positions,
+            RAIL_SPEED,
+            spec.rail_headway * 2,
+            spec.service_start,
+            spec.service_end,
+            rng,
+            dwell=120,
+        )
+    graph = builder.build()
+    _check_generated(graph, spec.name)
+    return graph
+
+
+def _check_generated(graph: TimetableGraph, name: str) -> None:
+    if graph.m == 0:
+        raise DatasetError(f"dataset {name!r} generated no connections")

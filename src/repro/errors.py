@@ -1,0 +1,73 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised when a timetable graph is malformed or violates an invariant."""
+
+
+class ValidationError(GraphError):
+    """Raised when validating user-supplied graph input fails."""
+
+
+class UnknownStationError(GraphError):
+    """Raised when a station id or name does not exist in the graph."""
+
+    def __init__(self, station: object) -> None:
+        super().__init__(f"unknown station: {station!r}")
+        self.station = station
+
+
+class UnknownTripError(GraphError):
+    """Raised when a trip id does not exist in the graph."""
+
+    def __init__(self, trip: object) -> None:
+        super().__init__(f"unknown trip: {trip!r}")
+        self.trip = trip
+
+
+class UnknownRouteError(GraphError):
+    """Raised when a route id does not exist in the graph."""
+
+    def __init__(self, route: object) -> None:
+        super().__init__(f"unknown route: {route!r}")
+        self.route = route
+
+
+class IndexError_(ReproError):
+    """Base class for index construction and query errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``.
+    """
+
+
+class IndexBuildError(IndexError_):
+    """Raised when TTL index construction fails."""
+
+
+class ReconstructionError(IndexError_):
+    """Raised when a label cannot be unfolded back into a concrete path."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid query arguments (bad window, unknown nodes...)."""
+
+
+class SerializationError(ReproError):
+    """Raised when loading or saving an index or graph fails."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset specification is invalid."""

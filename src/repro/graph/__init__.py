@@ -1,0 +1,44 @@
+"""Timetable-graph substrate.
+
+This subpackage implements the paper's data model (Section 2): a
+multigraph whose nodes are stations and whose edges are *connections* —
+tuples ``(u, v, t_dep, t_arr, trip)`` stating that a vehicle (trip)
+leaves station ``u`` at ``t_dep`` and arrives at station ``v`` at
+``t_arr`` with no stop in between.  Trips are grouped into routes
+(shared stop sequences), which the route-based label compression of
+Section 7.1 exploits.
+"""
+
+from repro.graph.connection import Connection, Path, path_duration, validate_path
+from repro.graph.route import Route, StopTime, Trip
+from repro.graph.timetable import GraphStats, TimetableGraph
+from repro.graph.builders import GraphBuilder
+from repro.graph.transforms import (
+    extend_with_next_day,
+    induced_subgraph,
+    reversed_graph,
+)
+from repro.graph.gtfs import load_graph_csv, save_graph_csv
+from repro.graph.gtfs_real import GtfsReport, load_gtfs
+from repro.graph.gtfs_export import save_gtfs
+
+__all__ = [
+    "Connection",
+    "Path",
+    "path_duration",
+    "validate_path",
+    "Route",
+    "StopTime",
+    "Trip",
+    "GraphStats",
+    "TimetableGraph",
+    "GraphBuilder",
+    "extend_with_next_day",
+    "induced_subgraph",
+    "reversed_graph",
+    "load_graph_csv",
+    "save_graph_csv",
+    "load_gtfs",
+    "GtfsReport",
+    "save_gtfs",
+]

@@ -1,0 +1,209 @@
+"""Fluent construction of timetable graphs.
+
+:class:`GraphBuilder` is the supported way to assemble a
+:class:`~repro.graph.timetable.TimetableGraph`.  It accepts either
+
+* structured input — routes with per-trip stop times (preferred;
+  enables route-based compression), via :meth:`add_route` /
+  :meth:`add_trip`; or
+* raw connections via :meth:`add_connection`, each of which becomes a
+  two-stop single-trip route so that every graph built here carries
+  full route structure.
+
+Stations can be registered by name; ids are handed out densely in
+registration order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.graph.connection import Connection
+from repro.graph.route import Route, StopTime, Trip, trip_connections
+from repro.graph.timetable import TimetableGraph
+
+
+class GraphBuilder:
+    """Incrementally assemble a timetable graph.
+
+    Example::
+
+        builder = GraphBuilder()
+        a, b, c = (builder.add_station(x) for x in "abc")
+        r = builder.add_route([a, b, c])
+        builder.add_trip(r, [(480, 480), (500, 505), (520, 520)])
+        graph = builder.build()
+    """
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._name_to_id: Dict[str, int] = {}
+        self._routes: Dict[int, Route] = {}
+        self._next_route_id = 0
+        self._next_trip_id = 0
+
+    # ------------------------------------------------------------------
+    # Stations
+    # ------------------------------------------------------------------
+
+    def add_station(self, name: Optional[str] = None) -> int:
+        """Register a station and return its id.
+
+        Re-registering an existing name returns the existing id.
+        """
+        if name is not None and name in self._name_to_id:
+            return self._name_to_id[name]
+        station = len(self._names)
+        if name is None:
+            name = f"s{station}"
+            if name in self._name_to_id:
+                raise ValidationError(f"auto-name collision: {name}")
+        self._names.append(name)
+        self._name_to_id[name] = station
+        return station
+
+    def add_stations(self, count: int) -> List[int]:
+        """Register ``count`` anonymous stations and return their ids."""
+        return [self.add_station() for _ in range(count)]
+
+    def station_id(self, name: str) -> int:
+        """Id of a previously registered station name."""
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise ValidationError(f"unregistered station name: {name!r}") from None
+
+    @property
+    def num_stations(self) -> int:
+        """Number of stations registered so far."""
+        return len(self._names)
+
+    # ------------------------------------------------------------------
+    # Routes and trips
+    # ------------------------------------------------------------------
+
+    def add_route(
+        self, stops: Sequence[int], name: Optional[str] = None
+    ) -> int:
+        """Register a route over already-registered station ids."""
+        for stop in stops:
+            if not 0 <= stop < len(self._names):
+                raise ValidationError(f"route stop {stop} not registered")
+        route_id = self._next_route_id
+        self._next_route_id += 1
+        self._routes[route_id] = Route(
+            route_id=route_id, stops=tuple(stops), name=name
+        )
+        return route_id
+
+    def add_trip(
+        self, route_id: int, stop_times: Sequence[Tuple[int, int]]
+    ) -> int:
+        """Add one timetabled trip to a route.
+
+        Args:
+            route_id: route to serve.
+            stop_times: ``(arrival, departure)`` pairs, one per stop.
+
+        Returns:
+            The new trip id.
+        """
+        if route_id not in self._routes:
+            raise ValidationError(f"unknown route id: {route_id}")
+        trip_id = self._next_trip_id
+        self._next_trip_id += 1
+        trip = Trip(
+            trip_id=trip_id,
+            route_id=route_id,
+            stop_times=tuple(StopTime(arr, dep) for arr, dep in stop_times),
+        )
+        trip.validate(len(self._routes[route_id].stops))
+        self._routes[route_id].trips.append(trip)
+        return trip_id
+
+    def add_trip_departures(
+        self,
+        route_id: int,
+        first_departure: int,
+        leg_durations: Sequence[int],
+        dwell: int = 0,
+    ) -> int:
+        """Convenience: add a trip from a start time and leg durations.
+
+        Args:
+            route_id: route to serve.
+            first_departure: departure time from the first stop.
+            leg_durations: travel seconds for each leg (``len(stops)-1``).
+            dwell: dwell seconds at every intermediate stop.
+        """
+        route = self._routes.get(route_id)
+        if route is None:
+            raise ValidationError(f"unknown route id: {route_id}")
+        if len(leg_durations) != len(route.stops) - 1:
+            raise ValidationError(
+                f"route {route_id} has {len(route.stops) - 1} legs, got "
+                f"{len(leg_durations)} durations"
+            )
+        stop_times = [(first_departure, first_departure)]
+        t = first_departure
+        for i, leg in enumerate(leg_durations):
+            if leg <= 0:
+                raise ValidationError(f"leg duration must be positive: {leg}")
+            t += leg
+            arr = t
+            dep = t + (dwell if i < len(leg_durations) - 1 else 0)
+            stop_times.append((arr, dep))
+            t = dep
+        return self.add_trip(route_id, stop_times)
+
+    # ------------------------------------------------------------------
+    # Raw connections
+    # ------------------------------------------------------------------
+
+    def add_connection(self, u: int, v: int, dep: int, arr: int) -> int:
+        """Add a standalone connection as its own two-stop route/trip.
+
+        Returns the trip id created for the connection.
+        """
+        route_id = self.add_route([u, v])
+        return self.add_trip(route_id, [(dep, dep), (arr, arr)])
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    def build(self, validate: bool = True) -> TimetableGraph:
+        """Materialize the immutable graph."""
+        connections: List[Connection] = []
+        for route in self._routes.values():
+            route.sort_trips()
+            for trip in route.trips:
+                connections.extend(trip_connections(route, trip))
+        return TimetableGraph(
+            num_stations=len(self._names),
+            connections=connections,
+            routes=self._routes,
+            station_names=self._names,
+            validate=validate,
+        )
+
+
+def graph_from_connections(
+    connections: Sequence[Tuple[int, int, int, int]],
+    num_stations: Optional[int] = None,
+) -> TimetableGraph:
+    """Build a graph from bare ``(u, v, dep, arr)`` tuples.
+
+    Each tuple becomes its own single-trip route.  Useful in tests and
+    for property-based graph generation.
+    """
+    if num_stations is None:
+        num_stations = 0
+        for u, v, _, _ in connections:
+            num_stations = max(num_stations, u + 1, v + 1)
+    builder = GraphBuilder()
+    builder.add_stations(num_stations)
+    for u, v, dep, arr in connections:
+        builder.add_connection(u, v, dep, arr)
+    return builder.build()

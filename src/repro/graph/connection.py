@@ -1,0 +1,104 @@
+"""Connections and paths.
+
+A :class:`Connection` is the paper's temporal edge
+``e = (u, v, t_d, t_a, b)`` (Section 2): vehicle ``b`` (a *trip* id
+here) departs station ``u`` at ``t_d`` and arrives at station ``v`` at
+``t_a`` with no intermediate stop.
+
+A *path* (Definition 1) is a sequence of connections where consecutive
+connections are station-chained and the departure time of each
+connection is no earlier than the arrival time of its predecessor.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.errors import ValidationError
+
+
+class Connection(NamedTuple):
+    """A single timetabled vehicle movement between adjacent stations.
+
+    Attributes:
+        u: departure station id.
+        v: arrival station id.
+        dep: departure time at ``u`` (seconds since midnight).
+        arr: arrival time at ``v`` (seconds since midnight).
+        trip: id of the trip (the paper's "vehicle" ``b``) serving this
+            connection.
+    """
+
+    u: int
+    v: int
+    dep: int
+    arr: int
+    trip: int
+
+    @property
+    def duration(self) -> int:
+        """Travel time of this connection in seconds."""
+        return self.arr - self.dep
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.u}->{self.v} [{self.dep}->{self.arr}] trip={self.trip}"
+
+
+#: A path is simply a list of connections satisfying Definition 1.
+Path = List[Connection]
+
+
+def path_duration(path: Sequence[Connection]) -> int:
+    """Duration of a path: arrival of its last connection minus departure
+    of its first (Definition 1)."""
+    if not path:
+        raise ValidationError("empty path has no duration")
+    return path[-1].arr - path[0].dep
+
+
+def path_vehicle(path: Sequence[Connection]) -> Optional[int]:
+    """The path's vehicle per Definition 1.
+
+    Returns the shared trip id when every connection is served by the
+    same trip (no transfer), otherwise ``None``.
+    """
+    if not path:
+        raise ValidationError("empty path has no vehicle")
+    first = path[0].trip
+    for conn in path:
+        if conn.trip != first:
+            return None
+    return first
+
+
+def path_transfers(path: Sequence[Connection]) -> int:
+    """Number of vehicle changes along the path."""
+    transfers = 0
+    for prev, nxt in zip(path, path[1:]):
+        if prev.trip != nxt.trip:
+            transfers += 1
+    return transfers
+
+
+def validate_path(path: Sequence[Connection]) -> None:
+    """Check Definition 1 on ``path``; raise :class:`ValidationError`.
+
+    Verifies that consecutive connections are station-chained and that
+    each departure is no earlier than the previous arrival.
+    """
+    if not path:
+        raise ValidationError("empty path")
+    for conn in path:
+        if conn.arr <= conn.dep:
+            raise ValidationError(f"non-positive duration connection: {conn}")
+    for i, (prev, nxt) in enumerate(zip(path, path[1:])):
+        if prev.v != nxt.u:
+            raise ValidationError(
+                f"path broken at position {i}: {prev} then {nxt} "
+                f"(station {prev.v} != {nxt.u})"
+            )
+        if nxt.dep < prev.arr:
+            raise ValidationError(
+                f"path not time-feasible at position {i}: departure "
+                f"{nxt.dep} before arrival {prev.arr}"
+            )

@@ -1,0 +1,116 @@
+"""GTFS-lite persistence for timetable graphs.
+
+Real GTFS feeds are zip archives of many CSV files; the algorithms in
+this repository only need stations, routes, and per-trip stop times, so
+we persist a compact three-file CSV bundle:
+
+* ``stations.csv`` — ``station_id,name``
+* ``routes.csv``   — ``route_id,name,stops`` (stops ``|``-separated)
+* ``stop_times.csv`` — ``trip_id,route_id,seq,arrival,departure``
+
+The format is lossless for everything the library uses and is close
+enough to GTFS that adapting a real feed is a small exercise.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path as FsPath
+from typing import Dict, List, Union
+
+from repro.errors import SerializationError
+from repro.graph.route import Route, StopTime, Trip, trip_connections
+from repro.graph.timetable import TimetableGraph
+
+PathLike = Union[str, FsPath]
+
+
+def save_graph_csv(graph: TimetableGraph, directory: PathLike) -> None:
+    """Write ``graph`` to ``directory`` as the three-file CSV bundle."""
+    directory = FsPath(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "stations.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["station_id", "name"])
+        for station in range(graph.n):
+            writer.writerow([station, graph.station_name(station)])
+
+    with open(directory / "routes.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["route_id", "name", "stops"])
+        for route in sorted(graph.routes.values(), key=lambda r: r.route_id):
+            stops = "|".join(str(s) for s in route.stops)
+            writer.writerow([route.route_id, route.name or "", stops])
+
+    with open(directory / "stop_times.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["trip_id", "route_id", "seq", "arrival", "departure"])
+        for route in sorted(graph.routes.values(), key=lambda r: r.route_id):
+            for trip in route.trips:
+                for seq, st in enumerate(trip.stop_times):
+                    writer.writerow(
+                        [trip.trip_id, route.route_id, seq, st.arr, st.dep]
+                    )
+
+
+def load_graph_csv(directory: PathLike) -> TimetableGraph:
+    """Load a graph previously written by :func:`save_graph_csv`."""
+    directory = FsPath(directory)
+    for required in ("stations.csv", "routes.csv", "stop_times.csv"):
+        if not (directory / required).exists():
+            raise SerializationError(f"missing {required} in {directory}")
+
+    names: List[str] = []
+    with open(directory / "stations.csv", newline="") as fh:
+        for row in csv.DictReader(fh):
+            station = int(row["station_id"])
+            if station != len(names):
+                raise SerializationError(
+                    f"stations.csv not densely ordered at id {station}"
+                )
+            names.append(row["name"])
+
+    routes: Dict[int, Route] = {}
+    with open(directory / "routes.csv", newline="") as fh:
+        for row in csv.DictReader(fh):
+            route_id = int(row["route_id"])
+            stops = tuple(int(s) for s in row["stops"].split("|"))
+            routes[route_id] = Route(
+                route_id=route_id, stops=stops, name=row["name"] or None
+            )
+
+    trip_rows: Dict[int, List[dict]] = {}
+    with open(directory / "stop_times.csv", newline="") as fh:
+        for row in csv.DictReader(fh):
+            trip_rows.setdefault(int(row["trip_id"]), []).append(row)
+
+    for trip_id, rows in trip_rows.items():
+        rows.sort(key=lambda r: int(r["seq"]))
+        route_ids = {int(r["route_id"]) for r in rows}
+        if len(route_ids) != 1:
+            raise SerializationError(f"trip {trip_id} spans multiple routes")
+        route_id = route_ids.pop()
+        if route_id not in routes:
+            raise SerializationError(
+                f"trip {trip_id} references unknown route {route_id}"
+            )
+        stop_times = tuple(
+            StopTime(int(r["arrival"]), int(r["departure"])) for r in rows
+        )
+        routes[route_id].trips.append(
+            Trip(trip_id=trip_id, route_id=route_id, stop_times=stop_times)
+        )
+
+    connections: List = []
+    for route in routes.values():
+        route.sort_trips()
+        for trip in route.trips:
+            connections.extend(trip_connections(route, trip))
+
+    return TimetableGraph(
+        num_stations=len(names),
+        connections=connections,
+        routes=routes,
+        station_names=names,
+    )

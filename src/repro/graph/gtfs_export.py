@@ -1,0 +1,95 @@
+"""Export timetable graphs as GTFS feeds.
+
+The inverse of :mod:`repro.graph.gtfs_real`: writes ``stops.txt``,
+``routes.txt``, ``trips.txt``, ``stop_times.txt`` and a single-service
+``calendar.txt`` so synthetic networks from this repository can feed
+any GTFS-consuming tool (OpenTripPlanner, gtfs-kit, visualizers) —
+and so importer/exporter roundtrips can be tested hermetically.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path as FsPath
+from typing import Union
+
+from repro.graph.timetable import TimetableGraph
+from repro.timeutil import SECONDS_PER_HOUR, SECONDS_PER_MINUTE
+
+PathLike = Union[str, FsPath]
+
+#: service_id written to calendar.txt / trips.txt.
+SERVICE_ID = "everyday"
+
+
+def _gtfs_time(t: int) -> str:
+    """GTFS clock string; hours may exceed 23 (next service day)."""
+    hours, rem = divmod(t, SECONDS_PER_HOUR)
+    minutes, seconds = divmod(rem, SECONDS_PER_MINUTE)
+    return f"{hours:02d}:{minutes:02d}:{seconds:02d}"
+
+
+def save_gtfs(graph: TimetableGraph, directory: PathLike) -> None:
+    """Write ``graph`` to ``directory`` as an unzipped GTFS feed."""
+    directory = FsPath(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "stops.txt", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["stop_id", "stop_name"])
+        for station in range(graph.n):
+            writer.writerow([f"S{station}", graph.station_name(station)])
+
+    with open(directory / "routes.txt", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["route_id", "route_short_name", "route_type"])
+        for route in sorted(graph.routes.values(), key=lambda r: r.route_id):
+            writer.writerow(
+                [
+                    f"R{route.route_id}",
+                    route.name or f"route {route.route_id}",
+                    3,  # bus
+                ]
+            )
+
+    with open(directory / "trips.txt", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["route_id", "service_id", "trip_id"])
+        for route in sorted(graph.routes.values(), key=lambda r: r.route_id):
+            for trip in route.trips:
+                writer.writerow(
+                    [f"R{route.route_id}", SERVICE_ID, f"T{trip.trip_id}"]
+                )
+
+    with open(directory / "stop_times.txt", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["trip_id", "arrival_time", "departure_time", "stop_id",
+             "stop_sequence"]
+        )
+        for route in sorted(graph.routes.values(), key=lambda r: r.route_id):
+            for trip in route.trips:
+                for seq, (stop, st) in enumerate(
+                    zip(route.stops, trip.stop_times), start=1
+                ):
+                    writer.writerow(
+                        [
+                            f"T{trip.trip_id}",
+                            _gtfs_time(st.arr),
+                            _gtfs_time(st.dep),
+                            f"S{stop}",
+                            seq,
+                        ]
+                    )
+
+    with open(directory / "calendar.txt", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "service_id", "monday", "tuesday", "wednesday", "thursday",
+                "friday", "saturday", "sunday", "start_date", "end_date",
+            ]
+        )
+        writer.writerow(
+            [SERVICE_ID, 1, 1, 1, 1, 1, 1, 1, "20150101", "20251231"]
+        )

@@ -1,0 +1,177 @@
+"""Importer for real GTFS feeds (unzipped directories).
+
+The paper's datasets were GTFS feeds; this adapter lets the library
+consume one directly.  It reads the four files the algorithms need —
+``stops.txt``, ``routes.txt``, ``trips.txt``, ``stop_times.txt`` — and
+optionally filters by ``service_id`` (one service day), producing a
+:class:`~repro.graph.timetable.TimetableGraph`:
+
+* GTFS "routes" may mix trips with different stop sequences; internal
+  routes require one fixed sequence (route-based compression depends
+  on it), so trips are regrouped by ``(gtfs route, exact stop
+  sequence)``.
+* Times like ``25:30:00`` (after midnight, same service day) are kept
+  as seconds past 86 400, which the whole library supports.
+* Degenerate rows (single-stop trips, non-increasing times, unknown
+  stops) are dropped and counted in the returned report.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path as FsPath
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import SerializationError
+from repro.graph.builders import GraphBuilder
+from repro.graph.timetable import TimetableGraph
+from repro.timeutil import parse_time
+
+PathLike = Union[str, FsPath]
+
+REQUIRED_FILES = ("stops.txt", "trips.txt", "stop_times.txt")
+
+
+@dataclass
+class GtfsReport:
+    """What the importer kept and dropped."""
+
+    stops: int = 0
+    trips_imported: int = 0
+    trips_dropped: int = 0
+    connections: int = 0
+    drop_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def _drop(self, reason: str) -> None:
+        self.trips_dropped += 1
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+
+
+def _read_rows(path: FsPath) -> List[dict]:
+    with open(path, newline="", encoding="utf-8-sig") as fh:
+        return list(csv.DictReader(fh))
+
+
+def load_gtfs(
+    directory: PathLike, service_id: Optional[str] = None
+) -> Tuple[TimetableGraph, GtfsReport]:
+    """Import a GTFS directory; returns ``(graph, report)``.
+
+    Args:
+        directory: unzipped GTFS feed.
+        service_id: keep only trips of this service (None = all trips).
+    """
+    directory = FsPath(directory)
+    for required in REQUIRED_FILES:
+        if not (directory / required).exists():
+            raise SerializationError(
+                f"not a GTFS feed: missing {required} in {directory}"
+            )
+    report = GtfsReport()
+
+    # Stops.
+    builder = GraphBuilder()
+    stop_ids: Dict[str, int] = {}
+    for row in _read_rows(directory / "stops.txt"):
+        gtfs_id = row.get("stop_id", "").strip()
+        if not gtfs_id or gtfs_id in stop_ids:
+            continue
+        name = (row.get("stop_name") or gtfs_id).strip()
+        stop_ids[gtfs_id] = builder.add_station(f"{name} [{gtfs_id}]")
+    report.stops = len(stop_ids)
+
+    # Route names (optional file).
+    route_names: Dict[str, str] = {}
+    routes_file = directory / "routes.txt"
+    if routes_file.exists():
+        for row in _read_rows(routes_file):
+            route_id = row.get("route_id", "").strip()
+            name = (
+                row.get("route_short_name")
+                or row.get("route_long_name")
+                or route_id
+            ).strip()
+            if route_id:
+                route_names[route_id] = name
+
+    # Trips (with optional service filter).
+    trip_route: Dict[str, str] = {}
+    for row in _read_rows(directory / "trips.txt"):
+        trip_id = row.get("trip_id", "").strip()
+        if not trip_id:
+            continue
+        if service_id is not None and (
+            row.get("service_id", "").strip() != service_id
+        ):
+            continue
+        trip_route[trip_id] = row.get("route_id", "").strip()
+
+    # Stop times, grouped per trip.
+    by_trip: Dict[str, List[dict]] = {}
+    for row in _read_rows(directory / "stop_times.txt"):
+        trip_id = row.get("trip_id", "").strip()
+        if trip_id in trip_route:
+            by_trip.setdefault(trip_id, []).append(row)
+
+    # Regroup trips by (gtfs route, exact stop sequence).
+    groups: Dict[Tuple[str, Tuple[int, ...]], List[List[Tuple[int, int]]]] = {}
+    for trip_id, rows in by_trip.items():
+        try:
+            rows.sort(key=lambda r: int(r["stop_sequence"]))
+        except (KeyError, ValueError):
+            report._drop("bad stop_sequence")
+            continue
+        stops: List[int] = []
+        times: List[Tuple[int, int]] = []
+        ok = True
+        for row in rows:
+            gtfs_stop = row.get("stop_id", "").strip()
+            if gtfs_stop not in stop_ids:
+                ok = False
+                report._drop("unknown stop")
+                break
+            try:
+                arr = parse_time(row["arrival_time"])
+                dep = parse_time(row["departure_time"])
+            except (KeyError, ValueError):
+                ok = False
+                report._drop("bad time")
+                break
+            stops.append(stop_ids[gtfs_stop])
+            times.append((arr, dep))
+        if not ok:
+            continue
+        # Collapse immediate repeats (some feeds duplicate a stop).
+        deduped_stops: List[int] = []
+        deduped_times: List[Tuple[int, int]] = []
+        for stop, st in zip(stops, times):
+            if deduped_stops and deduped_stops[-1] == stop:
+                continue
+            deduped_stops.append(stop)
+            deduped_times.append(st)
+        if len(deduped_stops) < 2:
+            report._drop("single stop")
+            continue
+        increasing = all(
+            deduped_times[i + 1][0] > deduped_times[i][1]
+            and deduped_times[i][1] >= deduped_times[i][0]
+            for i in range(len(deduped_times) - 1)
+        )
+        if not increasing:
+            report._drop("non-increasing times")
+            continue
+        key = (trip_route[trip_id], tuple(deduped_stops))
+        groups.setdefault(key, []).append(deduped_times)
+        report.trips_imported += 1
+
+    for (gtfs_route, stops), trips in sorted(groups.items()):
+        route = builder.add_route(
+            list(stops), name=route_names.get(gtfs_route, gtfs_route)
+        )
+        for times in trips:
+            builder.add_trip(route, times)
+
+    graph = builder.build()
+    report.connections = graph.m
+    return graph, report

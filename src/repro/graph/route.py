@@ -1,0 +1,208 @@
+"""Routes and trips.
+
+A *route* is an ordered sequence of stations served by one or more
+vehicles; a *trip* is a single timetabled traversal of a route (the
+paper's "vehicle" ``b``).  Route structure is what the route-based
+label compression of Section 7.1 exploits: when every label between a
+station pair rides trips of the same route, the labels collapse into a
+single route reference plus the route's timetable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.errors import ValidationError
+
+
+class StopTime(NamedTuple):
+    """Arrival and departure of a trip at one stop along its route.
+
+    For the first stop of a trip ``arr == dep`` by convention.
+    """
+
+    arr: int
+    dep: int
+
+
+@dataclass(frozen=True)
+class Trip:
+    """A single timetabled run of a route.
+
+    Attributes:
+        trip_id: unique id of this trip (used as ``Connection.trip``).
+        route_id: the route this trip serves.
+        stop_times: one :class:`StopTime` per stop of the route, in
+            route order.
+    """
+
+    trip_id: int
+    route_id: int
+    stop_times: Tuple[StopTime, ...]
+
+    def validate(self, num_stops: int) -> None:
+        """Check internal consistency against the owning route."""
+        if len(self.stop_times) != num_stops:
+            raise ValidationError(
+                f"trip {self.trip_id}: {len(self.stop_times)} stop times "
+                f"but route has {num_stops} stops"
+            )
+        for i, st in enumerate(self.stop_times):
+            if st.dep < st.arr:
+                raise ValidationError(
+                    f"trip {self.trip_id}: departs stop {i} before arriving"
+                )
+        for i in range(len(self.stop_times) - 1):
+            if self.stop_times[i + 1].arr <= self.stop_times[i].dep:
+                raise ValidationError(
+                    f"trip {self.trip_id}: non-increasing times between "
+                    f"stops {i} and {i + 1}"
+                )
+
+    @property
+    def departure(self) -> int:
+        """Departure time from the first stop."""
+        return self.stop_times[0].dep
+
+    @property
+    def arrival(self) -> int:
+        """Arrival time at the last stop."""
+        return self.stop_times[-1].arr
+
+
+@dataclass
+class Route:
+    """An ordered stop sequence shared by one or more trips.
+
+    Attributes:
+        route_id: unique id of the route.
+        stops: station ids in traversal order (at least two, no
+            immediate repeats).
+        trips: trips serving this route, kept sorted by departure time
+            from the first stop.
+        name: optional human-readable name.
+    """
+
+    route_id: int
+    stops: Tuple[int, ...]
+    trips: List[Trip] = field(default_factory=list)
+    name: Optional[str] = None
+    #: Lazily built per-stop timetable columns (see ``columns``).
+    _columns: Optional[Tuple[List[List[int]], List[List[int]], List[int]]] = (
+        field(default=None, repr=False, compare=False)
+    )
+
+    def validate(self) -> None:
+        """Check the stop sequence and all trips."""
+        if len(self.stops) < 2:
+            raise ValidationError(f"route {self.route_id}: needs >= 2 stops")
+        for a, b in zip(self.stops, self.stops[1:]):
+            if a == b:
+                raise ValidationError(
+                    f"route {self.route_id}: repeated consecutive stop {a}"
+                )
+        for trip in self.trips:
+            if trip.route_id != self.route_id:
+                raise ValidationError(
+                    f"trip {trip.trip_id} claims route {trip.route_id}, "
+                    f"stored under route {self.route_id}"
+                )
+            trip.validate(len(self.stops))
+
+    def stop_index(self, station: int) -> int:
+        """Position of ``station`` in the stop sequence.
+
+        Raises ``ValueError`` when the station is not on the route.
+        Routes never visit a station twice in this model, so the index
+        is unique.
+        """
+        return self.stops.index(station)
+
+    def sort_trips(self) -> None:
+        """Order trips by departure time from the first stop."""
+        self.trips.sort(key=lambda t: t.departure)
+
+    def timetable_between(
+        self, from_station: int, to_station: int
+    ) -> List[Tuple[int, int, int]]:
+        """Per-trip ``(dep_at_from, arr_at_to, trip_id)`` triples.
+
+        This is the "timetable associated with u and v" used to
+        decompress route-based labels (Section 7.1).  The ``from``
+        station must precede the ``to`` station on the route.
+        """
+        i = self.stop_index(from_station)
+        j = self.stop_index(to_station)
+        if i >= j:
+            raise ValidationError(
+                f"route {self.route_id}: {from_station} does not precede "
+                f"{to_station}"
+            )
+        return [
+            (trip.stop_times[i].dep, trip.stop_times[j].arr, trip.trip_id)
+            for trip in self.trips
+        ]
+
+    def columns(self) -> Tuple[List[List[int]], List[List[int]], List[int]]:
+        """Column-wise timetable: per-stop departure and arrival lists.
+
+        Returns ``(dep_cols, arr_cols, trip_ids)`` where
+        ``dep_cols[i][k]`` is trip ``k``'s departure from stop ``i``
+        (trips in first-stop departure order).  This is the "timetable
+        of the route" that route-based label compression reads at
+        decompression time (Section 7.1); it is built once per route
+        and shared.
+        """
+        if self._columns is None:
+            self.sort_trips()
+            dep_cols = [
+                [trip.stop_times[i].dep for trip in self.trips]
+                for i in range(len(self.stops))
+            ]
+            arr_cols = [
+                [trip.stop_times[i].arr for trip in self.trips]
+                for i in range(len(self.stops))
+            ]
+            trip_ids = [trip.trip_id for trip in self.trips]
+            self._columns = (dep_cols, arr_cols, trip_ids)
+        return self._columns
+
+    def pair_columns(
+        self, from_station: int, to_station: int
+    ) -> Tuple[List[int], List[int], List[int]]:
+        """``(deps_at_from, arrs_at_to, trip_ids)`` column slices."""
+        i = self.stop_index(from_station)
+        j = self.stop_index(to_station)
+        if i >= j:
+            raise ValidationError(
+                f"route {self.route_id}: {from_station} does not precede "
+                f"{to_station}"
+            )
+        dep_cols, arr_cols, trip_ids = self.columns()
+        return dep_cols[i], arr_cols[j], trip_ids
+
+    def visits_in_order(self, from_station: int, to_station: int) -> bool:
+        """True when both stations are on the route in this order."""
+        try:
+            return self.stop_index(from_station) < self.stop_index(to_station)
+        except ValueError:
+            return False
+
+
+def trip_connections(route: Route, trip: Trip) -> List["Connection"]:
+    """Expand one trip into its per-leg connections."""
+    from repro.graph.connection import Connection
+
+    conns = []
+    for i in range(len(route.stops) - 1):
+        conns.append(
+            Connection(
+                u=route.stops[i],
+                v=route.stops[i + 1],
+                dep=trip.stop_times[i].dep,
+                arr=trip.stop_times[i + 1].arr,
+                trip=trip.trip_id,
+            )
+        )
+    return conns

@@ -1,0 +1,180 @@
+"""Graph transforms.
+
+* :func:`reversed_graph` — time-reversal of a timetable graph.  A path
+  ``u -> v`` departing ``d`` / arriving ``a`` in ``G`` corresponds to a
+  path ``v -> u`` departing ``-a`` / arriving ``-d`` in the reversal,
+  which turns LDP queries into EAP queries (used heavily in tests).
+* :func:`extend_with_next_day` — Section 8's extended timetable: append
+  a copy of every trip shifted by 24 h so overnight journeys exist.
+* :func:`induced_subgraph` — restrict to a station subset, splitting
+  routes into the surviving fragments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.graph.route import Route, StopTime, Trip
+from repro.graph.timetable import TimetableGraph
+from repro.timeutil import SECONDS_PER_DAY
+
+
+def reversed_graph(graph: TimetableGraph) -> TimetableGraph:
+    """Time-reversal of ``graph``.
+
+    Every route's stop sequence is reversed and every timestamp ``t``
+    becomes ``-t`` (arrivals and departures swap roles).  Trip and
+    route ids are preserved, so results translate back directly.
+    """
+    routes: Dict[int, Route] = {}
+    for route in graph.routes.values():
+        new_trips = []
+        for trip in route.trips:
+            new_stop_times = tuple(
+                StopTime(arr=-st.dep, dep=-st.arr)
+                for st in reversed(trip.stop_times)
+            )
+            new_trips.append(
+                Trip(
+                    trip_id=trip.trip_id,
+                    route_id=route.route_id,
+                    stop_times=new_stop_times,
+                )
+            )
+        routes[route.route_id] = Route(
+            route_id=route.route_id,
+            stops=tuple(reversed(route.stops)),
+            trips=new_trips,
+            name=route.name,
+        )
+    connections = [
+        type(c)(u=c.v, v=c.u, dep=-c.arr, arr=-c.dep, trip=c.trip)
+        for c in graph.connections
+    ]
+    return TimetableGraph(
+        num_stations=graph.n,
+        connections=connections,
+        routes=routes,
+        station_names=graph.station_names,
+    )
+
+
+def extend_with_next_day(graph: TimetableGraph) -> TimetableGraph:
+    """Section 8's extended timetable: two consecutive service days.
+
+    Every trip is duplicated with all times shifted by 24 h; duplicated
+    trips stay on their original route (so route-based compression
+    still groups them) and receive fresh trip ids above the existing
+    maximum.
+    """
+    max_trip = max(graph.trips, default=-1)
+    next_trip = max_trip + 1
+    routes: Dict[int, Route] = {}
+    for route in graph.routes.values():
+        new_trips = list(route.trips)
+        for trip in route.trips:
+            shifted = Trip(
+                trip_id=next_trip,
+                route_id=route.route_id,
+                stop_times=tuple(
+                    StopTime(st.arr + SECONDS_PER_DAY, st.dep + SECONDS_PER_DAY)
+                    for st in trip.stop_times
+                ),
+            )
+            next_trip += 1
+            new_trips.append(shifted)
+        routes[route.route_id] = Route(
+            route_id=route.route_id,
+            stops=route.stops,
+            trips=new_trips,
+            name=route.name,
+        )
+    connections: List = []
+    from repro.graph.route import trip_connections
+
+    for route in routes.values():
+        route.sort_trips()
+        for trip in route.trips:
+            connections.extend(trip_connections(route, trip))
+    return TimetableGraph(
+        num_stations=graph.n,
+        connections=connections,
+        routes=routes,
+        station_names=graph.station_names,
+    )
+
+
+def induced_subgraph(
+    graph: TimetableGraph, stations: Iterable[int]
+) -> Tuple[TimetableGraph, Dict[int, int]]:
+    """Restrict ``graph`` to a station subset.
+
+    Routes are split into maximal fragments whose stops all survive;
+    fragments shorter than two stops are dropped.
+
+    Returns:
+        ``(subgraph, old_to_new)`` where ``old_to_new`` maps retained
+        old station ids to their new dense ids.
+    """
+    keep = sorted(set(stations))
+    for s in keep:
+        if not 0 <= s < graph.n:
+            raise ValidationError(f"station {s} not in graph")
+    old_to_new = {old: new for new, old in enumerate(keep)}
+
+    routes: Dict[int, Route] = {}
+    next_route_id = 0
+    next_trip_id = 0
+    for route in graph.routes.values():
+        # Maximal runs of consecutive surviving stops.
+        runs: List[Tuple[int, int]] = []
+        start: Optional[int] = None
+        for i, stop in enumerate(route.stops):
+            if stop in old_to_new:
+                if start is None:
+                    start = i
+            else:
+                if start is not None and i - start >= 2:
+                    runs.append((start, i))
+                start = None
+        if start is not None and len(route.stops) - start >= 2:
+            runs.append((start, len(route.stops)))
+
+        for lo, hi in runs:
+            new_stops = tuple(old_to_new[s] for s in route.stops[lo:hi])
+            new_trips = []
+            for trip in route.trips:
+                new_trips.append(
+                    Trip(
+                        trip_id=next_trip_id,
+                        route_id=next_route_id,
+                        stop_times=trip.stop_times[lo:hi],
+                    )
+                )
+                next_trip_id += 1
+            routes[next_route_id] = Route(
+                route_id=next_route_id,
+                stops=new_stops,
+                trips=new_trips,
+                name=route.name,
+            )
+            next_route_id += 1
+
+    from repro.graph.route import trip_connections
+
+    connections: List = []
+    for route in routes.values():
+        route.sort_trips()
+        for trip in route.trips:
+            connections.extend(trip_connections(route, trip))
+    names = None
+    if graph.station_names is not None:
+        names = [graph.station_names[s] for s in keep]
+    sub = TimetableGraph(
+        num_stations=len(keep),
+        connections=connections,
+        routes=routes,
+        station_names=names,
+    )
+    return sub, old_to_new

@@ -1,0 +1,215 @@
+"""Query results.
+
+Every planner in this repository (temporal Dijkstra, CSA, CHT, TTL,
+C-TTL) answers EAP / LDP / SDP queries with a :class:`Journey`.  A
+journey always knows its departure and arrival time; it carries either
+
+* a **full path** — the exact connection sequence (Definition 1); or
+* a **concise path** (Section 8) — one :class:`ConciseLeg` per boarded
+  vehicle: "board trip ``b`` at station ``s`` at time ``t``", plus the
+  final station and arrival time.
+
+Both representations can be produced by TTL; the concise one is cheaper
+to reconstruct and is benchmarked separately (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.graph.connection import (
+    Connection,
+    Path,
+    path_transfers,
+    validate_path,
+)
+from repro.timeutil import format_time
+
+
+class ConciseLeg(NamedTuple):
+    """One boarding instruction of a concise path (Section 8)."""
+
+    station: int
+    trip: int
+    time: int
+
+
+class Journey:
+    """The answer to a path query.
+
+    Attributes:
+        source: starting station.
+        destination: ending station.
+        dep: departure time from the source.
+        arr: arrival time at the destination.
+        path: full connection sequence, when available.
+        legs: concise boarding instructions, when available.
+    """
+
+    __slots__ = ("source", "destination", "dep", "arr", "path", "legs")
+
+    def __init__(
+        self,
+        source: int,
+        destination: int,
+        dep: int,
+        arr: int,
+        path: Optional[Path] = None,
+        legs: Optional[List[ConciseLeg]] = None,
+    ) -> None:
+        if arr < dep:
+            raise ValidationError(
+                f"journey arrives ({arr}) before departing ({dep})"
+            )
+        self.source = source
+        self.destination = destination
+        self.dep = dep
+        self.arr = arr
+        self.path = path
+        self.legs = legs
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_path(cls, path: Sequence[Connection]) -> "Journey":
+        """Build a journey from a full connection sequence."""
+        validate_path(path)
+        return cls(
+            source=path[0].u,
+            destination=path[-1].v,
+            dep=path[0].dep,
+            arr=path[-1].arr,
+            path=list(path),
+        )
+
+    @classmethod
+    def from_legs(
+        cls, legs: Sequence[ConciseLeg], destination: int, arr: int
+    ) -> "Journey":
+        """Build a journey from concise boarding instructions."""
+        if not legs:
+            raise ValidationError("concise journey needs at least one leg")
+        return cls(
+            source=legs[0].station,
+            destination=destination,
+            dep=legs[0].time,
+            arr=arr,
+            legs=list(legs),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+
+    @property
+    def duration(self) -> int:
+        """Total travel time in seconds."""
+        return self.arr - self.dep
+
+    @property
+    def transfers(self) -> Optional[int]:
+        """Number of vehicle changes, when derivable."""
+        if self.path is not None:
+            return path_transfers(self.path)
+        if self.legs is not None:
+            return len(self.legs) - 1
+        return None
+
+    def to_concise(self) -> "Journey":
+        """Convert a full-path journey to its concise representation."""
+        if self.legs is not None:
+            return self
+        if self.path is None:
+            raise ValidationError("journey has neither path nor legs")
+        legs: List[ConciseLeg] = []
+        for conn in self.path:
+            if not legs or legs[-1].trip != conn.trip:
+                legs.append(ConciseLeg(conn.u, conn.trip, conn.dep))
+        return Journey(
+            source=self.source,
+            destination=self.destination,
+            dep=self.dep,
+            arr=self.arr,
+            legs=legs,
+        )
+
+    # ------------------------------------------------------------------
+    # Comparison / display
+    # ------------------------------------------------------------------
+
+    def same_times(self, other: "Journey") -> bool:
+        """True when both journeys share (dep, arr) — how correctness is
+        judged across planners (paths may legitimately differ)."""
+        return self.dep == other.dep and self.arr == other.arr
+
+    def describe(self, graph=None) -> str:
+        """Human-readable multi-line description."""
+        name = (
+            graph.station_name
+            if graph is not None
+            else (lambda s: f"s{s}")
+        )
+        lines = [
+            f"{name(self.source)} -> {name(self.destination)}  "
+            f"dep {format_time(self.dep)}  arr {format_time(self.arr)}  "
+            f"({self.duration}s)"
+        ]
+        if self.legs is not None:
+            for leg in self.legs:
+                lines.append(
+                    f"  board trip {leg.trip} at {name(leg.station)} "
+                    f"({format_time(leg.time)})"
+                )
+        elif self.path is not None:
+            for conn in self.path:
+                lines.append(
+                    f"  {name(conn.u)} -> {name(conn.v)} "
+                    f"[{format_time(conn.dep)} -> {format_time(conn.arr)}] "
+                    f"trip {conn.trip}"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization (for API servers / result caches)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe representation of the journey."""
+        data = {
+            "source": self.source,
+            "destination": self.destination,
+            "dep": self.dep,
+            "arr": self.arr,
+        }
+        if self.path is not None:
+            data["path"] = [list(conn) for conn in self.path]
+        if self.legs is not None:
+            data["legs"] = [list(leg) for leg in self.legs]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Journey":
+        """Inverse of :meth:`to_dict`."""
+        path = None
+        legs = None
+        if "path" in data:
+            path = [Connection(*conn) for conn in data["path"]]
+        if "legs" in data:
+            legs = [ConciseLeg(*leg) for leg in data["legs"]]
+        return cls(
+            source=data["source"],
+            destination=data["destination"],
+            dep=data["dep"],
+            arr=data["arr"],
+            path=path,
+            legs=legs,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Journey({self.source}->{self.destination}, "
+            f"dep={self.dep}, arr={self.arr})"
+        )

@@ -1,0 +1,101 @@
+"""The planner protocol.
+
+All route-planning backends expose the same three queries (Definitions
+2-4 of the paper) through :class:`RoutePlanner`, so tests and the
+benchmark harness can swap methods freely:
+
+* :meth:`RoutePlanner.earliest_arrival` — EAP.
+* :meth:`RoutePlanner.latest_departure` — LDP.
+* :meth:`RoutePlanner.shortest_duration` — SDP.
+
+Each returns a :class:`~repro.journey.Journey` or ``None`` when no
+feasible path exists.  ``preprocess()`` builds whatever index the
+method needs and returns the elapsed seconds; ``index_bytes()`` reports
+the index footprint used by the Figure 4 experiment.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Optional
+
+from repro.errors import QueryError
+from repro.graph.timetable import TimetableGraph
+from repro.journey import Journey
+
+
+class RoutePlanner(abc.ABC):
+    """Common interface of every route-planning method in this repo."""
+
+    #: Short display name used in benchmark tables ("TTL", "CSA", ...).
+    name: str = "planner"
+
+    def __init__(self, graph: TimetableGraph) -> None:
+        self.graph = graph
+        self._preprocess_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def preprocess(self) -> float:
+        """Build the method's index; returns wall-clock seconds spent.
+
+        Idempotent: a second call returns the recorded time without
+        rebuilding.
+        """
+        if self._preprocess_seconds is None:
+            start = time.perf_counter()
+            self._build()
+            self._preprocess_seconds = time.perf_counter() - start
+        return self._preprocess_seconds
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Perform the actual preprocessing work."""
+
+    @abc.abstractmethod
+    def index_bytes(self) -> int:
+        """Approximate size in bytes of the preprocessed structures."""
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def earliest_arrival(
+        self, source: int, destination: int, t: int
+    ) -> Optional[Journey]:
+        """EAP: the path starting from ``source`` no sooner than ``t``
+        that reaches ``destination`` earliest (Definition 2)."""
+
+    @abc.abstractmethod
+    def latest_departure(
+        self, source: int, destination: int, t: int
+    ) -> Optional[Journey]:
+        """LDP: the path ending at ``destination`` no later than ``t``
+        that leaves ``source`` latest (Definition 3)."""
+
+    @abc.abstractmethod
+    def shortest_duration(
+        self, source: int, destination: int, t: int, t_end: int
+    ) -> Optional[Journey]:
+        """SDP: the minimum-duration path within ``[t, t_end]``
+        (Definition 4)."""
+
+    # ------------------------------------------------------------------
+    # Shared validation helpers
+    # ------------------------------------------------------------------
+
+    def _check_query(self, source: int, destination: int) -> None:
+        n = self.graph.n
+        if not 0 <= source < n:
+            raise QueryError(f"unknown source station: {source}")
+        if not 0 <= destination < n:
+            raise QueryError(f"unknown destination station: {destination}")
+
+    @staticmethod
+    def _check_window(t: int, t_end: int) -> None:
+        if t_end < t:
+            raise QueryError(f"empty query window: [{t}, {t_end}]")

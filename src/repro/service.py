@@ -1,0 +1,148 @@
+"""A minimal HTTP JSON API over a planner (stdlib only).
+
+The deployment story the paper implies — build the index offline,
+serve microsecond queries online — in ~150 lines of standard library:
+
+    from repro.datasets import load_dataset
+    from repro.core import TTLPlanner
+    from repro.service import PlannerService
+
+    service = PlannerService(TTLPlanner(load_dataset("Berlin")))
+    service.start(port=8080)          # non-blocking (daemon thread)
+
+Endpoints (all GET, JSON responses):
+
+* ``/stations``                         — id/name listing
+* ``/eap?from=U&to=V&t=SECONDS``        — earliest arrival
+* ``/ldp?from=U&to=V&t=SECONDS``        — latest departure
+* ``/sdp?from=U&to=V&t=A&t_end=B``      — shortest duration
+* ``/profile?from=U&to=V&t=A&t_end=B``  — non-dominated (dep, arr) pairs
+
+Query errors return 400 with ``{"error": ...}``; infeasible journeys
+return 200 with ``{"journey": null}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ReproError
+from repro.planner import RoutePlanner
+
+
+class PlannerService:
+    """Serve one preprocessed planner over HTTP."""
+
+    def __init__(self, planner: RoutePlanner) -> None:
+        self.planner = planner
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Preprocess, bind, and serve on a daemon thread.
+
+        Returns the bound port (use ``port=0`` to pick a free one).
+        """
+        self.planner.preprocess()
+        handler = _make_handler(self.planner)
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self._server.server_address[1]
+
+    def stop(self) -> None:
+        """Shut the server down and join the thread."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def _make_handler(planner: RoutePlanner):
+    graph = planner.graph
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, *_args) -> None:  # silence request logs
+            return
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            parsed = urlparse(self.path)
+            params = {
+                key: values[0]
+                for key, values in parse_qs(parsed.query).items()
+            }
+            try:
+                body = self._route(parsed.path, params)
+            except (ReproError, KeyError, ValueError) as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            if body is None:
+                self._send(404, {"error": f"unknown path: {parsed.path}"})
+                return
+            self._send(200, body)
+
+        # --------------------------------------------------------------
+
+        def _route(self, path: str, params: dict):
+            if path == "/stations":
+                return {
+                    "stations": [
+                        {"id": s, "name": graph.station_name(s)}
+                        for s in range(graph.n)
+                    ]
+                }
+            if path in ("/eap", "/ldp"):
+                u = int(params["from"])
+                v = int(params["to"])
+                t = int(params["t"])
+                if path == "/eap":
+                    journey = planner.earliest_arrival(u, v, t)
+                else:
+                    journey = planner.latest_departure(u, v, t)
+                return {
+                    "journey": journey.to_dict() if journey else None
+                }
+            if path == "/sdp":
+                u = int(params["from"])
+                v = int(params["to"])
+                t = int(params["t"])
+                t_end = int(params["t_end"])
+                journey = planner.shortest_duration(u, v, t, t_end)
+                return {
+                    "journey": journey.to_dict() if journey else None
+                }
+            if path == "/profile":
+                profile = getattr(planner, "profile", None)
+                if profile is None:
+                    raise ValueError(
+                        f"{planner.name} does not support profile queries"
+                    )
+                u = int(params["from"])
+                v = int(params["to"])
+                t = int(params["t"])
+                t_end = int(params["t_end"])
+                return {"pairs": profile(u, v, t, t_end)}
+            return None
+
+        def _send(self, status: int, body: dict) -> None:
+            payload = json.dumps(body).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+    return Handler

@@ -1,0 +1,110 @@
+"""Time representation helpers.
+
+All timestamps in this library are **integer seconds since midnight of
+the service day**.  A value may exceed 24h (86 400 s) when a graph has
+been extended with the following day's timetable (Section 8 of the
+paper), so no modular arithmetic is ever applied to stored times.
+
+Two sentinel values bound the timeline:
+
+* :data:`NEG_INF` — "earlier than any timetable event"; used as the
+  starting timestamp of an unconstrained LDP query.
+* :data:`INF` — "later than any timetable event"; used as the ending
+  timestamp of an unconstrained EAP query and as the initial earliest
+  arrival time in Dijkstra-style searches.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86400
+
+#: Sentinel: later than every valid timestamp.
+INF: int = 2**62
+
+#: Sentinel: earlier than every valid timestamp.
+NEG_INF: int = -(2**62)
+
+
+def hms(hour: int, minute: int = 0, second: int = 0) -> int:
+    """Return seconds-since-midnight for ``hour:minute:second``.
+
+    Hours may exceed 23 to express times on the following service day
+    (for instance ``hms(25, 30)`` is 1:30 am the next day), matching
+    common GTFS practice.
+
+    >>> hms(8, 30)
+    30600
+    >>> hms(25)
+    90000
+    """
+    if not 0 <= minute < 60:
+        raise ValueError(f"minute out of range: {minute}")
+    if not 0 <= second < 60:
+        raise ValueError(f"second out of range: {second}")
+    if hour < 0:
+        raise ValueError(f"hour must be non-negative: {hour}")
+    return hour * SECONDS_PER_HOUR + minute * SECONDS_PER_MINUTE + second
+
+
+def format_time(t: int) -> str:
+    """Render a timestamp as ``HH:MM:SS`` (hours may exceed 23).
+
+    The sentinels render as ``-inf`` / ``+inf``.
+
+    >>> format_time(30600)
+    '08:30:00'
+    """
+    if t >= INF:
+        return "+inf"
+    if t <= NEG_INF:
+        return "-inf"
+    sign = ""
+    if t < 0:
+        sign = "-"
+        t = -t
+    hours, rem = divmod(t, SECONDS_PER_HOUR)
+    minutes, seconds = divmod(rem, SECONDS_PER_MINUTE)
+    return f"{sign}{hours:02d}:{minutes:02d}:{seconds:02d}"
+
+
+def format_duration(seconds: int) -> str:
+    """Render a duration as a compact human-readable string.
+
+    >>> format_duration(3900)
+    '1h05m'
+    >>> format_duration(45)
+    '45s'
+    """
+    if seconds >= INF:
+        return "inf"
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    hours, rem = divmod(seconds, SECONDS_PER_HOUR)
+    minutes, secs = divmod(rem, SECONDS_PER_MINUTE)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    if minutes:
+        if secs:
+            return f"{minutes}m{secs:02d}s"
+        return f"{minutes}m"
+    return f"{secs}s"
+
+
+def parse_time(text: str) -> int:
+    """Parse ``HH:MM`` or ``HH:MM:SS`` into seconds since midnight.
+
+    >>> parse_time("08:30")
+    30600
+    """
+    parts = text.strip().split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"cannot parse time: {text!r}")
+    try:
+        numbers = [int(p) for p in parts]
+    except ValueError as exc:
+        raise ValueError(f"cannot parse time: {text!r}") from exc
+    if len(numbers) == 2:
+        numbers.append(0)
+    return hms(*numbers)

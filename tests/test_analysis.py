@@ -1,0 +1,209 @@
+"""Tests for the analysis subpackage."""
+
+import pytest
+
+from repro.analysis import (
+    hub_report,
+    label_distribution,
+    reachability_report,
+    temporal_components,
+)
+from repro.core.build import build_index
+from repro.graph.builders import GraphBuilder, graph_from_connections
+
+
+class TestLabelDistribution:
+    def test_counts_add_up(self, route_graph):
+        index = build_index(route_graph)
+        dist = label_distribution(index)
+        assert dist.total_labels == index.num_labels
+        assert dist.mean == pytest.approx(
+            index.num_labels / route_graph.n
+        )
+        assert sum(count for _, count in dist.histogram) == route_graph.n
+        assert dist.maximum >= dist.p90 >= dist.median >= 0
+
+    def test_render(self, route_graph):
+        index = build_index(route_graph)
+        text = label_distribution(index).render()
+        assert "labels total" in text
+        assert "<=" in text
+
+    def test_empty_index(self):
+        from repro.graph.timetable import TimetableGraph
+
+        dist = label_distribution(build_index(TimetableGraph(0, [])))
+        assert dist.total_labels == 0
+
+
+class TestHubReport:
+    def test_top_hub_is_high_rank(self, route_graph):
+        index = build_index(route_graph)
+        report = hub_report(index, top=5)
+        if not report.top_hubs:
+            pytest.skip("no labels")
+        counts = [count for _, _, count in report.top_hubs]
+        assert counts == sorted(counts, reverse=True)
+        assert 0.0 <= report.top_decile_share <= 1.0
+
+    def test_render_uses_names(self, route_graph):
+        index = build_index(route_graph)
+        text = hub_report(index).render(route_graph)
+        assert "labels" in text
+
+
+class TestTransferHistogram:
+    def test_counts_match_workload(self, route_graph):
+        from repro.analysis import transfer_histogram
+        from repro.core import TTLPlanner
+        from repro.datasets import QueryWorkload
+
+        planner = TTLPlanner(route_graph)
+        queries = QueryWorkload(route_graph, seed=2).generate(60)
+        histogram = transfer_histogram(planner, queries)
+        answered = sum(
+            1
+            for q in queries
+            if planner.shortest_duration(
+                q.source, q.destination, q.t_start, q.t_end
+            )
+            is not None
+        )
+        assert sum(histogram.values()) == answered
+        assert all(k >= 0 for k in histogram)
+
+    def test_direct_only_network(self):
+        from repro.analysis import transfer_histogram
+        from repro.core import TTLPlanner
+        from repro.datasets.queries import Query
+        from repro.graph.builders import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.add_stations(2)
+        route = builder.add_route([0, 1])
+        builder.add_trip_departures(route, 10, [10])
+        graph = builder.build()
+        planner = TTLPlanner(graph)
+        histogram = transfer_histogram(
+            planner, [Query(0, 1, 0, 100)]
+        )
+        assert histogram == {0: 1}
+
+
+class TestTemporalComponents:
+    def test_single_cycle(self):
+        graph = graph_from_connections(
+            [(0, 1, 0, 1), (1, 2, 2, 3), (2, 0, 4, 5)]
+        )
+        components = temporal_components(graph)
+        assert components == [[0, 1, 2]]
+
+    def test_one_way_chain_is_singletons(self):
+        graph = graph_from_connections([(0, 1, 0, 1), (1, 2, 2, 3)])
+        components = temporal_components(graph)
+        assert sorted(map(tuple, components)) == [(0,), (1,), (2,)]
+
+    def test_two_islands(self):
+        graph = graph_from_connections(
+            [(0, 1, 0, 1), (1, 0, 2, 3), (2, 3, 0, 1), (3, 2, 2, 3)]
+        )
+        components = temporal_components(graph)
+        assert sorted(map(tuple, components)) == [(0, 1), (2, 3)]
+
+    def test_bidirectional_route_graph_one_component(self):
+        builder = GraphBuilder()
+        builder.add_stations(5)
+        fwd = builder.add_route([0, 1, 2, 3, 4])
+        rev = builder.add_route([4, 3, 2, 1, 0])
+        builder.add_trip_departures(fwd, 0, [10] * 4)
+        builder.add_trip_departures(rev, 100, [10] * 4)
+        graph = builder.build()
+        assert len(temporal_components(graph)) == 1
+
+
+class TestReachabilityReport:
+    def test_fractions_in_range(self, route_graph):
+        report = reachability_report(route_graph, probes=20)
+        assert 0.0 <= report.min_reachable_fraction <= 1.0
+        assert (
+            report.min_reachable_fraction
+            <= report.mean_reachable_fraction
+            <= 1.0
+        )
+        assert "reachability" in report.render()
+
+    def test_empty_graph(self):
+        from repro.graph.timetable import TimetableGraph
+
+        report = reachability_report(TimetableGraph(0, []))
+        assert report.probes == 0
+
+    def test_full_reachability_on_dense_loop(self):
+        builder = GraphBuilder()
+        builder.add_stations(4)
+        loopf = builder.add_route([0, 1, 2, 3])
+        loopb = builder.add_route([3, 2, 1, 0])
+        for start in range(0, 500, 20):
+            builder.add_trip_departures(loopf, start, [5, 5, 5])
+            builder.add_trip_departures(loopb, start + 3, [5, 5, 5])
+        graph = builder.build()
+        report = reachability_report(graph, probes=30)
+        assert report.largest_component_fraction == 1.0
+        assert report.mean_reachable_fraction > 0.9
+
+
+class TestComparePlanners:
+    def test_exact_planners_agree(self, route_graph):
+        from repro.analysis import compare_planners
+        from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+        from repro.baselines import CSAPlanner
+        from repro.core import TTLPlanner
+        from repro.datasets import QueryWorkload
+
+        queries = QueryWorkload(route_graph, seed=9).generate(25)
+        report = compare_planners(
+            [DijkstraPlanner(route_graph), CSAPlanner(route_graph),
+             TTLPlanner(route_graph)],
+            queries,
+        )
+        assert report.agree
+        assert report.queries_checked == 25 * 3 * 2
+        assert "AGREE" in report.summary()
+
+    def test_detects_broken_planner(self, route_graph):
+        from repro.analysis import compare_planners
+        from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+        from repro.datasets import QueryWorkload
+
+        class LyingPlanner(DijkstraPlanner):
+            name = "Liar"
+
+            def earliest_arrival(self, source, destination, t):
+                journey = super().earliest_arrival(source, destination, t)
+                if journey is not None:
+                    journey.arr += 1  # off by one
+                return journey
+
+        queries = QueryWorkload(route_graph, seed=9).generate(25)
+        report = compare_planners(
+            [DijkstraPlanner(route_graph), LyingPlanner(route_graph)],
+            queries,
+            kinds=("eap",),
+        )
+        # Agreement only if no query was answerable at all.
+        answerable = any(
+            DijkstraPlanner(route_graph).earliest_arrival(
+                q.source, q.destination, q.t_start
+            )
+            for q in queries
+        )
+        if answerable:
+            assert not report.agree
+            assert "DISAGREE" in report.summary()
+            assert report.disagreements[0].planner == "Liar"
+
+    def test_requires_a_planner(self):
+        from repro.analysis import compare_planners
+
+        with pytest.raises(ValueError):
+            compare_planners([], [])

@@ -1,0 +1,101 @@
+"""Tests for batched label queries (one-to-many / matrix / isochrone)."""
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import earliest_arrival_search
+from repro.core.batch import eat_matrix, isochrone, one_to_many_eat
+from repro.core.build import build_index
+from repro.errors import QueryError
+from repro.timeutil import INF
+from tests.conftest import make_random_route_graph
+
+
+@pytest.fixture(scope="module")
+def setting():
+    import random
+
+    rng = random.Random(17)
+    graph = make_random_route_graph(rng, 12, 8)
+    return graph, build_index(graph), rng
+
+
+class TestOneToMany:
+    def test_matches_dijkstra_one_to_all(self, setting):
+        graph, index, rng = setting
+        for _ in range(15):
+            source = rng.randrange(graph.n)
+            t = rng.randrange(0, 250)
+            eat, _ = earliest_arrival_search(graph, source, t)
+            batch = one_to_many_eat(index, source, range(graph.n), t)
+            for v in range(graph.n):
+                expected = None
+                if v == source:
+                    expected = t
+                elif eat[v] < INF:
+                    expected = eat[v]
+                assert batch[v] == expected
+
+    def test_subset_of_targets(self, setting):
+        graph, index, rng = setting
+        targets = [0, 2, 5]
+        result = one_to_many_eat(index, 1, targets, 50)
+        assert set(result) == set(targets)
+
+    def test_unknown_stations_rejected(self, setting):
+        graph, index, _ = setting
+        with pytest.raises(QueryError):
+            one_to_many_eat(index, 999, [0], 0)
+        with pytest.raises(QueryError):
+            one_to_many_eat(index, 0, [999], 0)
+
+
+class TestMatrix:
+    def test_matrix_consistent_with_rows(self, setting):
+        graph, index, _ = setting
+        sources = [0, 1, 2]
+        targets = [3, 4]
+        matrix = eat_matrix(index, sources, targets, 60)
+        assert set(matrix) == {
+            (s, t) for s in sources for t in targets
+        }
+        for s in sources:
+            row = one_to_many_eat(index, s, targets, 60)
+            for t in targets:
+                assert matrix[(s, t)] == row[t]
+
+
+class TestIsochrone:
+    def test_contains_source_and_grows_with_budget(self, setting):
+        graph, index, rng = setting
+        for _ in range(10):
+            source = rng.randrange(graph.n)
+            t = rng.randrange(0, 200)
+            small = set(isochrone(index, source, t, 30))
+            large = set(isochrone(index, source, t, 300))
+            assert source in small
+            assert small <= large
+
+    def test_budget_respected(self, setting):
+        graph, index, _ = setting
+        t, budget = 50, 120
+        stations = isochrone(index, 0, t, budget)
+        arrivals = one_to_many_eat(index, 0, stations, t)
+        for station in stations:
+            assert arrivals[station] is not None
+            assert arrivals[station] - t <= budget
+
+    def test_sorted_by_arrival(self, setting):
+        graph, index, _ = setting
+        stations = isochrone(index, 0, 50, 500)
+        arrivals = one_to_many_eat(index, 0, stations, 50)
+        values = [arrivals[s] for s in stations]
+        assert values == sorted(values)
+
+    def test_negative_budget_rejected(self, setting):
+        graph, index, _ = setting
+        with pytest.raises(QueryError):
+            isochrone(index, 0, 0, -1)
+
+    def test_zero_budget_only_source(self, setting):
+        graph, index, _ = setting
+        assert isochrone(index, 3, 100, 0) == [3]

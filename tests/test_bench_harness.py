@@ -1,0 +1,131 @@
+"""Tests for the benchmark harness and (fast) experiment functions."""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchConfig,
+    PlannerCache,
+    render_table,
+    run_queries,
+    time_queries,
+)
+from repro.bench import experiments as E
+
+
+@pytest.fixture(scope="module")
+def cache():
+    config = BenchConfig(
+        scale=0.4, datasets=["Austin", "Toronto"], num_queries=20
+    )
+    return PlannerCache(config)
+
+
+class TestConfig:
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_DATASETS", "Austin, Berlin")
+        monkeypatch.setenv("REPRO_QUERIES", "77")
+        config = BenchConfig.from_env()
+        assert config.scale == 0.5
+        assert config.datasets == ["Austin", "Berlin"]
+        assert config.num_queries == 77
+
+    def test_defaults(self, monkeypatch):
+        for var in ("REPRO_SCALE", "REPRO_DATASETS", "REPRO_QUERIES"):
+            monkeypatch.delenv(var, raising=False)
+        config = BenchConfig.from_env()
+        assert config.scale == 1.0
+        assert len(config.datasets) == 11
+
+
+class TestPlannerCache:
+    def test_planner_cached(self, cache):
+        a = cache.planner("Austin", "TTL")
+        b = cache.planner("Austin", "TTL")
+        assert a is b
+
+    def test_ttl_variants_share_index(self, cache):
+        plain = cache.planner("Austin", "TTL")
+        concise = cache.planner("Austin", "TTL-concise")
+        assert plain.index is concise.index
+        assert concise.concise
+
+    def test_cttl_variants_share_cindex(self, cache):
+        plain = cache.planner("Austin", "C-TTL")
+        concise = cache.planner("Austin", "C-TTL-concise")
+        assert plain.cindex is concise.cindex
+
+    def test_queries_cached_and_deterministic(self, cache):
+        assert cache.queries("Austin") is cache.queries("Austin")
+        assert len(cache.queries("Austin")) == 20
+
+    def test_unknown_method_rejected(self, cache):
+        with pytest.raises(KeyError):
+            cache.planner("Austin", "WARP-DRIVE")
+
+
+class TestQueryRunners:
+    def test_run_queries_counts(self, cache):
+        planner = cache.planner("Austin", "TTL")
+        queries = cache.queries("Austin")
+        for kind in ("eap", "ldp", "sdp"):
+            answered = run_queries(planner, queries, kind)
+            assert 0 <= answered <= len(queries)
+
+    def test_bad_kind_rejected(self, cache):
+        with pytest.raises(ValueError):
+            run_queries(cache.planner("Austin", "TTL"), [], "nope")
+
+    def test_time_queries_positive(self, cache):
+        planner = cache.planner("Austin", "TTL")
+        queries = cache.queries("Austin")
+        assert time_queries(planner, queries, "eap") > 0
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        table = render_table(
+            "T", ["name", "value"], [["a", 1], ["bb", 123456]]
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "123,456" in table
+
+    def test_float_formats(self):
+        table = render_table("T", ["x"], [[0.12345], [1234.5], [5.5]])
+        assert "0.1234" in table or "0.1235" in table
+        assert "1,234" in table or "1,235" in table
+        assert "5.50" in table
+
+
+class TestExperiments:
+    def test_table3(self, cache):
+        result = E.table3_datasets(cache)
+        assert [row[0] for row in result.rows] == ["Austin", "Toronto"]
+        assert all(row[2] > 0 for row in result.rows)
+        assert "Table 3" in str(result)
+
+    def test_table4(self, cache):
+        result = E.table4_compression(cache)
+        for row in result.rows:
+            name, labels, d1, d2, d3 = row
+            assert labels > 0
+            assert 0 <= d1 <= 100 and 0 <= d2 <= 100 and 0 <= d3 <= 100
+            assert d3 >= max(d1, d2) - 1e-9
+
+    def test_figure4(self, cache):
+        result = E.figure4_space(cache)
+        for row in result.rows:
+            assert all(size > 0 for size in row[1:])
+
+    def test_query_figures_have_all_methods(self, cache):
+        result = E.figure6_eap(cache)
+        assert len(result.headers) == 1 + len(E.QUERY_METHODS)
+        for row in result.rows:
+            assert all(value > 0 for value in row[1:])
+
+    def test_result_accessors(self, cache):
+        result = E.table3_datasets(cache)
+        assert result.column("dataset") == ["Austin", "Toronto"]
+        assert set(result.by_dataset("stations")) == {"Austin", "Toronto"}

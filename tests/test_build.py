@@ -1,0 +1,194 @@
+"""Tests for IndexBuild (Algorithm 3) and the brute-force baseline."""
+
+import random
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.core.build import build_index, build_index_brute_force
+from repro.core.queries import TTLPlanner
+from repro.core.order import hub_order
+from tests.conftest import make_random_connection_graph, make_random_route_graph
+
+
+class TestIndexStructure:
+    def test_invariants_on_random_graphs(self, rng):
+        for _ in range(8):
+            graph = make_random_route_graph(rng, 10, 6)
+            index = build_index(graph)
+            index.check_invariants()
+
+    def test_labels_reference_higher_hubs_only(self, route_graph):
+        index = build_index(route_graph)
+        for v in range(route_graph.n):
+            for group in index.in_groups[v]:
+                assert index.ranks[group.hub] < index.ranks[v]
+            for group in index.out_groups[v]:
+                assert index.ranks[group.hub] < index.ranks[v]
+
+    def test_highest_ranked_node_has_no_labels(self, route_graph):
+        index = build_index(route_graph)
+        top = index.node_of_rank[0]
+        assert index.in_labels(top) == []
+        assert index.out_labels(top) == []
+
+    def test_build_stats_populated(self, route_graph):
+        index = build_index(route_graph)
+        stats = index.build_stats
+        assert stats is not None
+        assert stats.seconds > 0
+        assert stats.num_labels == index.num_labels
+        assert stats.dijkstra_runs > 0
+
+    def test_single_edge_labels_have_trips(self, route_graph):
+        index = build_index(route_graph)
+        for v in range(route_graph.n):
+            for label in index.in_labels(v) + index.out_labels(v):
+                if label.pivot is None:
+                    assert label.trip is not None
+
+
+class TestLabelSemantics:
+    def test_labels_are_feasible_journeys(self, rng):
+        """Every label's (dep, arr) must be achievable in the graph."""
+        from repro.algorithms.temporal_dijkstra import earliest_arrival_search
+
+        graph = make_random_route_graph(rng, 9, 6)
+        index = build_index(graph)
+        for v in range(graph.n):
+            for label in index.in_labels(v):
+                eat, _ = earliest_arrival_search(graph, label.hub, label.dep)
+                assert eat[v] <= label.arr
+            for label in index.out_labels(v):
+                eat, _ = earliest_arrival_search(graph, v, label.dep)
+                assert eat[label.hub] <= label.arr
+
+    def test_labels_are_nondominated(self, rng):
+        """No label may be dominated by the true profile."""
+        from repro.algorithms.temporal_dijkstra import earliest_arrival_search
+
+        graph = make_random_route_graph(rng, 8, 5)
+        index = build_index(graph)
+        for v in range(graph.n):
+            for label in index.in_labels(v):
+                eat, _ = earliest_arrival_search(graph, label.hub, label.dep)
+                # The canonical path departing at label.dep must BE the
+                # earliest arrival for that departure time.
+                assert eat[v] == label.arr
+
+
+class TestPruningAblation:
+    def test_prune_preserves_query_answers(self, rng):
+        for _ in range(4):
+            graph = make_random_route_graph(rng, 8, 5)
+            ranks = hub_order(graph)
+            pruned = TTLPlanner(
+                graph, index=build_index(graph, order=ranks)
+            )
+            unpruned = TTLPlanner(
+                graph,
+                index=build_index(graph, order=ranks, prune_cover=False),
+            )
+            for _ in range(40):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 250)
+                a = pruned.earliest_arrival(u, v, t)
+                b = unpruned.earliest_arrival(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arr == b.arr
+
+    def test_prune_never_increases_labels(self, rng):
+        for _ in range(4):
+            graph = make_random_route_graph(rng, 9, 6)
+            ranks = hub_order(graph)
+            with_prune = build_index(graph, order=ranks)
+            without = build_index(graph, order=ranks, prune_cover=False)
+            assert with_prune.num_labels <= without.num_labels
+
+
+class TestBruteForce:
+    def test_same_query_answers(self, rng):
+        for _ in range(4):
+            graph = make_random_connection_graph(rng, 8, 30)
+            ranks = hub_order(graph)
+            fast = TTLPlanner(graph, index=build_index(graph, order=ranks))
+            brute = TTLPlanner(
+                graph, index=build_index_brute_force(graph, order=ranks)
+            )
+            oracle = DijkstraPlanner(graph)
+            for _ in range(40):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 220)
+                t2 = t + rng.randrange(1, 200)
+                ref = oracle.shortest_duration(u, v, t, t2)
+                for planner in (fast, brute):
+                    got = planner.shortest_duration(u, v, t, t2)
+                    assert (ref is None) == (got is None)
+                    if ref is not None:
+                        assert ref.duration == got.duration
+
+    def test_brute_force_invariants(self, rng):
+        graph = make_random_route_graph(rng, 8, 5)
+        index = build_index_brute_force(graph)
+        index.check_invariants()
+
+    def test_label_counts_comparable(self, rng):
+        """Pruned construction may only differ from brute force by
+        tie-pruning, so label counts are close."""
+        graph = make_random_route_graph(rng, 8, 5)
+        ranks = hub_order(graph)
+        fast = build_index(graph, order=ranks)
+        brute = build_index_brute_force(graph, order=ranks)
+        assert fast.num_labels <= brute.num_labels
+
+
+class TestProgressCallback:
+    def test_called_once_per_hub(self, route_graph):
+        calls = []
+        build_index(
+            route_graph, progress=lambda done, total: calls.append((done, total))
+        )
+        assert calls == [
+            (k, route_graph.n) for k in range(1, route_graph.n + 1)
+        ]
+
+
+class TestEdgeGraphs:
+    def test_empty_graph(self):
+        from repro.graph.timetable import TimetableGraph
+
+        index = build_index(TimetableGraph(0, []))
+        assert index.num_labels == 0
+
+    def test_single_connection(self):
+        from repro.graph.builders import graph_from_connections
+
+        graph = graph_from_connections([(0, 1, 5, 9)])
+        index = build_index(graph)
+        assert index.num_labels == 1
+        labels = index.in_labels(1) + index.out_labels(0)
+        assert len(labels) == 1
+        label = labels[0]
+        assert (label.dep, label.arr) == (5, 9)
+        assert label.pivot is None
+
+    def test_parallel_dominated_connection_skipped(self):
+        from repro.graph.builders import graph_from_connections
+
+        graph = graph_from_connections(
+            [(0, 1, 5, 9), (0, 1, 4, 10)]  # second is dominated
+        )
+        index = build_index(graph)
+        assert index.num_labels == 1
+
+    def test_parallel_nondominated_both_kept(self):
+        from repro.graph.builders import graph_from_connections
+
+        graph = graph_from_connections([(0, 1, 5, 9), (0, 1, 6, 10)])
+        index = build_index(graph)
+        assert index.num_labels == 2

@@ -1,0 +1,118 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.builders import GraphBuilder, graph_from_connections
+
+
+class TestStations:
+    def test_dense_ids(self):
+        builder = GraphBuilder()
+        assert builder.add_station("a") == 0
+        assert builder.add_station("b") == 1
+        assert builder.num_stations == 2
+
+    def test_reregistering_name_returns_same_id(self):
+        builder = GraphBuilder()
+        a = builder.add_station("a")
+        assert builder.add_station("a") == a
+        assert builder.num_stations == 1
+
+    def test_anonymous_stations(self):
+        builder = GraphBuilder()
+        ids = builder.add_stations(3)
+        assert ids == [0, 1, 2]
+
+    def test_station_id_lookup(self):
+        builder = GraphBuilder()
+        builder.add_station("x")
+        assert builder.station_id("x") == 0
+        with pytest.raises(ValidationError):
+            builder.station_id("missing")
+
+
+class TestRoutesAndTrips:
+    def test_route_requires_registered_stops(self):
+        builder = GraphBuilder()
+        builder.add_stations(2)
+        with pytest.raises(ValidationError, match="not registered"):
+            builder.add_route([0, 5])
+
+    def test_trip_requires_known_route(self):
+        builder = GraphBuilder()
+        with pytest.raises(ValidationError, match="unknown route"):
+            builder.add_trip(0, [(0, 0), (1, 1)])
+
+    def test_trip_departures_convenience(self):
+        builder = GraphBuilder()
+        builder.add_stations(3)
+        route = builder.add_route([0, 1, 2])
+        builder.add_trip_departures(route, 100, [10, 20], dwell=5)
+        graph = builder.build()
+        conns = sorted(graph.connections, key=lambda c: c.dep)
+        assert (conns[0].dep, conns[0].arr) == (100, 110)
+        # Dwell of 5 at the intermediate stop.
+        assert (conns[1].dep, conns[1].arr) == (115, 135)
+
+    def test_trip_departures_wrong_leg_count(self):
+        builder = GraphBuilder()
+        builder.add_stations(3)
+        route = builder.add_route([0, 1, 2])
+        with pytest.raises(ValidationError, match="legs"):
+            builder.add_trip_departures(route, 100, [10])
+
+    def test_trip_departures_rejects_nonpositive_leg(self):
+        builder = GraphBuilder()
+        builder.add_stations(2)
+        route = builder.add_route([0, 1])
+        with pytest.raises(ValidationError, match="positive"):
+            builder.add_trip_departures(route, 100, [0])
+
+    def test_trips_sorted_on_build(self):
+        builder = GraphBuilder()
+        builder.add_stations(2)
+        route = builder.add_route([0, 1])
+        builder.add_trip_departures(route, 300, [10])
+        builder.add_trip_departures(route, 100, [10])
+        graph = builder.build()
+        departures = [t.departure for t in graph.routes[route].trips]
+        assert departures == [100, 300]
+
+
+class TestRawConnections:
+    def test_add_connection_creates_route(self):
+        builder = GraphBuilder()
+        builder.add_stations(2)
+        builder.add_connection(0, 1, 5, 9)
+        graph = builder.build()
+        assert graph.m == 1
+        assert len(graph.routes) == 1
+        assert graph.trip_to_route[graph.connections[0].trip] in graph.routes
+
+    def test_graph_from_connections_infers_size(self):
+        graph = graph_from_connections([(0, 4, 1, 2)])
+        assert graph.n == 5
+
+    def test_graph_from_connections_explicit_size(self):
+        graph = graph_from_connections([(0, 1, 1, 2)], num_stations=10)
+        assert graph.n == 10
+
+
+class TestBuild:
+    def test_empty_build(self):
+        graph = GraphBuilder().build()
+        assert graph.n == 0
+        assert graph.m == 0
+
+    def test_full_flow(self):
+        builder = GraphBuilder()
+        a = builder.add_station("a")
+        b = builder.add_station("b")
+        c = builder.add_station("c")
+        route = builder.add_route([a, b, c], name="line-1")
+        builder.add_trip(route, [(0, 0), (10, 12), (20, 20)])
+        graph = builder.build()
+        assert graph.m == 2
+        assert graph.routes[route].name == "line-1"
+        assert graph.station_name(a) == "a"

@@ -1,0 +1,68 @@
+"""Tests for the ASCII figure renderings."""
+
+import pytest
+
+from repro.bench.charts import BAR_WIDTH, chart_from_result, grouped_log_chart
+from repro.bench.experiments import ExperimentResult
+
+
+class TestGroupedLogChart:
+    def test_basic_rendering(self):
+        chart = grouped_log_chart(
+            "Figure X",
+            ["Austin", "Berlin"],
+            ["TTL", "CSA"],
+            [[30.0, 3000.0], [50.0, 5000.0]],
+        )
+        assert "Figure X" in chart
+        assert "Austin" in chart and "Berlin" in chart
+        assert "TTL" in chart and "CSA" in chart
+        assert "log scale" in chart
+
+    def test_log_scaling_orders_bars(self):
+        chart = grouped_log_chart(
+            "T", ["g"], ["small", "big"], [[10.0, 10000.0]]
+        )
+        lines = chart.splitlines()
+        small_bar = next(l for l in lines if "small" in l).count("#")
+        big_bar = next(l for l in lines if "big" in l).count("#")
+        assert small_bar < big_bar
+        assert big_bar <= BAR_WIDTH
+
+    def test_min_value_gets_minimal_bar(self):
+        chart = grouped_log_chart("T", ["g"], ["a", "b"], [[1.0, 100.0]])
+        line = next(l for l in chart.splitlines() if " a " in f" {l} " or l.strip().startswith("a"))
+        assert line.count("#") == 1
+
+    def test_none_rendered_as_na(self):
+        chart = grouped_log_chart("T", ["g"], ["a", "b"], [[None, 5.0]])
+        assert "(n/a)" in chart
+
+    def test_empty_data(self):
+        chart = grouped_log_chart("T", ["g"], ["a"], [[None]])
+        assert "no data" in chart
+
+    def test_single_value_axis(self):
+        chart = grouped_log_chart("T", ["g"], ["a"], [[7.0]])
+        assert "#" in chart
+
+
+class TestChartFromResult:
+    def test_strips_units_from_series(self):
+        result = ExperimentResult(
+            "Figure Y",
+            ["dataset", "TTL (us)", "CSA (us)"],
+            [["Austin", 20.0, 900.0]],
+        )
+        chart = chart_from_result(result)
+        assert "TTL " in chart or "TTL|" in chart or "TTL" in chart
+        assert "(us)" not in chart.splitlines()[2]
+
+    def test_non_numeric_cells_skipped(self):
+        result = ExperimentResult(
+            "Figure Z",
+            ["dataset", "A", "B"],
+            [["X", None, 10.0]],
+        )
+        chart = chart_from_result(result)
+        assert "(n/a)" in chart

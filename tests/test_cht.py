@@ -1,0 +1,161 @@
+"""Tests for the Contraction Hierarchies for Timetables baseline."""
+
+import random
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.baselines.cht import CHTPlanner, Shortcut, _expand, _merge_profiles
+from repro.algorithms.profiles import ParetoProfile
+from repro.graph.connection import Connection, validate_path
+from tests.conftest import make_random_connection_graph, make_random_route_graph
+
+
+class TestMergeProfiles:
+    def test_minimal_wait_pairing(self):
+        left = ParetoProfile()
+        left.add(0, 10, payload="l0")
+        left.add(20, 30, payload="l1")
+        right = ParetoProfile()
+        right.add(10, 15, payload="r0")
+        right.add(35, 40, payload="r1")
+        merged = _merge_profiles(left, right)
+        assert [(d, a) for d, a, _ in merged] == [(0, 15), (20, 40)]
+
+    def test_dedupes_same_arrival(self):
+        left = ParetoProfile([(0, 10), (5, 12)])
+        right = ParetoProfile([(12, 20)])
+        merged = _merge_profiles(left, right)
+        # Both left entries reach the same right entry: keep the later
+        # departure only.
+        assert [(d, a) for d, a, _ in merged] == [(5, 20)]
+
+    def test_empty_when_no_connection(self):
+        left = ParetoProfile([(0, 50)])
+        right = ParetoProfile([(10, 20)])
+        assert _merge_profiles(left, right) == []
+
+
+class TestExpand:
+    def test_nested_shortcut_order(self):
+        c1 = Connection(0, 1, 0, 1, 0)
+        c2 = Connection(1, 2, 2, 3, 0)
+        c3 = Connection(2, 3, 4, 5, 0)
+        payload = Shortcut(Shortcut(c1, c2), c3)
+        assert _expand(payload) == [c1, c2, c3]
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", [10, 20, 30])
+    def test_all_query_types(self, seed):
+        rng = random.Random(seed)
+        for _ in range(5):
+            graph = make_random_connection_graph(
+                rng, rng.randrange(4, 12), rng.randrange(5, 60)
+            )
+            oracle = DijkstraPlanner(graph)
+            cht = CHTPlanner(graph)
+            cht.preprocess()
+            for _ in range(30):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 220)
+                t2 = t + rng.randrange(1, 250)
+
+                a = oracle.earliest_arrival(u, v, t)
+                b = cht.earliest_arrival(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arr == b.arr
+                    validate_path(b.path)
+
+                a = oracle.latest_departure(u, v, t)
+                b = cht.latest_departure(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.dep == b.dep
+                    validate_path(b.path)
+
+                a = oracle.shortest_duration(u, v, t, t2)
+                b = cht.shortest_duration(u, v, t, t2)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.duration == b.duration
+
+    def test_route_graphs(self, rng):
+        for _ in range(4):
+            graph = make_random_route_graph(rng, 9, 6)
+            oracle = DijkstraPlanner(graph)
+            cht = CHTPlanner(graph)
+            for _ in range(25):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 250)
+                a = oracle.earliest_arrival(u, v, t)
+                b = cht.earliest_arrival(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arr == b.arr
+
+
+class TestStructure:
+    def test_rank_is_permutation(self, route_graph):
+        cht = CHTPlanner(route_graph)
+        cht.preprocess()
+        assert sorted(cht.rank) == list(range(route_graph.n))
+
+    def test_up_edges_point_up(self, route_graph):
+        cht = CHTPlanner(route_graph)
+        cht.preprocess()
+        for x in range(route_graph.n):
+            for edge in cht._up_out[x]:
+                assert cht.rank[edge.other] > cht.rank[x]
+            for edge in cht._down_out[x]:
+                assert cht.rank[edge.other] < cht.rank[x]
+
+    def test_pair_edges_are_staircases(self, route_graph):
+        cht = CHTPlanner(route_graph)
+        cht.preprocess()
+        for adjacency in (cht._up_out, cht._down_out):
+            for edges in adjacency:
+                for edge in edges:
+                    for i in range(len(edge.deps) - 1):
+                        assert edge.deps[i] < edge.deps[i + 1]
+                        assert edge.arrs[i] < edge.arrs[i + 1]
+
+    def test_paths_only_use_original_connections(self, route_graph, rng):
+        cht = CHTPlanner(route_graph)
+        originals = set(route_graph.connections)
+        for _ in range(30):
+            u, v = rng.randrange(route_graph.n), rng.randrange(route_graph.n)
+            if u == v:
+                continue
+            journey = cht.earliest_arrival(u, v, rng.randrange(0, 200))
+            if journey is not None:
+                assert all(c in originals for c in journey.path)
+
+    def test_index_bytes_positive(self, route_graph):
+        cht = CHTPlanner(route_graph)
+        cht.preprocess()
+        assert cht.index_bytes() > 0
+
+
+class TestEdgeCases:
+    def test_same_station(self, line_graph):
+        cht = CHTPlanner(line_graph)
+        journey = cht.shortest_duration(1, 1, 0, 10)
+        assert journey is not None and journey.duration == 0
+
+    def test_unreachable(self, line_graph):
+        cht = CHTPlanner(line_graph)
+        assert cht.earliest_arrival(3, 0, 0) is None
+        assert cht.latest_departure(3, 0, 10**6) is None
+        assert cht.shortest_duration(3, 0, 0, 10**6) is None
+
+    def test_line_graph_answers(self, line_graph):
+        cht = CHTPlanner(line_graph)
+        assert cht.earliest_arrival(0, 3, 95).arr == 130
+        assert cht.latest_departure(0, 3, 330).dep == 300
+        assert cht.shortest_duration(0, 3, 0, 400).duration == 25

@@ -1,0 +1,141 @@
+"""Smoke tests for the ``repro-ttl`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasets:
+    def test_lists_catalogue(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Austin" in out and "Sweden" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "Austin", "--scale", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "stations" in out and "connections" in out
+
+
+class TestGenerate:
+    def test_writes_csv_bundle(self, tmp_path, capsys):
+        assert (
+            main(["generate", "Austin", str(tmp_path), "--scale", "0.4"]) == 0
+        )
+        assert (tmp_path / "stations.csv").exists()
+        assert (tmp_path / "routes.csv").exists()
+        assert (tmp_path / "stop_times.csv").exists()
+
+
+class TestBuildAndQuery:
+    def test_build_saves_index(self, tmp_path, capsys):
+        index_path = tmp_path / "austin.ttl"
+        assert (
+            main(
+                ["build", "Austin", str(index_path), "--scale", "0.4"]
+            )
+            == 0
+        )
+        assert index_path.exists()
+        out = capsys.readouterr().out
+        assert "labels" in out
+        assert "building:" in out  # progress line
+
+    def test_query_all_methods_agree(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "query", "Austin", "eap", "0", "10",
+                    "--start", "08:00", "--scale", "0.4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) == 5  # Dijkstra, CSA, CHT, TTL, C-TTL
+        arrs = {line.split("arr")[1].split()[0] for line in lines if "arr" in line}
+        assert len(arrs) <= 1  # all methods agree (or all infeasible)
+
+    def test_query_with_saved_index(self, tmp_path, capsys):
+        index_path = tmp_path / "a.ttl"
+        main(["build", "Austin", str(index_path), "--scale", "0.4"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query", "Austin", "sdp", "0", "10",
+                    "--start", "07:00", "--end", "12:00",
+                    "--index", str(index_path), "--scale", "0.4",
+                ]
+            )
+            == 0
+        )
+
+    def test_query_missing_time_flag(self, capsys):
+        assert (
+            main(["query", "Austin", "eap", "0", "1", "--scale", "0.4"]) == 2
+        )
+
+
+class TestAnalyzeAndProfile:
+    def test_analyze(self, capsys):
+        assert main(["analyze", "Austin", "--scale", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "reachability" in out
+        assert "labels total" in out
+        assert "hubs carry" in out
+
+    def test_profile_happy_path(self, capsys):
+        assert (
+            main(
+                [
+                    "profile", "Austin", "0", "10",
+                    "--start", "06:00", "--end", "22:00",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "depart" in out or "no feasible" in out
+
+
+class TestBench:
+    def test_table3(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "table3",
+                    "--datasets", "Austin", "--scale", "0.4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "figure99"])
+
+
+class TestErrorHandling:
+    def test_unknown_dataset_clean_error(self, capsys):
+        assert main(["info", "Atlantis"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_time_clean_error(self, capsys):
+        assert (
+            main(["query", "Austin", "eap", "0", "1",
+                  "--start", "nonsense", "--scale", "0.4"])
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_verify_missing_index_clean_error(self, capsys, tmp_path):
+        missing = tmp_path / "nope.ttl"
+        missing.write_bytes(b"JUNKJUNK")
+        assert (
+            main(["verify", "Austin", str(missing), "--scale", "0.4"]) == 2
+        )
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,200 @@
+"""Tests for label compression (Section 7) and the C-TTL index."""
+
+import random
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.core.build import build_index
+from repro.core.cindex import CompressedTTLPlanner
+from repro.core.compression import (
+    PIVOT,
+    PLAIN,
+    ROUTE,
+    _select_pivot_groups,
+    compress_index,
+    merge_children,
+    pair_group,
+)
+from repro.core.label import LabelGroup
+from repro.errors import IndexBuildError
+from repro.graph.builders import GraphBuilder
+from tests.conftest import make_random_route_graph
+
+
+@pytest.fixture
+def bus_corridor():
+    """Three trips on one route 0-1-2 (the paper's Figure 2a shape)."""
+    builder = GraphBuilder()
+    builder.add_stations(3)
+    route = builder.add_route([0, 1, 2])
+    for start in (60, 120, 180):
+        builder.add_trip_departures(route, start, [10, 10])
+    return builder.build()
+
+
+class TestRouteCompression:
+    def test_corridor_compresses(self, bus_corridor):
+        index = build_index(bus_corridor)
+        compressed, stats = compress_index(index, mode="route")
+        assert stats.route_groups > 0
+        assert stats.labels_after < stats.labels_before
+
+    def test_decompressed_groups_match_labels(self, bus_corridor):
+        index = build_index(bus_corridor)
+        compressed, _ = compress_index(index, mode="route")
+        for table, index_table in (
+            (compressed.in_cgroups, index.in_groups),
+            (compressed.out_cgroups, index.out_groups),
+        ):
+            for node, cgroups in enumerate(table):
+                for cgroup, original in zip(cgroups, index_table[node]):
+                    view = compressed.materialize(cgroup)
+                    pairs = set(zip(view.deps, view.arrs))
+                    original_pairs = set(zip(original.deps, original.arrs))
+                    assert original_pairs <= pairs
+
+    def test_reduction_ratio_properties(self, bus_corridor):
+        index = build_index(bus_corridor)
+        _, stats = compress_index(index, mode="route")
+        assert 0.0 <= stats.reduction < 1.0
+
+    def test_bad_mode_rejected(self, bus_corridor):
+        index = build_index(bus_corridor)
+        with pytest.raises(IndexBuildError):
+            compress_index(index, mode="bogus")
+
+
+class TestPivotCompression:
+    def test_select_pivot_groups_respects_conflicts(self):
+        # (0,2) via 1 conflicts with its child pairs (0,1) and (1,2).
+        candidates = {
+            (0, 2): (1, 10),
+            (0, 1): (3, 5),
+            (1, 2): (4, 5),
+        }
+        selected = _select_pivot_groups(candidates)
+        if (0, 2) in selected:
+            assert (0, 1) not in selected
+            assert (1, 2) not in selected
+        assert selected  # something must be picked
+
+    def test_zero_weight_candidates_skipped(self):
+        selected = _select_pivot_groups({(0, 1): (2, 1)})
+        assert selected == set()
+
+    def test_merge_children_produces_staircase(self):
+        left = LabelGroup(0, 0, [0, 10], [5, 15], [1, 2], [None, None])
+        right = LabelGroup(0, 0, [5, 20], [9, 24], [3, 4], [None, None])
+        merged = merge_children(left, right, pivot=7)
+        merged.check_invariants()
+        assert all(p == 7 for p in merged.pivots)
+        assert all(t is None for t in merged.trips)
+
+    def test_no_pivot_child_of_pivot_group(self, rng):
+        """The compression constraint: a pivot-compressed group's child
+        pairs must not be pivot-compressed."""
+        for _ in range(6):
+            graph = make_random_route_graph(rng, 12, 8)
+            index = build_index(graph)
+            compressed, _ = compress_index(index, mode="both")
+            kinds = {
+                (c.src, c.dst): c.kind
+                for table in (compressed.in_cgroups, compressed.out_cgroups)
+                for groups in table
+                for c in groups
+            }
+            for (src, dst), kind in kinds.items():
+                if kind != PIVOT:
+                    continue
+                cgroup = compressed._pair_map[(src, dst)]
+                for child in (
+                    (src, cgroup.pivot),
+                    (cgroup.pivot, dst),
+                ):
+                    assert kinds.get(child, PLAIN) != PIVOT
+
+
+class TestLosslessness:
+    @pytest.mark.parametrize("mode", ["route", "pivot", "both"])
+    def test_queries_unchanged(self, mode, rng):
+        for _ in range(5):
+            graph = make_random_route_graph(rng, 10, 7)
+            oracle = DijkstraPlanner(graph)
+            index = build_index(graph)
+            compressed, _ = compress_index(index, mode=mode)
+            planner = CompressedTTLPlanner(graph, cindex=compressed)
+            for _ in range(35):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 250)
+                t2 = t + rng.randrange(1, 260)
+                a = oracle.earliest_arrival(u, v, t)
+                b = planner.earliest_arrival(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arr == b.arr
+                a = oracle.shortest_duration(u, v, t, t2)
+                b = planner.shortest_duration(u, v, t, t2)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.duration == b.duration
+
+    def test_stats_add_up(self, rng):
+        graph = make_random_route_graph(rng, 10, 7)
+        index = build_index(graph)
+        compressed, stats = compress_index(index, mode="both")
+        stored = sum(
+            cgroup.stored_labels()
+            for table in (compressed.in_cgroups, compressed.out_cgroups)
+            for groups in table
+            for cgroup in groups
+        )
+        assert stored == stats.labels_after
+        assert stats.labels_before == index.num_labels
+
+    def test_combined_at_least_as_good(self, rng):
+        """Mode 'both' never stores more labels than either scheme."""
+        for _ in range(4):
+            graph = make_random_route_graph(rng, 10, 7)
+            index = build_index(graph)
+            _, route_stats = compress_index(index, mode="route")
+            _, pivot_stats = compress_index(index, mode="pivot")
+            _, both_stats = compress_index(index, mode="both")
+            assert both_stats.labels_after <= route_stats.labels_after
+            assert both_stats.labels_after <= pivot_stats.labels_after
+
+
+class TestCompressedIndexBytes:
+    def test_smaller_than_uncompressed_on_corridor(self, bus_corridor):
+        from repro.core.serialize import index_bytes
+
+        index = build_index(bus_corridor)
+        compressed, _ = compress_index(index, mode="both")
+        assert compressed.compressed_bytes() <= index_bytes(index) * 2
+        assert compressed.num_labels <= index.num_labels
+
+
+class TestPairGroup:
+    def test_locates_in_and_out_sides(self, rng):
+        graph = make_random_route_graph(rng, 9, 6)
+        index = build_index(graph)
+        found = 0
+        for v in range(graph.n):
+            for group in index.in_groups[v]:
+                assert pair_group(index, group.hub, v) is group
+                found += 1
+            for group in index.out_groups[v]:
+                assert pair_group(index, v, group.hub) is group
+                found += 1
+        assert found > 0
+
+    def test_missing_pair_is_none(self):
+        from repro.graph.builders import graph_from_connections
+
+        graph = graph_from_connections([(0, 1, 5, 9)], num_stations=3)
+        index = build_index(graph)
+        # Station 2 is isolated: no canonical paths touch it.
+        assert pair_group(index, 0, 2) is None
+        assert pair_group(index, 2, 0) is None

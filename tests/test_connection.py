@@ -1,0 +1,82 @@
+"""Unit tests for connections and path predicates."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.connection import (
+    Connection,
+    path_duration,
+    path_transfers,
+    path_vehicle,
+    validate_path,
+)
+
+
+def conn(u, v, dep, arr, trip=0):
+    return Connection(u, v, dep, arr, trip)
+
+
+class TestConnection:
+    def test_fields(self):
+        c = conn(1, 2, 10, 15, trip=7)
+        assert (c.u, c.v, c.dep, c.arr, c.trip) == (1, 2, 10, 15, 7)
+
+    def test_duration(self):
+        assert conn(0, 1, 10, 25).duration == 15
+
+    def test_is_tuple(self):
+        # NamedTuple behaviour is relied on by several hot paths.
+        assert tuple(conn(1, 2, 3, 4, 5)) == (1, 2, 3, 4, 5)
+
+
+class TestPathPredicates:
+    def test_duration_of_multileg(self):
+        path = [conn(0, 1, 10, 20), conn(1, 2, 25, 40)]
+        assert path_duration(path) == 30
+
+    def test_duration_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            path_duration([])
+
+    def test_vehicle_single_trip(self):
+        path = [conn(0, 1, 10, 20, trip=3), conn(1, 2, 20, 40, trip=3)]
+        assert path_vehicle(path) == 3
+
+    def test_vehicle_with_transfer_is_none(self):
+        path = [conn(0, 1, 10, 20, trip=3), conn(1, 2, 25, 40, trip=4)]
+        assert path_vehicle(path) is None
+
+    def test_transfers_counted(self):
+        path = [
+            conn(0, 1, 0, 1, trip=1),
+            conn(1, 2, 2, 3, trip=1),
+            conn(2, 3, 4, 5, trip=2),
+            conn(3, 4, 6, 7, trip=1),
+        ]
+        assert path_transfers(path) == 2
+
+
+class TestValidatePath:
+    def test_valid_path_passes(self):
+        validate_path([conn(0, 1, 10, 20), conn(1, 2, 20, 30)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_path([])
+
+    def test_station_break_rejected(self):
+        with pytest.raises(ValidationError, match="broken"):
+            validate_path([conn(0, 1, 10, 20), conn(2, 3, 25, 30)])
+
+    def test_time_travel_rejected(self):
+        with pytest.raises(ValidationError, match="time-feasible"):
+            validate_path([conn(0, 1, 10, 20), conn(1, 2, 15, 30)])
+
+    def test_zero_duration_connection_rejected(self):
+        with pytest.raises(ValidationError, match="positive"):
+            validate_path([conn(0, 1, 10, 10)])
+
+    def test_zero_wait_transfer_allowed(self):
+        # Departure exactly at the previous arrival is legal
+        # (Section 5.1: "departure time no sooner than t_a").
+        validate_path([conn(0, 1, 0, 5), conn(1, 2, 5, 9)])

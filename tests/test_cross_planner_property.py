@@ -1,0 +1,113 @@
+"""Hypothesis property: ALL planners agree on arbitrary timetables.
+
+The strongest single guarantee in the suite — six independent
+implementations (temporal Dijkstra, CSA, CHT, RAPTOR, time-expanded,
+TTL, C-TTL) of three query types must return identical objective
+values on hypothesis-generated graphs and queries.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.baselines import (
+    CHTPlanner,
+    CSAPlanner,
+    RaptorPlanner,
+    TimeExpandedPlanner,
+)
+from repro.core import CompressedTTLPlanner, TTLPlanner
+from repro.graph.builders import GraphBuilder
+
+
+@st.composite
+def route_structured_graphs(draw):
+    """Small graphs with genuine route/trip structure (so route-based
+    compression and RAPTOR's route scans are exercised too)."""
+    n = draw(st.integers(min_value=3, max_value=7))
+    builder = GraphBuilder()
+    builder.add_stations(n)
+    n_routes = draw(st.integers(min_value=1, max_value=4))
+    for _ in range(n_routes):
+        length = draw(st.integers(min_value=2, max_value=min(4, n)))
+        stops = draw(
+            st.permutations(range(n)).map(lambda p: list(p)[:length])
+        )
+        if len(stops) < 2:
+            continue
+        route = builder.add_route(stops)
+        n_trips = draw(st.integers(min_value=1, max_value=3))
+        start = draw(st.integers(min_value=0, max_value=60))
+        for k in range(n_trips):
+            legs = [
+                draw(st.integers(min_value=1, max_value=25))
+                for _ in range(len(stops) - 1)
+            ]
+            headway = draw(st.integers(min_value=5, max_value=40))
+            builder.add_trip_departures(route, start + k * headway, legs)
+    return builder.build()
+
+
+query_params = st.tuples(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=150),
+    st.integers(min_value=1, max_value=120),
+)
+
+
+@given(route_structured_graphs(), st.lists(query_params, min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_all_planners_agree(graph, query_list):
+    if graph.m == 0:
+        return
+    oracle = DijkstraPlanner(graph)
+    planners = [
+        CSAPlanner(graph),
+        CHTPlanner(graph),
+        RaptorPlanner(graph),
+        TimeExpandedPlanner(graph),
+        TTLPlanner(graph),
+        CompressedTTLPlanner(graph),
+    ]
+    for u, v, t, window in query_list:
+        u %= graph.n
+        v %= graph.n
+        if u == v:
+            continue
+        t_end = t + window
+        ref_eap = oracle.earliest_arrival(u, v, t)
+        ref_ldp = oracle.latest_departure(u, v, t)
+        ref_sdp = oracle.shortest_duration(u, v, t, t_end)
+        for planner in planners:
+            got = planner.earliest_arrival(u, v, t)
+            assert (ref_eap is None) == (got is None), planner.name
+            if ref_eap is not None:
+                assert got.arr == ref_eap.arr, planner.name
+
+            got = planner.latest_departure(u, v, t)
+            assert (ref_ldp is None) == (got is None), planner.name
+            if ref_ldp is not None:
+                assert got.dep == ref_ldp.dep, planner.name
+
+            got = planner.shortest_duration(u, v, t, t_end)
+            assert (ref_sdp is None) == (got is None), planner.name
+            if ref_sdp is not None:
+                assert got.duration == ref_sdp.duration, planner.name
+
+
+@given(route_structured_graphs(), query_params)
+@settings(max_examples=40, deadline=None)
+def test_profiles_agree_between_ttl_variants(graph, params):
+    if graph.m == 0:
+        return
+    u, v, t, window = params
+    u %= graph.n
+    v %= graph.n
+    if u == v:
+        return
+    plain = TTLPlanner(graph)
+    compressed = CompressedTTLPlanner(graph)
+    assert plain.profile(u, v, t, t + window) == compressed.profile(
+        u, v, t, t + window
+    )

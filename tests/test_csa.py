@@ -1,0 +1,112 @@
+"""Tests for the Connection Scan Algorithm baseline."""
+
+import random
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.baselines.csa import CSAPlanner
+from repro.graph.connection import validate_path
+from tests.conftest import make_random_connection_graph, make_random_route_graph
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_all_query_types(self, seed):
+        rng = random.Random(seed)
+        for _ in range(6):
+            graph = make_random_connection_graph(
+                rng, rng.randrange(4, 10), rng.randrange(5, 40)
+            )
+            oracle = DijkstraPlanner(graph)
+            csa = CSAPlanner(graph)
+            for _ in range(30):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 220)
+                t2 = t + rng.randrange(1, 250)
+
+                a = oracle.earliest_arrival(u, v, t)
+                b = csa.earliest_arrival(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arr == b.arr
+
+                a = oracle.latest_departure(u, v, t)
+                b = csa.latest_departure(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.dep == b.dep
+
+                a = oracle.shortest_duration(u, v, t, t2)
+                b = csa.shortest_duration(u, v, t, t2)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.duration == b.duration
+
+    def test_route_graphs(self, rng):
+        for _ in range(5):
+            graph = make_random_route_graph(rng, 9, 6)
+            oracle = DijkstraPlanner(graph)
+            csa = CSAPlanner(graph)
+            for _ in range(25):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 250)
+                a = oracle.earliest_arrival(u, v, t)
+                b = csa.earliest_arrival(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arr == b.arr
+
+
+class TestPaths:
+    def test_eap_path_valid(self, line_graph):
+        csa = CSAPlanner(line_graph)
+        journey = csa.earliest_arrival(0, 3, 95)
+        assert journey is not None
+        validate_path(journey.path)
+        assert journey.path[0].u == 0
+        assert journey.path[-1].v == 3
+
+    def test_ldp_path_valid(self, line_graph):
+        csa = CSAPlanner(line_graph)
+        journey = csa.latest_departure(0, 3, 330)
+        assert journey is not None
+        validate_path(journey.path)
+        assert journey.dep == 300
+
+    def test_sdp_returns_express(self, line_graph):
+        csa = CSAPlanner(line_graph)
+        journey = csa.shortest_duration(0, 3, 0, 400)
+        assert journey is not None
+        assert journey.duration == 25
+
+
+class TestEdgeCases:
+    def test_same_station(self, line_graph):
+        csa = CSAPlanner(line_graph)
+        journey = csa.earliest_arrival(2, 2, 100)
+        assert journey is not None and journey.duration == 0
+
+    def test_unreachable(self, line_graph):
+        csa = CSAPlanner(line_graph)
+        assert csa.earliest_arrival(3, 0, 0) is None
+        assert csa.latest_departure(3, 0, 1000) is None
+        assert csa.shortest_duration(3, 0, 0, 1000) is None
+
+    def test_query_after_last_departure(self, line_graph):
+        csa = CSAPlanner(line_graph)
+        assert csa.earliest_arrival(0, 3, 10**7) is None
+
+    def test_index_bytes(self, line_graph):
+        csa = CSAPlanner(line_graph)
+        csa.preprocess()
+        assert csa.index_bytes() == 2 * 20 * line_graph.m
+
+    def test_preprocess_idempotent(self, line_graph):
+        csa = CSAPlanner(line_graph)
+        first = csa.preprocess()
+        assert csa.preprocess() == first

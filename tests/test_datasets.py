@@ -1,0 +1,141 @@
+"""Tests for the synthetic dataset substrate."""
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    CitySpec,
+    CountrySpec,
+    QueryWorkload,
+    dataset_names,
+    generate_city_grid,
+    generate_city_radial,
+    generate_country,
+    load_dataset,
+)
+from repro.errors import DatasetError
+
+
+class TestGenerators:
+    def test_grid_city_valid(self):
+        spec = CitySpec("t-grid", stations=25, routes=8, headway=1800, seed=3)
+        graph = generate_city_grid(spec)
+        graph.validate()
+        assert graph.m > 0
+        assert len(graph.routes) > 0
+
+    def test_radial_city_valid(self):
+        spec = CitySpec("t-rad", stations=30, routes=8, headway=900, seed=3)
+        graph = generate_city_radial(spec)
+        graph.validate()
+        assert graph.m > 0
+
+    def test_country_valid(self):
+        spec = CountrySpec(
+            "t-country",
+            cities=3,
+            stations_per_city=8,
+            routes_per_city=3,
+            city_headway=1800,
+            rail_headway=3600,
+            seed=3,
+        )
+        graph = generate_country(spec)
+        graph.validate()
+        assert graph.m > 0
+
+    def test_determinism(self):
+        spec = CitySpec("t-det", stations=25, routes=8, headway=1800, seed=9)
+        a = generate_city_grid(spec)
+        b = generate_city_grid(spec)
+        assert {tuple(c) for c in a.connections} == {
+            tuple(c) for c in b.connections
+        }
+
+    def test_seeds_differ(self):
+        a = generate_city_grid(
+            CitySpec("t", stations=25, routes=8, headway=1800, seed=1)
+        )
+        b = generate_city_grid(
+            CitySpec("t", stations=25, routes=8, headway=1800, seed=2)
+        )
+        assert {tuple(c) for c in a.connections} != {
+            tuple(c) for c in b.connections
+        }
+
+    def test_grid_covers_all_stations(self):
+        """Every station must be served by at least one route (the
+        coverage guarantee added for realistic reachability)."""
+        spec = CitySpec("t-cov", stations=36, routes=14, headway=1800, seed=5)
+        graph = generate_city_grid(spec)
+        served = {s for r in graph.routes.values() for s in r.stops}
+        assert served == set(range(graph.n))
+
+    def test_country_has_intercity_connections(self):
+        spec = CountrySpec(
+            "t-c2",
+            cities=4,
+            stations_per_city=6,
+            routes_per_city=3,
+            city_headway=1800,
+            rail_headway=3600,
+            seed=1,
+        )
+        graph = generate_country(spec)
+        # Rail legs are much longer than city legs.
+        longest = max(c.duration for c in graph.connections)
+        assert longest > 600
+
+
+class TestRegistry:
+    def test_eleven_datasets(self):
+        assert len(dataset_names()) == 11
+
+    def test_all_datasets_generate(self):
+        for name in dataset_names():
+            graph = load_dataset(name, scale=0.4)
+            assert graph.m > 0
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("Austin", scale=0.4)
+        b = load_dataset("Austin", scale=0.4)
+        assert a is b
+
+    def test_scale_changes_size(self):
+        small = load_dataset("Austin", scale=0.4)
+        big = load_dataset("Austin", scale=1.0)
+        assert big.n > small.n
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("Atlantis")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(DatasetError, match="positive"):
+            DATASETS["Austin"].generate(scale=0)
+
+    def test_sweden_is_country(self):
+        assert DATASETS["Sweden"].kind == "country"
+
+
+class TestQueryWorkload:
+    def test_determinism(self):
+        graph = load_dataset("Austin", scale=0.4)
+        a = QueryWorkload(graph, seed=5).generate(50)
+        b = QueryWorkload(graph, seed=5).generate(50)
+        assert a == b
+
+    def test_queries_well_formed(self):
+        graph = load_dataset("Austin", scale=0.4)
+        stats = graph.stats()
+        for q in QueryWorkload(graph, seed=1).generate(100):
+            assert 0 <= q.source < graph.n
+            assert 0 <= q.destination < graph.n
+            assert q.source != q.destination
+            assert stats.min_time <= q.t_start <= q.t_end <= stats.max_time
+
+    def test_single_station_graph_rejected(self):
+        from repro.graph.timetable import TimetableGraph
+
+        with pytest.raises(DatasetError):
+            QueryWorkload(TimetableGraph(1, []))

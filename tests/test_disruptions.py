@@ -1,0 +1,142 @@
+"""Tests for delay/cancellation scenarios."""
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.datasets.disruptions import (
+    cancel_trips,
+    delay_trips,
+    random_delays,
+)
+from repro.errors import DatasetError, UnknownTripError
+from repro.graph.builders import GraphBuilder
+
+
+@pytest.fixture
+def two_line_graph():
+    builder = GraphBuilder()
+    builder.add_stations(3)
+    line_a = builder.add_route([0, 1])
+    trip_a = builder.add_trip_departures(line_a, 100, [50])
+    line_b = builder.add_route([1, 2])
+    trip_b = builder.add_trip_departures(line_b, 160, [40])
+    graph = builder.build()
+    return graph, trip_a, trip_b
+
+
+class TestDelayTrips:
+    def test_whole_trip_shift(self, two_line_graph):
+        graph, trip_a, _ = two_line_graph
+        disrupted = delay_trips(graph, {trip_a: 30})
+        conn = [c for c in disrupted.connections if c.trip == trip_a][0]
+        assert (conn.dep, conn.arr) == (130, 180)
+
+    def test_delay_breaks_transfer(self, two_line_graph):
+        graph, trip_a, _ = two_line_graph
+        planner = DijkstraPlanner(graph)
+        assert planner.earliest_arrival(0, 2, 0).arr == 200
+        disrupted = delay_trips(graph, {trip_a: 30})
+        # Trip A now arrives 180 > trip B's departure 160.
+        assert DijkstraPlanner(disrupted).earliest_arrival(0, 2, 0) is None
+
+    def test_partial_delay_from_stop(self):
+        builder = GraphBuilder()
+        builder.add_stations(3)
+        route = builder.add_route([0, 1, 2])
+        trip = builder.add_trip_departures(route, 0, [10, 10], dwell=5)
+        graph = builder.build()
+        disrupted = delay_trips(
+            graph, {trip: 60}, from_stop_index={trip: 1}
+        )
+        conns = sorted(
+            (c for c in disrupted.connections), key=lambda c: c.dep
+        )
+        # First leg unchanged; dwell at stop 1 absorbs the incident.
+        assert (conns[0].dep, conns[0].arr) == (0, 10)
+        assert conns[1].dep == 15 + 60
+
+    def test_zero_delay_is_noop(self, two_line_graph):
+        graph, trip_a, _ = two_line_graph
+        same = delay_trips(graph, {trip_a: 0})
+        assert {tuple(c) for c in same.connections} == {
+            tuple(c) for c in graph.connections
+        }
+
+    def test_unknown_trip_rejected(self, two_line_graph):
+        graph, _, _ = two_line_graph
+        with pytest.raises(UnknownTripError):
+            delay_trips(graph, {999: 10})
+
+    def test_negative_delay_rejected(self, two_line_graph):
+        graph, trip_a, _ = two_line_graph
+        with pytest.raises(DatasetError):
+            delay_trips(graph, {trip_a: -1})
+
+    def test_disrupted_graph_validates(self, route_graph):
+        delays = random_delays(route_graph, fraction=0.3, seed=2)
+        delay_trips(route_graph, delays).validate()
+
+
+class TestCancelTrips:
+    def test_cancellation_removes_connections(self, two_line_graph):
+        graph, trip_a, _ = two_line_graph
+        cancelled = cancel_trips(graph, [trip_a])
+        assert all(c.trip != trip_a for c in cancelled.connections)
+        assert cancelled.m == graph.m - 1
+
+    def test_cancellation_breaks_journey(self, two_line_graph):
+        graph, trip_a, _ = two_line_graph
+        cancelled = cancel_trips(graph, [trip_a])
+        assert DijkstraPlanner(cancelled).earliest_arrival(0, 2, 0) is None
+
+    def test_unknown_trip_rejected(self, two_line_graph):
+        graph, _, _ = two_line_graph
+        with pytest.raises(UnknownTripError):
+            cancel_trips(graph, [12345])
+
+
+class TestRandomDelays:
+    def test_fraction_respected(self, route_graph):
+        delays = random_delays(route_graph, fraction=0.5, seed=1)
+        assert len(delays) == round(0.5 * len(route_graph.trips))
+        assert all(1 <= d <= 900 for d in delays.values())
+
+    def test_deterministic(self, route_graph):
+        assert random_delays(route_graph, seed=3) == random_delays(
+            route_graph, seed=3
+        )
+
+    def test_bad_params_rejected(self, route_graph):
+        with pytest.raises(DatasetError):
+            random_delays(route_graph, fraction=1.5)
+        with pytest.raises(DatasetError):
+            random_delays(route_graph, max_delay=0)
+
+
+class TestDisruptedQueries:
+    def test_answers_remain_valid_journeys(self, route_graph, rng):
+        """Note: delaying a trip is NOT monotone damage — a later
+        departure can *enable* a previously-missed transfer.  What must
+        hold is that answers on the disrupted timetable are feasible
+        journeys of the disrupted timetable, consistent across
+        planners."""
+        from repro.core import TTLPlanner
+        from repro.graph.connection import validate_path
+
+        delays = random_delays(route_graph, fraction=0.4, seed=5)
+        disrupted = delay_trips(route_graph, delays)
+        oracle = DijkstraPlanner(disrupted)
+        ttl = TTLPlanner(disrupted)
+        disrupted_conns = set(disrupted.connections)
+        for _ in range(60):
+            u, v = rng.randrange(route_graph.n), rng.randrange(route_graph.n)
+            if u == v:
+                continue
+            t = rng.randrange(0, 250)
+            a = oracle.earliest_arrival(u, v, t)
+            b = ttl.earliest_arrival(u, v, t)
+            assert (a is None) == (b is None)
+            if b is not None:
+                assert b.arr == a.arr
+                validate_path(b.path)
+                assert all(c in disrupted_conns for c in b.path)

@@ -1,0 +1,11 @@
+"""Run the doctest examples embedded in docstrings."""
+
+import doctest
+
+import repro.timeutil
+
+
+def test_timeutil_doctests():
+    results = doctest.testmod(repro.timeutil, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0

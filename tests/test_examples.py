@@ -1,0 +1,94 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples run in-process (imported as modules with patched argv) so the
+suite stays fast and failures give real tracebacks.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name, argv=()):
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py")
+    assert "Earliest arrival" in out
+    assert "Latest departure" in out
+    assert "Shortest duration" in out
+    assert "board trip" in out
+
+
+def test_city_journey_planner(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch,
+        capsys,
+        "city_journey_planner.py",
+        ["--dataset", "Austin", "--scale", "0.7", "--trips", "2"],
+    )
+    assert "us/query" in out
+    assert "arrive" in out
+
+
+def test_compression_tradeoffs(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch,
+        capsys,
+        "compression_tradeoffs.py",
+        ["--dataset", "Austin", "--scale", "0.7", "--queries", "40"],
+    )
+    assert "TTL (uncompressed)" in out
+    assert "C-TTL (both)" in out
+
+
+def test_departure_board(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch,
+        capsys,
+        "departure_board.py",
+        ["--dataset", "Toronto", "--scale", "1.0", "--pairs", "1"],
+    )
+    assert "fastest:" in out
+
+
+def test_disruption_replanning(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch,
+        capsys,
+        "disruption_replanning.py",
+        ["--dataset", "Austin", "--scale", "0.7"],
+    )
+    assert "re-preprocessing" in out
+    assert "journeys:" in out
+
+
+def test_accessibility_isochrones(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch,
+        capsys,
+        "accessibility_isochrones.py",
+        ["--dataset", "Austin", "--scale", "0.7"],
+    )
+    assert "isochrones" in out
+    assert "frontier" in out
+
+
+def test_weekly_planner(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "weekly_planner.py")
+    assert "two-day indices" in out
+    assert "Sat" in out
+
+
+@pytest.mark.slow
+def test_overnight_journeys(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "overnight_journeys.py")
+    assert "overnight journey" in out
+    assert "NEXT day" in out

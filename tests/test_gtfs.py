@@ -1,0 +1,81 @@
+"""Tests for the CSV (GTFS-lite) persistence layer."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.graph.gtfs import load_graph_csv, save_graph_csv
+
+
+class TestRoundtrip:
+    def test_connections_preserved(self, line_graph, tmp_path):
+        save_graph_csv(line_graph, tmp_path)
+        loaded = load_graph_csv(tmp_path)
+        assert loaded.n == line_graph.n
+        assert {tuple(c) for c in loaded.connections} == {
+            tuple(c) for c in line_graph.connections
+        }
+
+    def test_routes_preserved(self, line_graph, tmp_path):
+        save_graph_csv(line_graph, tmp_path)
+        loaded = load_graph_csv(tmp_path)
+        assert len(loaded.routes) == len(line_graph.routes)
+        for route_id, route in line_graph.routes.items():
+            assert loaded.routes[route_id].stops == route.stops
+            assert loaded.routes[route_id].name == route.name
+
+    def test_station_names_preserved(self, line_graph, tmp_path):
+        save_graph_csv(line_graph, tmp_path)
+        loaded = load_graph_csv(tmp_path)
+        for s in range(line_graph.n):
+            assert loaded.station_name(s) == line_graph.station_name(s)
+
+    def test_random_route_graph_roundtrip(self, route_graph, tmp_path):
+        save_graph_csv(route_graph, tmp_path)
+        loaded = load_graph_csv(tmp_path)
+        assert {tuple(c) for c in loaded.connections} == {
+            tuple(c) for c in route_graph.connections
+        }
+
+    def test_queries_agree_after_roundtrip(self, line_graph, tmp_path):
+        from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+
+        save_graph_csv(line_graph, tmp_path)
+        loaded = load_graph_csv(tmp_path)
+        a = DijkstraPlanner(line_graph).earliest_arrival(0, 3, 150)
+        b = DijkstraPlanner(loaded).earliest_arrival(0, 3, 150)
+        assert a is not None and b is not None
+        assert a.arr == b.arr
+
+
+class TestErrors:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="missing"):
+            load_graph_csv(tmp_path)
+
+    def test_sparse_station_ids_rejected(self, line_graph, tmp_path):
+        save_graph_csv(line_graph, tmp_path)
+        stations = (tmp_path / "stations.csv").read_text().splitlines()
+        del stations[1]
+        (tmp_path / "stations.csv").write_text("\n".join(stations) + "\n")
+        with pytest.raises(SerializationError, match="densely"):
+            load_graph_csv(tmp_path)
+
+    def test_trip_referencing_unknown_route_rejected(
+        self, line_graph, tmp_path
+    ):
+        save_graph_csv(line_graph, tmp_path)
+        path = tmp_path / "stop_times.csv"
+        lines = path.read_text().splitlines()
+        parts = lines[1].split(",")
+        parts[1] = "999"
+        # Rewrite every row of that trip to keep it single-route.
+        trip_id = parts[0]
+        fixed = [lines[0]]
+        for line in lines[1:]:
+            cells = line.split(",")
+            if cells[0] == trip_id:
+                cells[1] = "999"
+            fixed.append(",".join(cells))
+        path.write_text("\n".join(fixed) + "\n")
+        with pytest.raises(SerializationError, match="unknown route"):
+            load_graph_csv(tmp_path)

@@ -1,0 +1,193 @@
+"""Tests for the real-GTFS importer (hand-written feed fixtures)."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.graph.gtfs_real import load_gtfs
+
+
+def write_feed(tmp_path, stop_times_rows, trips_rows=None, stops=None):
+    stops = stops or [
+        ("A", "Alpha"),
+        ("B", "Beta"),
+        ("C", "Gamma"),
+    ]
+    trips_rows = trips_rows or [
+        ("r1", "wk", "t1"),
+        ("r1", "wk", "t2"),
+        ("r2", "we", "t3"),
+    ]
+    (tmp_path / "stops.txt").write_text(
+        "stop_id,stop_name\n"
+        + "\n".join(f"{sid},{name}" for sid, name in stops)
+        + "\n"
+    )
+    (tmp_path / "routes.txt").write_text(
+        "route_id,route_short_name\nr1,Line 1\nr2,Line 2\n"
+    )
+    (tmp_path / "trips.txt").write_text(
+        "route_id,service_id,trip_id\n"
+        + "\n".join(",".join(row) for row in trips_rows)
+        + "\n"
+    )
+    (tmp_path / "stop_times.txt").write_text(
+        "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+        + "\n".join(",".join(row) for row in stop_times_rows)
+        + "\n"
+    )
+
+
+BASIC_STOP_TIMES = [
+    ("t1", "08:00:00", "08:00:00", "A", "1"),
+    ("t1", "08:10:00", "08:11:00", "B", "2"),
+    ("t1", "08:20:00", "08:20:00", "C", "3"),
+    ("t2", "09:00:00", "09:00:00", "A", "1"),
+    ("t2", "09:10:00", "09:11:00", "B", "2"),
+    ("t2", "09:20:00", "09:20:00", "C", "3"),
+    ("t3", "10:00:00", "10:00:00", "C", "1"),
+    ("t3", "10:15:00", "10:15:00", "A", "2"),
+]
+
+
+class TestBasicImport:
+    def test_counts(self, tmp_path):
+        write_feed(tmp_path, BASIC_STOP_TIMES)
+        graph, report = load_gtfs(tmp_path)
+        assert report.stops == 3
+        assert report.trips_imported == 3
+        assert report.trips_dropped == 0
+        assert graph.n == 3
+        assert graph.m == 2 + 2 + 1
+
+    def test_route_grouping(self, tmp_path):
+        write_feed(tmp_path, BASIC_STOP_TIMES)
+        graph, _ = load_gtfs(tmp_path)
+        # t1 and t2 share route r1 with the same stop sequence.
+        sizes = sorted(len(r.trips) for r in graph.routes.values())
+        assert sizes == [1, 2]
+
+    def test_station_names(self, tmp_path):
+        write_feed(tmp_path, BASIC_STOP_TIMES)
+        graph, _ = load_gtfs(tmp_path)
+        names = {graph.station_name(s) for s in range(graph.n)}
+        assert "Alpha [A]" in names
+
+    def test_route_names(self, tmp_path):
+        write_feed(tmp_path, BASIC_STOP_TIMES)
+        graph, _ = load_gtfs(tmp_path)
+        assert {r.name for r in graph.routes.values()} == {
+            "Line 1", "Line 2"
+        }
+
+    def test_queries_work(self, tmp_path):
+        from repro.core import TTLPlanner
+        from repro.timeutil import hms
+
+        write_feed(tmp_path, BASIC_STOP_TIMES)
+        graph, _ = load_gtfs(tmp_path)
+        planner = TTLPlanner(graph)
+        a = graph.station_names.index("Alpha [A]")
+        c = graph.station_names.index("Gamma [C]")
+        journey = planner.earliest_arrival(a, c, hms(8))
+        assert journey is not None
+        assert journey.arr == hms(8, 20)
+
+
+class TestServiceFilter:
+    def test_filter_by_service(self, tmp_path):
+        write_feed(tmp_path, BASIC_STOP_TIMES)
+        graph, report = load_gtfs(tmp_path, service_id="wk")
+        assert report.trips_imported == 2
+        assert graph.m == 4
+
+    def test_unknown_service_empty(self, tmp_path):
+        write_feed(tmp_path, BASIC_STOP_TIMES)
+        graph, report = load_gtfs(tmp_path, service_id="nope")
+        assert report.trips_imported == 0
+        assert graph.m == 0
+
+
+class TestDifferingStopSequences:
+    def test_same_gtfs_route_split(self, tmp_path):
+        """Trips of one GTFS route with different stop patterns become
+        separate internal routes."""
+        rows = BASIC_STOP_TIMES + [
+            ("t4", "11:00:00", "11:00:00", "A", "1"),
+            ("t4", "11:30:00", "11:30:00", "C", "2"),  # skips B
+        ]
+        write_feed(
+            tmp_path,
+            rows,
+            trips_rows=[
+                ("r1", "wk", "t1"),
+                ("r1", "wk", "t2"),
+                ("r2", "we", "t3"),
+                ("r1", "wk", "t4"),
+            ],
+        )
+        graph, report = load_gtfs(tmp_path)
+        assert report.trips_imported == 4
+        assert len(graph.routes) == 3
+
+
+class TestRobustness:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="GTFS"):
+            load_gtfs(tmp_path)
+
+    def test_after_midnight_times(self, tmp_path):
+        rows = [
+            ("t1", "23:50:00", "23:50:00", "A", "1"),
+            ("t1", "25:10:00", "25:10:00", "B", "2"),
+        ]
+        write_feed(tmp_path, rows, trips_rows=[("r1", "wk", "t1")])
+        graph, report = load_gtfs(tmp_path)
+        assert report.trips_imported == 1
+        conn = graph.connections[0]
+        assert conn.arr > 24 * 3600
+
+    def test_unknown_stop_dropped(self, tmp_path):
+        rows = [
+            ("t1", "08:00:00", "08:00:00", "A", "1"),
+            ("t1", "08:10:00", "08:10:00", "ZZ", "2"),
+        ]
+        write_feed(tmp_path, rows, trips_rows=[("r1", "wk", "t1")])
+        _, report = load_gtfs(tmp_path)
+        assert report.trips_dropped == 1
+        assert report.drop_reasons.get("unknown stop") == 1
+
+    def test_bad_times_dropped(self, tmp_path):
+        rows = [
+            ("t1", "08:00:00", "08:00:00", "A", "1"),
+            ("t1", "garbage", "08:10:00", "B", "2"),
+        ]
+        write_feed(tmp_path, rows, trips_rows=[("r1", "wk", "t1")])
+        _, report = load_gtfs(tmp_path)
+        assert report.drop_reasons.get("bad time") == 1
+
+    def test_non_increasing_dropped(self, tmp_path):
+        rows = [
+            ("t1", "08:30:00", "08:30:00", "A", "1"),
+            ("t1", "08:10:00", "08:10:00", "B", "2"),
+        ]
+        write_feed(tmp_path, rows, trips_rows=[("r1", "wk", "t1")])
+        _, report = load_gtfs(tmp_path)
+        assert report.drop_reasons.get("non-increasing times") == 1
+
+    def test_duplicate_consecutive_stop_collapsed(self, tmp_path):
+        rows = [
+            ("t1", "08:00:00", "08:00:00", "A", "1"),
+            ("t1", "08:05:00", "08:06:00", "B", "2"),
+            ("t1", "08:06:30", "08:07:00", "B", "3"),
+            ("t1", "08:20:00", "08:20:00", "C", "4"),
+        ]
+        write_feed(tmp_path, rows, trips_rows=[("r1", "wk", "t1")])
+        graph, report = load_gtfs(tmp_path)
+        assert report.trips_imported == 1
+        assert graph.m == 2
+
+    def test_single_stop_trip_dropped(self, tmp_path):
+        rows = [("t1", "08:00:00", "08:00:00", "A", "1")]
+        write_feed(tmp_path, rows, trips_rows=[("r1", "wk", "t1")])
+        _, report = load_gtfs(tmp_path)
+        assert report.drop_reasons.get("single stop") == 1

@@ -1,0 +1,129 @@
+"""Unit tests for query results (Journey / ConciseLeg)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.connection import Connection
+from repro.journey import ConciseLeg, Journey
+
+
+def conn(u, v, dep, arr, trip=0):
+    return Connection(u, v, dep, arr, trip)
+
+
+@pytest.fixture
+def two_leg_journey():
+    return Journey.from_path(
+        [conn(0, 1, 10, 20, trip=1), conn(1, 2, 25, 40, trip=2)]
+    )
+
+
+class TestFromPath:
+    def test_fields(self, two_leg_journey):
+        j = two_leg_journey
+        assert (j.source, j.destination) == (0, 2)
+        assert (j.dep, j.arr) == (10, 40)
+        assert j.duration == 30
+
+    def test_transfers(self, two_leg_journey):
+        assert two_leg_journey.transfers == 1
+
+    def test_invalid_path_rejected(self):
+        with pytest.raises(ValidationError):
+            Journey.from_path([conn(0, 1, 10, 20), conn(5, 6, 30, 40)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Journey.from_path([])
+
+
+class TestFromLegs:
+    def test_fields(self):
+        legs = [ConciseLeg(0, 1, 10), ConciseLeg(1, 2, 25)]
+        j = Journey.from_legs(legs, destination=2, arr=40)
+        assert (j.source, j.destination, j.dep, j.arr) == (0, 2, 10, 40)
+        assert j.transfers == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Journey.from_legs([], destination=0, arr=0)
+
+
+class TestToConcise:
+    def test_merges_same_trip(self):
+        j = Journey.from_path(
+            [
+                conn(0, 1, 0, 5, trip=1),
+                conn(1, 2, 5, 9, trip=1),
+                conn(2, 3, 12, 20, trip=2),
+            ]
+        )
+        concise = j.to_concise()
+        assert concise.legs == [ConciseLeg(0, 1, 0), ConciseLeg(2, 2, 12)]
+        assert concise.same_times(j)
+
+    def test_idempotent_on_concise(self):
+        legs = [ConciseLeg(0, 1, 10)]
+        j = Journey.from_legs(legs, destination=1, arr=20)
+        assert j.to_concise() is j
+
+    def test_requires_path_or_legs(self):
+        j = Journey(0, 1, 0, 10)
+        with pytest.raises(ValidationError):
+            j.to_concise()
+
+
+class TestMisc:
+    def test_arrival_before_departure_rejected(self):
+        with pytest.raises(ValidationError):
+            Journey(0, 1, dep=10, arr=5)
+
+    def test_same_times(self, two_leg_journey):
+        other = Journey(0, 2, 10, 40)
+        assert two_leg_journey.same_times(other)
+        assert not two_leg_journey.same_times(Journey(0, 2, 10, 41))
+
+    def test_transfers_unknown_without_detail(self):
+        assert Journey(0, 1, 0, 10).transfers is None
+
+    def test_describe_with_and_without_graph(
+        self, two_leg_journey, line_graph
+    ):
+        text = two_leg_journey.describe()
+        assert "s0" in text and "->" in text
+        named = two_leg_journey.describe(line_graph)
+        assert line_graph.station_name(0) in named
+
+    def test_describe_concise(self):
+        legs = [ConciseLeg(0, 7, 10)]
+        j = Journey.from_legs(legs, destination=1, arr=20)
+        assert "board trip 7" in j.describe()
+
+
+class TestSerialization:
+    def test_path_roundtrip(self, two_leg_journey):
+        import json
+
+        data = json.loads(json.dumps(two_leg_journey.to_dict()))
+        restored = Journey.from_dict(data)
+        assert restored.same_times(two_leg_journey)
+        assert restored.path == two_leg_journey.path
+
+    def test_legs_roundtrip(self):
+        import json
+
+        original = Journey.from_legs(
+            [ConciseLeg(0, 1, 10), ConciseLeg(1, 2, 25)],
+            destination=2,
+            arr=40,
+        )
+        data = json.loads(json.dumps(original.to_dict()))
+        restored = Journey.from_dict(data)
+        assert restored.legs == original.legs
+        assert restored.destination == 2
+
+    def test_minimal_roundtrip(self):
+        original = Journey(0, 1, 5, 9)
+        restored = Journey.from_dict(original.to_dict())
+        assert restored.path is None and restored.legs is None
+        assert restored.same_times(original)

@@ -1,0 +1,61 @@
+"""Unit tests for label records and groups."""
+
+import pytest
+
+from repro.core.label import Label, LabelGroup, total_label_count
+
+
+class TestLabel:
+    def test_fields(self):
+        label = Label(hub=3, dep=10, arr=20, trip=5, pivot=None)
+        assert label.hub == 3
+        assert label.trip == 5
+        assert label.pivot is None
+
+
+class TestLabelGroup:
+    def test_append_and_read(self):
+        group = LabelGroup(hub=2, rank=0)
+        group.append(10, 20, 5, None)
+        group.append(30, 40, None, 7)
+        assert len(group) == 2
+        assert group.label(0) == Label(2, 10, 20, 5, None)
+        assert group.labels()[1] == Label(2, 30, 40, None, 7)
+
+    def test_reverse(self):
+        group = LabelGroup(hub=1, rank=0)
+        group.append(30, 40, None, None)
+        group.append(10, 20, None, None)
+        group.reverse()
+        assert group.deps == [10, 30]
+        assert group.arrs == [20, 40]
+
+    def test_invariants_pass_on_staircase(self):
+        group = LabelGroup(
+            hub=1, rank=0, deps=[1, 5], arrs=[3, 9],
+            trips=[None, None], pivots=[None, None],
+        )
+        group.check_invariants()
+
+    def test_invariants_fail_on_equal_deps(self):
+        group = LabelGroup(
+            hub=1, rank=0, deps=[1, 1], arrs=[3, 9],
+            trips=[None, None], pivots=[None, None],
+        )
+        with pytest.raises(AssertionError):
+            group.check_invariants()
+
+    def test_invariants_fail_on_nonincreasing_arrs(self):
+        group = LabelGroup(
+            hub=1, rank=0, deps=[1, 5], arrs=[9, 3],
+            trips=[None, None], pivots=[None, None],
+        )
+        with pytest.raises(AssertionError):
+            group.check_invariants()
+
+
+class TestTotalLabelCount:
+    def test_counts(self):
+        g1 = LabelGroup(0, 0, [1], [2], [None], [None])
+        g2 = LabelGroup(1, 1, [1, 3], [2, 4], [None, None], [None, None])
+        assert total_label_count([[g1], [g2], []]) == 3

@@ -1,0 +1,167 @@
+"""Metamorphic properties that must hold for every planner.
+
+These tests don't need a reference answer — they perturb the input and
+check the answer moves the right way:
+
+* time translation: shifting every timestamp by Δ shifts answers by Δ;
+* monotonicity: relaxing the query window never worsens the answer;
+* augmentation: adding a connection never worsens any earliest arrival;
+* reversal duality: LDP on G equals EAP on the time-reversal.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import CHTPlanner, CSAPlanner, RaptorPlanner
+from repro.core import CompressedTTLPlanner, TTLPlanner
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.graph.builders import GraphBuilder, graph_from_connections
+from repro.graph.transforms import reversed_graph
+from tests.conftest import make_random_route_graph
+
+PLANNERS = [
+    DijkstraPlanner,
+    CSAPlanner,
+    CHTPlanner,
+    RaptorPlanner,
+    TTLPlanner,
+    CompressedTTLPlanner,
+]
+
+
+def shifted_graph(graph, delta):
+    conns = [
+        (c.u, c.v, c.dep + delta, c.arr + delta) for c in graph.connections
+    ]
+    return graph_from_connections(conns, graph.n)
+
+
+@pytest.mark.parametrize("planner_cls", PLANNERS)
+class TestTimeTranslation:
+    def test_eap_shifts_with_time(self, planner_cls, rng):
+        graph = make_random_route_graph(rng, 8, 5)
+        delta = 1000
+        shifted = shifted_graph(graph, delta)
+        original = planner_cls(graph)
+        moved = planner_cls(shifted)
+        for _ in range(25):
+            u, v = rng.randrange(8), rng.randrange(8)
+            if u == v:
+                continue
+            t = rng.randrange(0, 250)
+            a = original.earliest_arrival(u, v, t)
+            b = moved.earliest_arrival(u, v, t + delta)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert b.arr == a.arr + delta
+                assert b.dep == a.dep + delta
+
+
+@pytest.mark.parametrize("planner_cls", PLANNERS)
+class TestMonotonicity:
+    def test_earlier_start_never_hurts(self, planner_cls, rng):
+        graph = make_random_route_graph(rng, 8, 5)
+        planner = planner_cls(graph)
+        for _ in range(25):
+            u, v = rng.randrange(8), rng.randrange(8)
+            if u == v:
+                continue
+            t = rng.randrange(10, 250)
+            late = planner.earliest_arrival(u, v, t)
+            early = planner.earliest_arrival(u, v, t - 10)
+            if late is not None:
+                assert early is not None
+                assert early.arr <= late.arr
+
+    def test_wider_window_never_hurts_sdp(self, planner_cls, rng):
+        graph = make_random_route_graph(rng, 8, 5)
+        planner = planner_cls(graph)
+        for _ in range(25):
+            u, v = rng.randrange(8), rng.randrange(8)
+            if u == v:
+                continue
+            t = rng.randrange(10, 200)
+            t_end = t + rng.randrange(10, 200)
+            narrow = planner.shortest_duration(u, v, t, t_end)
+            wide = planner.shortest_duration(u, v, t - 10, t_end + 10)
+            if narrow is not None:
+                assert wide is not None
+                assert wide.duration <= narrow.duration
+
+
+class TestAugmentation:
+    def test_extra_connection_never_worsens_eap(self, rng):
+        base_conns = []
+        n = 7
+        for _ in range(20):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            dep = rng.randrange(0, 200)
+            base_conns.append((u, v, dep, dep + rng.randrange(1, 30)))
+        if not base_conns:
+            pytest.skip("degenerate sample")
+        graph = graph_from_connections(base_conns, n)
+        extra = base_conns + [(0, 1, 5, 6)]
+        augmented = graph_from_connections(extra, n)
+        before = TTLPlanner(graph)
+        after = TTLPlanner(augmented)
+        for _ in range(40):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            t = rng.randrange(0, 220)
+            a = before.earliest_arrival(u, v, t)
+            b = after.earliest_arrival(u, v, t)
+            if a is not None:
+                assert b is not None
+                assert b.arr <= a.arr
+
+
+class TestReversalDuality:
+    @pytest.mark.parametrize(
+        "planner_cls", [TTLPlanner, CSAPlanner, CHTPlanner, RaptorPlanner]
+    )
+    def test_ldp_equals_eap_on_reversal(self, planner_cls, rng):
+        graph = make_random_route_graph(rng, 8, 5)
+        rev = reversed_graph(graph)
+        forward = planner_cls(graph)
+        backward = planner_cls(rev)
+        for _ in range(25):
+            u, v = rng.randrange(8), rng.randrange(8)
+            if u == v:
+                continue
+            t = rng.randrange(0, 250)
+            ldp = forward.latest_departure(u, v, t)
+            eap = backward.earliest_arrival(v, u, -t)
+            assert (ldp is None) == (eap is None)
+            if ldp is not None:
+                assert eap.arr == -ldp.dep
+
+
+class TestDensification:
+    def test_higher_frequency_never_hurts(self, rng):
+        """Doubling a route's trip frequency can only improve EAT."""
+        builder = GraphBuilder()
+        builder.add_stations(4)
+        route = builder.add_route([0, 1, 2, 3])
+        for start in range(0, 300, 60):
+            builder.add_trip_departures(route, start, [10, 10, 10])
+        sparse = builder.build()
+
+        builder = GraphBuilder()
+        builder.add_stations(4)
+        route = builder.add_route([0, 1, 2, 3])
+        for start in range(0, 300, 30):
+            builder.add_trip_departures(route, start, [10, 10, 10])
+        dense = builder.build()
+
+        a = TTLPlanner(sparse)
+        b = TTLPlanner(dense)
+        for t in range(0, 280, 7):
+            slow = a.earliest_arrival(0, 3, t)
+            fast = b.earliest_arrival(0, 3, t)
+            if slow is not None:
+                assert fast is not None
+                assert fast.arr <= slow.arr

@@ -1,0 +1,69 @@
+"""Small seam tests: CLI registry integrity, multiday week wrap,
+formatting helpers."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.cli import _EXPERIMENTS, build_parser
+
+
+class TestCliRegistry:
+    def test_every_experiment_name_resolves(self):
+        for attr in _EXPERIMENTS.values():
+            assert callable(getattr(experiments, attr))
+
+    def test_parser_covers_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in (
+            "datasets", "info", "generate", "build", "query",
+            "bench", "verify", "profile", "analyze", "report", "serve",
+        ):
+            assert command in text
+
+
+class TestMultidayWrap:
+    def test_sunday_pairs_with_monday(self, rng):
+        from repro.core.multiday import MultiDayPlanner, WeeklyCalendar
+        from repro.timeutil import SECONDS_PER_DAY
+        from tests.conftest import make_random_route_graph
+
+        graph = make_random_route_graph(rng, 6, 4)
+        planner = MultiDayPlanner(WeeklyCalendar([graph] * 7))
+        # Sunday queries must work (the pair index wraps to Monday).
+        journey = planner.earliest_arrival(0, 1, 6 * SECONDS_PER_DAY)
+        # Feasibility depends on the random graph; the call itself must
+        # not raise and any answer must be inside the week+1 frame.
+        if journey is not None:
+            assert journey.dep >= 6 * SECONDS_PER_DAY
+
+
+class TestFormatters:
+    def test_harness_fmt_variants(self):
+        from repro.bench.harness import _fmt
+
+        assert _fmt(0) == "0"
+        assert _fmt(12345) == "12,345"
+        assert _fmt(0.5) == "0.5000"
+        assert _fmt(3.25) == "3.25"
+        assert _fmt(1234.5) == "1,234" or "," in _fmt(1234.5)
+        assert _fmt("text") == "text"
+
+    def test_charts_fmt_variants(self):
+        from repro.bench.charts import _fmt
+
+        assert _fmt(5.25) == "5.2" or _fmt(5.25) == "5.3"
+        assert _fmt(42.0) == "42"
+        assert "," in _fmt(123456.0)
+
+
+class TestVerifySampling:
+    def test_seed_changes_sample(self, route_graph):
+        from repro.core import build_index
+        from repro.core.verify import verify_index
+
+        index = build_index(route_graph)
+        a = verify_index(index, label_samples=5, query_samples=5, seed=1)
+        b = verify_index(index, label_samples=5, query_samples=5, seed=2)
+        assert a.ok and b.ok
+        assert a.labels_checked == b.labels_checked == 5

@@ -1,0 +1,169 @@
+"""Tests for calendar-aware multi-day planning (Section 8)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.core.multiday import (
+    MultiDayPlanner,
+    WeeklyCalendar,
+    _shift_graph_pair,
+)
+from repro.errors import QueryError, ValidationError
+from repro.graph.builders import GraphBuilder
+from repro.graph.connection import validate_path
+from repro.timeutil import SECONDS_PER_DAY, hms
+from tests.conftest import make_random_route_graph
+
+
+@pytest.fixture
+def calendar(rng):
+    weekday = make_random_route_graph(rng, 8, 6)
+    weekend = make_random_route_graph(rng, 8, 3)
+    return WeeklyCalendar.weekday_weekend(weekday, weekend)
+
+
+@pytest.fixture
+def overnight_calendar():
+    """Weekday: late trip 0->1 plus early trip 1->2 (next morning)."""
+    builder = GraphBuilder()
+    builder.add_stations(3)
+    late = builder.add_route([0, 1])
+    builder.add_trip_departures(late, hms(23, 30), [1800])
+    early = builder.add_route([1, 2])
+    builder.add_trip_departures(early, hms(6), [1800])
+    day = builder.build()
+    return WeeklyCalendar([day] * 7)
+
+
+class TestWeeklyCalendar:
+    def test_needs_seven_days(self, rng):
+        graph = make_random_route_graph(rng, 5, 2)
+        with pytest.raises(ValidationError, match="7 day graphs"):
+            WeeklyCalendar([graph] * 6)
+
+    def test_station_universe_must_match(self, rng):
+        a = make_random_route_graph(rng, 5, 2)
+        b = make_random_route_graph(rng, 6, 2)
+        with pytest.raises(ValidationError, match="station universe"):
+            WeeklyCalendar([a] * 6 + [b])
+
+
+class TestShiftGraphPair:
+    def test_doubles_content(self, rng):
+        day = make_random_route_graph(rng, 6, 4)
+        pair = _shift_graph_pair(day, day)
+        assert pair.m == 2 * day.m
+        assert len(pair.routes) == 2 * len(day.routes)
+
+    def test_second_day_shifted(self, rng):
+        day = make_random_route_graph(rng, 6, 4)
+        pair = _shift_graph_pair(day, day)
+        times = sorted(c.dep for c in pair.connections)
+        originals = sorted(c.dep for c in day.connections)
+        assert times[: len(originals)] == originals
+        assert times[len(originals):] == [
+            t + SECONDS_PER_DAY for t in originals
+        ]
+
+    def test_trip_ids_unique(self, rng):
+        day = make_random_route_graph(rng, 6, 4)
+        pair = _shift_graph_pair(day, day)
+        trip_ids = [t.trip_id for r in pair.routes.values() for t in r.trips]
+        assert len(trip_ids) == len(set(trip_ids))
+
+
+class TestQueries:
+    def test_eap_matches_reference(self, calendar, rng):
+        planner = MultiDayPlanner(calendar)
+        for _ in range(40):
+            u, v = rng.randrange(8), rng.randrange(8)
+            if u == v:
+                continue
+            day = rng.randrange(0, 7)
+            local = rng.randrange(0, 400)
+            t = day * SECONDS_PER_DAY + local
+            got = planner.earliest_arrival(u, v, t)
+            ref_graph = _shift_graph_pair(
+                calendar.day_graphs[day],
+                calendar.day_graphs[(day + 1) % 7],
+            )
+            ref = DijkstraPlanner(ref_graph).earliest_arrival(u, v, local)
+            assert (got is None) == (ref is None)
+            if got is not None:
+                assert got.arr == ref.arr + day * SECONDS_PER_DAY
+                assert got.dep >= t
+
+    def test_overnight_journey_found(self, overnight_calendar):
+        planner = MultiDayPlanner(overnight_calendar)
+        # Tuesday 23:00 -> arrives Wednesday morning.
+        t = 1 * SECONDS_PER_DAY + hms(23)
+        journey = planner.earliest_arrival(0, 2, t)
+        assert journey is not None
+        assert journey.arr == 2 * SECONDS_PER_DAY + hms(6, 30)
+        validate_path(journey.path)
+
+    def test_ldp_considers_previous_day(self, overnight_calendar):
+        planner = MultiDayPlanner(overnight_calendar)
+        # Arrive station 2 by Wednesday 07:00: the latest departure is
+        # Tuesday 23:30 (the overnight chain).
+        t = 2 * SECONDS_PER_DAY + hms(7)
+        journey = planner.latest_departure(0, 2, t)
+        assert journey is not None
+        assert journey.dep == 1 * SECONDS_PER_DAY + hms(23, 30)
+        assert journey.arr <= t
+
+    def test_sdp_window_within_day(self, calendar, rng):
+        planner = MultiDayPlanner(calendar)
+        found = 0
+        for _ in range(60):
+            u, v = rng.randrange(8), rng.randrange(8)
+            if u == v:
+                continue
+            day = rng.randrange(0, 7)
+            t = day * SECONDS_PER_DAY + rng.randrange(0, 200)
+            t_end = t + rng.randrange(60, 600)
+            journey = planner.shortest_duration(u, v, t, t_end)
+            if journey is not None:
+                found += 1
+                assert t <= journey.dep <= journey.arr <= t_end
+        assert found > 0
+
+    def test_indices_built_lazily(self, calendar):
+        planner = MultiDayPlanner(calendar)
+        assert planner.num_built_indices() == 0
+        planner.earliest_arrival(0, 1, 100)
+        assert planner.num_built_indices() == 1
+        planner.earliest_arrival(0, 1, 5 * SECONDS_PER_DAY + 100)
+        assert planner.num_built_indices() == 2
+
+    def test_weekday_indices_shared_structurally(self, calendar):
+        planner = MultiDayPlanner(calendar)
+        # Monday and Tuesday use distinct (day, day+1) indices even
+        # with identical timetables: partitioning is per day pair.
+        planner.earliest_arrival(0, 1, 100)
+        planner.earliest_arrival(0, 1, SECONDS_PER_DAY + 100)
+        assert planner.num_built_indices() == 2
+
+
+class TestValidation:
+    def test_negative_time_rejected(self, calendar):
+        planner = MultiDayPlanner(calendar)
+        with pytest.raises(QueryError):
+            planner.earliest_arrival(0, 1, -5)
+
+    def test_beyond_week_rejected(self, calendar):
+        planner = MultiDayPlanner(calendar)
+        with pytest.raises(QueryError):
+            planner.earliest_arrival(0, 1, 8 * SECONDS_PER_DAY)
+
+    def test_oversized_sdp_window_rejected(self, calendar):
+        planner = MultiDayPlanner(calendar)
+        with pytest.raises(QueryError, match="24h"):
+            planner.shortest_duration(0, 1, 0, 2 * SECONDS_PER_DAY)
+
+    def test_empty_window_rejected(self, calendar):
+        planner = MultiDayPlanner(calendar)
+        with pytest.raises(QueryError, match="empty"):
+            planner.shortest_duration(0, 1, 100, 50)

@@ -1,0 +1,182 @@
+"""Tests for node-ordering strategies (Section 6)."""
+
+import random
+
+import pytest
+
+from repro.core.build import build_index
+from repro.core.order import (
+    approximation_order,
+    betweenness_order,
+    degree_order,
+    hub_order,
+    random_order,
+    _build_eap_tree,
+)
+from repro.errors import IndexBuildError
+from repro.graph.builders import GraphBuilder, graph_from_connections
+from tests.conftest import make_random_route_graph
+
+
+ALL_ORDERS = [
+    lambda g: random_order(g, seed=3),
+    degree_order,
+    betweenness_order,
+    hub_order,
+    approximation_order,
+]
+
+
+class TestPermutationProperty:
+    @pytest.mark.parametrize("order_fn", ALL_ORDERS)
+    def test_rank_is_permutation(self, order_fn, route_graph):
+        ranks = order_fn(route_graph)
+        assert sorted(ranks) == list(range(route_graph.n))
+
+    @pytest.mark.parametrize("order_fn", ALL_ORDERS)
+    def test_empty_graph(self, order_fn):
+        graph = GraphBuilder().build()
+        assert order_fn(graph) == []
+
+
+class TestRandomOrder:
+    def test_seed_determinism(self, route_graph):
+        assert random_order(route_graph, seed=5) == random_order(
+            route_graph, seed=5
+        )
+
+    def test_seeds_differ(self, route_graph):
+        a = random_order(route_graph, seed=1)
+        b = random_order(route_graph, seed=2)
+        assert a != b  # overwhelmingly likely for n >= 5
+
+
+class TestDegreeOrder:
+    def test_densest_station_ranked_first(self):
+        graph = graph_from_connections(
+            [(0, 1, 0, 5), (1, 2, 6, 9), (2, 1, 1, 4), (1, 0, 10, 20)]
+        )
+        ranks = degree_order(graph)
+        assert ranks[1] == 0  # station 1 touches every connection
+
+
+class TestHubOrder:
+    def test_determinism(self, route_graph):
+        assert hub_order(route_graph, seed=4) == hub_order(route_graph, seed=4)
+
+    def test_hub_station_wins_on_star(self):
+        """On a star network, the centre covers every EAP."""
+        builder = GraphBuilder()
+        centre = builder.add_station("centre")
+        leaves = [builder.add_station(f"leaf{i}") for i in range(4)]
+        for leaf in leaves:
+            r_out = builder.add_route([centre, leaf])
+            r_in = builder.add_route([leaf, centre])
+            for k in range(3):
+                builder.add_trip_departures(r_out, 10 + 30 * k, [10])
+                builder.add_trip_departures(r_in, 20 + 30 * k, [10])
+        graph = builder.build()
+        ranks = hub_order(graph, num_samples=16, seed=0)
+        assert ranks[centre] == 0
+
+    def test_more_samples_not_worse_index(self, rng):
+        """A sanity check, not a theorem: with enough samples the index
+        should not be dramatically larger than with one sample."""
+        graph = make_random_route_graph(rng, 12, 8)
+        few = build_index(graph, order=hub_order(graph, num_samples=1))
+        many = build_index(graph, order=hub_order(graph, num_samples=48))
+        assert many.num_labels <= few.num_labels * 1.5
+
+    def test_eap_tree_coverage_sums(self, line_graph):
+        tree = _build_eap_tree(line_graph, 0, 95)
+        assert tree is not None
+        # Root covers every reached station.
+        assert tree.coverage[0] == len(tree.coverage)
+
+    def test_eap_tree_none_when_isolated(self, line_graph):
+        # Station 3 has no outgoing connections.
+        assert _build_eap_tree(line_graph, 3, 0) is None
+
+
+class TestBetweennessOrder:
+    def test_centre_of_star_ranked_first(self):
+        from repro.graph.builders import GraphBuilder
+
+        builder = GraphBuilder()
+        centre = builder.add_station("centre")
+        leaves = [builder.add_station(f"l{i}") for i in range(4)]
+        for leaf in leaves:
+            out = builder.add_route([centre, leaf])
+            back = builder.add_route([leaf, centre])
+            builder.add_trip_departures(out, 10, [10])
+            builder.add_trip_departures(back, 30, [10])
+        graph = builder.build()
+        ranks = betweenness_order(graph)
+        assert ranks[centre] == 0
+
+    def test_ttl_correct_under_betweenness_order(self, rng):
+        from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+        from repro.core.queries import TTLPlanner
+        from tests.conftest import make_random_route_graph
+
+        graph = make_random_route_graph(rng, 9, 6)
+        oracle = DijkstraPlanner(graph)
+        ttl = TTLPlanner(graph, order=betweenness_order)
+        for _ in range(40):
+            u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+            if u == v:
+                continue
+            t = rng.randrange(0, 250)
+            a = oracle.earliest_arrival(u, v, t)
+            b = ttl.earliest_arrival(u, v, t)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.arr == b.arr
+
+
+class TestApproximationOrder:
+    def test_gate_on_large_graphs(self, rng):
+        graph = make_random_route_graph(rng, 10, 4)
+        with pytest.raises(IndexBuildError, match="limited"):
+            approximation_order(graph, max_stations=5)
+
+    def test_not_worse_than_random(self, rng):
+        """A-Order should produce an index no larger than Rand-Order
+        (Appendix D.2's headline)."""
+        graph = make_random_route_graph(rng, 10, 7)
+        a_index = build_index(graph, order=approximation_order(graph))
+        r_index = build_index(graph, order=random_order(graph, seed=9))
+        assert a_index.num_labels <= r_index.num_labels
+
+
+class TestResolveOrder:
+    def test_string_specs(self, route_graph):
+        from repro.core.build import resolve_order
+
+        for spec in ("hub", "random", "degree", "betweenness", "approx"):
+            ranks = resolve_order(route_graph, spec)
+            assert sorted(ranks) == list(range(route_graph.n))
+
+    def test_unknown_string_rejected(self, route_graph):
+        from repro.core.build import resolve_order
+
+        with pytest.raises(IndexBuildError, match="unknown order"):
+            resolve_order(route_graph, "bogus")
+
+    def test_explicit_ranks(self, route_graph):
+        from repro.core.build import resolve_order
+
+        ranks = list(range(route_graph.n))
+        assert resolve_order(route_graph, ranks) == ranks
+
+    def test_non_permutation_rejected(self, route_graph):
+        from repro.core.build import resolve_order
+
+        with pytest.raises(IndexBuildError, match="permutation"):
+            resolve_order(route_graph, [0] * route_graph.n)
+
+    def test_callable(self, route_graph):
+        from repro.core.build import resolve_order
+
+        ranks = resolve_order(route_graph, lambda g: degree_order(g))
+        assert sorted(ranks) == list(range(route_graph.n))

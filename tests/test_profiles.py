@@ -1,0 +1,170 @@
+"""Unit and property-based tests for Pareto (dep, arr) profiles."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.profiles import ParetoProfile
+from repro.timeutil import INF, NEG_INF
+
+pair_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=60),
+    ).map(lambda t: (t[0], t[0] + t[1])),
+    max_size=40,
+)
+
+
+def brute_force_front(pairs):
+    """Reference Pareto frontier (weak dominance, dedup)."""
+    front = []
+    for dep, arr in set(pairs):
+        dominated = any(
+            (d >= dep and a < arr) or (d > dep and a <= arr)
+            for d, a in set(pairs)
+        )
+        if not dominated:
+            front.append((dep, arr))
+    return sorted(front)
+
+
+class TestAdd:
+    def test_simple_insert(self):
+        profile = ParetoProfile()
+        assert profile.add(10, 20)
+        assert profile.pairs() == [(10, 20)]
+
+    def test_duplicate_rejected(self):
+        profile = ParetoProfile([(10, 20)])
+        assert not profile.add(10, 20)
+
+    def test_dominated_rejected(self):
+        profile = ParetoProfile([(10, 20)])
+        assert not profile.add(5, 20)  # earlier dep, same arr
+        assert not profile.add(10, 25)  # same dep, later arr
+        assert not profile.add(5, 25)
+
+    def test_dominating_evicts(self):
+        profile = ParetoProfile([(10, 20)])
+        assert profile.add(12, 18)
+        assert profile.pairs() == [(12, 18)]
+
+    def test_same_dep_better_arr_replaces(self):
+        profile = ParetoProfile([(10, 20)])
+        assert profile.add(10, 15)
+        assert profile.pairs() == [(10, 15)]
+
+    def test_eviction_of_many(self):
+        profile = ParetoProfile([(1, 10), (2, 11), (3, 12)])
+        assert profile.add(4, 5)
+        assert profile.pairs() == [(4, 5)]
+
+    def test_payload_tracked(self):
+        profile = ParetoProfile()
+        profile.add(1, 2, payload="x")
+        assert profile.eat_pair(0) == (1, 2, "x")
+
+    def test_zero_duration_pair_allowed(self):
+        profile = ParetoProfile()
+        assert profile.add(5, 5)
+
+
+class TestQueries:
+    def test_eat(self):
+        profile = ParetoProfile([(10, 20), (30, 35)])
+        assert profile.eat(0) == 20
+        assert profile.eat(11) == 35
+        assert profile.eat(31) == INF
+
+    def test_ldt(self):
+        profile = ParetoProfile([(10, 20), (30, 35)])
+        assert profile.ldt(100) == 30
+        assert profile.ldt(34) == 10
+        assert profile.ldt(19) == NEG_INF
+
+    def test_best_duration_window(self):
+        profile = ParetoProfile([(10, 30), (20, 32), (40, 70)])
+        best = profile.best_duration(0, 100)
+        assert best is not None and best[:2] == (20, 32)
+
+    def test_best_duration_empty_window(self):
+        profile = ParetoProfile([(10, 30)])
+        assert profile.best_duration(50, 60) is None
+        assert profile.best_duration(0, 20) is None
+
+    def test_dominates(self):
+        profile = ParetoProfile([(10, 20)])
+        assert profile.dominates(10, 20)
+        assert profile.dominates(5, 25)
+        assert not profile.dominates(11, 20)
+        assert not profile.dominates(10, 19)
+
+    def test_bool_and_len(self):
+        profile = ParetoProfile()
+        assert not profile
+        profile.add(1, 2)
+        assert profile and len(profile) == 1
+
+
+class TestProperties:
+    @given(pair_lists)
+    @settings(max_examples=200)
+    def test_matches_brute_force_front(self, pairs):
+        profile = ParetoProfile()
+        for dep, arr in pairs:
+            profile.add(dep, arr)
+        assert profile.pairs() == brute_force_front(pairs)
+
+    @given(pair_lists)
+    @settings(max_examples=100)
+    def test_staircase_invariant(self, pairs):
+        profile = ParetoProfile()
+        for dep, arr in pairs:
+            profile.add(dep, arr)
+        deps, arrs = profile.deps, profile.arrs
+        for i in range(len(deps) - 1):
+            assert deps[i] < deps[i + 1]
+            assert arrs[i] < arrs[i + 1]
+
+    @given(pair_lists, st.integers(min_value=0, max_value=200))
+    @settings(max_examples=100)
+    def test_eat_matches_brute_force(self, pairs, t):
+        profile = ParetoProfile()
+        for dep, arr in pairs:
+            profile.add(dep, arr)
+        expected = min(
+            (arr for dep, arr in pairs if dep >= t), default=INF
+        )
+        assert profile.eat(t) == expected
+
+    @given(pair_lists, st.integers(min_value=0, max_value=200))
+    @settings(max_examples=100)
+    def test_ldt_matches_brute_force(self, pairs, t):
+        profile = ParetoProfile()
+        for dep, arr in pairs:
+            profile.add(dep, arr)
+        expected = max(
+            (dep for dep, arr in pairs if arr <= t), default=NEG_INF
+        )
+        assert profile.ldt(t) == expected
+
+    @given(
+        pair_lists,
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=100)
+    def test_best_duration_matches_brute_force(self, pairs, a, b):
+        t, t_end = min(a, b), max(a, b)
+        profile = ParetoProfile()
+        for dep, arr in pairs:
+            profile.add(dep, arr)
+        feasible = [
+            arr - dep for dep, arr in pairs if dep >= t and arr <= t_end
+        ]
+        best = profile.best_duration(t, t_end)
+        if not feasible:
+            assert best is None
+        else:
+            assert best is not None
+            assert best[1] - best[0] == min(feasible)

@@ -1,0 +1,114 @@
+"""Property-based end-to-end tests: TTL vs the Dijkstra oracle on
+hypothesis-generated timetable graphs.
+
+These are the heavyweight guarantees of the suite: for *arbitrary*
+timetables (not just the shapes our generators produce), every query
+type must agree with the oracle, and the index must satisfy its
+structural invariants.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.core.build import build_index
+from repro.core.compression import compress_index
+from repro.core.cindex import CompressedTTLPlanner
+from repro.core.queries import TTLPlanner
+from repro.graph.builders import graph_from_connections
+from repro.graph.connection import validate_path
+
+
+@st.composite
+def timetable_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    m = draw(st.integers(min_value=1, max_value=25))
+    conns = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            v = (v + 1) % n
+        dep = draw(st.integers(min_value=0, max_value=120))
+        dur = draw(st.integers(min_value=1, max_value=40))
+        conns.append((u, v, dep, dep + dur))
+    return graph_from_connections(conns, n)
+
+
+queries = st.tuples(
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=150),
+    st.integers(min_value=0, max_value=60),
+)
+
+
+@given(timetable_graphs(), st.lists(queries, min_size=1, max_size=8))
+@settings(max_examples=120, deadline=None)
+def test_ttl_matches_oracle(graph, query_list):
+    oracle = DijkstraPlanner(graph)
+    ttl = TTLPlanner(graph)
+    ttl.preprocess()
+    ttl.index.check_invariants()
+    for u, v, t, window in query_list:
+        u %= graph.n
+        v %= graph.n
+        if u == v:
+            continue
+        t_end = t + max(1, window)
+
+        a = oracle.earliest_arrival(u, v, t)
+        b = ttl.earliest_arrival(u, v, t)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.arr == b.arr
+            validate_path(b.path)
+            assert b.path[0].u == u and b.path[-1].v == v
+            assert b.path[0].dep >= t
+
+        a = oracle.latest_departure(u, v, t)
+        b = ttl.latest_departure(u, v, t)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.dep == b.dep
+            assert b.path[-1].arr <= t
+
+        a = oracle.shortest_duration(u, v, t, t_end)
+        b = ttl.shortest_duration(u, v, t, t_end)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.duration == b.duration
+
+
+@given(timetable_graphs(), st.lists(queries, min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_compressed_index_matches_oracle(graph, query_list):
+    oracle = DijkstraPlanner(graph)
+    index = build_index(graph)
+    compressed, stats = compress_index(index, mode="both")
+    assert stats.labels_after <= stats.labels_before
+    planner = CompressedTTLPlanner(graph, cindex=compressed)
+    for u, v, t, window in query_list:
+        u %= graph.n
+        v %= graph.n
+        if u == v:
+            continue
+        a = oracle.earliest_arrival(u, v, t)
+        b = planner.earliest_arrival(u, v, t)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.arr == b.arr
+
+
+@given(timetable_graphs())
+@settings(max_examples=80, deadline=None)
+def test_index_structural_invariants(graph):
+    index = build_index(graph)
+    index.check_invariants()
+    # Every label's (dep, arr) must be a feasible journey.
+    oracle = DijkstraPlanner(graph)
+    for v in range(graph.n):
+        for label in index.in_labels(v):
+            journey = oracle.earliest_arrival(label.hub, v, label.dep)
+            assert journey is not None
+            assert journey.arr == label.arr

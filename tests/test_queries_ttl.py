@@ -1,0 +1,146 @@
+"""End-to-end TTL query tests against the Dijkstra oracle."""
+
+import random
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.core.queries import TTLPlanner
+from repro.errors import QueryError
+from repro.graph.connection import validate_path
+from tests.conftest import make_random_connection_graph, make_random_route_graph
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("order", ["hub", "random", "degree"])
+    def test_connection_graphs(self, order):
+        rng = random.Random(hash(order) & 0xFFFF)
+        for _ in range(6):
+            graph = make_random_connection_graph(
+                rng, rng.randrange(4, 12), rng.randrange(5, 50)
+            )
+            oracle = DijkstraPlanner(graph)
+            ttl = TTLPlanner(graph, order=order)
+            for _ in range(40):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 230)
+                t2 = t + rng.randrange(1, 240)
+
+                a = oracle.earliest_arrival(u, v, t)
+                b = ttl.earliest_arrival(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arr == b.arr
+                    assert b.dep >= t
+                    validate_path(b.path)
+                    assert b.path[0].u == u and b.path[-1].v == v
+
+                a = oracle.latest_departure(u, v, t)
+                b = ttl.latest_departure(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.dep == b.dep
+                    assert b.arr <= t
+                    validate_path(b.path)
+
+                a = oracle.shortest_duration(u, v, t, t2)
+                b = ttl.shortest_duration(u, v, t, t2)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.duration == b.duration
+                    assert b.dep >= t and b.arr <= t2
+                    validate_path(b.path)
+
+    def test_route_graphs(self, rng):
+        for _ in range(5):
+            graph = make_random_route_graph(rng, 11, 7)
+            oracle = DijkstraPlanner(graph)
+            ttl = TTLPlanner(graph)
+            for _ in range(40):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 260)
+                a = oracle.earliest_arrival(u, v, t)
+                b = ttl.earliest_arrival(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arr == b.arr
+
+
+class TestDeterministicAnswers:
+    def test_line_graph(self, line_graph):
+        ttl = TTLPlanner(line_graph)
+        assert ttl.earliest_arrival(0, 3, 95).arr == 130
+        assert ttl.earliest_arrival(0, 3, 205).arr == 235
+        assert ttl.latest_departure(0, 3, 330).dep == 300
+        assert ttl.shortest_duration(0, 3, 0, 400).duration == 25
+        assert ttl.shortest_duration(0, 3, 0, 150).duration == 30
+
+    def test_figure1_style_graph(self, figure1_graph):
+        ttl = TTLPlanner(figure1_graph)
+        oracle = DijkstraPlanner(figure1_graph)
+        for u in range(figure1_graph.n):
+            for v in range(figure1_graph.n):
+                if u == v:
+                    continue
+                for t in range(4, 14):
+                    a = oracle.earliest_arrival(u, v, t)
+                    b = ttl.earliest_arrival(u, v, t)
+                    assert (a is None) == (b is None)
+                    if a is not None:
+                        assert a.arr == b.arr
+
+
+class TestQueryValidation:
+    def test_unknown_station(self, line_graph):
+        ttl = TTLPlanner(line_graph)
+        with pytest.raises(QueryError):
+            ttl.earliest_arrival(0, 42, 0)
+        with pytest.raises(QueryError):
+            ttl.latest_departure(42, 0, 0)
+        with pytest.raises(QueryError):
+            ttl.shortest_duration(-1, 0, 0, 10)
+
+    def test_empty_window(self, line_graph):
+        ttl = TTLPlanner(line_graph)
+        with pytest.raises(QueryError):
+            ttl.shortest_duration(0, 3, 100, 99)
+
+    def test_same_station(self, line_graph):
+        ttl = TTLPlanner(line_graph)
+        journey = ttl.earliest_arrival(2, 2, 77)
+        assert journey.dep == journey.arr == 77
+
+    def test_unreachable_returns_none(self, line_graph):
+        ttl = TTLPlanner(line_graph)
+        assert ttl.earliest_arrival(3, 0, 0) is None
+        assert ttl.latest_departure(3, 0, 10**6) is None
+        assert ttl.shortest_duration(3, 0, 0, 10**6) is None
+
+    def test_query_beyond_service_end(self, line_graph):
+        ttl = TTLPlanner(line_graph)
+        assert ttl.earliest_arrival(0, 3, 10**7) is None
+
+
+class TestPlannerLifecycle:
+    def test_prebuilt_index_reused(self, line_graph):
+        from repro.core.build import build_index
+
+        index = build_index(line_graph)
+        ttl = TTLPlanner(line_graph, index=index)
+        assert ttl.index is index
+        ttl.preprocess()
+        assert ttl.index is index
+
+    def test_lazy_build_on_first_query(self, line_graph):
+        ttl = TTLPlanner(line_graph)
+        assert ttl.index is None
+        ttl.earliest_arrival(0, 3, 95)
+        assert ttl.index is not None
+
+    def test_index_bytes_positive(self, line_graph):
+        ttl = TTLPlanner(line_graph)
+        assert ttl.index_bytes() > 0

@@ -1,0 +1,134 @@
+"""Tests for the RAPTOR supplementary baseline."""
+
+import random
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.baselines.raptor import RaptorPlanner, _fifo_chains
+from repro.graph.connection import validate_path
+from repro.graph.route import StopTime, Trip
+from tests.conftest import make_random_connection_graph, make_random_route_graph
+
+
+def make_trip(trip_id, times):
+    return Trip(
+        trip_id=trip_id,
+        route_id=0,
+        stop_times=tuple(StopTime(t, t) for t in times),
+    )
+
+
+class TestFifoChains:
+    def test_nonovertaking_trips_share_a_chain(self):
+        trips = [make_trip(0, [0, 10]), make_trip(1, [5, 15])]
+        chains = _fifo_chains(trips)
+        assert len(chains) == 1
+        assert [t.trip_id for t in chains[0]] == [0, 1]
+
+    def test_overtaking_trip_gets_own_chain(self):
+        # Trip 1 departs later but arrives earlier: overtakes trip 0.
+        trips = [make_trip(0, [0, 30]), make_trip(1, [5, 20])]
+        chains = _fifo_chains(trips)
+        assert len(chains) == 2
+
+    def test_all_trips_preserved(self):
+        rng = random.Random(1)
+        trips = []
+        for k in range(12):
+            start = rng.randrange(0, 100)
+            trips.append(
+                make_trip(k, [start, start + rng.randrange(5, 40)])
+            )
+        chains = _fifo_chains(trips)
+        assert sorted(t.trip_id for c in chains for t in c) == list(range(12))
+
+    def test_chains_are_fifo(self):
+        rng = random.Random(2)
+        trips = []
+        for k in range(15):
+            a = rng.randrange(0, 80)
+            b = a + rng.randrange(1, 50)
+            c = b + rng.randrange(1, 50)
+            trips.append(make_trip(k, [a, b, c]))
+        for chain in _fifo_chains(trips):
+            for prev, nxt in zip(chain, chain[1:]):
+                for p, q in zip(prev.stop_times, nxt.stop_times):
+                    assert q.dep >= p.dep and q.arr >= p.arr
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_all_query_types(self, seed):
+        rng = random.Random(seed)
+        for trial in range(6):
+            if trial % 2:
+                graph = make_random_route_graph(rng, 10, 6)
+            else:
+                graph = make_random_connection_graph(
+                    rng, rng.randrange(4, 11), rng.randrange(5, 50)
+                )
+            oracle = DijkstraPlanner(graph)
+            raptor = RaptorPlanner(graph)
+            for _ in range(30):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 240)
+                t2 = t + rng.randrange(1, 250)
+
+                a = oracle.earliest_arrival(u, v, t)
+                b = raptor.earliest_arrival(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arr == b.arr
+                    validate_path(b.path)
+                    assert b.path[0].u == u and b.path[-1].v == v
+
+                a = oracle.latest_departure(u, v, t)
+                b = raptor.latest_departure(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.dep == b.dep
+                    validate_path(b.path)
+
+                a = oracle.shortest_duration(u, v, t, t2)
+                b = raptor.shortest_duration(u, v, t, t2)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.duration == b.duration
+
+
+class TestRounds:
+    def test_round_limit_bounds_transfers(self, line_graph):
+        """With max_rounds=1, only direct (single-vehicle) journeys."""
+        raptor = RaptorPlanner(line_graph)
+        raptor.preprocess()
+        best = raptor._forward.run(0, 95, max_rounds=1)
+        # Station 3 reachable directly by the local trip at 100.
+        assert best[3] == 130
+
+    def test_deterministic_answers(self, line_graph):
+        raptor = RaptorPlanner(line_graph)
+        assert raptor.earliest_arrival(0, 3, 95).arr == 130
+        assert raptor.earliest_arrival(0, 3, 205).arr == 235
+        assert raptor.latest_departure(0, 3, 330).dep == 300
+        assert raptor.shortest_duration(0, 3, 0, 400).duration == 25
+
+
+class TestEdgeCases:
+    def test_same_station(self, line_graph):
+        raptor = RaptorPlanner(line_graph)
+        journey = raptor.earliest_arrival(1, 1, 7)
+        assert journey.duration == 0
+
+    def test_unreachable(self, line_graph):
+        raptor = RaptorPlanner(line_graph)
+        assert raptor.earliest_arrival(3, 0, 0) is None
+        assert raptor.latest_departure(3, 0, 10**6) is None
+        assert raptor.shortest_duration(3, 0, 0, 10**6) is None
+
+    def test_index_bytes_positive(self, line_graph):
+        raptor = RaptorPlanner(line_graph)
+        raptor.preprocess()
+        assert raptor.index_bytes() > 0

@@ -1,0 +1,126 @@
+"""Tests for RAPTOR's multicriteria (vehicles, arrival) profiles."""
+
+import random
+
+import pytest
+
+from repro.baselines.raptor import RaptorPlanner
+from repro.timeutil import INF
+from tests.conftest import make_random_connection_graph, make_random_route_graph
+
+
+def oracle_rounds(graph, source, t, max_rounds):
+    """Per-round DP: tau[k][v] = earliest arrival with <= k vehicles.
+
+    Scans every trip once per round — obviously correct, no FIFO
+    assumptions, used as the reference for RAPTOR's round semantics.
+    """
+    n = graph.n
+    tau = [[INF] * n]
+    tau[0][source] = t
+    for _ in range(max_rounds):
+        cur = list(tau[-1])
+        for route in graph.routes.values():
+            for trip in route.trips:
+                onboard = False
+                for i, stop in enumerate(route.stops):
+                    if onboard:
+                        arr = trip.stop_times[i].arr
+                        if arr < cur[stop]:
+                            cur[stop] = arr
+                    if (
+                        i < len(route.stops) - 1
+                        and tau[-1][stop] <= trip.stop_times[i].dep
+                    ):
+                        onboard = True
+        tau.append(cur)
+        if cur == tau[-2]:
+            break
+    return tau
+
+
+def oracle_pareto(graph, u, v, t, max_rounds):
+    tau = oracle_rounds(graph, u, t, max_rounds)
+    result = []
+    previous = INF
+    for k in range(1, len(tau)):
+        arr = tau[k][v]
+        if arr < previous:
+            result.append((k, arr))
+            previous = arr
+    return result
+
+
+class TestAgainstRoundDP:
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_pareto_matches(self, seed):
+        rng = random.Random(seed)
+        for trial in range(8):
+            if trial % 2:
+                graph = make_random_route_graph(rng, 9, 6)
+            else:
+                graph = make_random_connection_graph(
+                    rng, rng.randrange(4, 9), rng.randrange(5, 35)
+                )
+            planner = RaptorPlanner(graph)
+            planner.preprocess()
+            for _ in range(25):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 220)
+                rounds = graph.n + 2
+                assert planner.pareto_arrivals(
+                    u, v, t, max_rounds=rounds
+                ) == oracle_pareto(graph, u, v, t, rounds)
+
+
+class TestParetoShape:
+    def test_strictly_improving(self, route_graph, rng):
+        planner = RaptorPlanner(route_graph)
+        planner.preprocess()
+        for _ in range(40):
+            u, v = rng.randrange(route_graph.n), rng.randrange(route_graph.n)
+            if u == v:
+                continue
+            pairs = planner.pareto_arrivals(u, v, rng.randrange(0, 250))
+            for (k1, a1), (k2, a2) in zip(pairs, pairs[1:]):
+                assert k1 < k2 and a1 > a2
+
+    def test_last_pair_is_overall_eap(self, route_graph, rng):
+        planner = RaptorPlanner(route_graph)
+        planner.preprocess()
+        for _ in range(40):
+            u, v = rng.randrange(route_graph.n), rng.randrange(route_graph.n)
+            if u == v:
+                continue
+            t = rng.randrange(0, 250)
+            pairs = planner.pareto_arrivals(u, v, t)
+            eap = planner.earliest_arrival(u, v, t)
+            if not pairs:
+                assert eap is None
+            else:
+                assert eap is not None
+                assert pairs[-1][1] == eap.arr
+
+    def test_transfer_vs_express_tradeoff(self):
+        """A slow direct bus vs a faster two-leg metro connection must
+        yield two Pareto pairs."""
+        from repro.graph.builders import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.add_stations(3)
+        direct = builder.add_route([0, 2])
+        builder.add_trip_departures(direct, 10, [100])  # arrive 110
+        leg1 = builder.add_route([0, 1])
+        builder.add_trip_departures(leg1, 10, [20])  # arrive 30
+        leg2 = builder.add_route([1, 2])
+        builder.add_trip_departures(leg2, 40, [20])  # arrive 60
+        graph = builder.build()
+        planner = RaptorPlanner(graph)
+        pairs = planner.pareto_arrivals(0, 2, 0)
+        assert pairs == [(1, 110), (2, 60)]
+
+    def test_same_station(self, route_graph):
+        planner = RaptorPlanner(route_graph)
+        assert planner.pareto_arrivals(1, 1, 50) == [(0, 50)]

@@ -1,0 +1,55 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.bench.harness import BenchConfig, PlannerCache
+from repro.bench.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    config = BenchConfig(
+        scale=0.5, datasets=["Austin", "Toronto"], num_queries=15
+    )
+    return generate_report(PlannerCache(config))
+
+
+def test_all_sections_present(report_text):
+    for heading in (
+        "Table 3",
+        "Figure 3",
+        "Figure 4",
+        "Figure 5",
+        "Table 4",
+        "Figure 8",
+        "Figure 9",
+        "Figure 10",
+    ):
+        assert heading in report_text
+
+
+def test_verdicts_present(report_text):
+    assert "TTL beats CSA" in report_text
+    assert "compression" in report_text
+
+
+def test_datasets_listed(report_text):
+    assert "Austin, Toronto" in report_text
+
+
+def test_cli_report(tmp_path, capsys):
+    from repro.cli import main
+
+    out_file = tmp_path / "r.md"
+    assert (
+        main(
+            [
+                "report", "-o", str(out_file),
+                "--datasets", "Austin", "--queries", "10",
+                "--scale", "0.5",
+            ]
+        )
+        == 0
+    )
+    assert out_file.exists()
+    assert "# TTL reproduction report" in out_file.read_text()

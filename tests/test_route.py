@@ -1,0 +1,116 @@
+"""Unit tests for routes and trips."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.route import Route, StopTime, Trip, trip_connections
+
+
+def make_trip(trip_id, route_id, times):
+    return Trip(
+        trip_id=trip_id,
+        route_id=route_id,
+        stop_times=tuple(StopTime(a, d) for a, d in times),
+    )
+
+
+@pytest.fixture
+def simple_route():
+    route = Route(route_id=0, stops=(3, 1, 4))
+    route.trips.append(make_trip(0, 0, [(10, 10), (20, 22), (30, 30)]))
+    route.trips.append(make_trip(1, 0, [(40, 40), (50, 52), (60, 60)]))
+    return route
+
+
+class TestTripValidation:
+    def test_valid(self, simple_route):
+        simple_route.validate()
+
+    def test_wrong_stop_count(self):
+        trip = make_trip(0, 0, [(10, 10), (20, 20)])
+        with pytest.raises(ValidationError, match="stop times"):
+            trip.validate(3)
+
+    def test_departure_before_arrival_rejected(self):
+        trip = make_trip(0, 0, [(10, 9), (20, 20)])
+        with pytest.raises(ValidationError, match="before arriving"):
+            trip.validate(2)
+
+    def test_non_increasing_between_stops_rejected(self):
+        trip = make_trip(0, 0, [(10, 10), (10, 12)])
+        with pytest.raises(ValidationError, match="non-increasing"):
+            trip.validate(2)
+
+    def test_departure_and_arrival_properties(self):
+        trip = make_trip(0, 0, [(10, 12), (20, 20)])
+        assert trip.departure == 12
+        assert trip.arrival == 20
+
+
+class TestRouteValidation:
+    def test_short_route_rejected(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            Route(route_id=0, stops=(1,)).validate()
+
+    def test_repeated_consecutive_stop_rejected(self):
+        with pytest.raises(ValidationError, match="repeated"):
+            Route(route_id=0, stops=(1, 1, 2)).validate()
+
+    def test_trip_route_mismatch_rejected(self, simple_route):
+        simple_route.trips.append(make_trip(9, 5, [(0, 0), (1, 1), (2, 2)]))
+        with pytest.raises(ValidationError, match="claims route"):
+            simple_route.validate()
+
+
+class TestRouteQueries:
+    def test_stop_index(self, simple_route):
+        assert simple_route.stop_index(3) == 0
+        assert simple_route.stop_index(4) == 2
+
+    def test_stop_index_missing(self, simple_route):
+        with pytest.raises(ValueError):
+            simple_route.stop_index(99)
+
+    def test_visits_in_order(self, simple_route):
+        assert simple_route.visits_in_order(3, 4)
+        assert simple_route.visits_in_order(3, 1)
+        assert not simple_route.visits_in_order(4, 3)
+        assert not simple_route.visits_in_order(3, 99)
+
+    def test_timetable_between(self, simple_route):
+        table = simple_route.timetable_between(3, 4)
+        assert table == [(10, 30, 0), (40, 60, 1)]
+
+    def test_timetable_between_wrong_order(self, simple_route):
+        with pytest.raises(ValidationError, match="precede"):
+            simple_route.timetable_between(4, 3)
+
+    def test_sort_trips(self, simple_route):
+        simple_route.trips.reverse()
+        simple_route.sort_trips()
+        assert [t.trip_id for t in simple_route.trips] == [0, 1]
+
+    def test_columns_match_timetable(self, simple_route):
+        deps, arrs, trips = simple_route.pair_columns(3, 4)
+        assert deps == [10, 40]
+        assert arrs == [30, 60]
+        assert trips == [0, 1]
+
+    def test_columns_cached(self, simple_route):
+        first = simple_route.columns()
+        assert simple_route.columns() is first
+
+    def test_pair_columns_intermediate(self, simple_route):
+        deps, arrs, trips = simple_route.pair_columns(1, 4)
+        assert deps == [22, 52]
+        assert arrs == [30, 60]
+
+
+class TestTripConnections:
+    def test_expansion(self, simple_route):
+        conns = trip_connections(simple_route, simple_route.trips[0])
+        assert len(conns) == 2
+        assert conns[0].u == 3 and conns[0].v == 1
+        assert conns[0].dep == 10 and conns[0].arr == 20
+        assert conns[1].dep == 22 and conns[1].arr == 30
+        assert all(c.trip == 0 for c in conns)

@@ -1,0 +1,93 @@
+"""Tests for index persistence and size accounting."""
+
+import random
+
+import pytest
+
+from repro.core.build import build_index
+from repro.core.queries import TTLPlanner
+from repro.core.serialize import (
+    BYTES_PER_LABEL,
+    connections_bytes,
+    index_bytes,
+    load_index,
+    save_index,
+)
+from repro.errors import SerializationError
+from tests.conftest import make_random_route_graph
+
+
+class TestRoundtrip:
+    def test_label_sets_identical(self, route_graph, tmp_path):
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        loaded = load_index(path, route_graph)
+        assert loaded.ranks == index.ranks
+        for v in range(route_graph.n):
+            assert loaded.in_labels(v) == index.in_labels(v)
+            assert loaded.out_labels(v) == index.out_labels(v)
+
+    def test_loaded_index_answers_queries(self, route_graph, tmp_path, rng):
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        loaded = load_index(path, route_graph)
+        original = TTLPlanner(route_graph, index=index)
+        restored = TTLPlanner(route_graph, index=loaded)
+        for _ in range(40):
+            u, v = rng.randrange(route_graph.n), rng.randrange(route_graph.n)
+            if u == v:
+                continue
+            t = rng.randrange(0, 250)
+            a = original.earliest_arrival(u, v, t)
+            b = restored.earliest_arrival(u, v, t)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.arr == b.arr
+
+    def test_invariants_after_load(self, route_graph, tmp_path):
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        load_index(path, route_graph).check_invariants()
+
+
+class TestErrors:
+    def test_bad_magic(self, route_graph, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOTANIDX" + b"\x00" * 64)
+        with pytest.raises(SerializationError, match="not a TTL index"):
+            load_index(path, route_graph)
+
+    def test_truncated_file(self, route_graph, tmp_path):
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SerializationError, match="truncated"):
+            load_index(path, route_graph)
+
+    def test_station_count_mismatch(self, route_graph, tmp_path, rng):
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        other = make_random_route_graph(rng, route_graph.n + 3, 4)
+        with pytest.raises(SerializationError, match="stations"):
+            load_index(path, other)
+
+
+class TestSizeAccounting:
+    def test_index_bytes_scales_with_labels(self, route_graph):
+        index = build_index(route_graph)
+        assert index_bytes(index) >= index.num_labels * BYTES_PER_LABEL
+
+    def test_connections_bytes(self):
+        assert connections_bytes(100) == 2000
+
+    def test_empty_index_bytes(self):
+        from repro.graph.timetable import TimetableGraph
+
+        index = build_index(TimetableGraph(0, []))
+        assert index_bytes(index) == 0

@@ -1,0 +1,50 @@
+"""Property-based serialization roundtrips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.build import build_index
+from repro.core.serialize import load_index, save_index
+from repro.graph.builders import graph_from_connections
+from repro.graph.gtfs import load_graph_csv, save_graph_csv
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    m = draw(st.integers(min_value=1, max_value=20))
+    conns = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            v = (v + 1) % n
+        dep = draw(st.integers(min_value=0, max_value=100))
+        conns.append((u, v, dep, dep + draw(st.integers(1, 40))))
+    return graph_from_connections(conns, n)
+
+
+@given(small_graphs())
+@settings(max_examples=40, deadline=None)
+def test_index_roundtrip_property(tmp_path_factory, graph):
+    tmp_path = tmp_path_factory.mktemp("idx")
+    index = build_index(graph)
+    path = tmp_path / "index.ttl"
+    save_index(index, path)
+    loaded = load_index(path, graph)
+    assert loaded.ranks == index.ranks
+    for v in range(graph.n):
+        assert loaded.in_labels(v) == index.in_labels(v)
+        assert loaded.out_labels(v) == index.out_labels(v)
+
+
+@given(small_graphs())
+@settings(max_examples=40, deadline=None)
+def test_graph_csv_roundtrip_property(tmp_path_factory, graph):
+    tmp_path = tmp_path_factory.mktemp("csv")
+    save_graph_csv(graph, tmp_path)
+    loaded = load_graph_csv(tmp_path)
+    assert loaded.n == graph.n
+    assert {tuple(c) for c in loaded.connections} == {
+        tuple(c) for c in graph.connections
+    }

@@ -1,0 +1,133 @@
+"""Tests for the HTTP planner service."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import TTLPlanner
+from repro.service import PlannerService
+
+
+@pytest.fixture(scope="module")
+def service(request):
+    from tests.conftest import make_random_route_graph
+    import random
+
+    graph = make_random_route_graph(random.Random(23), 10, 7)
+    svc = PlannerService(TTLPlanner(graph))
+    port = svc.start(port=0)
+    request.addfinalizer(svc.stop)
+    return graph, port
+
+
+def get(port, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10
+    ) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_stations(self, service):
+        graph, port = service
+        status, body = get(port, "/stations")
+        assert status == 200
+        assert len(body["stations"]) == graph.n
+        assert body["stations"][0]["id"] == 0
+
+    def test_eap_matches_planner(self, service):
+        graph, port = service
+        planner = TTLPlanner(graph)
+        found = 0
+        for u in range(graph.n):
+            for v in range(graph.n):
+                if u == v:
+                    continue
+                expected = planner.earliest_arrival(u, v, 0)
+                _, body = get(port, f"/eap?from={u}&to={v}&t=0")
+                if expected is None:
+                    assert body["journey"] is None
+                else:
+                    found += 1
+                    assert body["journey"]["arr"] == expected.arr
+                if found >= 10:
+                    return
+        assert found > 0
+
+    def test_sdp_and_ldp(self, service):
+        graph, port = service
+        for u in range(graph.n):
+            for v in range(graph.n):
+                if u == v:
+                    continue
+                _, body = get(
+                    port, f"/sdp?from={u}&to={v}&t=0&t_end=500"
+                )
+                if body["journey"] is not None:
+                    journey = body["journey"]
+                    assert 0 <= journey["dep"] <= journey["arr"] <= 500
+                    _, ldp = get(
+                        port, f"/ldp?from={u}&to={v}&t={journey['arr']}"
+                    )
+                    assert ldp["journey"] is not None
+                    return
+        pytest.skip("no feasible pair in sampled graph")
+
+    def test_profile(self, service):
+        graph, port = service
+        for u in range(graph.n):
+            for v in range(graph.n):
+                if u == v:
+                    continue
+                _, body = get(
+                    port, f"/profile?from={u}&to={v}&t=0&t_end=500"
+                )
+                pairs = body["pairs"]
+                if pairs:
+                    deps = [p[0] for p in pairs]
+                    assert deps == sorted(deps)
+                    return
+        pytest.skip("no feasible pair in sampled graph")
+
+    def test_journey_roundtrips_through_json(self, service):
+        from repro.journey import Journey
+
+        graph, port = service
+        for u in range(graph.n):
+            for v in range(graph.n):
+                if u == v:
+                    continue
+                _, body = get(port, f"/eap?from={u}&to={v}&t=0")
+                if body["journey"] is not None:
+                    journey = Journey.from_dict(body["journey"])
+                    assert journey.path is not None
+                    return
+        pytest.skip("no feasible pair")
+
+
+class TestErrors:
+    def test_unknown_path_404(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/teleport")
+        assert err.value.code == 404
+
+    def test_bad_station_400(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/eap?from=9999&to=0&t=0")
+        assert err.value.code == 400
+
+    def test_missing_param_400(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/eap?from=0")
+        assert err.value.code == 400
+
+    def test_garbage_param_400(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/eap?from=a&to=b&t=c")
+        assert err.value.code == 400

@@ -1,0 +1,165 @@
+"""Tests for SketchGen and the refinement fast paths.
+
+The key property: for any query window, folding over
+``generate_sketches`` (the faithful Algorithm 1) and the bisection
+fast paths must select candidates with identical objective values.
+"""
+
+import random
+
+import pytest
+
+from repro.core.build import build_index
+from repro.core.sketch import (
+    best_eap_sketch,
+    best_ldp_sketch,
+    best_sdp_sketch,
+    generate_sketches,
+)
+from repro.timeutil import INF, NEG_INF
+from tests.conftest import make_random_route_graph
+
+
+@pytest.fixture(scope="module")
+def indexed_graphs():
+    rng = random.Random(42)
+    out = []
+    for _ in range(5):
+        graph = make_random_route_graph(rng, 10, 6)
+        out.append((graph, build_index(graph)))
+    return out
+
+
+def fold_eap(index, u, v, t):
+    best = None
+    for sketch in generate_sketches(index, u, v, t, INF):
+        if best is None or sketch.arr < best.arr:
+            best = sketch
+    return best
+
+
+def fold_ldp(index, u, v, t_end):
+    best = None
+    for sketch in generate_sketches(index, u, v, NEG_INF, t_end):
+        if best is None or sketch.dep > best.dep:
+            best = sketch
+    return best
+
+
+def fold_sdp(index, u, v, t, t_end):
+    best = None
+    for sketch in generate_sketches(index, u, v, t, t_end):
+        if best is None or sketch.duration < best.duration:
+            best = sketch
+    return best
+
+
+class TestSelectorsMatchSketchGen:
+    def test_eap(self, indexed_graphs):
+        rng = random.Random(1)
+        for graph, index in indexed_graphs:
+            for _ in range(60):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 260)
+                ref = fold_eap(index, u, v, t)
+                got = best_eap_sketch(index, u, v, t)
+                assert (ref is None) == (got is None)
+                if ref is not None:
+                    assert got.arr == ref.arr
+                    assert got.dep >= t
+
+    def test_ldp(self, indexed_graphs):
+        rng = random.Random(2)
+        for graph, index in indexed_graphs:
+            for _ in range(60):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t_end = rng.randrange(0, 260)
+                ref = fold_ldp(index, u, v, t_end)
+                got = best_ldp_sketch(index, u, v, t_end)
+                assert (ref is None) == (got is None)
+                if ref is not None:
+                    assert got.dep == ref.dep
+                    assert got.arr <= t_end
+
+    def test_sdp(self, indexed_graphs):
+        rng = random.Random(3)
+        for graph, index in indexed_graphs:
+            for _ in range(60):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 230)
+                t_end = t + rng.randrange(1, 260)
+                ref = fold_sdp(index, u, v, t, t_end)
+                got = best_sdp_sketch(index, u, v, t, t_end)
+                assert (ref is None) == (got is None)
+                if ref is not None:
+                    assert got.duration == ref.duration
+                    assert got.dep >= t and got.arr <= t_end
+
+
+class TestSketchShape:
+    def test_sketch_segments_consistent(self, indexed_graphs):
+        graph, index = indexed_graphs[0]
+        rng = random.Random(4)
+        for _ in range(80):
+            u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+            if u == v:
+                continue
+            for sketch in generate_sketches(index, u, v, 0, INF):
+                assert sketch.first is not None or sketch.second is not None
+                if sketch.first is not None and sketch.second is not None:
+                    # Two segments chain at the shared hub.
+                    assert sketch.first.dst == sketch.second.src
+                    assert sketch.second.dep >= sketch.first.arr
+                    assert sketch.dep == sketch.first.dep
+                    assert sketch.arr == sketch.second.arr
+                elif sketch.first is not None:
+                    assert (sketch.first.src, sketch.first.dst) == (u, v)
+                else:
+                    assert (sketch.second.src, sketch.second.dst) == (u, v)
+
+    def test_window_respected(self, indexed_graphs):
+        graph, index = indexed_graphs[1]
+        rng = random.Random(5)
+        for _ in range(60):
+            u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+            if u == v:
+                continue
+            t = rng.randrange(0, 200)
+            t_end = t + rng.randrange(1, 150)
+            for sketch in generate_sketches(index, u, v, t, t_end):
+                assert sketch.dep >= t
+                assert sketch.arr <= t_end
+
+    def test_no_dominated_pair_sketches_within_hub(self, indexed_graphs):
+        graph, index = indexed_graphs[2]
+        rng = random.Random(6)
+        for _ in range(40):
+            u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+            if u == v:
+                continue
+            sketches = list(generate_sketches(index, u, v, 0, INF))
+            by_hub = {}
+            for sketch in sketches:
+                if sketch.first is not None and sketch.second is not None:
+                    by_hub.setdefault(sketch.first.dst, []).append(sketch)
+            for hub_sketches in by_hub.values():
+                for a in hub_sketches:
+                    for b in hub_sketches:
+                        if a is b:
+                            continue
+                        dominates = (
+                            a.dep >= b.dep
+                            and a.arr <= b.arr
+                            and (a.dep > b.dep or a.arr < b.arr)
+                        )
+                        assert not dominates or not (
+                            b.dep >= a.dep and b.arr <= a.arr
+                        )
+                        # Strict domination within a hub must not occur.
+                        assert not dominates

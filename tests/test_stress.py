@@ -1,0 +1,161 @@
+"""Stress and adversarial-structure tests.
+
+Exercises shapes that break naive implementations: long chains (deep
+unfolding), heavy parallel multi-edges (dominance churn), stations
+with no service, single-route graphs, and dense transfer meshes.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.baselines import CHTPlanner, CSAPlanner, RaptorPlanner
+from repro.core import CompressedTTLPlanner, TTLPlanner, build_index
+from repro.graph.builders import GraphBuilder, graph_from_connections
+from repro.graph.connection import validate_path
+
+
+class TestLongChain:
+    @pytest.fixture(scope="class")
+    def chain_graph(self):
+        """One route over 400 stations, several trips: unfolding the
+        end-to-end journey must not recurse or quadratically blow up."""
+        builder = GraphBuilder()
+        n = 400
+        builder.add_stations(n)
+        route = builder.add_route(list(range(n)))
+        for start in (0, 5000, 10000):
+            builder.add_trip_departures(route, start, [10] * (n - 1))
+        return builder.build()
+
+    def test_full_path_reconstruction(self, chain_graph):
+        planner = TTLPlanner(chain_graph)
+        journey = planner.earliest_arrival(0, chain_graph.n - 1, 0)
+        assert journey is not None
+        assert len(journey.path) == chain_graph.n - 1
+        validate_path(journey.path)
+
+    def test_concise_reconstruction(self, chain_graph):
+        planner = TTLPlanner(chain_graph, concise=True)
+        journey = planner.earliest_arrival(0, chain_graph.n - 1, 0)
+        assert journey is not None
+        assert len(journey.legs) == 1  # single vehicle end to end
+
+    def test_mid_chain_queries(self, chain_graph):
+        planner = TTLPlanner(chain_graph)
+        oracle = DijkstraPlanner(chain_graph)
+        rng = random.Random(3)
+        for _ in range(20):
+            u = rng.randrange(chain_graph.n)
+            v = rng.randrange(chain_graph.n)
+            if u == v:
+                continue
+            t = rng.randrange(0, 12000)
+            a = oracle.earliest_arrival(u, v, t)
+            b = planner.earliest_arrival(u, v, t)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.arr == b.arr
+
+
+class TestParallelMultiEdges:
+    def test_hundred_parallel_connections(self):
+        """100 connections between one pair: only the Pareto frontier
+        may become labels."""
+        rng = random.Random(4)
+        conns = []
+        for _ in range(100):
+            dep = rng.randrange(0, 500)
+            conns.append((0, 1, dep, dep + rng.randrange(1, 100)))
+        graph = graph_from_connections(conns, 2)
+        index = build_index(graph)
+        index.check_invariants()
+        oracle = DijkstraPlanner(graph)
+        planner = TTLPlanner(graph, index=index)
+        for t in range(0, 600, 13):
+            a = oracle.earliest_arrival(0, 1, t)
+            b = planner.earliest_arrival(0, 1, t)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.arr == b.arr
+
+    def test_labels_bounded_by_frontier(self):
+        conns = [(0, 1, d, d + 10) for d in range(0, 300, 10)]
+        # All 30 connections are mutually non-dominated.
+        graph = graph_from_connections(conns, 2)
+        index = build_index(graph)
+        assert index.num_labels == 30
+
+
+class TestDegenerateStations:
+    def test_isolated_stations(self):
+        graph = graph_from_connections([(0, 1, 0, 10)], num_stations=5)
+        for planner_cls in (TTLPlanner, CSAPlanner, CHTPlanner, RaptorPlanner):
+            planner = planner_cls(graph)
+            assert planner.earliest_arrival(3, 4, 0) is None
+            assert planner.earliest_arrival(0, 1, 0) is not None
+
+    def test_sink_only_station(self):
+        graph = graph_from_connections([(0, 1, 0, 10), (2, 1, 5, 9)])
+        planner = TTLPlanner(graph)
+        assert planner.earliest_arrival(1, 0, 0) is None
+        assert planner.earliest_arrival(2, 1, 0).arr == 9
+
+
+class TestTransferMesh:
+    def test_dense_mesh_all_planners_agree(self):
+        """Complete digraph on 6 stations, frequent service: a worst
+        case for dominance bookkeeping."""
+        rng = random.Random(9)
+        builder = GraphBuilder()
+        n = 6
+        builder.add_stations(n)
+        for u in range(n):
+            for v in range(n):
+                if u == v:
+                    continue
+                route = builder.add_route([u, v])
+                for k in range(6):
+                    start = rng.randrange(0, 50) + 40 * k
+                    builder.add_trip_departures(
+                        route, start, [rng.randrange(5, 60)]
+                    )
+        graph = builder.build()
+        oracle = DijkstraPlanner(graph)
+        planners = [
+            TTLPlanner(graph),
+            CompressedTTLPlanner(graph),
+            CSAPlanner(graph),
+            CHTPlanner(graph),
+            RaptorPlanner(graph),
+        ]
+        for _ in range(60):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            t = rng.randrange(0, 300)
+            t2 = t + rng.randrange(1, 200)
+            ref = oracle.shortest_duration(u, v, t, t2)
+            for planner in planners:
+                got = planner.shortest_duration(u, v, t, t2)
+                assert (ref is None) == (got is None), planner.name
+                if ref is not None:
+                    assert got.duration == ref.duration, planner.name
+
+
+class TestZeroWaitChains:
+    def test_instantaneous_transfers(self):
+        """Chains where every transfer has zero wait (dep == arr)."""
+        conns = [
+            (0, 1, 0, 10),
+            (1, 2, 10, 20),
+            (2, 3, 20, 30),
+            (3, 4, 30, 40),
+        ]
+        graph = graph_from_connections(conns)
+        for planner_cls in (TTLPlanner, CSAPlanner, CHTPlanner, RaptorPlanner):
+            journey = planner_cls(graph).earliest_arrival(0, 4, 0)
+            assert journey is not None, planner_cls.name
+            assert journey.arr == 40
+            assert journey.transfers == 3

@@ -1,0 +1,89 @@
+"""Tests for the time-expanded-graph baseline (Section 9 category 1)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.baselines.time_expanded import TimeExpandedPlanner
+from repro.graph.connection import validate_path
+from tests.conftest import make_random_connection_graph, make_random_route_graph
+
+
+class TestConstruction:
+    def test_event_counts(self, line_graph):
+        planner = TimeExpandedPlanner(line_graph)
+        planner.preprocess()
+        # Each station's events = distinct departure + arrival times.
+        expected = sum(
+            len(
+                {c.dep for c in line_graph.out[s]}
+                | {c.arr for c in line_graph.inc[s]}
+            )
+            for s in range(line_graph.n)
+        )
+        assert planner.num_events == expected
+
+    def test_ride_edges_match_connections(self, line_graph):
+        planner = TimeExpandedPlanner(line_graph)
+        planner.preprocess()
+        assert planner.num_ride_edges == line_graph.m
+
+    def test_index_bytes_positive(self, line_graph):
+        planner = TimeExpandedPlanner(line_graph)
+        planner.preprocess()
+        assert planner.index_bytes() > 0
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", [11, 13])
+    def test_all_query_types(self, seed):
+        rng = random.Random(seed)
+        for trial in range(6):
+            if trial % 2:
+                graph = make_random_route_graph(rng, 9, 5)
+            else:
+                graph = make_random_connection_graph(
+                    rng, rng.randrange(4, 10), rng.randrange(5, 45)
+                )
+            oracle = DijkstraPlanner(graph)
+            expanded = TimeExpandedPlanner(graph)
+            for _ in range(25):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 240)
+                t2 = t + rng.randrange(1, 250)
+
+                a = oracle.earliest_arrival(u, v, t)
+                b = expanded.earliest_arrival(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arr == b.arr
+                    validate_path(b.path)
+
+                a = oracle.latest_departure(u, v, t)
+                b = expanded.latest_departure(u, v, t)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.dep == b.dep
+
+                a = oracle.shortest_duration(u, v, t, t2)
+                b = expanded.shortest_duration(u, v, t, t2)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.duration == b.duration
+
+
+class TestDeterministic:
+    def test_line_graph(self, line_graph):
+        planner = TimeExpandedPlanner(line_graph)
+        assert planner.earliest_arrival(0, 3, 95).arr == 130
+        assert planner.latest_departure(0, 3, 330).dep == 300
+        assert planner.shortest_duration(0, 3, 0, 400).duration == 25
+
+    def test_same_station_and_unreachable(self, line_graph):
+        planner = TimeExpandedPlanner(line_graph)
+        assert planner.earliest_arrival(2, 2, 7).duration == 0
+        assert planner.earliest_arrival(3, 0, 0) is None
+        assert planner.latest_departure(3, 0, 10**6) is None

@@ -1,0 +1,147 @@
+"""Unit tests for the timetable graph."""
+
+import pytest
+
+from repro.errors import (
+    UnknownRouteError,
+    UnknownStationError,
+    UnknownTripError,
+    ValidationError,
+)
+from repro.graph.builders import GraphBuilder, graph_from_connections
+from repro.graph.connection import Connection
+from repro.graph.timetable import TimetableGraph
+
+
+@pytest.fixture
+def small_graph():
+    return graph_from_connections(
+        [
+            (0, 1, 10, 20),
+            (0, 1, 30, 45),
+            (1, 2, 25, 40),
+            (2, 0, 50, 70),
+            (0, 2, 5, 60),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_counts(self, small_graph):
+        assert small_graph.n == 3
+        assert small_graph.m == 5
+
+    def test_out_adjacency_sorted_by_departure(self, small_graph):
+        deps = [c.dep for c in small_graph.out[0]]
+        assert deps == sorted(deps)
+
+    def test_in_adjacency_sorted_by_arrival(self, small_graph):
+        arrs = [c.arr for c in small_graph.inc[1]]
+        assert arrs == sorted(arrs)
+
+    def test_key_arrays_parallel(self, small_graph):
+        for station in range(small_graph.n):
+            assert small_graph.out_deps[station] == [
+                c.dep for c in small_graph.out[station]
+            ]
+            assert small_graph.inc_arrs[station] == [
+                c.arr for c in small_graph.inc[station]
+            ]
+
+    def test_degrees(self, small_graph):
+        assert small_graph.out_degree(0) == 3
+        assert small_graph.in_degree(2) == 2
+
+    def test_departure_times_distinct_sorted(self):
+        graph = graph_from_connections(
+            [(0, 1, 10, 20), (0, 1, 10, 25), (0, 1, 5, 9)]
+        )
+        assert graph.departure_times(0) == [5, 10]
+
+    def test_arrival_times(self, small_graph):
+        assert small_graph.arrival_times(1) == [20, 45]
+
+
+class TestSearchSupport:
+    def test_first_boardable(self, small_graph):
+        # out[0] departures: 5, 10, 30
+        assert small_graph.first_boardable(0, 0) == 0
+        assert small_graph.first_boardable(0, 6) == 1
+        assert small_graph.first_boardable(0, 10) == 1
+        assert small_graph.first_boardable(0, 31) == 3
+
+    def test_last_alightable(self, small_graph):
+        # inc[1] arrivals: 20, 45
+        assert small_graph.last_alightable(1, 19) == 0
+        assert small_graph.last_alightable(1, 20) == 1
+        assert small_graph.last_alightable(1, 100) == 2
+
+
+class TestValidation:
+    def test_off_graph_connection_rejected(self):
+        with pytest.raises(ValidationError, match="off the graph"):
+            TimetableGraph(2, [Connection(0, 5, 1, 2, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError, match="self-loop"):
+            TimetableGraph(2, [Connection(1, 1, 1, 2, 0)])
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValidationError, match="positive time"):
+            TimetableGraph(2, [Connection(0, 1, 5, 5, 0)])
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="names"):
+            TimetableGraph(2, [], station_names=["only-one"])
+
+    def test_route_with_unknown_station_rejected(self):
+        builder = GraphBuilder()
+        builder.add_stations(2)
+        builder.add_route([0, 1])
+        graph = builder.build()
+        graph.routes[0].stops = (0, 99)
+        with pytest.raises(ValidationError, match="unknown station"):
+            graph.validate()
+
+
+class TestLookupErrors:
+    def test_unknown_station(self, small_graph):
+        with pytest.raises(UnknownStationError):
+            small_graph.out_degree(99)
+        with pytest.raises(UnknownStationError):
+            small_graph.station_name(-1)
+
+    def test_unknown_trip(self, small_graph):
+        with pytest.raises(UnknownTripError):
+            small_graph.route_of_trip(10**9)
+
+    def test_unknown_route(self, small_graph):
+        with pytest.raises(UnknownRouteError):
+            small_graph.route(10**9)
+
+
+class TestStats:
+    def test_stats_row(self, small_graph):
+        stats = small_graph.stats()
+        assert stats.row() == (3, 5, 5, 5)
+        assert stats.min_time == 5
+        assert stats.max_time == 70
+        assert stats.avg_out_degree == pytest.approx(5 / 3)
+
+    def test_empty_graph_stats(self):
+        graph = TimetableGraph(0, [])
+        stats = graph.stats()
+        assert stats.num_connections == 0
+        assert stats.avg_out_degree == 0.0
+
+    def test_station_names(self):
+        builder = GraphBuilder()
+        builder.add_station("alpha")
+        builder.add_station("beta")
+        graph = builder.build()
+        assert graph.station_name(0) == "alpha"
+        assert graph.station_name(1) == "beta"
+
+    def test_station_name_fallback(self, small_graph):
+        # graph_from_connections auto-names stations s0, s1, ...
+        assert small_graph.station_name(0) == "s0"

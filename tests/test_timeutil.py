@@ -1,0 +1,90 @@
+"""Unit tests for time representation helpers."""
+
+import pytest
+
+from repro.timeutil import (
+    INF,
+    NEG_INF,
+    SECONDS_PER_DAY,
+    format_duration,
+    format_time,
+    hms,
+    parse_time,
+)
+
+
+class TestHms:
+    def test_basic(self):
+        assert hms(0) == 0
+        assert hms(8, 30) == 30600
+        assert hms(23, 59, 59) == 86399
+
+    def test_next_day_hours(self):
+        assert hms(25, 30) == SECONDS_PER_DAY + hms(1, 30)
+
+    def test_rejects_bad_minutes(self):
+        with pytest.raises(ValueError):
+            hms(8, 60)
+
+    def test_rejects_bad_seconds(self):
+        with pytest.raises(ValueError):
+            hms(8, 0, -1)
+
+    def test_rejects_negative_hour(self):
+        with pytest.raises(ValueError):
+            hms(-1)
+
+
+class TestFormatTime:
+    def test_basic(self):
+        assert format_time(hms(8, 30)) == "08:30:00"
+        assert format_time(0) == "00:00:00"
+
+    def test_next_day(self):
+        assert format_time(hms(25, 5, 7)) == "25:05:07"
+
+    def test_sentinels(self):
+        assert format_time(INF) == "+inf"
+        assert format_time(NEG_INF) == "-inf"
+
+    def test_negative(self):
+        assert format_time(-hms(1, 2, 3)) == "-01:02:03"
+
+
+class TestFormatDuration:
+    def test_seconds_only(self):
+        assert format_duration(45) == "45s"
+
+    def test_minutes(self):
+        assert format_duration(120) == "2m"
+        assert format_duration(125) == "2m05s"
+
+    def test_hours(self):
+        assert format_duration(3900) == "1h05m"
+
+    def test_infinite(self):
+        assert format_duration(INF) == "inf"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestParseTime:
+    def test_hh_mm(self):
+        assert parse_time("08:30") == hms(8, 30)
+
+    def test_hh_mm_ss(self):
+        assert parse_time("08:30:15") == hms(8, 30, 15)
+
+    def test_whitespace(self):
+        assert parse_time(" 08:30 ") == hms(8, 30)
+
+    def test_roundtrip_with_format(self):
+        for t in (0, 1, hms(12, 34, 56), hms(25, 0)):
+            assert parse_time(format_time(t)) == t
+
+    @pytest.mark.parametrize("bad", ["8", "a:b", "08:30:15:00", ""])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_time(bad)

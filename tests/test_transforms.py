@@ -1,0 +1,146 @@
+"""Unit and metamorphic tests for graph transforms."""
+
+import random
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.graph.transforms import (
+    extend_with_next_day,
+    induced_subgraph,
+    reversed_graph,
+)
+from repro.timeutil import SECONDS_PER_DAY
+from tests.conftest import make_random_route_graph
+
+
+class TestReversedGraph:
+    def test_connection_mirroring(self, line_graph):
+        rev = reversed_graph(line_graph)
+        originals = {(c.u, c.v, c.dep, c.arr) for c in line_graph.connections}
+        mirrored = {(c.v, c.u, -c.arr, -c.dep) for c in rev.connections}
+        assert originals == mirrored
+
+    def test_preserves_counts(self, line_graph):
+        rev = reversed_graph(line_graph)
+        assert rev.n == line_graph.n
+        assert rev.m == line_graph.m
+        assert len(rev.routes) == len(line_graph.routes)
+
+    def test_involution(self, line_graph):
+        double = reversed_graph(reversed_graph(line_graph))
+        assert {tuple(c) for c in double.connections} == {
+            tuple(c) for c in line_graph.connections
+        }
+
+    def test_ldp_is_eap_on_reversal(self):
+        """Metamorphic: LDP(u->v by t) == -EAP(v->u from -t) reversed."""
+        rng = random.Random(7)
+        for _ in range(5):
+            graph = make_random_route_graph(rng, 8, 5)
+            rev = reversed_graph(graph)
+            fwd_planner = DijkstraPlanner(graph)
+            rev_planner = DijkstraPlanner(rev)
+            for _ in range(30):
+                u, v = rng.randrange(8), rng.randrange(8)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 250)
+                ldp = fwd_planner.latest_departure(u, v, t)
+                eap = rev_planner.earliest_arrival(v, u, -t)
+                if ldp is None:
+                    assert eap is None
+                else:
+                    assert eap is not None
+                    assert eap.arr == -ldp.dep
+
+
+class TestExtendWithNextDay:
+    def test_doubles_connections(self, line_graph):
+        extended = extend_with_next_day(line_graph)
+        assert extended.m == 2 * line_graph.m
+
+    def test_shifted_copy_present(self, line_graph):
+        extended = extend_with_next_day(line_graph)
+        times = {(c.u, c.v, c.dep, c.arr) for c in extended.connections}
+        for c in line_graph.connections:
+            assert (c.u, c.v, c.dep, c.arr) in times
+            assert (
+                c.u,
+                c.v,
+                c.dep + SECONDS_PER_DAY,
+                c.arr + SECONDS_PER_DAY,
+            ) in times
+
+    def test_shifted_trips_share_routes(self, line_graph):
+        extended = extend_with_next_day(line_graph)
+        assert len(extended.routes) == len(line_graph.routes)
+        for route in extended.routes.values():
+            assert len(route.trips) == 2 * len(
+                line_graph.routes[route.route_id].trips
+            )
+
+    def test_fresh_trip_ids(self, line_graph):
+        extended = extend_with_next_day(line_graph)
+        trip_ids = [t.trip_id for r in extended.routes.values() for t in r.trips]
+        assert len(trip_ids) == len(set(trip_ids))
+
+    def test_enables_overnight_journey(self):
+        """A journey dep day 1 evening -> arr day 2 morning exists only
+        in the extended graph (Section 8's motivation)."""
+        from repro.graph.builders import GraphBuilder
+        from repro.timeutil import hms
+
+        builder = GraphBuilder()
+        builder.add_stations(3)
+        late = builder.add_route([0, 1])
+        builder.add_trip_departures(late, hms(23, 30), [1800])
+        early = builder.add_route([1, 2])
+        builder.add_trip_departures(early, hms(6, 0), [1800])
+        graph = builder.build()
+
+        planner = DijkstraPlanner(graph)
+        assert planner.earliest_arrival(0, 2, hms(23)) is None
+
+        extended = extend_with_next_day(graph)
+        planner = DijkstraPlanner(extended)
+        journey = planner.earliest_arrival(0, 2, hms(23))
+        assert journey is not None
+        assert journey.arr == hms(24 + 6, 30)
+
+
+class TestInducedSubgraph:
+    def test_station_remap(self, line_graph):
+        sub, mapping = induced_subgraph(line_graph, [1, 2, 3])
+        assert sub.n == 3
+        assert mapping == {1: 0, 2: 1, 3: 2}
+
+    def test_route_fragments(self, line_graph):
+        # Dropping station 0 keeps the 1-2-3 fragment of the local
+        # route but kills the 0-3 express entirely.
+        sub, _ = induced_subgraph(line_graph, [1, 2, 3])
+        lengths = sorted(len(r.stops) for r in sub.routes.values())
+        assert lengths == [3]
+
+    def test_middle_removal_splits_route(self):
+        from repro.graph.builders import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.add_stations(5)
+        route = builder.add_route([0, 1, 2, 3, 4])
+        builder.add_trip_departures(route, 0, [10, 10, 10, 10])
+        graph = builder.build()
+        sub, _ = induced_subgraph(graph, [0, 1, 3, 4])
+        fragments = sorted(len(r.stops) for r in sub.routes.values())
+        assert fragments == [2, 2]
+
+    def test_unknown_station_rejected(self, line_graph):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            induced_subgraph(line_graph, [0, 99])
+
+    def test_subgraph_valid(self, route_graph):
+        keep = list(range(0, route_graph.n, 2))
+        sub, _ = induced_subgraph(route_graph, keep)
+        sub.validate()

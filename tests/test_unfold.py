@@ -1,0 +1,157 @@
+"""Tests for PathUnfold and concise-path reconstruction."""
+
+import random
+
+import pytest
+
+from repro.core.build import build_index
+from repro.core.queries import TTLPlanner
+from repro.core.sketch import Segment
+from repro.core.unfold import unfold_segment
+from repro.errors import ReconstructionError
+from repro.graph.connection import validate_path
+from tests.conftest import make_random_route_graph
+
+
+class TestUnfoldSegment:
+    def test_every_label_unfolds_to_its_claimed_times(self, rng):
+        for _ in range(5):
+            graph = make_random_route_graph(rng, 9, 6)
+            index = build_index(graph)
+            for v in range(graph.n):
+                for label in index.in_labels(v):
+                    segment = Segment(
+                        label.hub, v, label.dep, label.arr, label.trip,
+                        label.pivot,
+                    )
+                    path = unfold_segment(index, segment)
+                    validate_path(path)
+                    assert path[0].u == label.hub
+                    assert path[-1].v == v
+                    assert path[0].dep >= label.dep
+                    assert path[-1].arr <= label.arr
+                    # Canonical paths unfold to their exact times.
+                    assert path[0].dep == label.dep
+                    assert path[-1].arr == label.arr
+
+    def test_out_labels_unfold(self, rng):
+        graph = make_random_route_graph(rng, 8, 5)
+        index = build_index(graph)
+        for u in range(graph.n):
+            for label in index.out_labels(u):
+                segment = Segment(
+                    u, label.hub, label.dep, label.arr, label.trip,
+                    label.pivot,
+                )
+                path = unfold_segment(index, segment)
+                validate_path(path)
+                assert path[0].u == u and path[-1].v == label.hub
+
+    def test_single_edge_label_without_trip_rejected(self, line_graph):
+        index = build_index(line_graph)
+        segment = Segment(0, 1, 100, 110, None, None)
+        with pytest.raises(ReconstructionError):
+            unfold_segment(index, segment)
+
+
+class TestFallback:
+    def test_missing_child_triggers_search_fallback(self, rng):
+        """Delete a child label from the lookup maps and check the
+        unfolder reconstructs the segment by search instead."""
+        for _ in range(10):
+            graph = make_random_route_graph(rng, 9, 6)
+            index = build_index(graph)
+            victim = None
+            for v in range(graph.n):
+                for label in index.in_labels(v):
+                    if label.pivot is not None:
+                        victim = (v, label)
+                        break
+                if victim:
+                    break
+            if victim is None:
+                continue
+            v, label = victim
+            # Remove the left child from both lookup tables.
+            key_dep = (label.hub, label.pivot, label.dep)
+            left = index._by_dep.pop(key_dep, None)
+            if left is not None:
+                index._by_arr.pop(
+                    (label.hub, label.pivot, left[1]), None
+                )
+            before = index.unfold_fallbacks
+            segment = Segment(
+                label.hub, v, label.dep, label.arr, label.trip, label.pivot
+            )
+            path = unfold_segment(index, segment)
+            validate_path(path)
+            assert path[-1].arr <= label.arr
+            assert index.unfold_fallbacks > before
+            return
+        pytest.skip("no multi-edge label found in sampled graphs")
+
+    def test_impossible_fallback_raises(self, line_graph):
+        index = build_index(line_graph)
+        # There is no path 0 -> 3 arriving by time 50.
+        segment = Segment(0, 3, 0, 50, None, 1)
+        with pytest.raises(ReconstructionError):
+            unfold_segment(index, segment)
+
+
+class TestConcisePaths:
+    def test_concise_matches_full(self, rng):
+        for _ in range(4):
+            graph = make_random_route_graph(rng, 10, 7)
+            index = build_index(graph)
+            full = TTLPlanner(graph, index=index)
+            concise = TTLPlanner(graph, index=index, concise=True)
+            for _ in range(50):
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                if u == v:
+                    continue
+                t = rng.randrange(0, 250)
+                a = full.earliest_arrival(u, v, t)
+                b = concise.earliest_arrival(u, v, t)
+                assert (a is None) == (b is None)
+                if a is None:
+                    continue
+                assert b.legs is not None and b.path is None
+                assert b.same_times(a.to_concise()) or b.arr == a.arr
+                # Leg sequence must match the full path's boardings.
+                expected = a.to_concise()
+                assert [leg.trip for leg in b.legs] == [
+                    leg.trip for leg in expected.legs
+                ] or b.arr == a.arr
+
+    def test_concise_leg_times_are_boardable(self, rng):
+        graph = make_random_route_graph(rng, 9, 6)
+        planner = TTLPlanner(graph, concise=True)
+        for _ in range(60):
+            u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+            if u == v:
+                continue
+            journey = planner.earliest_arrival(u, v, rng.randrange(0, 250))
+            if journey is None:
+                continue
+            for leg in journey.legs:
+                # There must be a real connection of that trip leaving
+                # that station at that time.
+                assert any(
+                    c.trip == leg.trip and c.dep == leg.time
+                    for c in graph.out[leg.station]
+                )
+
+    def test_consecutive_legs_have_distinct_trips(self, rng):
+        graph = make_random_route_graph(rng, 9, 6)
+        planner = TTLPlanner(graph, concise=True)
+        for _ in range(60):
+            u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+            if u == v:
+                continue
+            journey = planner.shortest_duration(
+                u, v, 0, rng.randrange(100, 400)
+            )
+            if journey is None:
+                continue
+            trips = [leg.trip for leg in journey.legs]
+            assert all(a != b for a, b in zip(trips, trips[1:]))

@@ -1,0 +1,88 @@
+"""Tests for index verification (the fsck)."""
+
+import pytest
+
+from repro.core.build import build_index
+from repro.core.verify import verify_index
+from tests.conftest import make_random_route_graph
+
+
+class TestHealthyIndex:
+    def test_fresh_index_verifies(self, route_graph):
+        index = build_index(route_graph)
+        report = verify_index(index, label_samples=100, query_samples=50)
+        assert report.ok
+        assert report.labels_checked > 0
+        assert report.queries_checked > 0
+        assert "OK" in report.summary()
+
+    def test_loaded_index_verifies(self, route_graph, tmp_path):
+        from repro.core.serialize import load_index, save_index
+
+        index = build_index(route_graph)
+        path = tmp_path / "i.ttl"
+        save_index(index, path)
+        report = verify_index(load_index(path, route_graph))
+        assert report.ok
+
+    def test_empty_index_verifies(self):
+        from repro.graph.timetable import TimetableGraph
+
+        index = build_index(TimetableGraph(0, []))
+        report = verify_index(index)
+        assert report.ok
+        assert report.labels_checked == 0
+
+
+class TestCorruption:
+    def test_detects_wrong_arrival(self, route_graph):
+        index = build_index(route_graph)
+        # Corrupt: worsen one label's arrival time.
+        for v in range(route_graph.n):
+            if index.in_groups[v]:
+                group = index.in_groups[v][0]
+                group.arrs[-1] += 10_000
+                break
+        report = verify_index(index, label_samples=10**6, query_samples=0)
+        assert not report.ok
+        assert report.label_errors
+
+    def test_detects_missing_labels(self, route_graph):
+        index = build_index(route_graph)
+        removed = 0
+        # Corrupt: drop a whole node's in-labels (queries to it break).
+        for v in range(route_graph.n):
+            if index.in_groups[v]:
+                index.in_groups[v] = []
+                removed += 1
+                if removed >= route_graph.n // 2:
+                    break
+        report = verify_index(index, label_samples=0, query_samples=400)
+        assert not report.ok
+        assert report.query_errors
+
+    def test_detects_structural_breakage(self, route_graph):
+        index = build_index(route_graph)
+        for v in range(route_graph.n):
+            for group in index.in_groups[v]:
+                if len(group) >= 2:
+                    group.deps[0], group.deps[1] = (
+                        group.deps[1],
+                        group.deps[0],
+                    )
+                    report = verify_index(
+                        index, label_samples=0, query_samples=0
+                    )
+                    assert not report.structure_ok
+                    assert "CORRUPT" in report.summary()
+                    return
+        pytest.skip("no group with two labels")
+
+    def test_wrong_graph_detected(self, rng):
+        graph_a = make_random_route_graph(rng, 9, 6)
+        graph_b = make_random_route_graph(rng, 9, 6)
+        index = build_index(graph_a)
+        # Pretend the index belongs to a different timetable.
+        index.graph = graph_b
+        report = verify_index(index, label_samples=300, query_samples=100)
+        assert not report.ok
