@@ -15,7 +15,10 @@ Subcommands:
   reports.
 * ``report [-o FILE]``         — run all experiments, emit a markdown
   reproduction report with shape verdicts.
-* ``serve NAME``               — HTTP JSON API over a TTL planner.
+* ``serve NAME``               — HTTP JSON API over a TTL planner
+  (``--live`` serves a disruption-aware engine with ``/live/*``).
+* ``live NAME``                — replay a disruption feed against the
+  live overlay engine and report fast-path / fallback statistics.
 """
 
 from __future__ import annotations
@@ -239,11 +242,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import PlannerService
 
     graph = load_dataset(args.name, scale=args.scale)
-    planner = TTLPlanner(graph)
+    if args.live:
+        from repro.live import LiveOverlayEngine
+
+        planner = LiveOverlayEngine(graph)
+        endpoints = (
+            "/stations /eap /ldp /sdp /healthz /live/events "
+            "/live/stats /live/advance /live/clear"
+        )
+    else:
+        planner = TTLPlanner(graph)
+        endpoints = "/stations /eap /ldp /sdp /profile /healthz"
     service = PlannerService(planner)
     port = service.start(host=args.host, port=args.port)
     print(f"serving {args.name} on http://{args.host}:{port} "
-          f"(endpoints: /stations /eap /ldp /sdp /profile; Ctrl-C stops)")
+          f"(endpoints: {endpoints}; Ctrl-C stops)")
     try:
         import time as _time
 
@@ -251,6 +264,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             _time.sleep(3600)
     except KeyboardInterrupt:  # pragma: no cover - interactive
         service.stop()
+    return 0
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    from repro.datasets import QueryWorkload
+    from repro.live import (
+        EventFeed,
+        LiveOverlayEngine,
+        replay,
+        synthetic_feed,
+    )
+
+    graph = load_dataset(args.name, scale=args.scale)
+    engine = LiveOverlayEngine(graph)
+    engine.preprocess()
+    if args.feed:
+        with open(args.feed) as fh:
+            feed = EventFeed.from_json(fh.read())
+    else:
+        feed = synthetic_feed(graph, rate=args.rate, seed=args.seed)
+    applied = 0
+    for at, event, event_id in replay(engine, feed):
+        applied += 1
+        if args.verbose:
+            print(f"  t={format_time(at)}  #{event_id}  {event.to_dict()}")
+    taint = engine.taint_report()
+    print(f"dataset      {args.name} (scale {args.scale})")
+    print(f"events       {applied} applied, {len(engine.events())} active")
+    print(f"tainted      {taint.num_tainted}/{taint.num_labels} labels "
+          f"({100.0 * taint.fraction:.1f}%)")
+
+    queries = QueryWorkload(graph, seed=args.seed).generate(args.queries)
+    kinds = ("eap", "ldp", "sdp")
+    for i, query in enumerate(queries):
+        kind = kinds[i % 3]
+        if kind == "eap":
+            engine.earliest_arrival(query.source, query.destination,
+                                    query.t_start)
+        elif kind == "ldp":
+            engine.latest_departure(query.source, query.destination,
+                                    query.t_end)
+        else:
+            engine.shortest_duration(query.source, query.destination,
+                                     query.t_start, query.t_end)
+    stats = engine.stats
+    print(f"queries      {stats.queries} "
+          f"(mixed eap/ldp/sdp, seed {args.seed})")
+    print(f"fast path    {stats.fast_path} ({100.0 * stats.fast_path_rate:.1f}%)")
+    print(f"fallbacks    {stats.fallbacks} "
+          f"(taint {stats.fallback_taint}, "
+          f"improvement {stats.fallback_improvement}, "
+          f"flood {stats.fallback_flood})")
     return 0
 
 
@@ -339,6 +404,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
+    p.add_argument(
+        "--live",
+        action="store_true",
+        help="serve a disruption-aware live overlay engine",
+    )
+    _add_scale(p)
+
+    p = sub.add_parser(
+        "live", help="replay a disruption feed, report live-engine stats"
+    )
+    p.add_argument("name")
+    p.add_argument("--feed", help="JSON feed file (default: synthetic)")
+    p.add_argument("--rate", type=float, default=0.05,
+                   help="synthetic disruption rate")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--queries", type=int, default=300,
+                   help="mixed workload size after replay")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print each replayed event")
     _add_scale(p)
 
     p = sub.add_parser(
@@ -366,6 +450,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "report": _cmd_report,
         "serve": _cmd_serve,
+        "live": _cmd_live,
     }
     from repro.errors import ReproError
 

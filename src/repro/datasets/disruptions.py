@@ -46,25 +46,40 @@ def delay_trips(
         delays: trip id -> delay seconds (non-negative).
         from_stop_index: optional trip id -> stop position; the delay
             applies from that stop onward (an en-route incident).  By
-            default the whole trip shifts (a late departure).
+            default the whole trip shifts (a late departure).  A delay
+            from the final stop is a no-op: the vehicle has nowhere
+            left to go, so no connection changes.
+
+    Zero delays and final-stop delays leave their trips untouched; if
+    no trip changes at all, the original graph object is returned.
     """
     for trip_id, delay in delays.items():
         if trip_id not in graph.trips:
             raise UnknownTripError(trip_id)
         if delay < 0:
             raise DatasetError(f"negative delay for trip {trip_id}: {delay}")
+    if from_stop_index is not None:
+        for trip_id, start in from_stop_index.items():
+            if start < 0:
+                raise DatasetError(
+                    f"negative from_stop for trip {trip_id}: {start}"
+                )
 
+    changed = False
     routes: Dict[int, Route] = {}
     for route in graph.routes.values():
         new_trips = []
         for trip in route.trips:
             delay = delays.get(trip.trip_id, 0)
-            if delay == 0:
-                new_trips.append(trip)
-                continue
             start = 0
             if from_stop_index is not None:
                 start = from_stop_index.get(trip.trip_id, 0)
+            if delay == 0 or start >= len(trip.stop_times) - 1:
+                # Zero delay, or an incident at (or past) the final
+                # stop: no departure is left to slip.
+                new_trips.append(trip)
+                continue
+            changed = True
             stop_times = []
             for i, st in enumerate(trip.stop_times):
                 if i < start:
@@ -90,6 +105,8 @@ def delay_trips(
             trips=new_trips,
             name=route.name,
         )
+    if not changed:
+        return graph
     return _rebuild(graph, routes)
 
 

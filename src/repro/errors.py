@@ -71,3 +71,7 @@ class SerializationError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a synthetic dataset specification is invalid."""
+
+
+class LiveEventError(ReproError):
+    """Raised when a live schedule event is malformed or inapplicable."""

@@ -1,0 +1,53 @@
+"""Live disruption overlay: delay/cancellation-aware queries without
+re-indexing.
+
+TTL is a static 2-hop labelling — the paper assumes fixed schedules,
+and rebuilding the index per delay event is exactly the cost a
+production deployment cannot pay.  This subpackage layers a mutable
+*patch-set* over the frozen :class:`~repro.graph.timetable.TimetableGraph`
+and answers queries with a hybrid strategy (cf. Delling et al.,
+*Public Transit Labeling*, which motivates handling real-time updates
+at query time):
+
+* :mod:`repro.live.events`  — delay / cancellation / extra-trip events
+  with apply/expire timestamps;
+* :mod:`repro.live.overlay` — :class:`PatchSet` (the compiled diff) and
+  :class:`OverlayTimetable` (a zero-copy patched view of the graph);
+* :mod:`repro.live.taint`   — which TTL labels are invalidated by the
+  current patch-set (recursing through the per-label pivot data);
+* :mod:`repro.live.engine`  — :class:`LiveOverlayEngine`, answering
+  EAP/LDP/SDP from the untouched index when safe and falling back to
+  temporal Dijkstra on the overlay otherwise;
+* :mod:`repro.live.feed`    — recorded event streams for tests and
+  benchmarks.
+"""
+
+from repro.live.events import (
+    ExtraTrip,
+    LiveEvent,
+    TripCancellation,
+    TripDelay,
+    event_from_dict,
+)
+from repro.live.overlay import OverlayTimetable, PatchSet
+from repro.live.taint import TaintAnalyzer, TaintReport
+from repro.live.engine import LiveOverlayEngine, LiveQueryStats
+from repro.live.feed import EventFeed, TimedEvent, replay, synthetic_feed
+
+__all__ = [
+    "LiveEvent",
+    "TripDelay",
+    "TripCancellation",
+    "ExtraTrip",
+    "event_from_dict",
+    "PatchSet",
+    "OverlayTimetable",
+    "TaintAnalyzer",
+    "TaintReport",
+    "LiveOverlayEngine",
+    "LiveQueryStats",
+    "EventFeed",
+    "TimedEvent",
+    "synthetic_feed",
+    "replay",
+]

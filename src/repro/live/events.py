@@ -1,0 +1,228 @@
+"""Live schedule events (the disruption vocabulary).
+
+Three event kinds cover the realtime feeds operators actually publish
+(GTFS-RT TripUpdates reduced to their schedule effect):
+
+* :class:`TripDelay` — a trip runs late from a stop onward (the whole
+  trip when ``from_stop`` is 0): the arrival at the incident stop
+  stands, its departure and everything after slip by ``delay`` seconds;
+* :class:`TripCancellation` — the trip does not run at all;
+* :class:`ExtraTrip` — an unscheduled relief vehicle with an explicit
+  stop/time sequence.
+
+Every event carries ``apply_at`` / ``expires_at`` wall-clock stamps so
+an engine replaying a feed knows when the patch becomes visible and
+when it can be dropped without touching queries already in flight.
+Events are immutable values with a JSON round-trip
+(:meth:`LiveEvent.to_dict` / :func:`event_from_dict`) used by the HTTP
+injection endpoints and the feed recorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Type
+
+from repro.errors import LiveEventError
+from repro.timeutil import INF
+
+
+@dataclass(frozen=True)
+class LiveEvent:
+    """Base class: visibility window shared by every event kind.
+
+    Attributes:
+        apply_at: time from which the event patches the schedule.
+        expires_at: time from which the event is dropped again
+            (``INF`` = until cleared).
+    """
+
+    apply_at: int = 0
+    expires_at: int = INF
+
+    #: Tag used by the JSON round-trip; set per subclass.
+    kind = "event"
+
+    def __post_init__(self) -> None:
+        if self.expires_at <= self.apply_at:
+            raise LiveEventError(
+                f"event expires at {self.expires_at} before it applies "
+                f"at {self.apply_at}"
+            )
+
+    def active_at(self, now: int) -> bool:
+        """True while the event patches the schedule at time ``now``."""
+        return self.apply_at <= now < self.expires_at
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :func:`event_from_dict`)."""
+        data = {"kind": self.kind, "apply_at": self.apply_at}
+        if self.expires_at < INF:
+            data["expires_at"] = self.expires_at
+        return data
+
+
+@dataclass(frozen=True)
+class TripDelay(LiveEvent):
+    """Trip ``trip_id`` runs ``delay`` seconds late from ``from_stop``
+    onward.
+
+    The arrival at ``from_stop`` stands (the incident happens there),
+    its departure and all later stop times slip — the same semantics as
+    :func:`repro.datasets.disruptions.delay_trips`.  Delaying from the
+    final stop of a trip patches nothing and compiles to a no-op.
+    """
+
+    trip_id: int = -1
+    delay: int = 0
+    from_stop: int = 0
+
+    kind = "delay"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.trip_id < 0:
+            raise LiveEventError(f"delay needs a trip id: {self.trip_id}")
+        if self.delay < 0:
+            raise LiveEventError(
+                f"negative delay for trip {self.trip_id}: {self.delay}"
+            )
+        if self.from_stop < 0:
+            raise LiveEventError(
+                f"negative stop index for trip {self.trip_id}: "
+                f"{self.from_stop}"
+            )
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data.update(
+            trip_id=self.trip_id, delay=self.delay, from_stop=self.from_stop
+        )
+        return data
+
+
+@dataclass(frozen=True)
+class TripCancellation(LiveEvent):
+    """Trip ``trip_id`` does not run while the event is active."""
+
+    trip_id: int = -1
+
+    kind = "cancel"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.trip_id < 0:
+            raise LiveEventError(
+                f"cancellation needs a trip id: {self.trip_id}"
+            )
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["trip_id"] = self.trip_id
+        return data
+
+
+@dataclass(frozen=True)
+class ExtraTrip(LiveEvent):
+    """An unscheduled relief vehicle.
+
+    Attributes:
+        stops: station sequence (>= 2 stations, no immediate repeats).
+        times: one ``(arr, dep)`` pair per stop, strictly increasing
+            between stops and ``dep >= arr`` within a stop.
+        trip_id: optional explicit id; when ``None`` the engine assigns
+            a fresh id above the timetable's existing trips.
+    """
+
+    stops: Tuple[int, ...] = ()
+    times: Tuple[Tuple[int, int], ...] = ()
+    trip_id: Optional[int] = None
+
+    kind = "extra"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "stops", tuple(self.stops))
+        object.__setattr__(
+            self, "times", tuple((int(a), int(d)) for a, d in self.times)
+        )
+        if len(self.stops) < 2:
+            raise LiveEventError(
+                f"extra trip needs >= 2 stops, got {len(self.stops)}"
+            )
+        if len(self.times) != len(self.stops):
+            raise LiveEventError(
+                f"extra trip has {len(self.stops)} stops but "
+                f"{len(self.times)} stop times"
+            )
+        for a, b in zip(self.stops, self.stops[1:]):
+            if a == b:
+                raise LiveEventError(
+                    f"extra trip repeats consecutive stop {a}"
+                )
+        for i, (arr, dep) in enumerate(self.times):
+            if dep < arr:
+                raise LiveEventError(
+                    f"extra trip departs stop {i} before arriving"
+                )
+        for i in range(len(self.times) - 1):
+            if self.times[i + 1][0] <= self.times[i][1]:
+                raise LiveEventError(
+                    f"extra trip has non-increasing times between stops "
+                    f"{i} and {i + 1}"
+                )
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data.update(
+            stops=list(self.stops),
+            times=[list(pair) for pair in self.times],
+        )
+        if self.trip_id is not None:
+            data["trip_id"] = self.trip_id
+        return data
+
+
+_EVENT_KINDS: Dict[str, Type[LiveEvent]] = {
+    "delay": TripDelay,
+    "cancel": TripCancellation,
+    "extra": ExtraTrip,
+}
+
+
+def event_from_dict(data: dict) -> LiveEvent:
+    """Rebuild an event from its :meth:`LiveEvent.to_dict` form."""
+    if not isinstance(data, dict):
+        raise LiveEventError(f"event payload must be an object: {data!r}")
+    kind = data.get("kind")
+    cls = _EVENT_KINDS.get(kind)
+    if cls is None:
+        raise LiveEventError(
+            f"unknown event kind {kind!r}; expected one of "
+            f"{sorted(_EVENT_KINDS)}"
+        )
+    window = {
+        "apply_at": int(data.get("apply_at", 0)),
+        "expires_at": int(data.get("expires_at", INF)),
+    }
+    try:
+        if cls is TripDelay:
+            return TripDelay(
+                trip_id=int(data["trip_id"]),
+                delay=int(data["delay"]),
+                from_stop=int(data.get("from_stop", 0)),
+                **window,
+            )
+        if cls is TripCancellation:
+            return TripCancellation(trip_id=int(data["trip_id"]), **window)
+        return ExtraTrip(
+            stops=tuple(int(s) for s in data["stops"]),
+            times=tuple((int(a), int(d)) for a, d in data["times"]),
+            trip_id=(
+                int(data["trip_id"]) if data.get("trip_id") is not None
+                else None
+            ),
+            **window,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise LiveEventError(f"malformed {kind!r} event: {exc}") from exc

@@ -1,0 +1,172 @@
+"""Recorded event streams: replay, persistence, synthesis.
+
+A *feed* is a time-ordered sequence of ``(at, event)`` records — the
+offline stand-in for a realtime GTFS-RT subscription.  Feeds are JSON
+round-trippable (for fixtures and the HTTP API), replayable against a
+:class:`~repro.live.engine.LiveOverlayEngine` (advancing its clock so
+apply/expire stamps behave), and synthesizable from any timetable at a
+chosen disruption rate for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.errors import LiveEventError
+from repro.graph.timetable import TimetableGraph
+from repro.live.engine import LiveOverlayEngine
+from repro.live.events import (
+    ExtraTrip,
+    LiveEvent,
+    TripCancellation,
+    TripDelay,
+    event_from_dict,
+)
+
+
+class TimedEvent(NamedTuple):
+    """One feed record: ``event`` becomes known at time ``at``."""
+
+    at: int
+    event: LiveEvent
+
+
+class EventFeed:
+    """A time-ordered recorded event stream."""
+
+    def __init__(self, records: Iterable[TimedEvent] = ()) -> None:
+        self.records: List[TimedEvent] = sorted(
+            (TimedEvent(int(at), event) for at, event in records),
+            key=lambda r: r.at,
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TimedEvent]:
+        return iter(self.records)
+
+    def to_json(self) -> str:
+        """Serialize the feed (inverse of :meth:`from_json`)."""
+        return json.dumps(
+            [
+                {"at": record.at, "event": record.event.to_dict()}
+                for record in self.records
+            ]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EventFeed":
+        """Parse a feed serialized by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise LiveEventError(f"malformed feed JSON: {exc}") from exc
+        if not isinstance(data, list):
+            raise LiveEventError("feed JSON must be a list of records")
+        records = []
+        for entry in data:
+            if not isinstance(entry, dict) or "at" not in entry:
+                raise LiveEventError(f"malformed feed record: {entry!r}")
+            records.append(
+                TimedEvent(int(entry["at"]), event_from_dict(entry["event"]))
+            )
+        return cls(records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventFeed(records={len(self.records)})"
+
+
+def synthetic_feed(
+    graph: TimetableGraph,
+    rate: float = 0.05,
+    seed: int = 0,
+    max_delay: int = 900,
+    cancel_share: float = 0.2,
+    extra_share: float = 0.0,
+    lead: int = 300,
+    duration: Optional[int] = None,
+) -> EventFeed:
+    """Sample a deterministic disruption stream for ``graph``.
+
+    Args:
+        graph: the base timetable.
+        rate: fraction of trips that suffer an event.
+        seed: RNG seed (same seed, same feed).
+        max_delay: delays are uniform in ``1..max_delay`` seconds.
+        cancel_share: probability a disrupted trip is cancelled rather
+            than delayed.
+        extra_share: probability of *additionally* injecting a relief
+            vehicle shadowing a disrupted trip a headway later.
+        lead: seconds before the trip's departure at which the event
+            becomes known (clamped at 0).
+        duration: event lifetime from its apply time (default: until
+            cleared).
+
+    Returns:
+        An :class:`EventFeed` sorted by announcement time.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise LiveEventError(f"rate out of range: {rate}")
+    rng = random.Random(seed)
+    trip_ids = sorted(graph.trips)
+    count = int(round(rate * len(trip_ids)))
+    records: List[TimedEvent] = []
+    for trip_id in rng.sample(trip_ids, count):
+        trip = graph.trips[trip_id]
+        at = max(0, trip.departure - lead)
+        expires = at + duration if duration is not None else None
+        window = {"apply_at": at}
+        if expires is not None:
+            window["expires_at"] = expires
+        if rng.random() < cancel_share:
+            event: LiveEvent = TripCancellation(trip_id=trip_id, **window)
+        else:
+            from_stop = rng.randrange(0, len(trip.stop_times))
+            event = TripDelay(
+                trip_id=trip_id,
+                delay=rng.randint(1, max_delay),
+                from_stop=from_stop,
+                **window,
+            )
+        records.append(TimedEvent(at, event))
+        if rng.random() < extra_share:
+            route = graph.route_of_trip(trip_id)
+            shift = rng.randint(60, max(61, max_delay))
+            records.append(
+                TimedEvent(
+                    at,
+                    ExtraTrip(
+                        stops=route.stops,
+                        times=tuple(
+                            (st.arr + shift, st.dep + shift)
+                            for st in trip.stop_times
+                        ),
+                        **window,
+                    ),
+                )
+            )
+    return EventFeed(records)
+
+
+def replay(
+    engine: LiveOverlayEngine,
+    feed: EventFeed,
+    until: Optional[int] = None,
+) -> Iterator[Tuple[int, LiveEvent, int]]:
+    """Drive ``engine`` through ``feed`` in announcement order.
+
+    Advances the engine clock to each record's ``at`` (expiring events
+    on the way), applies the event, and yields
+    ``(at, event, event_id)`` so callers can interleave queries.
+    Records later than ``until`` are left unplayed.
+    """
+    for record in feed:
+        if until is not None and record.at > until:
+            break
+        if record.at > engine.now:
+            engine.advance_to(record.at)
+        event_id = engine.apply_event(record.event)
+        yield record.at, record.event, event_id

@@ -1,7 +1,8 @@
 """A minimal HTTP JSON API over a planner (stdlib only).
 
 The deployment story the paper implies — build the index offline,
-serve microsecond queries online — in ~150 lines of standard library:
+serve microsecond queries online — in a couple hundred lines of
+standard library:
 
     from repro.datasets import load_dataset
     from repro.core import TTLPlanner
@@ -10,16 +11,29 @@ serve microsecond queries online — in ~150 lines of standard library:
     service = PlannerService(TTLPlanner(load_dataset("Berlin")))
     service.start(port=8080)          # non-blocking (daemon thread)
 
-Endpoints (all GET, JSON responses):
+Query endpoints (GET, JSON responses):
 
+* ``/healthz``                          — liveness + planner identity
 * ``/stations``                         — id/name listing
 * ``/eap?from=U&to=V&t=SECONDS``        — earliest arrival
 * ``/ldp?from=U&to=V&t=SECONDS``        — latest departure
 * ``/sdp?from=U&to=V&t=A&t_end=B``      — shortest duration
 * ``/profile?from=U&to=V&t=A&t_end=B``  — non-dominated (dep, arr) pairs
 
-Query errors return 400 with ``{"error": ...}``; infeasible journeys
-return 200 with ``{"journey": null}``.
+When the planner is a :class:`~repro.live.engine.LiveOverlayEngine`,
+disruption endpoints come alive:
+
+* ``GET  /live/events``   — registered (id, event) pairs
+* ``GET  /live/stats``    — fast-path / fallback counters
+* ``POST /live/events``   — body = one event dict; returns its id
+* ``POST /live/advance``  — body ``{"now": seconds}``; expires events
+* ``POST /live/clear``    — body ``{"id": n}`` or ``{}`` for all
+
+Every error — including unknown paths and unsupported methods — is a
+JSON body ``{"error": ...}`` with the matching status code; infeasible
+journeys return 200 with ``{"journey": null}``.  A service-level lock
+serializes planner access against overlay swaps, so injecting an event
+while queries are in flight is safe.
 """
 
 from __future__ import annotations
@@ -31,6 +45,8 @@ from typing import Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ReproError
+from repro.live.engine import LiveOverlayEngine
+from repro.live.events import event_from_dict
 from repro.planner import RoutePlanner
 
 
@@ -39,6 +55,8 @@ class PlannerService:
 
     def __init__(self, planner: RoutePlanner) -> None:
         self.planner = planner
+        #: Serializes planner access against live overlay swaps.
+        self.lock = threading.RLock()
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -52,7 +70,7 @@ class PlannerService:
         Returns the bound port (use ``port=0`` to pick a free one).
         """
         self.planner.preprocess()
-        handler = _make_handler(self.planner)
+        handler = _make_handler(self.planner, self.lock)
         self._server = ThreadingHTTPServer((host, port), handler)
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True
@@ -71,12 +89,22 @@ class PlannerService:
             self._thread = None
 
 
-def _make_handler(planner: RoutePlanner):
+def _make_handler(planner: RoutePlanner, lock: threading.RLock):
     graph = planner.graph
+    live = planner if isinstance(planner, LiveOverlayEngine) else None
 
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, *_args) -> None:  # silence request logs
             return
+
+        def send_error(  # noqa: N802 (http.server API)
+            self, code, message=None, explain=None
+        ) -> None:
+            # The base class renders HTML error pages (e.g. 501 for
+            # unsupported methods); keep the API JSON end to end.
+            if message is None:
+                message = self.responses.get(code, ("error",))[0]
+            self._send(code, {"error": message})
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             parsed = urlparse(self.path)
@@ -84,19 +112,54 @@ def _make_handler(planner: RoutePlanner):
                 key: values[0]
                 for key, values in parse_qs(parsed.query).items()
             }
+            self._dispatch(lambda: self._route_get(parsed.path, params))
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            parsed = urlparse(self.path)
+            self._dispatch(
+                lambda: self._route_post(parsed.path, self._read_body())
+            )
+
+        def _dispatch(self, route) -> None:
             try:
-                body = self._route(parsed.path, params)
+                body = route()
             except (ReproError, KeyError, ValueError) as exc:
                 self._send(400, {"error": str(exc)})
                 return
             if body is None:
-                self._send(404, {"error": f"unknown path: {parsed.path}"})
+                self._send(404, {"error": f"unknown path: {self.path}"})
                 return
             self._send(200, body)
 
+        def _read_body(self) -> dict:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                return {}
+            try:
+                data = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"malformed JSON body: {exc}") from exc
+            if not isinstance(data, dict):
+                raise ValueError("JSON body must be an object")
+            return data
+
         # --------------------------------------------------------------
 
-        def _route(self, path: str, params: dict):
+        def _route_get(self, path: str, params: dict):
+            if path == "/healthz":
+                body = {
+                    "status": "ok",
+                    "planner": planner.name,
+                    "stations": graph.n,
+                    "live": live is not None,
+                }
+                if live is not None:
+                    with lock:
+                        body["now"] = live.now
+                        body["generation"] = live.generation
+                        body["events"] = len(live.events())
+                return body
             if path == "/stations":
                 return {
                     "stations": [
@@ -108,10 +171,11 @@ def _make_handler(planner: RoutePlanner):
                 u = int(params["from"])
                 v = int(params["to"])
                 t = int(params["t"])
-                if path == "/eap":
-                    journey = planner.earliest_arrival(u, v, t)
-                else:
-                    journey = planner.latest_departure(u, v, t)
+                with lock:
+                    if path == "/eap":
+                        journey = planner.earliest_arrival(u, v, t)
+                    else:
+                        journey = planner.latest_departure(u, v, t)
                 return {
                     "journey": journey.to_dict() if journey else None
                 }
@@ -120,7 +184,8 @@ def _make_handler(planner: RoutePlanner):
                 v = int(params["to"])
                 t = int(params["t"])
                 t_end = int(params["t_end"])
-                journey = planner.shortest_duration(u, v, t, t_end)
+                with lock:
+                    journey = planner.shortest_duration(u, v, t, t_end)
                 return {
                     "journey": journey.to_dict() if journey else None
                 }
@@ -134,8 +199,60 @@ def _make_handler(planner: RoutePlanner):
                 v = int(params["to"])
                 t = int(params["t"])
                 t_end = int(params["t_end"])
-                return {"pairs": profile(u, v, t, t_end)}
+                with lock:
+                    pairs = profile(u, v, t, t_end)
+                return {"pairs": pairs}
+            if path == "/live/events":
+                self._require_live()
+                with lock:
+                    events = live.events()
+                return {
+                    "events": [
+                        {"id": eid, "event": event.to_dict()}
+                        for eid, event in events
+                    ]
+                }
+            if path == "/live/stats":
+                self._require_live()
+                with lock:
+                    body = live.stats.snapshot()
+                    body["generation"] = live.generation
+                    body["now"] = live.now
+                return body
             return None
+
+        def _route_post(self, path: str, body: dict):
+            if path == "/live/events":
+                self._require_live()
+                event = event_from_dict(body)
+                with lock:
+                    event_id = live.apply_event(event)
+                    generation = live.generation
+                return {"id": event_id, "generation": generation}
+            if path == "/live/advance":
+                self._require_live()
+                now = int(body["now"])
+                with lock:
+                    live.advance_to(now)
+                    remaining = len(live.events())
+                return {"now": now, "events": remaining}
+            if path == "/live/clear":
+                self._require_live()
+                with lock:
+                    if "id" in body:
+                        live.clear_event(int(body["id"]))
+                        cleared = 1
+                    else:
+                        cleared = live.clear_all()
+                return {"cleared": cleared}
+            return None
+
+        def _require_live(self) -> None:
+            if live is None:
+                raise ValueError(
+                    f"{planner.name} is not a live engine; start the "
+                    "service with a LiveOverlayEngine to use /live/*"
+                )
 
         def _send(self, status: int, body: dict) -> None:
             payload = json.dumps(body).encode()

@@ -139,3 +139,42 @@ class TestErrorHandling:
             main(["verify", "Austin", str(missing), "--scale", "0.4"]) == 2
         )
         assert "error:" in capsys.readouterr().err
+
+
+class TestLive:
+    def test_live_replay_reports_stats(self, capsys):
+        assert (
+            main(["live", "Austin", "--scale", "0.4", "--rate", "0.1",
+                  "--queries", "30"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fast path" in out and "fallbacks" in out
+        assert "tainted" in out
+
+    def test_live_feed_file(self, capsys, tmp_path):
+        from repro.datasets import load_dataset
+        from repro.live import (
+            EventFeed,
+            TimedEvent,
+            TripCancellation,
+        )
+
+        graph = load_dataset("Austin", scale=0.4)
+        trip_id = sorted(graph.trips)[0]
+        feed = EventFeed([TimedEvent(0, TripCancellation(trip_id=trip_id))])
+        path = tmp_path / "feed.json"
+        path.write_text(feed.to_json())
+        assert (
+            main(["live", "Austin", "--scale", "0.4", "--feed", str(path),
+                  "--queries", "12", "-v"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 applied" in out
+
+    def test_live_bad_rate_clean_error(self, capsys):
+        assert (
+            main(["live", "Austin", "--scale", "0.4", "--rate", "7"]) == 2
+        )
+        assert "error:" in capsys.readouterr().err

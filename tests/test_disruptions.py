@@ -62,6 +62,42 @@ class TestDelayTrips:
             tuple(c) for c in graph.connections
         }
 
+    def test_zero_delay_returns_same_graph(self, two_line_graph):
+        graph, trip_a, _ = two_line_graph
+        assert delay_trips(graph, {trip_a: 0}) is graph
+        assert delay_trips(graph, {}) is graph
+
+    def test_delay_from_final_stop_is_noop(self, two_line_graph):
+        """An incident at the last stop has no departure left to slip;
+        it must neither raise nor corrupt the final stop time."""
+        graph, trip_a, _ = two_line_graph
+        last = len(graph.trips[trip_a].stop_times) - 1
+        same = delay_trips(
+            graph, {trip_a: 120}, from_stop_index={trip_a: last}
+        )
+        assert same is graph
+        # Positions past the end behave the same way.
+        assert (
+            delay_trips(
+                graph, {trip_a: 120}, from_stop_index={trip_a: last + 3}
+            )
+            is graph
+        )
+
+    def test_final_stop_noop_leaves_others_delayed(self, two_line_graph):
+        graph, trip_a, trip_b = two_line_graph
+        last = len(graph.trips[trip_a].stop_times) - 1
+        disrupted = delay_trips(
+            graph,
+            {trip_a: 120, trip_b: 30},
+            from_stop_index={trip_a: last},
+        )
+        by_trip = {c.trip: c for c in disrupted.connections}
+        assert tuple(by_trip[trip_a]) == tuple(
+            next(c for c in graph.connections if c.trip == trip_a)
+        )
+        assert by_trip[trip_b].dep == 160 + 30
+
     def test_unknown_trip_rejected(self, two_line_graph):
         graph, _, _ = two_line_graph
         with pytest.raises(UnknownTripError):
@@ -71,6 +107,11 @@ class TestDelayTrips:
         graph, trip_a, _ = two_line_graph
         with pytest.raises(DatasetError):
             delay_trips(graph, {trip_a: -1})
+
+    def test_negative_from_stop_rejected(self, two_line_graph):
+        graph, trip_a, _ = two_line_graph
+        with pytest.raises(DatasetError):
+            delay_trips(graph, {trip_a: 10}, from_stop_index={trip_a: -1})
 
     def test_disrupted_graph_validates(self, route_graph):
         delays = random_delays(route_graph, fraction=0.3, seed=2)

@@ -1,0 +1,102 @@
+"""Tests for the live event vocabulary (repro.live.events)."""
+
+import pytest
+
+from repro.errors import LiveEventError
+from repro.live import (
+    ExtraTrip,
+    TripCancellation,
+    TripDelay,
+    event_from_dict,
+)
+from repro.timeutil import INF
+
+
+class TestVisibilityWindow:
+    def test_default_window_is_always_active(self):
+        event = TripCancellation(trip_id=3)
+        assert event.active_at(0)
+        assert event.active_at(10**9)
+
+    def test_window_bounds_are_half_open(self):
+        event = TripDelay(trip_id=1, delay=60, apply_at=100, expires_at=200)
+        assert not event.active_at(99)
+        assert event.active_at(100)
+        assert event.active_at(199)
+        assert not event.active_at(200)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(LiveEventError):
+            TripCancellation(trip_id=1, apply_at=50, expires_at=50)
+
+
+class TestValidation:
+    def test_delay_needs_trip(self):
+        with pytest.raises(LiveEventError):
+            TripDelay(delay=60)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(LiveEventError):
+            TripDelay(trip_id=0, delay=-5)
+
+    def test_negative_from_stop_rejected(self):
+        with pytest.raises(LiveEventError):
+            TripDelay(trip_id=0, delay=5, from_stop=-1)
+
+    def test_cancellation_needs_trip(self):
+        with pytest.raises(LiveEventError):
+            TripCancellation()
+
+    def test_extra_trip_needs_two_stops(self):
+        with pytest.raises(LiveEventError):
+            ExtraTrip(stops=(1,), times=((0, 0),))
+
+    def test_extra_trip_times_must_match_stops(self):
+        with pytest.raises(LiveEventError):
+            ExtraTrip(stops=(0, 1), times=((0, 0),))
+
+    def test_extra_trip_no_consecutive_repeats(self):
+        with pytest.raises(LiveEventError):
+            ExtraTrip(stops=(0, 0), times=((0, 0), (5, 5)))
+
+    def test_extra_trip_times_must_increase(self):
+        with pytest.raises(LiveEventError):
+            ExtraTrip(stops=(0, 1), times=((10, 10), (10, 10)))
+
+    def test_extra_trip_dep_before_arr_rejected(self):
+        with pytest.raises(LiveEventError):
+            ExtraTrip(stops=(0, 1), times=((5, 3), (10, 10)))
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "event",
+        [
+            TripDelay(trip_id=7, delay=300, from_stop=2, apply_at=50),
+            TripCancellation(trip_id=9, apply_at=10, expires_at=500),
+            ExtraTrip(
+                stops=(0, 1, 2),
+                times=((0, 5), (10, 12), (20, 20)),
+                trip_id=99,
+            ),
+        ],
+    )
+    def test_round_trip(self, event):
+        assert event_from_dict(event.to_dict()) == event
+
+    def test_infinite_expiry_omitted_from_json(self):
+        data = TripCancellation(trip_id=1).to_dict()
+        assert "expires_at" not in data
+        assert event_from_dict(data).expires_at == INF
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LiveEventError):
+            event_from_dict({"kind": "warp", "trip_id": 0})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(LiveEventError):
+            event_from_dict({"kind": "delay", "trip_id": 0})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(LiveEventError):
+            event_from_dict([1, 2, 3])

@@ -1,0 +1,200 @@
+"""Tests for patch-set compilation and the overlay timetable."""
+
+import pytest
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.datasets.disruptions import (
+    cancel_trips,
+    delay_trips,
+    random_delays,
+)
+from repro.errors import (
+    LiveEventError,
+    UnknownStationError,
+    UnknownTripError,
+)
+from repro.live import (
+    ExtraTrip,
+    OverlayTimetable,
+    PatchSet,
+    TripCancellation,
+    TripDelay,
+)
+
+
+class TestPatchCompile:
+    def test_empty_patch(self, line_graph):
+        patch = PatchSet.compile(line_graph, [])
+        assert patch.is_empty()
+        assert patch.added_runs == ()
+        assert patch.affected_stations() == frozenset()
+
+    def test_cancellation_removes_whole_trip(self, line_graph):
+        trip_id = sorted(line_graph.trips)[0]
+        patch = PatchSet.compile(
+            line_graph, [TripCancellation(trip_id=trip_id)]
+        )
+        base = [c for c in line_graph.connections if c.trip == trip_id]
+        assert patch.removed == frozenset(base)
+        assert patch.added == ()
+
+    def test_cancel_wins_over_delay(self, line_graph):
+        trip_id = sorted(line_graph.trips)[0]
+        patch = PatchSet.compile(
+            line_graph,
+            [
+                TripDelay(trip_id=trip_id, delay=60),
+                TripCancellation(trip_id=trip_id),
+            ],
+        )
+        assert patch.added == ()
+        assert len(patch.removed) == len(
+            [c for c in line_graph.connections if c.trip == trip_id]
+        )
+
+    def test_delays_stack(self, line_graph):
+        trip_id = sorted(line_graph.trips)[0]
+        stacked = PatchSet.compile(
+            line_graph,
+            [
+                TripDelay(trip_id=trip_id, delay=10),
+                TripDelay(trip_id=trip_id, delay=20),
+            ],
+        )
+        once = PatchSet.compile(
+            line_graph, [TripDelay(trip_id=trip_id, delay=30)]
+        )
+        assert stacked.added == once.added
+
+    def test_final_stop_delay_compiles_to_noop(self, line_graph):
+        trip_id = sorted(line_graph.trips)[0]
+        last = len(line_graph.trips[trip_id].stop_times) - 1
+        patch = PatchSet.compile(
+            line_graph,
+            [TripDelay(trip_id=trip_id, delay=600, from_stop=last)],
+        )
+        assert patch.is_empty()
+
+    def test_extra_trip_gets_fresh_id(self, line_graph):
+        patch = PatchSet.compile(
+            line_graph,
+            [ExtraTrip(stops=(0, 1), times=((0, 100), (200, 200)))],
+        )
+        (trip_id,) = patch.extra_trip_ids
+        assert trip_id == max(line_graph.trips) + 1
+        assert len(patch.added) == 1
+        assert len(patch.added_runs) == 1
+
+    def test_extra_trip_with_clashing_id_rejected(self, line_graph):
+        existing = sorted(line_graph.trips)[0]
+        with pytest.raises(LiveEventError):
+            PatchSet.compile(
+                line_graph,
+                [
+                    ExtraTrip(
+                        stops=(0, 1),
+                        times=((0, 100), (200, 200)),
+                        trip_id=existing,
+                    )
+                ],
+            )
+
+    def test_unknown_trip_rejected(self, line_graph):
+        with pytest.raises(UnknownTripError):
+            PatchSet.compile(line_graph, [TripCancellation(trip_id=999)])
+
+    def test_unknown_station_rejected(self, line_graph):
+        with pytest.raises(UnknownStationError):
+            PatchSet.compile(
+                line_graph,
+                [ExtraTrip(stops=(0, 99), times=((0, 0), (5, 5)))],
+            )
+
+    def test_runs_follow_trip_legs(self, line_graph):
+        trip_id = sorted(line_graph.trips)[0]
+        patch = PatchSet.compile(
+            line_graph, [TripDelay(trip_id=trip_id, delay=60)]
+        )
+        assert len(patch.added_runs) == 1
+        run = patch.added_runs[0]
+        assert [c.trip for c in run] == [trip_id] * len(run)
+        assert all(a.v == b.u for a, b in zip(run, run[1:]))
+
+    def test_window_lookups(self, line_graph):
+        trip_id = sorted(line_graph.trips)[0]
+        patch = PatchSet.compile(
+            line_graph, [TripDelay(trip_id=trip_id, delay=60)]
+        )
+        deps = sorted(c.dep for c in patch.added)
+        assert patch.added_departing_in(deps[0], deps[-1]) == patch.added
+        assert patch.added_departing_in(deps[-1] + 1, deps[-1] + 2) == ()
+        arrs = sorted(c.arr for c in patch.added)
+        assert set(patch.added_arriving_by(arrs[-1])) == set(patch.added)
+        assert patch.added_arriving_by(arrs[0] - 1) == ()
+
+
+class TestOverlay:
+    def test_unpatched_stations_share_base_lists(self, route_graph):
+        trip_id = sorted(route_graph.trips)[0]
+        patch = PatchSet.compile(
+            route_graph, [TripCancellation(trip_id=trip_id)]
+        )
+        overlay = OverlayTimetable(route_graph, patch)
+        touched = patch.affected_stations()
+        assert touched, "test premise: cancellation touches stations"
+        for s in range(route_graph.n):
+            if s not in touched:
+                # Zero-copy: the very same list objects.
+                assert overlay.out[s] is route_graph.out[s]
+                assert overlay.inc[s] is route_graph.inc[s]
+
+    def test_overlay_equals_rebuilt_graph(self, route_graph, rng):
+        delays = random_delays(route_graph, fraction=0.3, seed=7)
+        trip_ids = sorted(route_graph.trips)
+        cancelled = [t for t in trip_ids if t not in delays][:2]
+        events = [TripDelay(trip_id=t, delay=d) for t, d in delays.items()]
+        events += [TripCancellation(trip_id=t) for t in cancelled]
+        patch = PatchSet.compile(route_graph, events)
+        overlay = OverlayTimetable(route_graph, patch)
+        rebuilt = cancel_trips(
+            delay_trips(route_graph, delays), cancelled
+        )
+        assert set(overlay.connections) == set(rebuilt.connections)
+        assert overlay.m == rebuilt.m
+
+    def test_search_on_overlay_matches_rebuilt(self, route_graph):
+        delays = random_delays(route_graph, fraction=0.4, seed=3)
+        events = [TripDelay(trip_id=t, delay=d) for t, d in delays.items()]
+        patch = PatchSet.compile(route_graph, events)
+        overlay = OverlayTimetable(route_graph, patch)
+        rebuilt = delay_trips(route_graph, delays)
+        on_overlay = DijkstraPlanner(overlay)
+        on_rebuilt = DijkstraPlanner(rebuilt)
+        for u in range(route_graph.n):
+            for v in range(route_graph.n):
+                if u == v:
+                    continue
+                a = on_overlay.earliest_arrival(u, v, 0)
+                b = on_rebuilt.earliest_arrival(u, v, 0)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arr == b.arr
+
+    def test_materialize_validates(self, route_graph):
+        delays = random_delays(route_graph, fraction=0.3, seed=11)
+        events = [TripDelay(trip_id=t, delay=d) for t, d in delays.items()]
+        overlay = OverlayTimetable(
+            route_graph, PatchSet.compile(route_graph, events)
+        )
+        overlay.materialize().validate()
+
+    def test_departure_times_reflect_patch(self, line_graph):
+        trip_id = sorted(line_graph.trips)[0]
+        conn = next(
+            c for c in line_graph.connections if c.trip == trip_id
+        )
+        patch = PatchSet.compile(
+            line_graph, [TripDelay(trip_id=trip_id, delay=7)]
+        )
+        overlay = OverlayTimetable(line_graph, patch)
+        assert conn.dep + 7 in overlay.departure_times(conn.u)

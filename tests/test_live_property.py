@@ -1,0 +1,155 @@
+"""Hypothesis property: the hybrid live engine is indistinguishable
+from temporal Dijkstra on the overlay graph.
+
+The engine's fast path serves static TTL answers whenever its taint +
+improvement analysis proves them safe; this property drives random
+event streams (delays from arbitrary stops, cancellations, extra
+trips) against random route-structured timetables and demands the
+engine's EAP/LDP/SDP objectives match an oracle that always searches
+the patched schedule.  Any unsound shortcut in the safety argument
+shows up here as a mismatch.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.temporal_dijkstra import DijkstraPlanner
+from repro.graph.builders import GraphBuilder
+from repro.live import (
+    ExtraTrip,
+    LiveOverlayEngine,
+    TripCancellation,
+    TripDelay,
+)
+
+
+@st.composite
+def route_structured_graphs(draw):
+    n = draw(st.integers(min_value=3, max_value=6))
+    builder = GraphBuilder()
+    builder.add_stations(n)
+    n_routes = draw(st.integers(min_value=1, max_value=3))
+    for _ in range(n_routes):
+        length = draw(st.integers(min_value=2, max_value=min(4, n)))
+        stops = draw(
+            st.permutations(range(n)).map(lambda p: list(p)[:length])
+        )
+        if len(stops) < 2:
+            continue
+        route = builder.add_route(stops)
+        n_trips = draw(st.integers(min_value=1, max_value=3))
+        start = draw(st.integers(min_value=0, max_value=60))
+        for k in range(n_trips):
+            legs = [
+                draw(st.integers(min_value=1, max_value=25))
+                for _ in range(len(stops) - 1)
+            ]
+            headway = draw(st.integers(min_value=5, max_value=40))
+            builder.add_trip_departures(route, start + k * headway, legs)
+    return builder.build()
+
+
+# (kind, trip index, delay, from_stop) — resolved modulo the actual
+# trip/stop counts once the graph is known.
+event_specs = st.tuples(
+    st.sampled_from(["delay", "cancel", "extra"]),
+    st.integers(min_value=0, max_value=11),
+    st.integers(min_value=1, max_value=90),
+    st.integers(min_value=0, max_value=4),
+)
+
+query_params = st.tuples(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=150),
+    st.integers(min_value=1, max_value=120),
+)
+
+
+def resolve_events(graph, specs):
+    trip_ids = sorted(graph.trips)
+    events = []
+    for kind, trip_index, delay, from_stop in specs:
+        trip_id = trip_ids[trip_index % len(trip_ids)]
+        if kind == "cancel":
+            events.append(TripCancellation(trip_id=trip_id))
+        elif kind == "delay":
+            n_stops = len(graph.trips[trip_id].stop_times)
+            events.append(
+                TripDelay(
+                    trip_id=trip_id,
+                    delay=delay,
+                    from_stop=from_stop % n_stops,
+                )
+            )
+        else:
+            # Shadow the trip with a relief vehicle ``delay`` later.
+            route = graph.route_of_trip(trip_id)
+            times = tuple(
+                (st_.arr + delay, st_.dep + delay)
+                for st_ in graph.trips[trip_id].stop_times
+            )
+            events.append(ExtraTrip(stops=route.stops, times=times))
+    return events
+
+
+@given(
+    route_structured_graphs(),
+    st.lists(event_specs, min_size=1, max_size=5),
+    st.lists(query_params, min_size=1, max_size=4),
+)
+@settings(max_examples=50, deadline=None)
+def test_live_engine_matches_overlay_oracle(graph, specs, query_list):
+    if graph.m == 0:
+        return
+    engine = LiveOverlayEngine(graph)
+    engine.preprocess()
+    for event in resolve_events(graph, specs):
+        engine.apply_event(event)
+    oracle = DijkstraPlanner(engine.overlay)
+    for u, v, t, window in query_list:
+        u %= graph.n
+        v %= graph.n
+        if u == v:
+            continue
+        got = engine.earliest_arrival(u, v, t)
+        ref = oracle.earliest_arrival(u, v, t)
+        assert (got is None) == (ref is None)
+        if ref is not None:
+            assert got.arr == ref.arr
+
+        got = engine.latest_departure(u, v, t)
+        ref = oracle.latest_departure(u, v, t)
+        assert (got is None) == (ref is None)
+        if ref is not None:
+            assert got.dep == ref.dep
+
+        got = engine.shortest_duration(u, v, t, t + window)
+        ref = oracle.shortest_duration(u, v, t, t + window)
+        assert (got is None) == (ref is None)
+        if ref is not None:
+            assert got.duration == ref.duration
+
+
+@given(
+    route_structured_graphs(),
+    st.lists(event_specs, min_size=1, max_size=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_fast_path_answers_exist_in_live_schedule(graph, specs):
+    """Every journey the engine returns must be feasible on the live
+    schedule — its connections all exist in the overlay."""
+    if graph.m == 0:
+        return
+    engine = LiveOverlayEngine(graph)
+    engine.preprocess()
+    for event in resolve_events(graph, specs):
+        engine.apply_event(event)
+    live_conns = set(engine.overlay.connections)
+    for u in range(graph.n):
+        for v in range(graph.n):
+            if u == v:
+                continue
+            journey = engine.earliest_arrival(u, v, 0)
+            if journey is not None and journey.path:
+                assert all(c in live_conns for c in journey.path)

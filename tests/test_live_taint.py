@@ -1,0 +1,97 @@
+"""Tests for the label-safety (taint) analyzer."""
+
+from repro.core import TTLPlanner, build_index
+from repro.core.sketch import best_eap_sketch
+from repro.live import PatchSet, TaintAnalyzer, TripCancellation, TripDelay
+
+
+def make_analyzer(graph, events):
+    index = build_index(graph)
+    return index, TaintAnalyzer(index, PatchSet.compile(graph, events))
+
+
+class TestTaint:
+    def test_empty_patch_taints_nothing(self, route_graph):
+        _, analyzer = make_analyzer(route_graph, [])
+        report = analyzer.report()
+        assert report.num_tainted == 0
+        assert report.fraction == 0.0
+
+    def test_cancelled_trip_taints_its_labels(self, figure1_graph):
+        trip_id = sorted(figure1_graph.trips)[0]
+        _, analyzer = make_analyzer(
+            figure1_graph, [TripCancellation(trip_id=trip_id)]
+        )
+        report = analyzer.report()
+        assert 0 < report.num_tainted < report.num_labels
+        assert 0.0 < report.fraction < 1.0
+
+    def test_clean_sketch_unfolds_without_patched_connections(
+        self, route_graph
+    ):
+        """A clean verdict must be a proof: the unfolded path avoids
+        every removed connection."""
+        trip_ids = sorted(route_graph.trips)[:4]
+        events = [TripDelay(trip_id=t, delay=50) for t in trip_ids]
+        index, analyzer = make_analyzer(route_graph, events)
+        planner = TTLPlanner(route_graph, index=index)
+        removed = analyzer.patch.removed
+        checked = 0
+        for u in range(route_graph.n):
+            for v in range(route_graph.n):
+                if u == v:
+                    continue
+                journey = planner.earliest_arrival(u, v, 0)
+                if journey is None:
+                    continue
+                sketch = best_eap_sketch(index, u, v, 0)
+                if sketch is not None and not analyzer.sketch_tainted(
+                    sketch
+                ):
+                    checked += 1
+                    assert not (set(journey.path) & removed)
+        assert checked > 0
+
+    def test_memoization_is_consistent(self, route_graph):
+        trip_id = sorted(route_graph.trips)[0]
+        _, analyzer = make_analyzer(
+            route_graph, [TripCancellation(trip_id=trip_id)]
+        )
+        first = analyzer.report()
+        second = analyzer.report()
+        assert first == second
+
+    def test_trip_window_check(self, line_graph):
+        trip_id = sorted(line_graph.trips)[0]
+        conns = sorted(
+            (c for c in line_graph.connections if c.trip == trip_id),
+            key=lambda c: c.dep,
+        )
+        # Delay only from the last boardable stop: earlier legs of the
+        # same trip stay clean.
+        last_leg = conns[-1]
+        from_stop = len(conns) - 1
+        _, analyzer = make_analyzer(
+            line_graph,
+            [TripDelay(trip_id=trip_id, delay=60, from_stop=from_stop)],
+        )
+        assert analyzer.trip_segment_tainted(
+            trip_id, last_leg.dep, last_leg.arr
+        )
+        first_leg = conns[0]
+        assert not analyzer.trip_segment_tainted(
+            trip_id, first_leg.dep, first_leg.arr
+        )
+
+    def test_tainted_hub_sets(self, figure1_graph):
+        trip_id = sorted(figure1_graph.trips)[0]
+        _, analyzer = make_analyzer(
+            figure1_graph, [TripCancellation(trip_id=trip_id)]
+        )
+        any_out = any(
+            analyzer.tainted_hubs_out(s) for s in range(figure1_graph.n)
+        )
+        any_in = any(
+            analyzer.tainted_hubs_in(s) for s in range(figure1_graph.n)
+        )
+        assert any_out or any_in

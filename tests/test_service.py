@@ -29,6 +29,17 @@ def get(port, path):
         return response.status, json.loads(response.read())
 
 
+def post(port, path, body):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
 class TestEndpoints:
     def test_stations(self, service):
         graph, port = service
@@ -107,12 +118,50 @@ class TestEndpoints:
         pytest.skip("no feasible pair")
 
 
+class TestHealthz:
+    def test_healthz_static_planner(self, service):
+        graph, port = service
+        status, body = get(port, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["stations"] == graph.n
+        assert body["live"] is False
+
+
 class TestErrors:
     def test_unknown_path_404(self, service):
         _, port = service
         with pytest.raises(urllib.error.HTTPError) as err:
             get(port, "/teleport")
         assert err.value.code == 404
+
+    def test_404_body_is_json(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/teleport")
+        assert err.value.headers["Content-Type"] == "application/json"
+        assert "error" in json.loads(err.value.read())
+
+    def test_unsupported_method_is_json(self, service):
+        """The base handler's HTML error page must not leak through."""
+        _, port = service
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/stations", method="DELETE"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 501
+        assert err.value.headers["Content-Type"] == "application/json"
+        assert "error" in json.loads(err.value.read())
+
+    def test_live_endpoints_rejected_for_static_planner(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/live/stats")
+        assert err.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(port, "/live/events", {"kind": "cancel", "trip_id": 0})
+        assert err.value.code == 400
 
     def test_bad_station_400(self, service):
         _, port = service
@@ -131,3 +180,85 @@ class TestErrors:
         with pytest.raises(urllib.error.HTTPError) as err:
             get(port, "/eap?from=a&to=b&t=c")
         assert err.value.code == 400
+
+
+@pytest.fixture(scope="module")
+def live_service(request):
+    from tests.conftest import make_random_route_graph
+    from repro.live import LiveOverlayEngine
+    import random
+
+    graph = make_random_route_graph(random.Random(23), 10, 7)
+    engine = LiveOverlayEngine(graph)
+    svc = PlannerService(engine)
+    port = svc.start(port=0)
+    request.addfinalizer(svc.stop)
+    return graph, engine, port
+
+
+class TestLiveEndpoints:
+    def test_healthz_reports_live(self, live_service):
+        _, _, port = live_service
+        _, body = get(port, "/healthz")
+        assert body["live"] is True
+        assert "generation" in body and "events" in body
+
+    def test_inject_query_clear_cycle(self, live_service):
+        graph, engine, port = live_service
+        trip_id = sorted(graph.trips)[0]
+        status, body = post(
+            port, "/live/events", {"kind": "cancel", "trip_id": trip_id}
+        )
+        assert status == 200
+        event_id = body["id"]
+        assert body["generation"] >= 1
+
+        _, listing = get(port, "/live/events")
+        assert [e["id"] for e in listing["events"]] == [event_id]
+        assert listing["events"][0]["event"]["trip_id"] == trip_id
+
+        # Queries still answer, and never use the cancelled trip.
+        for u in range(graph.n):
+            for v in range(graph.n):
+                if u == v:
+                    continue
+                _, answer = get(port, f"/eap?from={u}&to={v}&t=0")
+                journey = answer["journey"]
+                if journey and journey.get("path"):
+                    # path legs serialize as [u, v, dep, arr, trip]
+                    assert all(
+                        leg[4] != trip_id for leg in journey["path"]
+                    )
+
+        _, stats = get(port, "/live/stats")
+        assert stats["queries"] > 0
+
+        _, cleared = post(port, "/live/clear", {"id": event_id})
+        assert cleared == {"cleared": 1}
+        _, listing = get(port, "/live/events")
+        assert listing["events"] == []
+
+    def test_bad_event_rejected(self, live_service):
+        _, _, port = live_service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(port, "/live/events", {"kind": "cancel", "trip_id": 10**6})
+        assert err.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(port, "/live/events", {"kind": "warp"})
+        assert err.value.code == 400
+
+    def test_advance_expires_events(self, live_service):
+        graph, engine, port = live_service
+        trip_id = sorted(graph.trips)[1]
+        post(
+            port,
+            "/live/events",
+            {
+                "kind": "delay",
+                "trip_id": trip_id,
+                "delay": 60,
+                "expires_at": engine.now + 100,
+            },
+        )
+        _, body = post(port, "/live/advance", {"now": engine.now + 100})
+        assert body["events"] == 0
