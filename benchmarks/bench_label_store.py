@@ -1,0 +1,227 @@
+"""Label-store benchmark: sealed flat columns vs the legacy layout.
+
+The pre-sealed index kept every label twice over: list-backed
+``LabelGroup`` columns (one Python int object per field) plus two
+tuple-keyed dicts (``_by_dep`` / ``_by_arr``) so PathUnfold could
+resolve children in O(1).  The sealed :class:`~repro.core.store
+.LabelStore` replaces all of that with four ``array('q')`` columns and
+bisection.  This benchmark reconstructs the legacy layout from the
+same label data and reports, for one dataset:
+
+* retained resident memory of each representation (tracemalloc);
+* median EAP query latency through the identical selector code.
+
+Run standalone (not a pytest-benchmark file)::
+
+    PYTHONPATH=src python benchmarks/bench_label_store.py           # Berlin
+    PYTHONPATH=src python benchmarks/bench_label_store.py --smoke   # Austin
+
+Results land in ``benchmarks/results/label_store.txt`` (smoke runs
+write ``label_store_smoke.txt``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import statistics
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def extract_payload(index) -> List[List[tuple]]:
+    """Per-node in+out group payloads as plain Python data, so both
+    representations under test are built from the same source."""
+    tables = []
+    for groups_per_node in (index.in_groups, index.out_groups):
+        table = []
+        for groups in groups_per_node:
+            table.append(
+                [
+                    (
+                        g.hub,
+                        g.rank,
+                        list(g.deps),
+                        list(g.arrs),
+                        list(g.trips),
+                        list(g.pivots),
+                    )
+                    for g in groups
+                ]
+            )
+        tables.append(table)
+    return tables
+
+
+class _PlainGroup:
+    """Minimal group-like record for LabelStore.from_groups."""
+
+    __slots__ = ("hub", "rank", "deps", "arrs", "trips", "pivots")
+
+    def __init__(self, hub, rank, deps, arrs, trips, pivots) -> None:
+        self.hub = hub
+        self.rank = rank
+        self.deps = deps
+        self.arrs = arrs
+        self.trips = trips
+        self.pivots = pivots
+
+    def __len__(self) -> int:
+        return len(self.deps)
+
+
+def build_legacy(payload, ranks):
+    """The pre-sealed layout: list-backed groups per node plus the two
+    tuple-keyed child-lookup dicts PathUnfold used to consult."""
+    from repro.core.label import LabelGroup
+
+    in_table, out_table = payload
+    by_dep: Dict[Tuple[int, int, int], tuple] = {}
+    by_arr: Dict[Tuple[int, int, int], tuple] = {}
+
+    def rebuild(table, node_is_dst):
+        per_node = []
+        for node, group_payloads in enumerate(table):
+            groups = []
+            for hub, rank, deps, arrs, trips, pivots in group_payloads:
+                group = LabelGroup(hub, rank)
+                for i in range(len(deps)):
+                    group.append(deps[i], arrs[i], trips[i], pivots[i])
+                    src, dst = (hub, node) if node_is_dst else (node, hub)
+                    entry = (deps[i], arrs[i], trips[i], pivots[i])
+                    by_dep[(src, dst, deps[i])] = entry
+                    by_arr[(src, dst, arrs[i])] = entry
+                groups.append(group)
+            per_node.append(groups)
+        return per_node
+
+    in_groups = rebuild(in_table, node_is_dst=True)
+    out_groups = rebuild(out_table, node_is_dst=False)
+    return in_groups, out_groups, by_dep, by_arr
+
+
+def build_sealed(payload):
+    """The sealed layout: flat stores plus materialized group views."""
+    from repro.core.store import LabelStore
+
+    stores = []
+    views = []
+    for table in payload:
+        store = LabelStore.from_groups(
+            [[_PlainGroup(*g) for g in groups] for groups in table]
+        )
+        stores.append(store)
+        views.append([store.views(v) for v in range(store.n)])
+    return stores, views
+
+
+def retained_bytes(builder, *args) -> Tuple[int, object]:
+    """Construct under tracemalloc; return (retained bytes, object)."""
+    gc.collect()
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    built = builder(*args)
+    gc.collect()
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return after - before, built
+
+
+def median_eap_latency(out_lists, in_lists, queries, repeats) -> float:
+    """Median per-query EAP selector latency in microseconds."""
+    from repro.core.sketch import best_eap_sketch_from_lists
+
+    timings = []
+    for query in queries:
+        u, v, t = query.source, query.destination, query.t_start
+        start = time.perf_counter()
+        for _ in range(repeats):
+            best_eap_sketch_from_lists(out_lists[u], in_lists[v], u, v, t)
+        timings.append(
+            (time.perf_counter() - start) / repeats * 1e6
+        )
+    return statistics.median(timings)
+
+
+def run(dataset: str, num_queries: int, repeats: int) -> str:
+    from repro.core.build import build_index
+    from repro.datasets import QueryWorkload, load_dataset
+
+    graph = load_dataset(dataset)
+    build_start = time.perf_counter()
+    index = build_index(graph)
+    build_seconds = time.perf_counter() - build_start
+    payload = extract_payload(index)
+    stats = index.stats()
+
+    legacy_bytes, legacy = retained_bytes(
+        build_legacy, payload, index.ranks
+    )
+    in_groups, out_groups, by_dep, by_arr = legacy
+    sealed_bytes, sealed = retained_bytes(build_sealed, payload)
+    _, (in_views, out_views) = sealed
+
+    queries = QueryWorkload(graph, seed=42).generate(num_queries)
+    # Warm both representations, then alternate measurement rounds and
+    # keep the best of each so clock drift doesn't bias the ratio.
+    median_eap_latency(out_groups, in_groups, queries, 1)
+    median_eap_latency(out_views, in_views, queries, 1)
+    legacy_us = min(
+        median_eap_latency(out_groups, in_groups, queries, repeats)
+        for _ in range(2)
+    )
+    sealed_us = min(
+        median_eap_latency(out_views, in_views, queries, repeats)
+        for _ in range(2)
+    )
+
+    reduction = 100.0 * (1.0 - sealed_bytes / legacy_bytes)
+    ratio = sealed_us / legacy_us
+    lines = [
+        f"label-store benchmark — dataset {dataset}",
+        f"stations            {graph.n}",
+        f"labels              {stats.num_labels}",
+        f"index build         {build_seconds:.2f}s",
+        "",
+        f"legacy resident     {legacy_bytes / 1e6:8.2f} MB "
+        f"(list groups + {len(by_dep) + len(by_arr)} dict entries)",
+        f"sealed resident     {sealed_bytes / 1e6:8.2f} MB "
+        f"(flat columns: {index.store_bytes() / 1e6:.2f} MB)",
+        f"memory reduction    {reduction:8.1f} %",
+        "",
+        f"EAP median latency  legacy {legacy_us:8.1f} us   "
+        f"sealed {sealed_us:8.1f} us   ({num_queries} queries)",
+        f"latency ratio       {ratio:8.2f} x (sealed / legacy)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small dataset + few queries (CI sanity run)",
+    )
+    parser.add_argument("--dataset", help="override the dataset name")
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    dataset = args.dataset or ("Austin" if args.smoke else "Berlin")
+    num_queries = args.queries or (20 if args.smoke else 200)
+    repeats = args.repeats or (1 if args.smoke else 5)
+    report = run(dataset, num_queries, repeats)
+    print(report)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    name = "label_store_smoke" if args.smoke else "label_store"
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -146,6 +146,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"({format_duration(journey.duration)}, "
                 f"{journey.transfers} transfers)"
             )
+    if args.stats:
+        print()
+        print("per-planner query metrics:")
+        for planner in planners:
+            metrics = getattr(planner, "metrics", None)
+            if metrics is None:
+                continue
+            snap = metrics.snapshot()
+            counters = "  ".join(
+                f"{key}={value}" for key, value in snap.items()
+            )
+            print(f"{planner.name:9s} {counters}")
     return 0
 
 
@@ -247,12 +259,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         planner = LiveOverlayEngine(graph)
         endpoints = (
-            "/stations /eap /ldp /sdp /healthz /live/events "
+            "/stations /eap /ldp /sdp /healthz /metrics /live/events "
             "/live/stats /live/advance /live/clear"
         )
     else:
         planner = TTLPlanner(graph)
-        endpoints = "/stations /eap /ldp /sdp /profile /healthz"
+        endpoints = (
+            "/stations /eap /ldp /sdp /profile /healthz /metrics"
+        )
     service = PlannerService(planner)
     port = service.start(host=args.host, port=args.port)
     print(f"serving {args.name} on http://{args.host}:{port} "
@@ -370,6 +384,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", help="HH:MM[:SS]")
     p.add_argument("--end", help="HH:MM[:SS]")
     p.add_argument("--index", help="load a saved TTL index")
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-planner query metrics after the answers",
+    )
     _add_scale(p)
 
     p = sub.add_parser("bench", help="run a paper experiment")

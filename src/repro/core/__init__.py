@@ -10,10 +10,14 @@
 * :mod:`repro.core.queries` — the :class:`TTLPlanner` front end.
 * :mod:`repro.core.compression` / :mod:`repro.core.cindex` — label
   compression and the C-TTL planner (Section 7, Appendix B).
+* :mod:`repro.core.store` — the flat sealed label store.
+* :mod:`repro.core.metrics` — per-query observability counters.
 * :mod:`repro.core.serialize` — persistence and size accounting.
 """
 
 from repro.core.label import Label, LabelGroup
+from repro.core.metrics import QueryMetrics
+from repro.core.store import GroupView, LabelStore
 from repro.core.order import (
     approximation_order,
     betweenness_order,
@@ -35,6 +39,9 @@ from repro.core.batch import eat_matrix, isochrone, one_to_many_eat
 __all__ = [
     "Label",
     "LabelGroup",
+    "LabelStore",
+    "GroupView",
+    "QueryMetrics",
     "approximation_order",
     "betweenness_order",
     "degree_order",

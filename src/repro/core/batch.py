@@ -26,7 +26,7 @@ def one_to_many_eat(
     n = index.graph.n
     if not 0 <= source < n:
         raise QueryError(f"unknown source station: {source}")
-    out_list = index.out_groups[source]
+    out_list = index.out_label_groups(source)
     result: Dict[int, Optional[int]] = {}
     for target in targets:
         if not 0 <= target < n:
@@ -35,7 +35,7 @@ def one_to_many_eat(
             result[target] = t
             continue
         sketch = best_eap_sketch_from_lists(
-            out_list, index.in_groups[target], source, target, t
+            out_list, index.in_label_groups(target), source, target, t
         )
         result[target] = sketch.arr if sketch is not None else None
     return result

@@ -29,6 +29,7 @@ from repro.core.compression import (
     merge_children,
 )
 from repro.core.index import LabelEntry, TTLIndex
+from repro.core.metrics import QueryMetrics
 from repro.core.sketch import (
     Sketch,
     best_eap_sketch_from_lists,
@@ -232,6 +233,8 @@ class CompressedTTLPlanner(RoutePlanner):
         self.concise = concise
         self.mode = mode
         self.cindex: Optional[CompressedTTLIndex] = cindex
+        #: Cumulative per-query observability counters.
+        self.metrics = QueryMetrics()
         if cindex is not None:
             self._preprocess_seconds = 0.0
 
@@ -261,7 +264,9 @@ class CompressedTTLPlanner(RoutePlanner):
         if sketch is None:
             return None
         assert self.cindex is not None
-        return sketch_to_journey(self.cindex, sketch, u, v, self.concise)
+        return sketch_to_journey(
+            self.cindex, sketch, u, v, self.concise, metrics=self.metrics
+        )
 
     def earliest_arrival(
         self, source: int, destination: int, t: int
@@ -270,9 +275,10 @@ class CompressedTTLPlanner(RoutePlanner):
         if source == destination:
             return Journey(source, destination, t, t, path=[])
         self.preprocess()
+        self.metrics.queries += 1
         out_list, in_list = self._lists(source, destination)
         best = best_eap_sketch_from_lists(
-            out_list, in_list, source, destination, t
+            out_list, in_list, source, destination, t, metrics=self.metrics
         )
         return self._answer(source, destination, best)
 
@@ -283,9 +289,10 @@ class CompressedTTLPlanner(RoutePlanner):
         if source == destination:
             return Journey(source, destination, t, t, path=[])
         self.preprocess()
+        self.metrics.queries += 1
         out_list, in_list = self._lists(source, destination)
         best = best_ldp_sketch_from_lists(
-            out_list, in_list, source, destination, t
+            out_list, in_list, source, destination, t, metrics=self.metrics
         )
         return self._answer(source, destination, best)
 
@@ -297,9 +304,11 @@ class CompressedTTLPlanner(RoutePlanner):
         if source == destination:
             return Journey(source, destination, t, t, path=[])
         self.preprocess()
+        self.metrics.queries += 1
         out_list, in_list = self._lists(source, destination)
         best = best_sdp_sketch_from_lists(
-            out_list, in_list, source, destination, t, t_end
+            out_list, in_list, source, destination, t, t_end,
+            metrics=self.metrics,
         )
         return self._answer(source, destination, best)
 
@@ -314,10 +323,17 @@ class CompressedTTLPlanner(RoutePlanner):
         if source == destination:
             return [(t, t)]
         self.preprocess()
+        self.metrics.queries += 1
         out_list, in_list = self._lists(source, destination)
         profile = ParetoProfile()
+        generated = 0
         for sketch in generate_sketches_from_lists(
             out_list, in_list, source, destination, t, t_end
         ):
+            generated += 1
             profile.add(sketch.dep, sketch.arr)
+        self.metrics.labels_scanned += sum(len(g) for g in out_list) + sum(
+            len(g) for g in in_list
+        )
+        self.metrics.sketches_generated += generated
         return profile.pairs()

@@ -3,22 +3,31 @@
 :class:`TTLIndex` is the immutable, queryable product of
 :func:`~repro.core.build.build_index`: per-node in/out label sets
 grouped by hub and ordered by ``(hub rank, departure)`` — the label
-order ``f(l)`` of Section 4.1 — plus two global lookup tables that
-resolve a label's left/right child in O(1) for PathUnfold:
+order ``f(l)`` of Section 4.1.  Sealing flattens every label into the
+typed columns of :class:`~repro.core.store.LabelStore`; queries touch
+the columns through :class:`~repro.core.store.GroupView` slices.
 
-* ``(src, dst, dep) -> label``: canonical paths between a fixed pair
-  have pairwise distinct departure times (ties would violate the
-  Dominance Constraint), so the key is unique;
-* ``(src, dst, arr) -> label``: likewise unique by arrival.
+PathUnfold resolves a label's left/right child with two bisections
+instead of hash lookups:
+
+* canonical paths between a fixed pair have pairwise distinct
+  departure *and* arrival times (ties would violate the Dominance
+  Constraint), so an exact-match bisect over the pair's group is
+  unambiguous;
+* the pair's group lives in ``L_out(src)`` when ``dst`` ranks higher
+  and in ``L_in(dst)`` otherwise (Definition 7), and group lists are
+  sorted by hub rank, so the group itself is found by bisection too.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.build import BuildStats
 from repro.core.label import Label, LabelGroup
+from repro.core.store import GroupView, LabelStore
 from repro.errors import IndexBuildError
 from repro.graph.timetable import TimetableGraph
 
@@ -52,72 +61,123 @@ class TTLIndex:
             raise IndexBuildError("rank array does not match graph size")
         self.graph = graph
         self.ranks = list(ranks)
-        self.node_of_rank = [0] * graph.n
+        n = graph.n
+        self.node_of_rank = [-1] * n
         for node, rank in enumerate(self.ranks):
+            if not 0 <= rank < n:
+                raise IndexBuildError(
+                    f"rank {rank} of node {node} outside 0..{n - 1}"
+                )
+            if self.node_of_rank[rank] != -1:
+                raise IndexBuildError(
+                    f"duplicate rank {rank}: nodes "
+                    f"{self.node_of_rank[rank]} and {node}"
+                )
             self.node_of_rank[rank] = node
         self.build_stats = build_stats
 
-        #: in_groups[v] / out_groups[u]: label groups sorted by hub rank.
-        self.in_groups: List[List[LabelGroup]] = [
-            sorted(groups.values(), key=lambda g: g.rank)
-            for groups in in_groups
-        ]
-        self.out_groups: List[List[LabelGroup]] = [
-            sorted(groups.values(), key=lambda g: g.rank)
-            for groups in out_groups
-        ]
+        #: Flat sealed columns, one store per direction.
+        self.in_store: LabelStore = LabelStore.from_groups(
+            [
+                sorted(groups.values(), key=lambda g: g.rank)
+                for groups in in_groups
+            ]
+        )
+        self.out_store: LabelStore = LabelStore.from_groups(
+            [
+                sorted(groups.values(), key=lambda g: g.rank)
+                for groups in out_groups
+            ]
+        )
 
-        self._by_dep: Dict[Tuple[int, int, int], LabelEntry] = {}
-        self._by_arr: Dict[Tuple[int, int, int], LabelEntry] = {}
-        self._build_lookup()
+        #: in_groups[v] / out_groups[u]: label-group views sorted by
+        #: hub rank, materialized once at seal time.
+        self.in_groups: List[List[GroupView]] = [
+            self.in_store.views(v) for v in range(n)
+        ]
+        self.out_groups: List[List[GroupView]] = [
+            self.out_store.views(u) for u in range(n)
+        ]
 
         #: Number of times PathUnfold had to fall back to a search
         #: because a tie-pruned child label was absent (observability).
         self.unfold_fallbacks = 0
 
     # ------------------------------------------------------------------
-    # Lookup tables for PathUnfold
+    # Narrow accessor layer (SketchGen / PathUnfold / batch queries)
     # ------------------------------------------------------------------
 
-    def _build_lookup(self) -> None:
-        by_dep = self._by_dep
-        by_arr = self._by_arr
-        for v, groups in enumerate(self.in_groups):
-            for group in groups:
-                hub = group.hub
-                for i in range(len(group)):
-                    entry = (
-                        group.deps[i],
-                        group.arrs[i],
-                        group.trips[i],
-                        group.pivots[i],
-                    )
-                    by_dep[(hub, v, group.deps[i])] = entry
-                    by_arr[(hub, v, group.arrs[i])] = entry
-        for u, groups in enumerate(self.out_groups):
-            for group in groups:
-                hub = group.hub
-                for i in range(len(group)):
-                    entry = (
-                        group.deps[i],
-                        group.arrs[i],
-                        group.trips[i],
-                        group.pivots[i],
-                    )
-                    by_dep[(u, hub, group.deps[i])] = entry
-                    by_arr[(u, hub, group.arrs[i])] = entry
+    def out_label_groups(self, u: int) -> List[GroupView]:
+        """Out-label groups of ``u`` in hub-rank order."""
+        return self.out_groups[u]
+
+    def in_label_groups(self, v: int) -> List[GroupView]:
+        """In-label groups of ``v`` in hub-rank order."""
+        return self.in_groups[v]
+
+    def out_label_count(self, u: int) -> int:
+        """``|L_out(u)|`` — O(1) from the store offsets."""
+        return self.out_store.node_label_count(u)
+
+    def in_label_count(self, v: int) -> int:
+        """``|L_in(v)|`` — O(1) from the store offsets."""
+        return self.in_store.node_label_count(v)
+
+    # ------------------------------------------------------------------
+    # Child lookups for PathUnfold (bisect, no dicts)
+    # ------------------------------------------------------------------
+
+    def _pair_group(self, src: int, dst: int) -> Optional[GroupView]:
+        """The group holding canonical paths ``src -> dst``, or ``None``.
+
+        Bisects the pair's node group list by the hub's rank.
+        """
+        ranks = self.ranks
+        if ranks[src] < ranks[dst]:
+            groups = self.in_groups[dst]
+            hub = src
+        else:
+            groups = self.out_groups[src]
+            hub = dst
+        target = ranks[hub]
+        lo, hi = 0, len(groups)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if groups[mid].rank < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(groups):
+            group = groups[lo]
+            if group.hub == hub:
+                return group
+        return None
 
     def lookup_by_dep(
         self, src: int, dst: int, dep: int
     ) -> Optional[LabelEntry]:
         """The canonical path ``src -> dst`` departing exactly ``dep``."""
-        return self._by_dep.get((src, dst, dep))
+        group = self._pair_group(src, dst)
+        if group is None:
+            return None
+        deps = group.deps
+        i = bisect_left(deps, dep)
+        if i == len(deps) or deps[i] != dep:
+            return None
+        return (deps[i], group.arrs[i], group.trips[i], group.pivots[i])
 
     def lookup_by_arr(
         self, src: int, dst: int, arr: int
     ) -> Optional[LabelEntry]:
         """The canonical path ``src -> dst`` arriving exactly ``arr``."""
-        return self._by_arr.get((src, dst, arr))
+        group = self._pair_group(src, dst)
+        if group is None:
+            return None
+        arrs = group.arrs
+        i = bisect_left(arrs, arr)
+        if i == len(arrs) or arrs[i] != arr:
+            return None
+        return (group.deps[i], arrs[i], group.trips[i], group.pivots[i])
 
     # ------------------------------------------------------------------
     # Introspection
@@ -134,6 +194,10 @@ class TTLIndex:
             for group in groups:
                 count += len(group)
         return count
+
+    def store_bytes(self) -> int:
+        """Bytes held by the sealed stores' typed columns."""
+        return self.in_store.nbytes() + self.out_store.nbytes()
 
     def in_labels(self, v: int) -> List[Label]:
         """Flat in-label set of ``v`` in ``f(l)`` order (for tests)."""

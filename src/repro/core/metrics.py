@@ -1,0 +1,59 @@
+"""Per-query observability counters.
+
+Every planner that answers label queries owns a :class:`QueryMetrics`
+and threads it through the sketch selectors and PathUnfold.  Counters
+are cumulative since planner creation (or the last :meth:`reset`) and
+are cheap enough to stay on in production:
+
+* ``queries`` — answered queries (EAP + LDP + SDP + profile);
+* ``labels_scanned`` — labels in the scanned ``L_out(u)`` /
+  ``L_in(v)`` sets, the paper's query-cost measure (Lemma 3);
+* ``sketches_generated`` — candidate sketches evaluated by
+  refinement (one per viable hub) or emitted by SketchGen;
+* ``unfold_max_depth`` — deepest PathUnfold recursion observed
+  (stack depth of the iterative unfolder);
+* ``unfold_fallbacks`` — segments rebuilt by search because a
+  tie-pruned child label was absent.
+
+Snapshots surface through the HTTP service's ``/metrics`` endpoint
+and the CLI's ``query --stats`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class QueryMetrics:
+    """Cumulative query-path counters for one planner."""
+
+    queries: int = 0
+    labels_scanned: int = 0
+    sketches_generated: int = 0
+    unfold_max_depth: int = 0
+    unfold_fallbacks: int = 0
+
+    def record_unfold_depth(self, depth: int) -> None:
+        """Fold one unfold run's peak stack depth into the maximum."""
+        if depth > self.unfold_max_depth:
+            self.unfold_max_depth = depth
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy (JSON-ready)."""
+        return {
+            "queries": self.queries,
+            "labels_scanned": self.labels_scanned,
+            "sketches_generated": self.sketches_generated,
+            "unfold_max_depth": self.unfold_max_depth,
+            "unfold_fallbacks": self.unfold_fallbacks,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.queries = 0
+        self.labels_scanned = 0
+        self.sketches_generated = 0
+        self.unfold_max_depth = 0
+        self.unfold_fallbacks = 0

@@ -15,18 +15,24 @@ Lemma 6's enumeration) used by tests and available for any graph.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.algorithms.profiles import ParetoProfile
 from repro.algorithms.temporal_dijkstra import earliest_arrival_search
 from repro.core.index import TTLIndex
+from repro.core.metrics import QueryMetrics
 from repro.core.sketch import generate_sketches
 from repro.graph.timetable import TimetableGraph
 from repro.timeutil import INF
 
 
 def ttl_profile(
-    index: TTLIndex, u: int, v: int, t: int, t_end: int
+    index: TTLIndex,
+    u: int,
+    v: int,
+    t: int,
+    t_end: int,
+    metrics: Optional[QueryMetrics] = None,
 ) -> List[Tuple[int, int]]:
     """Non-dominated ``(dep, arr)`` journeys ``u -> v`` within the
     window, ascending by departure.
@@ -36,8 +42,15 @@ def ttl_profile(
     each other; within one hub SketchGen already emits a frontier).
     """
     profile = ParetoProfile()
+    generated = 0
     for sketch in generate_sketches(index, u, v, t, t_end):
+        generated += 1
         profile.add(sketch.dep, sketch.arr)
+    if metrics is not None:
+        metrics.labels_scanned += index.out_label_count(
+            u
+        ) + index.in_label_count(v)
+        metrics.sketches_generated += generated
     return profile.pairs()
 
 

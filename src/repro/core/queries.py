@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.core.build import OrderSpec, build_index
 from repro.core.index import TTLIndex
+from repro.core.metrics import QueryMetrics
 from repro.core.sketch import (
     best_eap_sketch,
     best_ldp_sketch,
@@ -49,6 +50,8 @@ class TTLPlanner(RoutePlanner):
         self._order = order
         self.concise = concise
         self.index: Optional[TTLIndex] = index
+        #: Cumulative per-query observability counters.
+        self.metrics = QueryMetrics()
         if index is not None:
             self._preprocess_seconds = (
                 index.build_stats.seconds if index.build_stats else 0.0
@@ -80,11 +83,15 @@ class TTLPlanner(RoutePlanner):
         if source == destination:
             return Journey(source, destination, t, t, path=[])
         index = self._ready_index()
-        sketch = best_eap_sketch(index, source, destination, t)
+        self.metrics.queries += 1
+        sketch = best_eap_sketch(
+            index, source, destination, t, metrics=self.metrics
+        )
         if sketch is None:
             return None
         return sketch_to_journey(
-            index, sketch, source, destination, self.concise
+            index, sketch, source, destination, self.concise,
+            metrics=self.metrics,
         )
 
     def latest_departure(
@@ -94,11 +101,15 @@ class TTLPlanner(RoutePlanner):
         if source == destination:
             return Journey(source, destination, t, t, path=[])
         index = self._ready_index()
-        sketch = best_ldp_sketch(index, source, destination, t)
+        self.metrics.queries += 1
+        sketch = best_ldp_sketch(
+            index, source, destination, t, metrics=self.metrics
+        )
         if sketch is None:
             return None
         return sketch_to_journey(
-            index, sketch, source, destination, self.concise
+            index, sketch, source, destination, self.concise,
+            metrics=self.metrics,
         )
 
     def shortest_duration(
@@ -109,11 +120,15 @@ class TTLPlanner(RoutePlanner):
         if source == destination:
             return Journey(source, destination, t, t, path=[])
         index = self._ready_index()
-        sketch = best_sdp_sketch(index, source, destination, t, t_end)
+        self.metrics.queries += 1
+        sketch = best_sdp_sketch(
+            index, source, destination, t, t_end, metrics=self.metrics
+        )
         if sketch is None:
             return None
         return sketch_to_journey(
-            index, sketch, source, destination, self.concise
+            index, sketch, source, destination, self.concise,
+            metrics=self.metrics,
         )
 
     def profile(self, source: int, destination: int, t: int, t_end: int):
@@ -127,4 +142,8 @@ class TTLPlanner(RoutePlanner):
         self._check_window(t, t_end)
         if source == destination:
             return [(t, t)]
-        return ttl_profile(self._ready_index(), source, destination, t, t_end)
+        index = self._ready_index()
+        self.metrics.queries += 1
+        return ttl_profile(
+            index, source, destination, t, t_end, metrics=self.metrics
+        )

@@ -9,14 +9,28 @@ Two size notions:
   report for every method so the comparison is apples-to-apples.
 * :func:`save_index` / :func:`load_index` — an actual binary file
   format (64-bit fields, magic header) for persisting built indices.
+
+File format ``TTLIDX02`` (current): the ``TTLIDX01`` body — station
+count, rank array, then per direction/node the group records — plus a
+footer carrying :class:`~repro.core.build.BuildStats`, so a planner
+adopting a loaded index still reports honest preprocessing time.
+Legacy ``TTLIDX01`` files load fine (with ``build_stats=None``).
+
+Loading validates what it reads — hub and pivot ids must be station
+ids, the rank array must be a permutation of ``0..n-1``, counts must
+be non-negative — and every defect raises
+:class:`~repro.errors.SerializationError` with a clear message, never
+a raw ``IndexError``/``struct.error``: a service must not crash (or,
+worse, mis-answer) because an index file was corrupted in transit.
 """
 
 from __future__ import annotations
 
 import struct
 from pathlib import Path as FsPath
-from typing import BinaryIO, Dict, List, Union
+from typing import BinaryIO, Dict, List, Optional, Union
 
+from repro.core.build import BuildStats
 from repro.core.index import TTLIndex
 from repro.core.label import LabelGroup
 from repro.errors import SerializationError
@@ -24,7 +38,13 @@ from repro.graph.timetable import TimetableGraph
 
 PathLike = Union[str, FsPath]
 
-_MAGIC = b"TTLIDX01"
+_MAGIC = b"TTLIDX02"
+_LEGACY_MAGIC = b"TTLIDX01"
+
+#: Stats footer: seconds, order_seconds as doubles; num_labels,
+#: forward_pops, backward_pops, cover_pruned, dominance_pruned,
+#: dijkstra_runs as signed 64-bit ints.
+_STATS_FORMAT = "<2d6q"
 
 #: Model cost per label: hub, dep, arr, trip, pivot as 32-bit ints.
 BYTES_PER_LABEL = 20
@@ -58,21 +78,36 @@ def connections_bytes(num_connections: int) -> int:
 # ----------------------------------------------------------------------
 
 
-def _write_group(fh: BinaryIO, group: LabelGroup) -> None:
+def _write_group(fh: BinaryIO, group) -> None:
     fh.write(struct.pack("<qq", group.hub, len(group)))
+    trips = group.trips
+    pivots = group.pivots
     for i in range(len(group)):
-        trip = group.trips[i] if group.trips[i] is not None else -1
-        pivot = group.pivots[i] if group.pivots[i] is not None else -1
+        trip = trips[i] if trips[i] is not None else -1
+        pivot = pivots[i] if pivots[i] is not None else -1
         fh.write(
             struct.pack("<qqqq", group.deps[i], group.arrs[i], trip, pivot)
         )
 
 
-def _read_group(fh: BinaryIO, ranks: List[int]) -> LabelGroup:
+def _read_group(fh: BinaryIO, ranks: List[int], n: int) -> LabelGroup:
     hub, size = struct.unpack("<qq", _read_exact(fh, 16))
+    if not 0 <= hub < n:
+        raise SerializationError(
+            f"corrupt index file: group hub {hub} outside 0..{n - 1}"
+        )
+    if size < 0:
+        raise SerializationError(
+            f"corrupt index file: negative group size {size}"
+        )
     group = LabelGroup(hub, ranks[hub])
     for _ in range(size):
         dep, arr, trip, pivot = struct.unpack("<qqqq", _read_exact(fh, 32))
+        if pivot >= n:
+            raise SerializationError(
+                f"corrupt index file: label pivot {pivot} outside "
+                f"0..{n - 1}"
+            )
         group.append(
             dep,
             arr,
@@ -89,8 +124,51 @@ def _read_exact(fh: BinaryIO, count: int) -> bytes:
     return data
 
 
+def _write_stats(fh: BinaryIO, stats: Optional[BuildStats]) -> None:
+    if stats is None:
+        fh.write(struct.pack("<q", 0))
+        return
+    fh.write(struct.pack("<q", 1))
+    fh.write(
+        struct.pack(
+            _STATS_FORMAT,
+            stats.seconds,
+            stats.order_seconds,
+            stats.num_labels,
+            stats.forward_pops,
+            stats.backward_pops,
+            stats.cover_pruned,
+            stats.dominance_pruned,
+            stats.dijkstra_runs,
+        )
+    )
+
+
+def _read_stats(fh: BinaryIO) -> Optional[BuildStats]:
+    (present,) = struct.unpack("<q", _read_exact(fh, 8))
+    if present == 0:
+        return None
+    if present != 1:
+        raise SerializationError(
+            f"corrupt index file: bad stats flag {present}"
+        )
+    fields = struct.unpack(
+        _STATS_FORMAT, _read_exact(fh, struct.calcsize(_STATS_FORMAT))
+    )
+    return BuildStats(
+        seconds=fields[0],
+        order_seconds=fields[1],
+        num_labels=fields[2],
+        forward_pops=fields[3],
+        backward_pops=fields[4],
+        cover_pruned=fields[5],
+        dominance_pruned=fields[6],
+        dijkstra_runs=fields[7],
+    )
+
+
 def save_index(index: TTLIndex, path: PathLike) -> None:
-    """Write ``index`` to ``path`` in the TTLIDX01 binary format."""
+    """Write ``index`` to ``path`` in the TTLIDX02 binary format."""
     with open(path, "wb") as fh:
         fh.write(_MAGIC)
         fh.write(struct.pack("<q", index.graph.n))
@@ -101,18 +179,21 @@ def save_index(index: TTLIndex, path: PathLike) -> None:
                 fh.write(struct.pack("<q", len(groups)))
                 for group in groups:
                     _write_group(fh, group)
+        _write_stats(fh, index.build_stats)
 
 
 def load_index(path: PathLike, graph: TimetableGraph) -> TTLIndex:
     """Load an index written by :func:`save_index`.
 
     The caller supplies the graph the index was built for; a station
-    count mismatch is rejected.
+    count mismatch is rejected.  Accepts current ``TTLIDX02`` files
+    and legacy ``TTLIDX01`` files (which carry no build stats).
     """
     with open(path, "rb") as fh:
         magic = fh.read(len(_MAGIC))
-        if magic != _MAGIC:
+        if magic not in (_MAGIC, _LEGACY_MAGIC):
             raise SerializationError(f"not a TTL index file: {path}")
+        legacy = magic == _LEGACY_MAGIC
         (n,) = struct.unpack("<q", _read_exact(fh, 8))
         if n != graph.n:
             raise SerializationError(
@@ -121,15 +202,28 @@ def load_index(path: PathLike, graph: TimetableGraph) -> TTLIndex:
         ranks = [
             struct.unpack("<q", _read_exact(fh, 8))[0] for _ in range(n)
         ]
+        seen = [False] * n
+        for node, rank in enumerate(ranks):
+            if not 0 <= rank < n or seen[rank]:
+                raise SerializationError(
+                    f"corrupt index file: rank array is not a permutation "
+                    f"of 0..{n - 1} (rank {rank} of node {node})"
+                )
+            seen[rank] = True
         tables: List[List[Dict[int, LabelGroup]]] = []
         for _ in range(2):
             per_node: List[Dict[int, LabelGroup]] = []
             for _ in range(n):
                 (count,) = struct.unpack("<q", _read_exact(fh, 8))
+                if count < 0:
+                    raise SerializationError(
+                        f"corrupt index file: negative group count {count}"
+                    )
                 groups: Dict[int, LabelGroup] = {}
                 for _ in range(count):
-                    group = _read_group(fh, ranks)
+                    group = _read_group(fh, ranks, n)
                     groups[group.hub] = group
                 per_node.append(groups)
             tables.append(per_node)
-    return TTLIndex(graph, ranks, tables[0], tables[1])
+        stats = None if legacy else _read_stats(fh)
+    return TTLIndex(graph, ranks, tables[0], tables[1], stats)

@@ -25,6 +25,7 @@ from bisect import bisect_left, bisect_right
 from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.core.index import TTLIndex
+from repro.core.metrics import QueryMetrics
 from repro.timeutil import INF, NEG_INF
 
 
@@ -60,7 +61,7 @@ def generate_sketches(
     Implements Algorithm 1 as a merge of the hub-grouped label sets.
     """
     return generate_sketches_from_lists(
-        index.out_groups[u], index.in_groups[v], u, v, t, t_end
+        index.out_label_groups(u), index.in_label_groups(v), u, v, t, t_end
     )
 
 
@@ -205,12 +206,33 @@ def _segment(group, k: int, src: int, dst: int) -> Segment:
     )
 
 
+def _count_scan(
+    metrics: Optional[QueryMetrics],
+    out_list: List,
+    in_list: List,
+    candidates: int,
+) -> None:
+    """Fold one selection pass into the planner's counters."""
+    if metrics is None:
+        return
+    metrics.labels_scanned += sum(len(g) for g in out_list) + sum(
+        len(g) for g in in_list
+    )
+    metrics.sketches_generated += candidates
+
+
 def best_eap_sketch_from_lists(
-    out_list: List, in_list: List, u: int, v: int, t: int
+    out_list: List,
+    in_list: List,
+    u: int,
+    v: int,
+    t: int,
+    metrics: Optional[QueryMetrics] = None,
 ) -> Optional[Sketch]:
     """Earliest-arrival candidate (two bisections per hub)."""
     best_arr = INF
     best = None  # (kind, ga, gb, k, j)
+    candidates = 0
     for kind, ga, gb in _merge_groups(out_list, in_list, u, v):
         if kind == "pair":
             deps1 = ga.deps
@@ -223,6 +245,7 @@ def best_eap_sketch_from_lists(
             if j == len(deps2):
                 continue
             arr = gb.arrs[j]
+            candidates += 1
             if arr < best_arr:
                 best_arr = arr
                 best = (kind, ga, gb, k, j)
@@ -233,18 +256,26 @@ def best_eap_sketch_from_lists(
             if k == len(deps):
                 continue
             arr = group.arrs[k]
+            candidates += 1
             if arr < best_arr:
                 best_arr = arr
                 best = (kind, ga, gb, k, 0)
+    _count_scan(metrics, out_list, in_list, candidates)
     return _selected_sketch(best, u, v)
 
 
 def best_ldp_sketch_from_lists(
-    out_list: List, in_list: List, u: int, v: int, t_end: int
+    out_list: List,
+    in_list: List,
+    u: int,
+    v: int,
+    t_end: int,
+    metrics: Optional[QueryMetrics] = None,
 ) -> Optional[Sketch]:
     """Latest-departure candidate (two bisections per hub)."""
     best_dep = NEG_INF
     best = None
+    candidates = 0
     for kind, ga, gb in _merge_groups(out_list, in_list, u, v):
         if kind == "pair":
             arrs2 = gb.arrs
@@ -257,6 +288,7 @@ def best_ldp_sketch_from_lists(
             if k < 0:
                 continue
             dep = ga.deps[k]
+            candidates += 1
             if dep > best_dep:
                 best_dep = dep
                 best = (kind, ga, gb, k, j)
@@ -267,18 +299,27 @@ def best_ldp_sketch_from_lists(
             if k < 0:
                 continue
             dep = group.deps[k]
+            candidates += 1
             if dep > best_dep:
                 best_dep = dep
                 best = (kind, ga, gb, k, 0)
+    _count_scan(metrics, out_list, in_list, candidates)
     return _selected_sketch(best, u, v)
 
 
 def best_sdp_sketch_from_lists(
-    out_list: List, in_list: List, u: int, v: int, t: int, t_end: int
+    out_list: List,
+    in_list: List,
+    u: int,
+    v: int,
+    t: int,
+    t_end: int,
+    metrics: Optional[QueryMetrics] = None,
 ) -> Optional[Sketch]:
     """Minimum-duration candidate (windowed two-pointer merge)."""
     best_duration = INF
     best = None
+    candidates = 0
     for kind, ga, gb in _merge_groups(out_list, in_list, u, v):
         if kind == "pair":
             deps1, arrs1 = ga.deps, ga.arrs
@@ -296,6 +337,7 @@ def best_sdp_sketch_from_lists(
                 arr = arrs2[j]
                 if arr > t_end:
                     break
+                candidates += 1
                 duration = arr - deps1[k]
                 if duration < best_duration:
                     best_duration = duration
@@ -307,10 +349,12 @@ def best_sdp_sketch_from_lists(
                 arr = arrs[k]
                 if arr > t_end:
                     break
+                candidates += 1
                 duration = arr - deps[k]
                 if duration < best_duration:
                     best_duration = duration
                     best = (kind, ga, gb, k, 0)
+    _count_scan(metrics, out_list, in_list, candidates)
     return _selected_sketch(best, u, v)
 
 
@@ -329,28 +373,59 @@ def _selected_sketch(best, u: int, v: int) -> Optional[Sketch]:
     return Sketch(first.dep, second.arr, first, second)
 
 
-def best_eap_sketch(index: TTLIndex, u: int, v: int, t: int) -> Optional[Sketch]:
+def best_eap_sketch(
+    index: TTLIndex,
+    u: int,
+    v: int,
+    t: int,
+    metrics: Optional[QueryMetrics] = None,
+) -> Optional[Sketch]:
     """The sketch with the earliest arrival departing no sooner than
     ``t``."""
     return best_eap_sketch_from_lists(
-        index.out_groups[u], index.in_groups[v], u, v, t
+        index.out_label_groups(u),
+        index.in_label_groups(v),
+        u,
+        v,
+        t,
+        metrics=metrics,
     )
 
 
 def best_ldp_sketch(
-    index: TTLIndex, u: int, v: int, t_end: int
+    index: TTLIndex,
+    u: int,
+    v: int,
+    t_end: int,
+    metrics: Optional[QueryMetrics] = None,
 ) -> Optional[Sketch]:
     """The sketch with the latest departure arriving no later than
     ``t_end``."""
     return best_ldp_sketch_from_lists(
-        index.out_groups[u], index.in_groups[v], u, v, t_end
+        index.out_label_groups(u),
+        index.in_label_groups(v),
+        u,
+        v,
+        t_end,
+        metrics=metrics,
     )
 
 
 def best_sdp_sketch(
-    index: TTLIndex, u: int, v: int, t: int, t_end: int
+    index: TTLIndex,
+    u: int,
+    v: int,
+    t: int,
+    t_end: int,
+    metrics: Optional[QueryMetrics] = None,
 ) -> Optional[Sketch]:
     """The minimum-duration sketch inside ``[t, t_end]``."""
     return best_sdp_sketch_from_lists(
-        index.out_groups[u], index.in_groups[v], u, v, t, t_end
+        index.out_label_groups(u),
+        index.in_label_groups(v),
+        u,
+        v,
+        t,
+        t_end,
+        metrics=metrics,
     )

@@ -1,0 +1,240 @@
+"""The flat sealed label store.
+
+A sealed :class:`~repro.core.index.TTLIndex` keeps every label column
+(``dep``, ``arr``, ``trip``, ``pivot``) in one contiguous
+``array('q')`` per direction — the layout Delling et al.'s *Public
+Transit Labeling* uses to make label queries a few bisections over
+cache-friendly memory.  Group and node boundaries are offset arrays,
+so per-node label counts and group slices are O(1).
+
+Query code never touches the columns directly: it goes through
+:class:`GroupView`, a façade over one group's slice that exposes
+exactly the :class:`~repro.core.label.LabelGroup` surface
+(``hub``/``rank``/``deps``/``arrs``/``trips``/``pivots``/``label``/
+``labels``/``check_invariants``).  SketchGen, refinement, PathUnfold,
+profile queries, and the compressed index all consume groups through
+this one accessor layer, so the storage layout can evolve without
+touching the algorithms.
+
+The hot ``deps``/``arrs`` columns are decoded to plain lists when the
+view is materialized (once, at seal time): ``bisect`` and the selector
+loops run at C list-indexing speed, which keeps query latency at
+parity with the legacy list-backed groups.  The cold ``trips``/
+``pivots`` columns stay in the flat arrays and decode lazily — they
+are only read when a winning sketch is materialized or unfolded — with
+the decoded list cached on the view.  ``trip`` and ``pivot`` are
+optional in a label; the store encodes ``None`` as ``-1`` and the
+decode maps it back, so consumers still see ``None`` for transfer
+paths.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.label import Label
+
+#: Sentinel for a ``None`` trip/pivot in the typed columns.
+NONE_SENTINEL = -1
+
+
+def _encode(value: Optional[int]) -> int:
+    return NONE_SENTINEL if value is None else value
+
+
+class GroupView:
+    """One label group over a slice of a :class:`LabelStore`.
+
+    Duck-typed like :class:`~repro.core.label.LabelGroup`: ``deps`` /
+    ``arrs`` are plain lists decoded at construction; ``trips`` /
+    ``pivots`` decode from the flat columns on first access (with the
+    ``-1`` sentinel mapped back to ``None``) and are cached.
+    """
+
+    __slots__ = (
+        "hub", "rank", "deps", "arrs", "_store", "_lo", "_hi",
+        "_trips", "_pivots",
+    )
+
+    def __init__(self, store: "LabelStore", g: int) -> None:
+        self.hub = store.hubs[g]
+        self.rank = store.group_ranks[g]
+        lo = store.group_starts[g]
+        hi = store.group_starts[g + 1]
+        self._store = store
+        self._lo = lo
+        self._hi = hi
+        self.deps = store.deps_mv[lo:hi].tolist()
+        self.arrs = store.arrs_mv[lo:hi].tolist()
+        self._trips: Optional[List[Optional[int]]] = None
+        self._pivots: Optional[List[Optional[int]]] = None
+
+    @property
+    def trips(self) -> List[Optional[int]]:
+        column = self._trips
+        if column is None:
+            column = [
+                None if raw < 0 else raw
+                for raw in self._store.trips_mv[self._lo:self._hi]
+            ]
+            self._trips = column
+        return column
+
+    @property
+    def pivots(self) -> List[Optional[int]]:
+        column = self._pivots
+        if column is None:
+            column = [
+                None if raw < 0 else raw
+                for raw in self._store.pivots_mv[self._lo:self._hi]
+            ]
+            self._pivots = column
+        return column
+
+    def label(self, i: int) -> Label:
+        """The ``i``-th label as a :class:`Label` record."""
+        return Label(
+            self.hub, self.deps[i], self.arrs[i], self.trips[i], self.pivots[i]
+        )
+
+    def labels(self) -> List[Label]:
+        """All labels of the group in order."""
+        return [self.label(i) for i in range(len(self))]
+
+    def check_invariants(self) -> None:
+        """Assert the Pareto / ordering invariants (used by tests)."""
+        deps = self.deps
+        arrs = self.arrs
+        for i in range(len(deps) - 1):
+            if not (deps[i] < deps[i + 1] and arrs[i] < arrs[i + 1]):
+                raise AssertionError(
+                    f"group for hub {self.hub} is not a strict Pareto "
+                    f"frontier at position {i}: "
+                    f"({deps[i]},{arrs[i]}) then "
+                    f"({deps[i + 1]},{arrs[i + 1]})"
+                )
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GroupView(hub={self.hub}, size={len(self)})"
+
+
+class LabelStore:
+    """Flat typed columns for one direction (in or out) of an index.
+
+    Layout (all ``array('q')``):
+
+    * ``deps`` / ``arrs`` / ``trips`` / ``pivots`` — one entry per
+      label, groups contiguous, nodes contiguous;
+    * ``hubs`` / ``group_ranks`` — one entry per group;
+    * ``group_starts`` — label offset of each group (length
+      ``num_groups + 1``);
+    * ``node_starts`` — group offset of each node (length ``n + 1``).
+    """
+
+    __slots__ = (
+        "n",
+        "deps",
+        "arrs",
+        "trips",
+        "pivots",
+        "hubs",
+        "group_ranks",
+        "group_starts",
+        "node_starts",
+        "deps_mv",
+        "arrs_mv",
+        "trips_mv",
+        "pivots_mv",
+    )
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.deps = array("q")
+        self.arrs = array("q")
+        self.trips = array("q")
+        self.pivots = array("q")
+        self.hubs = array("q")
+        self.group_ranks = array("q")
+        self.group_starts = array("q", [0])
+        self.node_starts = array("q", [0])
+
+    @classmethod
+    def from_groups(
+        cls, groups_per_node: Sequence[Iterable]
+    ) -> "LabelStore":
+        """Seal per-node group lists (already sorted by hub rank) into
+        flat columns.  Accepts any group-like objects exposing
+        ``hub``/``rank``/``deps``/``arrs``/``trips``/``pivots``."""
+        store = cls(len(groups_per_node))
+        deps, arrs = store.deps, store.arrs
+        trips, pivots = store.trips, store.pivots
+        for groups in groups_per_node:
+            for group in groups:
+                store.hubs.append(group.hub)
+                store.group_ranks.append(group.rank)
+                deps.extend(group.deps)
+                arrs.extend(group.arrs)
+                trips.extend(_encode(t) for t in group.trips)
+                pivots.extend(_encode(p) for p in group.pivots)
+                store.group_starts.append(len(deps))
+            store.node_starts.append(len(store.hubs))
+        store._freeze_views()
+        return store
+
+    def _freeze_views(self) -> None:
+        self.deps_mv = memoryview(self.deps)
+        self.arrs_mv = memoryview(self.arrs)
+        self.trips_mv = memoryview(self.trips)
+        self.pivots_mv = memoryview(self.pivots)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def views(self, node: int) -> List[GroupView]:
+        """Group views of ``node`` in hub-rank order."""
+        return [
+            GroupView(self, g)
+            for g in range(self.node_starts[node], self.node_starts[node + 1])
+        ]
+
+    def node_label_count(self, node: int) -> int:
+        """Number of labels of ``node`` — O(1) from the offsets."""
+        return (
+            self.group_starts[self.node_starts[node + 1]]
+            - self.group_starts[self.node_starts[node]]
+        )
+
+    @property
+    def num_labels(self) -> int:
+        return len(self.deps)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.hubs)
+
+    def nbytes(self) -> int:
+        """Bytes held by the typed columns (excludes view objects)."""
+        return sum(
+            column.itemsize * len(column)
+            for column in (
+                self.deps,
+                self.arrs,
+                self.trips,
+                self.pivots,
+                self.hubs,
+                self.group_ranks,
+                self.group_starts,
+                self.node_starts,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LabelStore(n={self.n}, groups={self.num_groups}, "
+            f"labels={self.num_labels})"
+        )

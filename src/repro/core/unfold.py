@@ -27,6 +27,7 @@ from repro.algorithms.temporal_dijkstra import (
     extract_forward_path,
 )
 from repro.core.index import TTLIndex
+from repro.core.metrics import QueryMetrics
 from repro.core.sketch import Segment, Sketch
 from repro.errors import ReconstructionError
 from repro.graph.connection import Connection, Path
@@ -37,7 +38,11 @@ from repro.timeutil import INF
 _Item = Tuple[int, int, int, int, Optional[int], Optional[int]]
 
 
-def unfold_segment(index: TTLIndex, segment: Segment) -> Path:
+def unfold_segment(
+    index: TTLIndex,
+    segment: Segment,
+    metrics: Optional[QueryMetrics] = None,
+) -> Path:
     """Unfold one label segment into its connection sequence."""
     return _unfold(
         index,
@@ -50,10 +55,16 @@ def unfold_segment(index: TTLIndex, segment: Segment) -> Path:
             segment.pivot,
         ),
         concise=False,
+        metrics=metrics,
     )
 
 
-def _unfold(index: TTLIndex, item: _Item, concise: bool) -> List:
+def _unfold(
+    index: TTLIndex,
+    item: _Item,
+    concise: bool,
+    metrics: Optional[QueryMetrics] = None,
+) -> List:
     """Iterative post-order unfolding of one label.
 
     With ``concise=False`` returns connections; with ``concise=True``
@@ -62,7 +73,10 @@ def _unfold(index: TTLIndex, item: _Item, concise: bool) -> List:
     """
     result: List = []
     stack: List[_Item] = [item]
+    max_depth = 1
     while stack:
+        if len(stack) > max_depth:
+            max_depth = len(stack)
         src, dst, dep, arr, trip, pivot = stack.pop()
         if pivot is None:
             if trip is None:
@@ -83,6 +97,8 @@ def _unfold(index: TTLIndex, item: _Item, concise: bool) -> List:
         right = index.lookup_by_arr(pivot, dst, arr)
         if left is None or right is None:
             index.unfold_fallbacks += 1
+            if metrics is not None:
+                metrics.unfold_fallbacks += 1
             result.extend(
                 _fallback_segment(index, src, dst, dep, arr, concise)
             )
@@ -92,6 +108,8 @@ def _unfold(index: TTLIndex, item: _Item, concise: bool) -> List:
         r_dep, r_arr, r_trip, r_pivot = right
         stack.append((pivot, dst, r_dep, r_arr, r_trip, r_pivot))
         stack.append((src, pivot, l_dep, l_arr, l_trip, l_pivot))
+    if metrics is not None:
+        metrics.record_unfold_depth(max_depth)
     return result
 
 
@@ -126,7 +144,12 @@ def _fallback_segment(
 
 
 def sketch_to_journey(
-    index: TTLIndex, sketch: Sketch, u: int, v: int, concise: bool
+    index: TTLIndex,
+    sketch: Sketch,
+    u: int,
+    v: int,
+    concise: bool,
+    metrics: Optional[QueryMetrics] = None,
 ) -> Journey:
     """Materialize a refined sketch into the query's journey."""
     items: List[_Item] = []
@@ -145,12 +168,12 @@ def sketch_to_journey(
     if not concise:
         path: Path = []
         for item in items:
-            path.extend(_unfold(index, item, concise=False))
+            path.extend(_unfold(index, item, concise=False, metrics=metrics))
         return Journey.from_path(path)
 
     rides: List[Tuple[int, int, int, int, int]] = []
     for item in items:
-        for ride in _unfold(index, item, concise=True):
+        for ride in _unfold(index, item, concise=True, metrics=metrics):
             if rides and rides[-1][4] == ride[4]:
                 prev = rides[-1]
                 rides[-1] = (prev[0], ride[1], prev[2], ride[3], ride[4])

@@ -171,6 +171,12 @@ class LiveOverlayEngine(RoutePlanner):
         return self._ttl.index
 
     @property
+    def metrics(self):
+        """Query counters of the wrapped TTL planner (fast-path
+        queries; fallback searches are tracked in :attr:`stats`)."""
+        return self._ttl.metrics
+
+    @property
     def now(self) -> int:
         """The engine clock governing event visibility."""
         return self._now

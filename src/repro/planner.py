@@ -51,6 +51,15 @@ class RoutePlanner(abc.ABC):
             self._preprocess_seconds = time.perf_counter() - start
         return self._preprocess_seconds
 
+    @property
+    def preprocess_seconds(self) -> float:
+        """Recorded preprocessing time; 0.0 before :meth:`preprocess`.
+
+        Planners adopting a persisted index report the build time
+        recorded in the file's :class:`~repro.core.build.BuildStats`.
+        """
+        return self._preprocess_seconds or 0.0
+
     @abc.abstractmethod
     def _build(self) -> None:
         """Perform the actual preprocessing work."""

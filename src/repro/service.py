@@ -14,6 +14,7 @@ standard library:
 Query endpoints (GET, JSON responses):
 
 * ``/healthz``                          — liveness + planner identity
+* ``/metrics``                          — cumulative query counters
 * ``/stations``                         — id/name listing
 * ``/eap?from=U&to=V&t=SECONDS``        — earliest arrival
 * ``/ldp?from=U&to=V&t=SECONDS``        — latest departure
@@ -153,12 +154,27 @@ def _make_handler(planner: RoutePlanner, lock: threading.RLock):
                     "planner": planner.name,
                     "stations": graph.n,
                     "live": live is not None,
+                    "preprocess_seconds": planner.preprocess_seconds,
                 }
                 if live is not None:
                     with lock:
                         body["now"] = live.now
                         body["generation"] = live.generation
                         body["events"] = len(live.events())
+                return body
+            if path == "/metrics":
+                body = {"planner": planner.name}
+                metrics = getattr(planner, "metrics", None)
+                index = getattr(planner, "index", None)
+                with lock:
+                    if metrics is not None:
+                        body["query_metrics"] = metrics.snapshot()
+                    if index is not None:
+                        body["index"] = {
+                            "num_labels": index.num_labels,
+                            "unfold_fallbacks": index.unfold_fallbacks,
+                            "store_bytes": index.store_bytes(),
+                        }
                 return body
             if path == "/stations":
                 return {

@@ -77,6 +77,25 @@ class TestBuildAndQuery:
             main(["query", "Austin", "eap", "0", "1", "--scale", "0.4"]) == 2
         )
 
+    def test_query_stats_prints_metrics(self, capsys):
+        assert (
+            main(
+                [
+                    "query", "Austin", "eap", "0", "10",
+                    "--start", "08:00", "--scale", "0.4", "--stats",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "per-planner query metrics:" in out
+        assert "queries=1" in out
+        assert "labels_scanned=" in out
+        # Both labelling planners report their counters.
+        stats_lines = [l for l in out.splitlines() if "queries=" in l]
+        names = {line.split()[0] for line in stats_lines}
+        assert {"TTL", "C-TTL"} <= names
+
 
 class TestAnalyzeAndProfile:
     def test_analyze(self, capsys):

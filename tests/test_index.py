@@ -51,6 +51,22 @@ class TestValidation:
         with pytest.raises(IndexBuildError):
             TTLIndex(route_graph, [0], [dict()], [dict()])
 
+    def test_duplicate_ranks_rejected(self, route_graph):
+        n = route_graph.n
+        ranks = list(range(n))
+        ranks[1] = ranks[0]  # two nodes share rank 0
+        empty = [dict() for _ in range(n)]
+        with pytest.raises(IndexBuildError, match="duplicate rank"):
+            TTLIndex(route_graph, ranks, empty, [dict() for _ in range(n)])
+
+    def test_out_of_range_rank_rejected(self, route_graph):
+        n = route_graph.n
+        ranks = list(range(n))
+        ranks[0] = n  # outside 0..n-1
+        empty = [dict() for _ in range(n)]
+        with pytest.raises(IndexBuildError, match="outside"):
+            TTLIndex(route_graph, ranks, empty, [dict() for _ in range(n)])
+
     def test_check_invariants_detects_bad_group_order(self, route_graph):
         index = build_index(route_graph)
         # Corrupt: append an out-of-order group to some node with
@@ -69,15 +85,13 @@ class TestValidation:
         index = build_index(route_graph)
         for v in range(route_graph.n):
             for group in index.in_groups[v]:
-                if len(group) >= 1:
-                    group.deps.append(group.deps[-1])  # duplicate dep
-                    group.arrs.append(group.arrs[-1])
-                    group.trips.append(None)
-                    group.pivots.append(None)
+                if len(group) >= 2:
+                    # Duplicate dep in place: breaks strict dep order.
+                    group.deps[1] = group.deps[0]
                     with pytest.raises(AssertionError):
                         index.check_invariants()
                     return
-        pytest.skip("no labels in this index")
+        pytest.skip("no group with two labels in this index")
 
 
 class TestNodeOfRank:

@@ -1,0 +1,48 @@
+"""Memory-budget regression test for the sealed index.
+
+The sealed :class:`~repro.core.store.LabelStore` keeps the medium
+synthetic network (Berlin, ~45k labels) under ~120 bytes of retained
+memory per label.  The legacy layout — list-backed groups plus the two
+tuple-keyed PathUnfold lookup dicts — needed ~360 bytes per label, so
+the ceiling below (double the current footprint) fails loudly if a
+per-label dict or equivalent duplication ever creeps back in.
+"""
+
+import gc
+import tracemalloc
+
+import pytest
+
+from repro.datasets import load_dataset
+
+#: Retained bytes per label allowed for a sealed index (2x headroom
+#: over the measured ~119 B/label; the legacy layout was ~360 B/label).
+BYTES_PER_LABEL_CEILING = 240
+
+#: Fixed allowance for graph-independent structures (views, offsets).
+FIXED_ALLOWANCE = 2 * 1024 * 1024
+
+
+@pytest.mark.slow
+def test_sealed_index_stays_within_memory_budget():
+    from repro.core.build import build_index
+
+    graph = load_dataset("Berlin")
+    gc.collect()
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        index = build_index(graph)
+        gc.collect()
+        after, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    retained = after - before
+    budget = index.num_labels * BYTES_PER_LABEL_CEILING + FIXED_ALLOWANCE
+    assert retained <= budget, (
+        f"sealed index retains {retained / 1e6:.2f} MB for "
+        f"{index.num_labels} labels "
+        f"({retained / index.num_labels:.0f} B/label), over the "
+        f"{budget / 1e6:.2f} MB budget — did a per-label lookup "
+        f"structure come back?"
+    )

@@ -53,7 +53,120 @@ class TestRoundtrip:
         load_index(path, route_graph).check_invariants()
 
 
+def _first_group_hub_offset(data: bytes, n: int) -> int:
+    """Byte offset of the first group record's hub field, or -1."""
+    import struct
+
+    off = 16 + 8 * n  # magic + station count + rank array
+    for _ in range(2 * n):
+        (count,) = struct.unpack_from("<q", data, off)
+        off += 8
+        if count > 0:
+            return off
+        # count == 0: nothing to skip; negative never written.
+    return -1
+
+
+class TestBuildStatsFooter:
+    def test_file_carries_current_magic(self, route_graph, tmp_path):
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        assert path.read_bytes()[:8] == b"TTLIDX02"
+
+    def test_build_stats_roundtrip(self, route_graph, tmp_path):
+        index = build_index(route_graph)
+        assert index.build_stats is not None
+        assert index.build_stats.seconds > 0.0
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        loaded = load_index(path, route_graph)
+        assert loaded.build_stats is not None
+        for field in (
+            "seconds",
+            "order_seconds",
+            "num_labels",
+            "forward_pops",
+            "backward_pops",
+            "cover_pruned",
+            "dominance_pruned",
+            "dijkstra_runs",
+        ):
+            assert getattr(loaded.build_stats, field) == getattr(
+                index.build_stats, field
+            )
+
+    def test_planner_reports_loaded_build_time(
+        self, route_graph, tmp_path
+    ):
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        planner = TTLPlanner(route_graph, index=load_index(path, route_graph))
+        assert planner.preprocess_seconds > 0.0
+        assert planner.preprocess() == planner.preprocess_seconds
+
+    def test_legacy_v1_file_loads_without_stats(
+        self, route_graph, tmp_path
+    ):
+        import struct
+
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        data = path.read_bytes()
+        # A v1 file is the v2 body without the stats footer.
+        footer = 8 + (struct.calcsize("<2d6q") if index.build_stats else 0)
+        legacy = tmp_path / "legacy.ttl"
+        legacy.write_bytes(b"TTLIDX01" + data[8:-footer])
+        loaded = load_index(legacy, route_graph)
+        assert loaded.build_stats is None
+        assert loaded.ranks == index.ranks
+        for v in range(route_graph.n):
+            assert loaded.in_labels(v) == index.in_labels(v)
+
+
 class TestErrors:
+    def test_bad_hub_id_rejected(self, route_graph, tmp_path):
+        import struct
+
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        data = bytearray(path.read_bytes())
+        off = _first_group_hub_offset(data, route_graph.n)
+        if off < 0:
+            pytest.skip("index has no label groups")
+        struct.pack_into("<q", data, off, route_graph.n + 7)
+        path.write_bytes(bytes(data))
+        with pytest.raises(SerializationError, match="hub"):
+            load_index(path, route_graph)
+
+    def test_duplicate_rank_rejected(self, route_graph, tmp_path):
+        import struct
+
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        data = bytearray(path.read_bytes())
+        # Overwrite node 0's rank with node 1's: no longer a permutation.
+        struct.pack_into("<q", data, 16, index.ranks[1])
+        path.write_bytes(bytes(data))
+        with pytest.raises(SerializationError, match="permutation"):
+            load_index(path, route_graph)
+
+    def test_out_of_range_rank_rejected(self, route_graph, tmp_path):
+        import struct
+
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path)
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<q", data, 16, route_graph.n)
+        path.write_bytes(bytes(data))
+        with pytest.raises(SerializationError, match="permutation"):
+            load_index(path, route_graph)
+
     def test_bad_magic(self, route_graph, tmp_path):
         path = tmp_path / "junk.bin"
         path.write_bytes(b"NOTANIDX" + b"\x00" * 64)

@@ -4,7 +4,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.build import build_index
+from repro.core.queries import TTLPlanner
 from repro.core.serialize import load_index, save_index
+from repro.errors import SerializationError
 from repro.graph.builders import graph_from_connections
 from repro.graph.gtfs import load_graph_csv, save_graph_csv
 
@@ -36,6 +38,81 @@ def test_index_roundtrip_property(tmp_path_factory, graph):
     for v in range(graph.n):
         assert loaded.in_labels(v) == index.in_labels(v)
         assert loaded.out_labels(v) == index.out_labels(v)
+
+
+@given(small_graphs(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_roundtripped_index_answers_match_fresh(
+    tmp_path_factory, graph, data
+):
+    """Every query kind answers identically from a save->load index."""
+    tmp_path = tmp_path_factory.mktemp("idx")
+    index = build_index(graph)
+    path = tmp_path / "index.ttl"
+    save_index(index, path)
+    fresh = TTLPlanner(graph, index=index)
+    restored = TTLPlanner(graph, index=load_index(path, graph))
+    station = st.integers(min_value=0, max_value=graph.n - 1)
+    for _ in range(5):
+        u = data.draw(station)
+        v = data.draw(station)
+        t = data.draw(st.integers(min_value=0, max_value=160))
+        t_end = t + data.draw(st.integers(min_value=0, max_value=160))
+        for a, b in (
+            (fresh.earliest_arrival(u, v, t),
+             restored.earliest_arrival(u, v, t)),
+            (fresh.latest_departure(u, v, t_end),
+             restored.latest_departure(u, v, t_end)),
+            (fresh.shortest_duration(u, v, t, t_end),
+             restored.shortest_duration(u, v, t, t_end)),
+        ):
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert (a.dep, a.arr) == (b.dep, b.arr)
+        assert fresh.profile(u, v, t, t_end) == restored.profile(
+            u, v, t, t_end
+        )
+
+
+@given(
+    small_graphs(),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=40, deadline=None)
+def test_corrupted_file_never_leaks_raw_errors(
+    tmp_path_factory, graph, position, byte
+):
+    """Any single-byte corruption either loads or raises
+    SerializationError — never IndexError / struct.error."""
+    tmp_path = tmp_path_factory.mktemp("fuzz")
+    index = build_index(graph)
+    path = tmp_path / "index.ttl"
+    save_index(index, path)
+    data = bytearray(path.read_bytes())
+    data[position % len(data)] = byte
+    path.write_bytes(bytes(data))
+    try:
+        load_index(path, graph)
+    except SerializationError:
+        pass
+
+
+@given(small_graphs(), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=40, deadline=None)
+def test_truncated_file_raises_serialization_error(
+    tmp_path_factory, graph, cut
+):
+    tmp_path = tmp_path_factory.mktemp("trunc")
+    index = build_index(graph)
+    path = tmp_path / "index.ttl"
+    save_index(index, path)
+    data = path.read_bytes()
+    path.write_bytes(data[: cut % len(data)])
+    try:
+        load_index(path, graph)
+    except SerializationError:
+        pass
 
 
 @given(small_graphs())

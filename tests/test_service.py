@@ -127,6 +127,45 @@ class TestHealthz:
         assert body["stations"] == graph.n
         assert body["live"] is False
 
+    def test_healthz_reports_preprocess_seconds(self, service):
+        _, port = service
+        _, body = get(port, "/healthz")
+        assert body["preprocess_seconds"] > 0.0
+
+
+class TestMetrics:
+    def test_metrics_counters_advance_with_queries(self, service):
+        graph, port = service
+        status, before = get(port, "/metrics")
+        assert status == 200
+        assert before["planner"] == "TTL"
+        counters = before["query_metrics"]
+        assert set(counters) == {
+            "queries",
+            "labels_scanned",
+            "sketches_generated",
+            "unfold_max_depth",
+            "unfold_fallbacks",
+        }
+        for u in range(graph.n):
+            get(port, f"/eap?from={u}&to={(u + 1) % graph.n}&t=0")
+        _, after = get(port, "/metrics")
+        assert after["query_metrics"]["queries"] >= (
+            counters["queries"] + graph.n
+        )
+        assert (
+            after["query_metrics"]["labels_scanned"]
+            > counters["labels_scanned"]
+        )
+
+    def test_metrics_reports_index_info(self, service):
+        _, port = service
+        _, body = get(port, "/metrics")
+        index = body["index"]
+        assert index["num_labels"] > 0
+        assert index["store_bytes"] > 0
+        assert index["unfold_fallbacks"] >= 0
+
 
 class TestErrors:
     def test_unknown_path_404(self, service):
@@ -237,6 +276,12 @@ class TestLiveEndpoints:
         assert cleared == {"cleared": 1}
         _, listing = get(port, "/live/events")
         assert listing["events"] == []
+
+    def test_metrics_on_live_engine(self, live_service):
+        _, _, port = live_service
+        _, body = get(port, "/metrics")
+        assert "query_metrics" in body
+        assert body["query_metrics"]["queries"] >= 0
 
     def test_bad_event_rejected(self, live_service):
         _, _, port = live_service

@@ -56,7 +56,7 @@ class TestUnfoldSegment:
 
 class TestFallback:
     def test_missing_child_triggers_search_fallback(self, rng):
-        """Delete a child label from the lookup maps and check the
+        """Hide a child label from the lookup layer and check the
         unfolder reconstructs the segment by search instead."""
         for _ in range(10):
             graph = make_random_route_graph(rng, 9, 6)
@@ -72,13 +72,16 @@ class TestFallback:
             if victim is None:
                 continue
             v, label = victim
-            # Remove the left child from both lookup tables.
-            key_dep = (label.hub, label.pivot, label.dep)
-            left = index._by_dep.pop(key_dep, None)
-            if left is not None:
-                index._by_arr.pop(
-                    (label.hub, label.pivot, left[1]), None
-                )
+            # Make the left child unresolvable through both lookups.
+            hidden = (label.hub, label.pivot)
+            real_by_dep = index.lookup_by_dep
+            real_by_arr = index.lookup_by_arr
+            index.lookup_by_dep = lambda s, d, t: (
+                None if (s, d) == hidden else real_by_dep(s, d, t)
+            )
+            index.lookup_by_arr = lambda s, d, t: (
+                None if (s, d) == hidden else real_by_arr(s, d, t)
+            )
             before = index.unfold_fallbacks
             segment = Segment(
                 label.hub, v, label.dep, label.arr, label.trip, label.pivot
