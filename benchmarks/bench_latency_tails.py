@@ -6,8 +6,16 @@ reports p50 / p95 / p99 per method on a mid-size dataset.  The
 structural expectation: index-based TTL has a *tight* distribution
 (every query is one bounded label merge) while scan-based CSA's tail
 stretches with the window length.
+
+Also measured here: the *resilience tax* — the full serving pipeline
+(HTTP + deadline + admission gate) with resilience enabled vs. the
+bare pre-resilience pipeline (``ResilienceConfig(enabled=False)``),
+interleaved request-for-request against two services wrapping the
+same planner so clock drift cancels.  The acceptance bar: enabled
+adds under 5% to the EAP median.
 """
 
+import http.client
 import time
 
 from repro.bench.harness import render_table
@@ -48,6 +56,99 @@ def _measure():
             ]
         )
     return rows
+
+
+def _http_get(conn, path):
+    conn.request("GET", path)
+    response = conn.getresponse()
+    response.read()
+    assert response.status == 200
+
+
+def _measure_resilience_overhead(min_samples=400, warmup=50):
+    """Interleaved EAP requests against resilience-on/off services."""
+    from repro.resilience import ResilienceConfig
+    from repro.service import PlannerService
+
+    planner = CACHE.planner(DATASET, "TTL")
+    queries = CACHE.queries(DATASET)
+    reps = max(1, -(-min_samples // len(queries)))  # ceil division
+    services = {}
+    connections = {}
+    samples = {"off": [], "on": []}
+    try:
+        for mode, enabled in (("off", False), ("on", True)):
+            service = PlannerService(
+                planner, resilience=ResilienceConfig(enabled=enabled)
+            )
+            port = service.start(port=0)
+            services[mode] = service
+            connections[mode] = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=30
+            )
+        for i in range(warmup):
+            q = queries[i % len(queries)]
+            for mode in ("off", "on"):
+                _http_get(
+                    connections[mode],
+                    f"/eap?from={q.source}&to={q.destination}&t={q.t_start}",
+                )
+        for _ in range(reps):
+            for q in queries:
+                path = (
+                    f"/eap?from={q.source}&to={q.destination}&t={q.t_start}"
+                )
+                for mode in ("off", "on"):
+                    conn = connections[mode]
+                    start = time.perf_counter()
+                    _http_get(conn, path)
+                    samples[mode].append(
+                        (time.perf_counter() - start) * 1e6
+                    )
+    finally:
+        for conn in connections.values():
+            conn.close()
+        for service in services.values():
+            service.stop()
+    for values in samples.values():
+        values.sort()
+    return samples
+
+
+def test_resilience_overhead(benchmark):
+    samples = benchmark.pedantic(
+        _measure_resilience_overhead, rounds=1, iterations=1
+    )
+    rows = []
+    for mode in ("off", "on"):
+        values = samples[mode]
+        rows.append(
+            [
+                f"resilience {mode}",
+                _percentile(values, 0.50),
+                _percentile(values, 0.95),
+                _percentile(values, 0.99),
+                values[-1],
+            ]
+        )
+    off_p50 = rows[0][1]
+    on_p50 = rows[1][1]
+    overhead = (on_p50 / off_p50 - 1.0) * 100.0
+    table = render_table(
+        f"Resilience overhead ({DATASET}, EAP over HTTP, per-request us)",
+        ["pipeline", "p50", "p95", "p99", "max"],
+        rows,
+    )
+    table = (
+        f"{table}\n"
+        f"median overhead: {overhead:+.2f}% "
+        f"(n={len(samples['on'])} per mode, interleaved)"
+    )
+    write_result("resilience_overhead", table)
+    # The acceptance bar: deadlines + admission add <5% to the median.
+    assert on_p50 < off_p50 * 1.05, (
+        f"resilience median overhead {overhead:.2f}% exceeds 5%"
+    )
 
 
 def test_latency_tails(benchmark):

@@ -25,7 +25,14 @@ from repro.graph.connection import Connection, Path
 from repro.graph.timetable import TimetableGraph
 from repro.journey import Journey
 from repro.planner import RoutePlanner
+from repro.resilience.deadline import check_deadline
 from repro.timeutil import INF, NEG_INF
+
+#: Heap pops between cooperative deadline checks.  The searches below
+#: are the service's slowest code paths (the live engine's fallback in
+#: particular), so they must notice an expired request budget and
+#: raise DeadlineExceeded instead of finishing under the planner lock.
+_DEADLINE_STRIDE = 256
 
 
 def earliest_arrival_search(
@@ -69,7 +76,11 @@ def earliest_arrival_search(
     out_deps = graph.out_deps
     from bisect import bisect_left
 
+    pops = 0
     while heap:
+        pops += 1
+        if not pops % _DEADLINE_STRIDE:
+            check_deadline()
         arr_u, u = heapq.heappop(heap)
         if settled[u]:
             continue
@@ -116,7 +127,11 @@ def _earliest_arrival_with_transfer(
     out = graph.out
     out_deps = graph.out_deps
 
+    pops = 0
     while heap:
+        pops += 1
+        if not pops % _DEADLINE_STRIDE:
+            check_deadline()
         arr_u, u, trip = heapq.heappop(heap)
         if arr_u > best_by_trip[u].get(trip, INF):
             continue
@@ -166,7 +181,11 @@ def latest_departure_search(
     inc_arrs = graph.inc_arrs
     from bisect import bisect_right
 
+    pops = 0
     while heap:
+        pops += 1
+        if not pops % _DEADLINE_STRIDE:
+            check_deadline()
         neg_dep, v = heapq.heappop(heap)
         if settled[v]:
             continue
@@ -291,7 +310,10 @@ class DijkstraPlanner(RoutePlanner):
             return Journey(source, destination, t, t, path=[])
         best_path: Optional[Path] = None
         best_duration = INF
+        # One full search per candidate departure: by far the heaviest
+        # query in the repo, so check the budget between sweeps too.
         for dep in self.graph.departure_times(source):
+            check_deadline()
             if dep < t or dep > t_end:
                 continue
             eat, parent = earliest_arrival_search(

@@ -25,7 +25,13 @@ from repro.core.serialize import connections_bytes
 from repro.graph.connection import Connection, Path
 from repro.journey import Journey
 from repro.planner import RoutePlanner
+from repro.resilience.deadline import check_deadline
 from repro.timeutil import INF
+
+#: Connections scanned between cooperative deadline checks.  CSA scans
+#: are linear in the timetable, so a long window on a big network can
+#: burn a whole request budget in one loop.
+_DEADLINE_STRIDE = 2048
 
 
 class CSAPlanner(RoutePlanner):
@@ -70,7 +76,11 @@ class CSAPlanner(RoutePlanner):
         stamp[source] = gen
         conns = self._by_dep
         target_eat = INF
+        scanned = 0
         for i in range(bisect_left(self._dep_keys, t), len(conns)):
+            scanned += 1
+            if not scanned % _DEADLINE_STRIDE:
+                check_deadline()
             c = conns[i]
             if c.dep > target_eat:
                 break
@@ -114,7 +124,11 @@ class CSAPlanner(RoutePlanner):
         ldt[destination] = INF  # any arrival time <= t works at the target
         jp[destination] = None
         stamp[destination] = gen
+        scanned = 0
         for c in self._by_dep_desc:
+            scanned += 1
+            if not scanned % _DEADLINE_STRIDE:
+                check_deadline()
             if c.arr > t:
                 continue
             v = c.v
@@ -150,7 +164,11 @@ class CSAPlanner(RoutePlanner):
             return Journey(source, destination, t, t, path=[])
         self.preprocess()
         profiles: dict = {}
+        scanned = 0
         for c in self._by_dep_desc:
+            scanned += 1
+            if not scanned % _DEADLINE_STRIDE:
+                check_deadline()
             if c.dep < t:
                 break
             if c.dep > t_end:

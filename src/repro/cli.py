@@ -251,6 +251,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.resilience import ResilienceConfig, load_fault_plan
     from repro.service import PlannerService
 
     graph = load_dataset(args.name, scale=args.scale)
@@ -259,16 +260,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         planner = LiveOverlayEngine(graph)
         endpoints = (
-            "/stations /eap /ldp /sdp /healthz /metrics /live/events "
-            "/live/stats /live/advance /live/clear"
+            "/stations /eap /ldp /sdp /healthz /metrics /resilience "
+            "/live/events /live/stats /live/advance /live/clear"
         )
     else:
         planner = TTLPlanner(graph)
         endpoints = (
-            "/stations /eap /ldp /sdp /profile /healthz /metrics"
+            "/stations /eap /ldp /sdp /profile /healthz /metrics "
+            "/resilience"
         )
-    service = PlannerService(planner)
+    config = ResilienceConfig(
+        deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
+        max_inflight=args.max_inflight,
+    )
+    fault_plan = load_fault_plan(args.chaos) if args.chaos else None
+    service = PlannerService(planner, resilience=config, fault_plan=fault_plan)
     port = service.start(host=args.host, port=args.port)
+    if fault_plan is not None:
+        print(
+            f"chaos plan active: {len(fault_plan.rules)} rules, "
+            f"seed {fault_plan.seed}"
+        )
     print(f"serving {args.name} on http://{args.host}:{port} "
           f"(endpoints: {endpoints}; Ctrl-C stops)")
     try:
@@ -428,6 +440,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve a disruption-aware live overlay engine",
     )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=2000.0,
+        help="per-request wall-clock budget in ms (0 disables; "
+        "expired queries answer 504)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="concurrent requests before shedding with 429",
+    )
+    # Hidden: deterministic fault injection for chaos drills.
+    p.add_argument("--chaos", metavar="PLAN.json", help=argparse.SUPPRESS)
     _add_scale(p)
 
     p = sub.add_parser(

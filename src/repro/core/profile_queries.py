@@ -23,7 +23,12 @@ from repro.core.index import TTLIndex
 from repro.core.metrics import QueryMetrics
 from repro.core.sketch import generate_sketches
 from repro.graph.timetable import TimetableGraph
+from repro.resilience.deadline import check_deadline
 from repro.timeutil import INF
+
+#: Sketches between cooperative deadline checks (profile enumeration
+#: over a wide window can generate thousands of candidates).
+_DEADLINE_STRIDE = 512
 
 
 def ttl_profile(
@@ -45,6 +50,8 @@ def ttl_profile(
     generated = 0
     for sketch in generate_sketches(index, u, v, t, t_end):
         generated += 1
+        if not generated % _DEADLINE_STRIDE:
+            check_deadline()
         profile.add(sketch.dep, sketch.arr)
     if metrics is not None:
         metrics.labels_scanned += index.out_label_count(
@@ -59,7 +66,9 @@ def oracle_profile(
 ) -> List[Tuple[int, int]]:
     """Reference profile by sweeping the source's departure times."""
     profile = ParetoProfile()
+    # One full search per departure: check the budget between sweeps.
     for dep in graph.departure_times(u):
+        check_deadline()
         if dep < t or dep > t_end:
             continue
         eat, _ = earliest_arrival_search(graph, u, dep, target=v)

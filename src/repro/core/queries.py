@@ -137,7 +137,14 @@ class TTLPlanner(RoutePlanner):
         See :mod:`repro.core.profile_queries`.
         """
         from repro.core.profile_queries import ttl_profile
+        from repro.resilience.deadline import check_deadline
 
+        # Profile enumeration is the one TTL query that can run long
+        # (wide windows generate thousands of sketches); honor the
+        # request budget here and inside the enumeration itself.  The
+        # EAP/LDP/SDP label merges stay check-free: they are bounded
+        # and the per-query overhead would cost more than it protects.
+        check_deadline()
         self._check_query(source, destination)
         self._check_window(t, t_end)
         if source == destination:

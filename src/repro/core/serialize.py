@@ -22,10 +22,13 @@ be non-negative — and every defect raises
 :class:`~repro.errors.SerializationError` with a clear message, never
 a raw ``IndexError``/``struct.error``: a service must not crash (or,
 worse, mis-answer) because an index file was corrupted in transit.
+Saving is atomic (temp file + fsync + ``os.replace``), so a crash
+mid-save can never leave a truncated index behind.
 """
 
 from __future__ import annotations
 
+import os
 import struct
 from pathlib import Path as FsPath
 from typing import BinaryIO, Dict, List, Optional, Union
@@ -168,18 +171,54 @@ def _read_stats(fh: BinaryIO) -> Optional[BuildStats]:
 
 
 def save_index(index: TTLIndex, path: PathLike) -> None:
-    """Write ``index`` to ``path`` in the TTLIDX02 binary format."""
-    with open(path, "wb") as fh:
-        fh.write(_MAGIC)
-        fh.write(struct.pack("<q", index.graph.n))
-        for rank in index.ranks:
-            fh.write(struct.pack("<q", rank))
-        for groups_per_node in (index.in_groups, index.out_groups):
-            for groups in groups_per_node:
-                fh.write(struct.pack("<q", len(groups)))
-                for group in groups:
-                    _write_group(fh, group)
-        _write_stats(fh, index.build_stats)
+    """Write ``index`` to ``path`` in the TTLIDX02 binary format.
+
+    The write is *atomic*: the bytes go to a temporary file in the
+    target directory, are flushed and fsynced, and only then renamed
+    over ``path`` with :func:`os.replace`.  A crash mid-save therefore
+    leaves either the previous index or no file — never a truncated
+    ``TTLIDX02`` that a later service start would reject (or worse,
+    half-load).  The temporary file is removed on failure.
+    """
+    path = FsPath(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(struct.pack("<q", index.graph.n))
+            for rank in index.ranks:
+                fh.write(struct.pack("<q", rank))
+            for groups_per_node in (index.in_groups, index.out_groups):
+                for groups in groups_per_node:
+                    fh.write(struct.pack("<q", len(groups)))
+                    for group in groups:
+                        _write_group(fh, group)
+            _write_stats(fh, index.build_stats)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: FsPath) -> None:
+    """Best-effort fsync of the directory entry after a rename, so the
+    new name survives a power loss (not supported everywhere)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def load_index(path: PathLike, graph: TimetableGraph) -> TTLIndex:

@@ -75,3 +75,57 @@ class DatasetError(ReproError):
 
 class LiveEventError(ReproError):
     """Raised when a live schedule event is malformed or inapplicable."""
+
+
+class ResilienceError(ReproError):
+    """Base class for serving-robustness failures (deadlines, load
+    shedding, readiness).  These carry a well-defined HTTP status so
+    the service can map them without string matching."""
+
+
+class DeadlineExceeded(ResilienceError):
+    """Raised when a request's wall-clock budget expires (HTTP 504).
+
+    Checked cooperatively inside the expensive query loops, so an
+    expired query aborts and releases the planner lock instead of
+    running to completion.
+    """
+
+
+class Overloaded(ResilienceError):
+    """Raised when admission control sheds a request (HTTP 429).
+
+    ``retry_after`` is the suggested client back-off in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceNotReady(ResilienceError):
+    """Raised when the service cannot serve yet or sheds for health
+    reasons (HTTP 503).  ``retry_after`` suggests when to retry."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RequestValidationError(ReproError):
+    """Raised when an HTTP request parameter is missing or malformed
+    (HTTP 400).  ``field`` names the offending parameter."""
+
+    def __init__(self, message: str, field: str) -> None:
+        super().__init__(message)
+        self.field = field
+
+
+class PayloadTooLarge(ReproError):
+    """Raised when an HTTP request body exceeds the size cap (413)."""
+
+
+class FaultInjected(ReproError):
+    """A failure deliberately injected by an active
+    :class:`~repro.resilience.FaultPlan` (maps to HTTP 500: it stands
+    in for an unexpected internal error)."""

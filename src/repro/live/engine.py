@@ -150,6 +150,9 @@ class LiveOverlayEngine(RoutePlanner):
         self._max_candidates = max_candidates
         self._state: Optional[_LiveState] = None
         self.stats = LiveQueryStats()
+        #: Malformed / out-of-order feed records skipped by
+        #: :func:`repro.live.feed.replay` (surfaced in ``/live/stats``).
+        self.feed_skipped = 0
 
     # ------------------------------------------------------------------
     # Lifecycle / event management
@@ -175,6 +178,22 @@ class LiveOverlayEngine(RoutePlanner):
         """Query counters of the wrapped TTL planner (fast-path
         queries; fallback searches are tracked in :attr:`stats`)."""
         return self._ttl.metrics
+
+    @property
+    def frozen(self) -> TTLPlanner:
+        """The exact planner for the *frozen* (published) timetable.
+
+        This is the degradation target the service's circuit breaker
+        falls back to: answers ignore live events, but are exact for
+        the base schedule, microsecond-fast, and — because the sealed
+        index is immutable — safe to query without the service lock.
+        """
+        self.preprocess()
+        return self._ttl
+
+    def note_feed_skip(self, count: int = 1) -> None:
+        """Count feed records skipped during replay."""
+        self.feed_skipped += count
 
     @property
     def now(self) -> int:

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import json
 import random
+import warnings
 from typing import Iterable, Iterator, List, NamedTuple, Optional, Tuple
 
-from repro.errors import LiveEventError
+from repro.errors import LiveEventError, UnknownTripError
 from repro.graph.timetable import TimetableGraph
 from repro.live.engine import LiveOverlayEngine
 from repro.live.events import (
@@ -41,6 +42,8 @@ class EventFeed:
             (TimedEvent(int(at), event) for at, event in records),
             key=lambda r: r.at,
         )
+        #: Malformed records dropped by a tolerant ``from_json``.
+        self.skipped = 0
 
     def __len__(self) -> int:
         return len(self.records)
@@ -58,8 +61,16 @@ class EventFeed:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "EventFeed":
-        """Parse a feed serialized by :meth:`to_json`."""
+    def from_json(cls, text: str, strict: bool = True) -> "EventFeed":
+        """Parse a feed serialized by :meth:`to_json`.
+
+        With ``strict=True`` (default) any malformed record raises
+        :class:`~repro.errors.LiveEventError`.  With ``strict=False``
+        — the posture of a long-running consumer of an external feed —
+        malformed records are skipped with a warning and counted in
+        the returned feed's :attr:`skipped`; only the envelope itself
+        (non-JSON, non-list) still raises.
+        """
         try:
             data = json.loads(text)
         except json.JSONDecodeError as exc:
@@ -67,13 +78,33 @@ class EventFeed:
         if not isinstance(data, list):
             raise LiveEventError("feed JSON must be a list of records")
         records = []
+        skipped = 0
         for entry in data:
-            if not isinstance(entry, dict) or "at" not in entry:
-                raise LiveEventError(f"malformed feed record: {entry!r}")
-            records.append(
-                TimedEvent(int(entry["at"]), event_from_dict(entry["event"]))
-            )
-        return cls(records)
+            try:
+                if not isinstance(entry, dict) or "at" not in entry:
+                    raise LiveEventError(
+                        f"malformed feed record: {entry!r}"
+                    )
+                records.append(
+                    TimedEvent(
+                        int(entry["at"]), event_from_dict(entry["event"])
+                    )
+                )
+            except (LiveEventError, KeyError, TypeError, ValueError) as exc:
+                if strict:
+                    if isinstance(exc, LiveEventError):
+                        raise
+                    raise LiveEventError(
+                        f"malformed feed record: {entry!r} ({exc})"
+                    ) from exc
+                skipped += 1
+                warnings.warn(
+                    f"skipping malformed feed record: {entry!r} ({exc})",
+                    stacklevel=2,
+                )
+        feed = cls(records)
+        feed.skipped = skipped
+        return feed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"EventFeed(records={len(self.records)})"
@@ -155,6 +186,7 @@ def replay(
     engine: LiveOverlayEngine,
     feed: EventFeed,
     until: Optional[int] = None,
+    on_error: str = "skip",
 ) -> Iterator[Tuple[int, LiveEvent, int]]:
     """Drive ``engine`` through ``feed`` in announcement order.
 
@@ -162,11 +194,44 @@ def replay(
     on the way), applies the event, and yields
     ``(at, event, event_id)`` so callers can interleave queries.
     Records later than ``until`` are left unplayed.
+
+    Real feeds misbehave, so with ``on_error="skip"`` (default) a
+    record the engine rejects — unknown trip, malformed times — or
+    one announced *behind* the engine clock (out of order relative to
+    an earlier replay) is skipped with a warning and counted on
+    ``engine.feed_skipped`` (surfaced by the service's
+    ``/live/stats``) instead of aborting the whole replay.  Pass
+    ``on_error="raise"`` to get the old fail-fast behavior.
     """
+    if on_error not in ("skip", "raise"):
+        raise ValueError(f"on_error must be 'skip' or 'raise': {on_error!r}")
     for record in feed:
         if until is not None and record.at > until:
             break
+        if record.at < engine.now:
+            if on_error == "raise":
+                raise LiveEventError(
+                    f"out-of-order feed record at t={record.at} "
+                    f"(engine clock already at {engine.now})"
+                )
+            engine.note_feed_skip()
+            warnings.warn(
+                f"skipping out-of-order feed record at t={record.at} "
+                f"(engine clock at {engine.now})",
+                stacklevel=2,
+            )
+            continue
         if record.at > engine.now:
             engine.advance_to(record.at)
-        event_id = engine.apply_event(record.event)
+        try:
+            event_id = engine.apply_event(record.event)
+        except (LiveEventError, UnknownTripError) as exc:
+            if on_error == "raise":
+                raise
+            engine.note_feed_skip()
+            warnings.warn(
+                f"skipping rejected feed event at t={record.at}: {exc}",
+                stacklevel=2,
+            )
+            continue
         yield record.at, record.event, event_id

@@ -1,0 +1,120 @@
+"""Bounded in-flight admission control (load shedding).
+
+The gate is a non-blocking counting semaphore: at most ``max_inflight``
+query requests execute at once, and request ``max_inflight + 1``
+is *shed* immediately with :class:`~repro.errors.Overloaded` (HTTP
+429 + ``Retry-After``) instead of queueing behind a saturated planner
+lock.  Shedding also flips the service readiness signal: a load
+balancer polling ``/healthz/ready`` sees 503 while the gate is full
+or has shed recently, steering traffic to healthier replicas.
+
+The hot path is one uncontended semaphore acquire/release pair
+(~1 microsecond); bookkeeping beyond that happens only on shed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import Overloaded
+
+Clock = Callable[[], float]
+
+
+class AdmissionController:
+    """Sheds query load beyond a fixed in-flight watermark."""
+
+    def __init__(
+        self,
+        max_inflight: int = 64,
+        retry_after_s: float = 1.0,
+        shed_grace_s: float = 1.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        """Create the gate.
+
+        Args:
+            max_inflight: concurrent requests admitted before shedding.
+            retry_after_s: ``Retry-After`` hint attached to sheds.
+            shed_grace_s: readiness stays "shedding" this long after
+                the most recent shed, so health probes reliably observe
+                overload even between sheds.
+            clock: injectable monotonic clock (tests).
+        """
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1: {max_inflight}")
+        self.max_inflight = max_inflight
+        self.retry_after_s = retry_after_s
+        self.shed_grace_s = shed_grace_s
+        self._clock = clock
+        self._sem = threading.Semaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._peak_inflight = 0
+        self._admitted = 0
+        self._shed = 0
+        self._last_shed_at = float("-inf")
+
+    # ------------------------------------------------------------------
+
+    def acquire(self) -> None:
+        """Admit the current request or raise :class:`Overloaded`."""
+        if not self._sem.acquire(blocking=False):
+            with self._lock:
+                self._shed += 1
+                self._last_shed_at = self._clock()
+            raise Overloaded(
+                f"too many in-flight requests "
+                f"(limit {self.max_inflight}); retry later",
+                retry_after=self.retry_after_s,
+            )
+        with self._lock:
+            self._admitted += 1
+            self._inflight += 1
+            if self._inflight > self._peak_inflight:
+                self._peak_inflight = self._inflight
+
+    def release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+        self._sem.release()
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        """``with gate.admit():`` — acquire or shed, always release."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def shedding(self) -> bool:
+        """True while the gate is full or shed within the grace window.
+
+        Readiness probes report 503 while this holds.
+        """
+        if self._inflight >= self.max_inflight:
+            return True
+        return (self._clock() - self._last_shed_at) < self.shed_grace_s
+
+    def snapshot(self) -> dict:
+        """JSON-safe counter dump."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "peak_inflight": self._peak_inflight,
+                "admitted": self._admitted,
+                "shed": self._shed,
+                "shedding": self.shedding,
+            }

@@ -1,0 +1,174 @@
+"""Circuit breaker over the live engine's exact query path.
+
+The live overlay engine is exact but not uniformly fast: a heavy
+disruption patch drives queries onto the temporal-Dijkstra fallback,
+which is orders of magnitude slower than a label lookup and runs under
+the service's planner lock.  The breaker watches the exact path's
+outcome stream (latency + failures) and, once it degrades past a
+threshold, *opens*: the service stops routing queries to the exact
+path and instead serves TTL answers on the frozen base timetable —
+microsecond-fast, lock-free, correct for the published schedule, and
+flagged ``"degraded": true`` so clients know disruptions are not
+reflected.  After a cooldown the breaker goes *half-open* and lets a
+single probe query through; a healthy probe closes the circuit again.
+
+States follow the classic pattern:
+
+* ``closed``   — exact path serves; outcomes recorded in a sliding
+  window; too many failures (slow or erroring queries) trip it open.
+* ``open``     — exact path bypassed until ``cooldown_s`` elapses.
+* ``half_open``— exactly one in-flight probe allowed; success closes,
+  failure re-opens and restarts the cooldown.
+
+The clock is injectable so tests drive transitions deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Optional
+
+Clock = Callable[[], float]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate breaker with half-open probing."""
+
+    def __init__(
+        self,
+        window: int = 32,
+        min_samples: int = 8,
+        failure_threshold: float = 0.5,
+        slow_threshold_s: float = 0.25,
+        cooldown_s: float = 5.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        """Create the breaker.
+
+        Args:
+            window: sliding window size (outcomes remembered).
+            min_samples: minimum outcomes before the breaker may trip.
+            failure_threshold: failure share in the window that trips.
+            slow_threshold_s: a success slower than this counts as a
+                failure (latency degradation trips the breaker even
+                when every query eventually finishes).
+            cooldown_s: open duration before a half-open probe.
+            clock: injectable monotonic clock (tests).
+        """
+        self.window = window
+        self.min_samples = min_samples
+        self.failure_threshold = failure_threshold
+        self.slow_threshold_s = slow_threshold_s
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=window)  # True = failure
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self._trips = 0
+        self._probes = 0
+        self._successes = 0
+        self._failures = 0
+        self._shorted = 0  # queries answered degraded while open
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow_exact(self) -> bool:
+        """Should the caller use the exact (breaker-guarded) path?
+
+        While open, returns False (and counts a shorted query) until
+        the cooldown elapses; then exactly one caller is admitted as
+        the half-open probe and everyone else keeps getting False
+        until that probe's outcome is recorded.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._state = HALF_OPEN
+                    self._probe_inflight = True
+                    self._probes += 1
+                    return True
+                self._shorted += 1
+                return False
+            # HALF_OPEN: one probe at a time.
+            if self._probe_inflight:
+                self._shorted += 1
+                return False
+            self._probe_inflight = True
+            self._probes += 1
+            return True
+
+    def record(
+        self, latency_s: Optional[float] = None, failure: bool = False
+    ) -> None:
+        """Record one exact-path outcome.
+
+        Args:
+            latency_s: wall-clock duration of the query, if it
+                finished; slower than ``slow_threshold_s`` counts as a
+                failure.
+            failure: the query failed outright (deadline exceeded,
+                exception).
+        """
+        failed = failure or (
+            latency_s is not None and latency_s > self.slow_threshold_s
+        )
+        with self._lock:
+            if failed:
+                self._failures += 1
+            else:
+                self._successes += 1
+            if self._state == HALF_OPEN:
+                self._probe_inflight = False
+                if failed:
+                    self._state = OPEN
+                    self._opened_at = self._clock()
+                else:
+                    self._state = CLOSED
+                    self._outcomes.clear()
+                return
+            if self._state == OPEN:
+                # Late result from a query that raced the trip; the
+                # cooldown clock governs recovery, not stragglers.
+                return
+            self._outcomes.append(failed)
+            if (
+                len(self._outcomes) >= self.min_samples
+                and sum(self._outcomes) / len(self._outcomes)
+                >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trips += 1
+                self._outcomes.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-safe state dump."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "window": self.window,
+                "window_failures": sum(self._outcomes),
+                "window_samples": len(self._outcomes),
+                "trips": self._trips,
+                "probes": self._probes,
+                "successes": self._successes,
+                "failures": self._failures,
+                "degraded_served": self._shorted,
+                "slow_threshold_s": self.slow_threshold_s,
+                "cooldown_s": self.cooldown_s,
+            }

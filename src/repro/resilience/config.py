@@ -1,0 +1,51 @@
+"""Serving-resilience configuration.
+
+One dataclass gathers every knob so the CLI, the service, and the
+benchmarks construct identical pipelines.  The defaults are
+deliberately permissive — a 2 s deadline and a 64-deep gate never
+trigger in the test-suite's microsecond workloads — so wrapping a
+planner in a :class:`~repro.service.PlannerService` with no explicit
+config changes no observable behavior, only adds the guard rails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ResilienceConfig:
+    """Knobs for deadlines, admission control, and the breaker."""
+
+    #: Master switch.  ``False`` serves queries the pre-resilience way
+    #: (no deadline, no gate, no breaker) — used by the overhead
+    #: benchmark's baseline and as an escape hatch.
+    enabled: bool = True
+
+    #: Per-request wall-clock budget in milliseconds; ``None`` disables
+    #: deadlines while keeping the rest of the layer.
+    deadline_ms: Optional[float] = 2000.0
+
+    # Admission control -------------------------------------------------
+    #: Concurrent query requests admitted before shedding with 429.
+    max_inflight: int = 64
+    #: ``Retry-After`` hint (seconds) on 429 and shedding 503s.
+    retry_after_s: float = 1.0
+    #: How long readiness keeps reporting "shedding" after a shed.
+    shed_grace_s: float = 1.0
+
+    # Circuit breaker (live engines only) -------------------------------
+    #: Construct a breaker when the planner is a live overlay engine.
+    breaker_enabled: bool = True
+    breaker_window: int = 32
+    breaker_min_samples: int = 8
+    breaker_failure_threshold: float = 0.5
+    #: Exact-path latency above which a query counts as a failure.
+    breaker_slow_s: float = 0.25
+    #: Open duration before a half-open probe is allowed.
+    breaker_cooldown_s: float = 5.0
+
+    # Input hardening ----------------------------------------------------
+    #: Largest accepted request body; beyond it the service answers 413.
+    max_body_bytes: int = 1 << 20

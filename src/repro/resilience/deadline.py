@@ -1,0 +1,103 @@
+"""Per-request wall-clock budgets, checked cooperatively.
+
+A :class:`Deadline` is a fixed expiry instant on a monotonic clock.
+The serving layer creates one per request and *installs* it in a
+``contextvars.ContextVar`` scoped to the handling thread; the
+expensive query loops (temporal Dijkstra relaxation, CSA scans,
+profile enumeration) call :func:`check_deadline` every few hundred
+iterations.  When the budget is gone the loop raises
+:class:`~repro.errors.DeadlineExceeded`, unwinding out of the planner
+— and, crucially, out of the service's planner lock — so one slow
+query turns into a single 504 instead of a convoy.
+
+The checks are deliberately cheap: with no deadline installed,
+:func:`check_deadline` is one ``ContextVar.get`` (~100 ns); with one
+installed it adds a single monotonic clock read.  Library code can
+therefore call it unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator, Optional
+
+from repro.errors import DeadlineExceeded
+
+Clock = Callable[[], float]
+
+#: The deadline governing the current request, if any.  ContextVars
+#: are per-thread by default, so every HTTP handler thread sees only
+#: its own request's budget.
+_ACTIVE: ContextVar[Optional["Deadline"]] = ContextVar(
+    "repro_active_deadline", default=None
+)
+
+
+class Deadline:
+    """A wall-clock budget with an injectable clock (for tests)."""
+
+    __slots__ = ("budget_s", "expires_at", "_clock")
+
+    def __init__(self, budget_s: float, clock: Clock = time.monotonic) -> None:
+        self.budget_s = budget_s
+        self._clock = clock
+        self.expires_at = clock() + budget_s
+
+    @classmethod
+    def after_ms(cls, ms: float, clock: Clock = time.monotonic) -> "Deadline":
+        """A deadline ``ms`` milliseconds from now."""
+        return cls(ms / 1000.0, clock)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - self._clock()
+
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self._clock() >= self.expires_at:
+            raise DeadlineExceeded(
+                f"request deadline exceeded "
+                f"(budget {self.budget_s * 1000.0:.0f} ms)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(budget_s={self.budget_s}, remaining={self.remaining():.3f})"
+
+
+def active_deadline() -> Optional[Deadline]:
+    """The deadline installed for the current context, if any."""
+    return _ACTIVE.get()
+
+
+def check_deadline() -> None:
+    """Cooperative check point for long-running loops.
+
+    No-op when no deadline is installed; raises
+    :class:`~repro.errors.DeadlineExceeded` when the active one has
+    expired.
+    """
+    deadline = _ACTIVE.get()
+    if deadline is not None:
+        deadline.check()
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install ``deadline`` for the duration of the ``with`` block.
+
+    ``None`` leaves the context unchanged (so callers can pass an
+    optional deadline without branching).
+    """
+    if deadline is None:
+        yield None
+        return
+    token = _ACTIVE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,241 @@
+"""Deterministic fault injection for chaos testing.
+
+A :class:`FaultPlan` is a seeded list of :class:`FaultRule` entries,
+each naming an injection *site* — a string the serving layer fires at
+well-known points — and what to do there: sleep (``latency``), raise
+(``error``), or skew the deadline clock (``clock_skew``).  Rules fire
+a bounded number of ``times`` (or forever) with a seeded
+``probability``, so the same plan + seed reproduces the same failure
+sequence run after run.  The chaos test suite and the hidden
+``serve --chaos PLAN.json`` flag both build on this.
+
+Injection sites fired by :class:`~repro.service.PlannerService` /
+:class:`~repro.resilience.ResilientExecutor`:
+
+* ``service.preprocess`` — during background warm-up (readiness 503s).
+* ``service.request``    — before admission (handler-level latency).
+* ``service.lock``       — immediately after taking the planner lock
+  (a lock-hold spike: everyone else queues behind it).
+* ``planner.query``      — around the planner call, inside the lock
+  (a slow query; the post-call deadline check converts it to 504).
+* ``live.exact``         — on the live engine's exact path only
+  (feeds the circuit breaker failure stream).
+* ``clock``              — consulted when deadlines are created; a
+  positive skew shrinks every budget by that many seconds.
+
+Plans are JSON round-trippable::
+
+    {"seed": 7, "rules": [
+        {"site": "planner.query", "kind": "latency",
+         "seconds": 0.2, "times": 3},
+        {"site": "clock", "kind": "clock_skew", "seconds": 10.0,
+         "times": 2}
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import FaultInjected
+
+KINDS = ("latency", "error", "clock_skew")
+
+
+@dataclass
+class FaultRule:
+    """One injection rule: what happens at ``site`` and how often."""
+
+    site: str
+    kind: str  # "latency" | "error" | "clock_skew"
+    seconds: float = 0.0
+    times: Optional[int] = None  # None = unlimited
+    probability: float = 1.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind: {self.kind!r} (expected one of {KINDS})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability out of range: {self.probability}")
+        if self.seconds < 0:
+            raise ValueError(f"negative fault seconds: {self.seconds}")
+
+    def to_dict(self) -> dict:
+        body: dict = {"site": self.site, "kind": self.kind}
+        if self.seconds:
+            body["seconds"] = self.seconds
+        if self.times is not None:
+            body["times"] = self.times
+        if self.probability != 1.0:
+            body["probability"] = self.probability
+        if self.message != "injected fault":
+            body["message"] = self.message
+        return body
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        if not isinstance(data, dict):
+            raise ValueError(f"fault rule must be an object: {data!r}")
+        unknown = set(data) - {
+            "site", "kind", "seconds", "times", "probability", "message"
+        }
+        if unknown:
+            raise ValueError(f"unknown fault rule keys: {sorted(unknown)}")
+        try:
+            return cls(
+                site=str(data["site"]),
+                kind=str(data["kind"]),
+                seconds=float(data.get("seconds", 0.0)),
+                times=(
+                    int(data["times"]) if data.get("times") is not None
+                    else None
+                ),
+                probability=float(data.get("probability", 1.0)),
+                message=str(data.get("message", "injected fault")),
+            )
+        except KeyError as exc:
+            raise ValueError(f"fault rule missing key: {exc}") from exc
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, ordered collection of fault rules."""
+
+    rules: List[FaultRule] = field(default_factory=list)
+    seed: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "rules": [r.to_dict() for r in self.rules]}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed fault plan JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError("fault plan JSON must be an object")
+        rules = data.get("rules", [])
+        if not isinstance(rules, list):
+            raise ValueError("fault plan 'rules' must be a list")
+        return cls(
+            rules=[FaultRule.from_dict(entry) for entry in rules],
+            seed=int(data.get("seed", 0)),
+        )
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at named sites, deterministically.
+
+    One injector instance holds the plan's RNG and per-rule remaining
+    counts; the serving layer calls :meth:`fire` at each site and
+    :meth:`clock_skew` when creating deadlines.  Thread-safe: the
+    decision (which rules fire, count bookkeeping) happens under a
+    lock, while the sleep itself happens outside it so injected
+    latency does not serialize unrelated requests.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.plan = plan
+        self._sleep = sleep
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+        self._remaining: List[Optional[int]] = [
+            rule.times for rule in plan.rules
+        ]
+        self._fired: Dict[str, int] = {}
+
+    def fire(self, site: str) -> None:
+        """Run every armed rule matching ``site``.
+
+        Latency rules sleep; error rules raise
+        :class:`~repro.errors.FaultInjected`.  ``clock_skew`` rules are
+        not consumed here (see :meth:`clock_skew`).
+        """
+        sleep_s = 0.0
+        error: Optional[str] = None
+        with self._lock:
+            for i, rule in enumerate(self.plan.rules):
+                if rule.site != site or rule.kind == "clock_skew":
+                    continue
+                if self._remaining[i] == 0:
+                    continue
+                if rule.probability < 1.0 and (
+                    self._rng.random() >= rule.probability
+                ):
+                    continue
+                if self._remaining[i] is not None:
+                    self._remaining[i] -= 1
+                self._fired[site] = self._fired.get(site, 0) + 1
+                if rule.kind == "latency":
+                    sleep_s += rule.seconds
+                else:
+                    error = f"{rule.message} (site {site})"
+        if sleep_s > 0.0:
+            self._sleep(sleep_s)
+        if error is not None:
+            raise FaultInjected(error)
+
+    def clock_skew(self, site: str = "clock") -> float:
+        """Consume one matching ``clock_skew`` rule; returns seconds.
+
+        The caller subtracts the skew from the request budget,
+        emulating a wall clock that jumped forward.
+        """
+        skew = 0.0
+        with self._lock:
+            for i, rule in enumerate(self.plan.rules):
+                if rule.site != site or rule.kind != "clock_skew":
+                    continue
+                if self._remaining[i] == 0:
+                    continue
+                if rule.probability < 1.0 and (
+                    self._rng.random() >= rule.probability
+                ):
+                    continue
+                if self._remaining[i] is not None:
+                    self._remaining[i] -= 1
+                self._fired[site] = self._fired.get(site, 0) + 1
+                skew += rule.seconds
+        return skew
+
+    def snapshot(self) -> dict:
+        """Per-site fire counts plus remaining rule budgets."""
+        with self._lock:
+            return {
+                "seed": self.plan.seed,
+                "rules": len(self.plan.rules),
+                "fired": dict(self._fired),
+                "remaining": [
+                    r if r is not None else "unlimited"
+                    for r in self._remaining
+                ],
+            }
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Read a JSON fault plan from disk (``serve --chaos PLAN``)."""
+    with open(path) as fh:
+        return FaultPlan.from_json(fh.read())
+
+
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "load_fault_plan",
+]

@@ -1,8 +1,8 @@
 """A minimal HTTP JSON API over a planner (stdlib only).
 
 The deployment story the paper implies — build the index offline,
-serve microsecond queries online — in a couple hundred lines of
-standard library:
+serve microsecond queries online — in a few hundred lines of standard
+library, with production guard rails:
 
     from repro.datasets import load_dataset
     from repro.core import TTLPlanner
@@ -14,7 +14,11 @@ standard library:
 Query endpoints (GET, JSON responses):
 
 * ``/healthz``                          — liveness + planner identity
+* ``/healthz/live``                     — bare liveness probe
+* ``/healthz/ready``                    — readiness (503 while warming
+  or shedding)
 * ``/metrics``                          — cumulative query counters
+* ``/resilience``                       — deadline/gate/breaker state
 * ``/stations``                         — id/name listing
 * ``/eap?from=U&to=V&t=SECONDS``        — earliest arrival
 * ``/ldp?from=U&to=V&t=SECONDS``        — latest departure
@@ -25,16 +29,39 @@ When the planner is a :class:`~repro.live.engine.LiveOverlayEngine`,
 disruption endpoints come alive:
 
 * ``GET  /live/events``   — registered (id, event) pairs
-* ``GET  /live/stats``    — fast-path / fallback counters
+* ``GET  /live/stats``    — fast-path / fallback / feed-skip counters
 * ``POST /live/events``   — body = one event dict; returns its id
 * ``POST /live/advance``  — body ``{"now": seconds}``; expires events
 * ``POST /live/clear``    — body ``{"id": n}`` or ``{}`` for all
 
-Every error — including unknown paths and unsupported methods — is a
-JSON body ``{"error": ...}`` with the matching status code; infeasible
-journeys return 200 with ``{"journey": null}``.  A service-level lock
-serializes planner access against overlay swaps, so injecting an event
-while queries are in flight is safe.
+Every query request runs through the
+:class:`~repro.resilience.ResilientExecutor` pipeline: a per-request
+deadline (504 on expiry), a bounded in-flight admission gate (429 +
+``Retry-After`` when shedding), and — for live engines — a circuit
+breaker that, when tripped, serves TTL answers on the frozen base
+timetable flagged ``"degraded": true`` instead of exact overlay
+answers.  The full status-code contract:
+
+====== =================================================================
+status meaning
+====== =================================================================
+200    answered (infeasible journeys are ``{"journey": null}``)
+400    invalid input (``{"error": ..., "field": ...}`` when one
+       parameter is at fault)
+404    unknown path
+413    request body larger than the configured cap
+429    shed by admission control (``Retry-After`` header)
+500    unexpected internal error (JSON body; the handler thread
+       survives)
+501    unsupported HTTP method
+503    not ready yet (index still building) or shedding
+       (``Retry-After`` header)
+504    request deadline exceeded
+====== =================================================================
+
+A service-level lock serializes planner access against overlay swaps,
+so injecting an event while queries are in flight is safe; degraded
+(frozen-graph) answers bypass the lock entirely, which is the point.
 """
 
 from __future__ import annotations
@@ -42,45 +69,128 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
-from urllib.parse import parse_qs, urlparse
+from typing import Dict, Optional
 
-from repro.errors import ReproError
+from repro.errors import (
+    DeadlineExceeded,
+    FaultInjected,
+    Overloaded,
+    PayloadTooLarge,
+    ReproError,
+    RequestValidationError,
+    ServiceNotReady,
+)
 from repro.live.engine import LiveOverlayEngine
 from repro.live.events import event_from_dict
 from repro.planner import RoutePlanner
+from repro.resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    ResilienceConfig,
+    ResilientExecutor,
+)
+from urllib.parse import parse_qs, urlparse
 
 
 class PlannerService:
     """Serve one preprocessed planner over HTTP."""
 
-    def __init__(self, planner: RoutePlanner) -> None:
+    def __init__(
+        self,
+        planner: RoutePlanner,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        """Wrap ``planner`` for serving.
+
+        Args:
+            planner: any :class:`~repro.planner.RoutePlanner`.
+            resilience: deadline/gate/breaker knobs (defaults are
+                permissive; pass ``ResilienceConfig(enabled=False)``
+                for the bare pre-resilience pipeline).
+            fault_plan: optional chaos plan; its rules fire at the
+                documented injection sites.
+            breaker: pre-built circuit breaker (tests inject one with
+                a fake clock); by default one is constructed for live
+                engines from the config.
+        """
         self.planner = planner
+        self.config = resilience or ResilienceConfig()
         #: Serializes planner access against live overlay swaps.
         self.lock = threading.RLock()
+        self._live = (
+            planner if isinstance(planner, LiveOverlayEngine) else None
+        )
+        injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self.executor = ResilientExecutor(
+            self.config, breaker=breaker, injector=injector
+        )
+        if (
+            breaker is None
+            and self._live is not None
+            and self.config.enabled
+            and self.config.breaker_enabled
+        ):
+            self.executor.breaker = self.executor.make_breaker()
+        self._ready = threading.Event()
+        self._warm_error: Optional[str] = None
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+        self._warm_thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
-        """Preprocess, bind, and serve on a daemon thread.
+    def start(
+        self, host: str = "127.0.0.1", port: int = 0, warm: bool = True
+    ) -> int:
+        """Bind and serve on a daemon thread; returns the bound port.
 
-        Returns the bound port (use ``port=0`` to pick a free one).
+        With ``warm=True`` (default) preprocessing happens before the
+        socket binds, so the first request already finds a ready
+        service — the historical behavior.  With ``warm=False`` the
+        socket binds immediately and the index builds on a background
+        thread; until it finishes, query endpoints and
+        ``/healthz/ready`` answer 503 (liveness stays 200), which is
+        the contract a rolling deployment's health checks rely on.
         """
-        self.planner.preprocess()
-        handler = _make_handler(self.planner, self.lock)
+        if warm:
+            self._warm_up()
+        handler = _make_handler(self)
         self._server = ThreadingHTTPServer((host, port), handler)
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True
         )
         self._thread.start()
+        if not warm:
+            self._warm_thread = threading.Thread(
+                target=self._warm_up, daemon=True
+            )
+            self._warm_thread.start()
         return self._server.server_address[1]
 
+    def _warm_up(self) -> None:
+        try:
+            if self.executor.injector is not None:
+                self.executor.injector.fire("service.preprocess")
+            self.planner.preprocess()
+        except Exception as exc:  # surfaced via readiness, not a crash
+            self._warm_error = f"{exc.__class__.__name__}: {exc}"
+            return
+        self._ready.set()
+
+    @property
+    def ready(self) -> bool:
+        """True once preprocessing finished."""
+        return self._ready.is_set()
+
     def stop(self) -> None:
-        """Shut the server down and join the thread."""
+        """Shut the server down and join the threads."""
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
@@ -88,11 +198,56 @@ class PlannerService:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        if self._warm_thread is not None:
+            self._warm_thread.join(timeout=5)
+            self._warm_thread = None
 
 
-def _make_handler(planner: RoutePlanner, lock: threading.RLock):
+def _int_param(params: Dict[str, str], name: str) -> int:
+    """Parse one required integer query parameter, naming the field
+    in the error so clients see exactly what to fix."""
+    if name not in params:
+        raise RequestValidationError(
+            f"missing required query parameter: {name!r}", field=name
+        )
+    try:
+        return int(params[name])
+    except (TypeError, ValueError):
+        raise RequestValidationError(
+            f"query parameter {name!r} must be an integer, "
+            f"got {params[name]!r}",
+            field=name,
+        ) from None
+
+
+def _int_field(body: dict, name: str) -> int:
+    """Parse one required integer JSON body field."""
+    if name not in body:
+        raise RequestValidationError(
+            f"missing required body field: {name!r}", field=name
+        )
+    value = body[name]
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise RequestValidationError(
+            f"body field {name!r} must be an integer, got {value!r}",
+            field=name,
+        )
+    try:
+        return int(value)
+    except ValueError:
+        raise RequestValidationError(
+            f"body field {name!r} must be an integer, got {value!r}",
+            field=name,
+        ) from None
+
+
+def _make_handler(service: PlannerService):
+    planner = service.planner
     graph = planner.graph
-    live = planner if isinstance(planner, LiveOverlayEngine) else None
+    lock = service.lock
+    live = service._live
+    executor = service.executor
+    config = service.config
 
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, *_args) -> None:  # silence request logs
@@ -124,8 +279,43 @@ def _make_handler(planner: RoutePlanner, lock: threading.RLock):
         def _dispatch(self, route) -> None:
             try:
                 body = route()
+            except Overloaded as exc:
+                self._send(
+                    429,
+                    {"error": str(exc)},
+                    headers={"Retry-After": _retry_after(exc.retry_after)},
+                )
+                return
+            except ServiceNotReady as exc:
+                self._send(
+                    503,
+                    {"error": str(exc)},
+                    headers={"Retry-After": _retry_after(exc.retry_after)},
+                )
+                return
+            except DeadlineExceeded as exc:
+                self._send(504, {"error": str(exc)})
+                return
+            except PayloadTooLarge as exc:
+                self._send(413, {"error": str(exc)})
+                return
+            except RequestValidationError as exc:
+                self._send(400, {"error": str(exc), "field": exc.field})
+                return
+            except FaultInjected as exc:
+                self._send(500, {"error": f"internal error: {exc}"})
+                return
             except (ReproError, KeyError, ValueError) as exc:
                 self._send(400, {"error": str(exc)})
+                return
+            except Exception as exc:  # never kill the handler thread
+                self._send(
+                    500,
+                    {
+                        "error": "internal error: "
+                        f"{exc.__class__.__name__}: {exc}"
+                    },
+                )
                 return
             if body is None:
                 self._send(404, {"error": f"unknown path: {self.path}"})
@@ -133,7 +323,24 @@ def _make_handler(planner: RoutePlanner, lock: threading.RLock):
             self._send(200, body)
 
         def _read_body(self) -> dict:
-            length = int(self.headers.get("Content-Length", 0) or 0)
+            raw_length = self.headers.get("Content-Length", 0) or 0
+            try:
+                length = int(raw_length)
+            except (TypeError, ValueError):
+                raise RequestValidationError(
+                    f"invalid Content-Length: {raw_length!r}",
+                    field="Content-Length",
+                ) from None
+            if length < 0:
+                raise RequestValidationError(
+                    f"invalid Content-Length: {raw_length!r}",
+                    field="Content-Length",
+                )
+            if length > config.max_body_bytes:
+                raise PayloadTooLarge(
+                    f"request body of {length} bytes exceeds the "
+                    f"{config.max_body_bytes} byte limit"
+                )
             raw = self.rfile.read(length) if length else b""
             if not raw:
                 return {}
@@ -147,6 +354,34 @@ def _make_handler(planner: RoutePlanner, lock: threading.RLock):
 
         # --------------------------------------------------------------
 
+        def _require_ready(self) -> None:
+            if not service._ready.is_set():
+                reason = (
+                    f"preprocessing failed: {service._warm_error}"
+                    if service._warm_error is not None
+                    else "service is warming up (index still building)"
+                )
+                raise ServiceNotReady(
+                    reason, retry_after=config.retry_after_s
+                )
+
+        def _query(self, exact, degraded):
+            """Run a query through the resilience pipeline."""
+            self._require_ready()
+            result, is_degraded = executor.run(
+                exact,
+                lock=lock,
+                degraded_fn=degraded if live is not None else None,
+            )
+            return result, is_degraded
+
+        def _journey_body(self, exact, degraded) -> dict:
+            journey, is_degraded = self._query(exact, degraded)
+            body = {"journey": journey.to_dict() if journey else None}
+            if live is not None:
+                body["degraded"] = is_degraded
+            return body
+
         def _route_get(self, path: str, params: dict):
             if path == "/healthz":
                 body = {
@@ -154,6 +389,7 @@ def _make_handler(planner: RoutePlanner, lock: threading.RLock):
                     "planner": planner.name,
                     "stations": graph.n,
                     "live": live is not None,
+                    "ready": service._ready.is_set(),
                     "preprocess_seconds": planner.preprocess_seconds,
                 }
                 if live is not None:
@@ -162,19 +398,33 @@ def _make_handler(planner: RoutePlanner, lock: threading.RLock):
                         body["generation"] = live.generation
                         body["events"] = len(live.events())
                 return body
+            if path == "/healthz/live":
+                return {"status": "alive"}
+            if path == "/healthz/ready":
+                self._require_ready()
+                if config.enabled and executor.admission.shedding:
+                    raise ServiceNotReady(
+                        "shedding load (admission gate saturated)",
+                        retry_after=config.retry_after_s,
+                    )
+                return {"ready": True}
+            if path == "/resilience":
+                return executor.snapshot()
             if path == "/metrics":
                 body = {"planner": planner.name}
                 metrics = getattr(planner, "metrics", None)
-                index = getattr(planner, "index", None)
                 with lock:
                     if metrics is not None:
                         body["query_metrics"] = metrics.snapshot()
-                    if index is not None:
-                        body["index"] = {
-                            "num_labels": index.num_labels,
-                            "unfold_fallbacks": index.unfold_fallbacks,
-                            "store_bytes": index.store_bytes(),
-                        }
+                    if service._ready.is_set():
+                        index = getattr(planner, "index", None)
+                        if index is not None:
+                            body["index"] = {
+                                "num_labels": index.num_labels,
+                                "unfold_fallbacks": index.unfold_fallbacks,
+                                "store_bytes": index.store_bytes(),
+                            }
+                body["resilience"] = executor.snapshot()
                 return body
             if path == "/stations":
                 return {
@@ -184,40 +434,53 @@ def _make_handler(planner: RoutePlanner, lock: threading.RLock):
                     ]
                 }
             if path in ("/eap", "/ldp"):
-                u = int(params["from"])
-                v = int(params["to"])
-                t = int(params["t"])
-                with lock:
-                    if path == "/eap":
-                        journey = planner.earliest_arrival(u, v, t)
-                    else:
-                        journey = planner.latest_departure(u, v, t)
-                return {
-                    "journey": journey.to_dict() if journey else None
-                }
+                u = _int_param(params, "from")
+                v = _int_param(params, "to")
+                t = _int_param(params, "t")
+                if path == "/eap":
+                    return self._journey_body(
+                        lambda: planner.earliest_arrival(u, v, t),
+                        lambda: live.frozen.earliest_arrival(u, v, t)
+                        if live is not None
+                        else None,
+                    )
+                return self._journey_body(
+                    lambda: planner.latest_departure(u, v, t),
+                    lambda: live.frozen.latest_departure(u, v, t)
+                    if live is not None
+                    else None,
+                )
             if path == "/sdp":
-                u = int(params["from"])
-                v = int(params["to"])
-                t = int(params["t"])
-                t_end = int(params["t_end"])
-                with lock:
-                    journey = planner.shortest_duration(u, v, t, t_end)
-                return {
-                    "journey": journey.to_dict() if journey else None
-                }
+                u = _int_param(params, "from")
+                v = _int_param(params, "to")
+                t = _int_param(params, "t")
+                t_end = _int_param(params, "t_end")
+                return self._journey_body(
+                    lambda: planner.shortest_duration(u, v, t, t_end),
+                    lambda: live.frozen.shortest_duration(u, v, t, t_end)
+                    if live is not None
+                    else None,
+                )
             if path == "/profile":
                 profile = getattr(planner, "profile", None)
                 if profile is None:
                     raise ValueError(
                         f"{planner.name} does not support profile queries"
                     )
-                u = int(params["from"])
-                v = int(params["to"])
-                t = int(params["t"])
-                t_end = int(params["t_end"])
-                with lock:
-                    pairs = profile(u, v, t, t_end)
-                return {"pairs": pairs}
+                u = _int_param(params, "from")
+                v = _int_param(params, "to")
+                t = _int_param(params, "t")
+                t_end = _int_param(params, "t_end")
+                pairs, is_degraded = self._query(
+                    lambda: profile(u, v, t, t_end),
+                    lambda: live.frozen.profile(u, v, t, t_end)
+                    if live is not None
+                    else None,
+                )
+                body = {"pairs": pairs}
+                if live is not None:
+                    body["degraded"] = is_degraded
+                return body
             if path == "/live/events":
                 self._require_live()
                 with lock:
@@ -234,12 +497,14 @@ def _make_handler(planner: RoutePlanner, lock: threading.RLock):
                     body = live.stats.snapshot()
                     body["generation"] = live.generation
                     body["now"] = live.now
+                    body["feed_skipped"] = live.feed_skipped
                 return body
             return None
 
         def _route_post(self, path: str, body: dict):
             if path == "/live/events":
                 self._require_live()
+                self._require_ready()
                 event = event_from_dict(body)
                 with lock:
                     event_id = live.apply_event(event)
@@ -247,16 +512,18 @@ def _make_handler(planner: RoutePlanner, lock: threading.RLock):
                 return {"id": event_id, "generation": generation}
             if path == "/live/advance":
                 self._require_live()
-                now = int(body["now"])
+                self._require_ready()
+                now = _int_field(body, "now")
                 with lock:
                     live.advance_to(now)
                     remaining = len(live.events())
                 return {"now": now, "events": remaining}
             if path == "/live/clear":
                 self._require_live()
+                self._require_ready()
                 with lock:
                     if "id" in body:
-                        live.clear_event(int(body["id"]))
+                        live.clear_event(_int_field(body, "id"))
                         cleared = 1
                     else:
                         cleared = live.clear_all()
@@ -270,12 +537,28 @@ def _make_handler(planner: RoutePlanner, lock: threading.RLock):
                     "service with a LiveOverlayEngine to use /live/*"
                 )
 
-        def _send(self, status: int, body: dict) -> None:
-            payload = json.dumps(body).encode()
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(payload)))
-            self.end_headers()
-            self.wfile.write(payload)
+        def _send(
+            self,
+            status: int,
+            body: dict,
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
+            try:
+                payload = json.dumps(body).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                if headers:
+                    for key, value in headers.items():
+                        self.send_header(key, value)
+                self.end_headers()
+                self.wfile.write(payload)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away; nothing to salvage
 
     return Handler
+
+
+def _retry_after(seconds: float) -> str:
+    """Retry-After wants whole seconds; round up, floor at 1."""
+    return str(max(1, int(seconds + 0.999)))

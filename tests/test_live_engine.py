@@ -185,6 +185,68 @@ class TestFeeds:
             synthetic_feed(route_graph, rate=2.0)
 
 
+class TestFeedRobustness:
+    """A long-running consumer must survive a misbehaving feed."""
+
+    def test_tolerant_from_json_skips_and_counts(self):
+        import json
+
+        text = json.dumps(
+            [
+                {"at": 5, "event": {"kind": "cancel", "trip_id": 0}},
+                {"at": 7},  # missing event payload
+                "garbage",  # not even an object
+                {"at": 9, "event": {"kind": "warp"}},  # unknown kind
+            ]
+        )
+        with pytest.warns(UserWarning):
+            feed = EventFeed.from_json(text, strict=False)
+        assert len(feed) == 1
+        assert feed.skipped == 3
+        # The envelope itself must still be well-formed.
+        with pytest.raises(LiveEventError):
+            EventFeed.from_json("{not json", strict=False)
+        with pytest.raises(LiveEventError):
+            EventFeed.from_json('{"at": 3}', strict=False)
+
+    def test_strict_from_json_still_raises(self):
+        with pytest.raises(LiveEventError):
+            EventFeed.from_json('[{"at": 7}]')
+
+    def test_replay_skips_out_of_order_and_rejected(
+        self, engine, route_graph
+    ):
+        trip = sorted(route_graph.trips)[0]
+        engine.advance_to(50)
+        feed = EventFeed(
+            [
+                # Announced behind the engine clock: out of order.
+                TimedEvent(10, TripDelay(trip_id=trip, delay=5)),
+                # Unknown trip: the engine rejects it on apply.
+                TimedEvent(60, TripDelay(trip_id=10**9, delay=5)),
+                # Healthy record.
+                TimedEvent(70, TripDelay(trip_id=trip, delay=5)),
+            ]
+        )
+        with pytest.warns(UserWarning):
+            played = list(replay(engine, feed))
+        assert [at for at, _, _ in played] == [70]
+        assert engine.feed_skipped == 2
+        assert engine.now == 70
+
+    def test_replay_raise_mode_fails_fast(self, engine, route_graph):
+        trip = sorted(route_graph.trips)[0]
+        engine.advance_to(50)
+        feed = EventFeed([TimedEvent(10, TripDelay(trip_id=trip, delay=5))])
+        with pytest.raises(LiveEventError):
+            list(replay(engine, feed, on_error="raise"))
+        assert engine.feed_skipped == 0
+
+    def test_replay_rejects_bad_on_error(self, engine):
+        with pytest.raises(ValueError):
+            list(replay(engine, EventFeed(), on_error="ignore"))
+
+
 class TestStats:
     def test_counters_add_up(self, engine, route_graph):
         feed = synthetic_feed(route_graph, rate=0.3, seed=1)

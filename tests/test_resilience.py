@@ -1,0 +1,420 @@
+"""Unit tests for the resilience primitives (no HTTP involved)."""
+
+import threading
+
+import pytest
+
+from repro.errors import DeadlineExceeded, FaultInjected, Overloaded
+from repro.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    CLOSED,
+    Deadline,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    HALF_OPEN,
+    OPEN,
+    ResilienceConfig,
+    ResilientExecutor,
+    active_deadline,
+    check_deadline,
+    deadline_scope,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_fresh_deadline_passes_check(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check()
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(1.0)
+
+    def test_expired_deadline_raises(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(1.0)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded):
+            deadline.check()
+
+    def test_after_ms(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(250, clock=clock)
+        assert deadline.remaining() == pytest.approx(0.25)
+
+    def test_check_deadline_noop_without_installed_deadline(self):
+        assert active_deadline() is None
+        check_deadline()  # must not raise
+
+    def test_deadline_scope_installs_and_restores(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        with deadline_scope(deadline):
+            assert active_deadline() is deadline
+            check_deadline()
+            clock.advance(2.0)
+            with pytest.raises(DeadlineExceeded):
+                check_deadline()
+        assert active_deadline() is None
+        check_deadline()
+
+    def test_deadline_scope_none_is_noop(self):
+        with deadline_scope(None):
+            assert active_deadline() is None
+
+    def test_scope_is_per_thread(self):
+        clock = FakeClock()
+        expired = Deadline(0.0, clock=clock)
+        clock.advance(1.0)
+        seen = {}
+
+        def other_thread():
+            seen["deadline"] = active_deadline()
+
+        with deadline_scope(expired):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert seen["deadline"] is None
+
+
+class TestAdmission:
+    def test_admits_up_to_limit_then_sheds(self):
+        gate = AdmissionController(max_inflight=2, clock=FakeClock())
+        gate.acquire()
+        gate.acquire()
+        with pytest.raises(Overloaded) as err:
+            gate.acquire()
+        assert err.value.retry_after == 1.0
+        gate.release()
+        gate.acquire()  # slot freed, admitted again
+        assert gate.inflight == 2
+
+    def test_admit_context_manager_releases_on_error(self):
+        gate = AdmissionController(max_inflight=1, clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with gate.admit():
+                assert gate.inflight == 1
+                raise RuntimeError("boom")
+        assert gate.inflight == 0
+        with gate.admit():
+            pass
+
+    def test_shedding_signal_with_grace_window(self):
+        clock = FakeClock()
+        gate = AdmissionController(
+            max_inflight=1, shed_grace_s=5.0, clock=clock
+        )
+        assert not gate.shedding
+        gate.acquire()
+        assert gate.shedding  # gate full
+        with pytest.raises(Overloaded):
+            gate.acquire()
+        gate.release()
+        assert gate.shedding  # inside the grace window
+        clock.advance(5.0)
+        assert not gate.shedding
+
+    def test_snapshot_counters(self):
+        gate = AdmissionController(max_inflight=1, clock=FakeClock())
+        gate.acquire()
+        with pytest.raises(Overloaded):
+            gate.acquire()
+        snap = gate.snapshot()
+        assert snap["admitted"] == 1
+        assert snap["shed"] == 1
+        assert snap["inflight"] == 1
+        assert snap["peak_inflight"] == 1
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+
+
+def make_breaker(clock, **kwargs):
+    defaults = dict(
+        window=8,
+        min_samples=4,
+        failure_threshold=0.5,
+        slow_threshold_s=0.1,
+        cooldown_s=10.0,
+        clock=clock,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_on_fast_successes(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(20):
+            assert breaker.allow_exact()
+            breaker.record(latency_s=0.01)
+        assert breaker.state == CLOSED
+
+    def test_trips_open_on_failure_rate(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(4):
+            breaker.record(failure=True)
+        assert breaker.state == OPEN
+        assert not breaker.allow_exact()
+
+    def test_slow_successes_count_as_failures(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(4):
+            breaker.record(latency_s=0.5)  # above slow_threshold_s
+        assert breaker.state == OPEN
+
+    def test_below_min_samples_never_trips(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(3):
+            breaker.record(failure=True)
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_recovers(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record(failure=True)
+        assert not breaker.allow_exact()
+        clock.advance(10.0)
+        assert breaker.allow_exact()  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow_exact()  # only one probe at a time
+        breaker.record(latency_s=0.01)
+        assert breaker.state == CLOSED
+        assert breaker.allow_exact()
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record(failure=True)
+        clock.advance(10.0)
+        assert breaker.allow_exact()
+        breaker.record(failure=True)
+        assert breaker.state == OPEN
+        assert not breaker.allow_exact()  # cooldown restarted
+        clock.advance(10.0)
+        assert breaker.allow_exact()
+        breaker.record(latency_s=0.01)
+        assert breaker.state == CLOSED
+
+    def test_snapshot_fields(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record(latency_s=0.01)
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["successes"] == 1
+        assert snap["window_samples"] == 1
+
+
+class TestFaultPlan:
+    def test_roundtrip_json(self):
+        plan = FaultPlan(
+            rules=[
+                FaultRule(site="planner.query", kind="latency", seconds=0.2,
+                          times=3),
+                FaultRule(site="clock", kind="clock_skew", seconds=10.0,
+                          probability=0.5),
+            ],
+            seed=7,
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.seed == 7
+        assert [r.to_dict() for r in restored.rules] == [
+            r.to_dict() for r in plan.rules
+        ]
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="x", kind="meteor")
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(ValueError):
+            FaultPlan.from_json("[1, 2]")
+        with pytest.raises(ValueError):
+            FaultPlan.from_json('{"rules": [{"site": "x"}]}')
+
+    def test_latency_rule_sleeps_and_exhausts(self):
+        sleeps = []
+        plan = FaultPlan(
+            rules=[FaultRule(site="s", kind="latency", seconds=0.2, times=2)]
+        )
+        injector = FaultInjector(plan, sleep=sleeps.append)
+        injector.fire("s")
+        injector.fire("s")
+        injector.fire("s")  # exhausted: no-op
+        injector.fire("other")  # different site: no-op
+        assert sleeps == [0.2, 0.2]
+        assert injector.snapshot()["fired"] == {"s": 2}
+
+    def test_error_rule_raises(self):
+        plan = FaultPlan(
+            rules=[FaultRule(site="s", kind="error", times=1,
+                             message="kapow")]
+        )
+        injector = FaultInjector(plan)
+        with pytest.raises(FaultInjected, match="kapow"):
+            injector.fire("s")
+        injector.fire("s")  # exhausted
+
+    def test_clock_skew_consumed_separately(self):
+        plan = FaultPlan(
+            rules=[FaultRule(site="clock", kind="clock_skew", seconds=10.0,
+                             times=1)]
+        )
+        injector = FaultInjector(plan)
+        injector.fire("clock")  # fire() ignores clock_skew rules
+        assert injector.clock_skew() == 10.0
+        assert injector.clock_skew() == 0.0  # consumed
+
+    def test_probabilistic_rule_is_seed_deterministic(self):
+        def fired_count(seed):
+            plan = FaultPlan(
+                rules=[FaultRule(site="s", kind="latency", seconds=0.01,
+                                 probability=0.5)],
+                seed=seed,
+            )
+            injector = FaultInjector(plan, sleep=lambda _s: None)
+            for _ in range(50):
+                injector.fire("s")
+            return injector.snapshot()["fired"].get("s", 0)
+
+        assert fired_count(3) == fired_count(3)
+        assert 0 < fired_count(3) < 50
+
+
+class TestExecutor:
+    def test_plain_call_passes_through(self):
+        executor = ResilientExecutor(ResilienceConfig())
+        result, degraded = executor.run(lambda: 42)
+        assert result == 42
+        assert degraded is False
+
+    def test_disabled_config_bypasses_pipeline(self):
+        executor = ResilientExecutor(ResilienceConfig(enabled=False))
+        result, degraded = executor.run(lambda: "ok")
+        assert result == "ok"
+        assert degraded is False
+        assert executor.admission.snapshot()["admitted"] == 0
+
+    def test_lock_is_held_during_call(self):
+        executor = ResilientExecutor(ResilienceConfig())
+        lock = threading.RLock()
+
+        def probe():
+            # RLock can't tell us the owner; use a non-blocking acquire
+            # from another thread to prove the call holds it.
+            grabbed = {}
+
+            def try_grab():
+                grabbed["ok"] = lock.acquire(blocking=False)
+                if grabbed["ok"]:
+                    lock.release()
+
+            t = threading.Thread(target=try_grab)
+            t.start()
+            t.join()
+            return grabbed["ok"]
+
+        result, _ = executor.run(probe, lock=lock)
+        assert result is False  # another thread couldn't take the lock
+
+    def test_injected_latency_plus_deadline_maps_to_deadline_exceeded(self):
+        plan = FaultPlan(
+            rules=[FaultRule(site="planner.query", kind="latency",
+                             seconds=0.05, times=1)]
+        )
+        executor = ResilientExecutor(
+            ResilienceConfig(deadline_ms=10.0),
+            injector=FaultInjector(plan),
+        )
+        with pytest.raises(DeadlineExceeded):
+            executor.run(lambda: 1)
+        # Fault exhausted: next call is healthy.
+        assert executor.run(lambda: 1) == (1, False)
+        assert executor.snapshot()["deadline_exceeded"] == 1
+
+    def test_clock_skew_shrinks_budget(self):
+        plan = FaultPlan(
+            rules=[FaultRule(site="clock", kind="clock_skew", seconds=10.0,
+                             times=1)]
+        )
+        executor = ResilientExecutor(
+            ResilienceConfig(deadline_ms=50.0),
+            injector=FaultInjector(plan),
+        )
+        with pytest.raises(DeadlineExceeded):
+            executor.run(lambda: 1)
+        assert executor.run(lambda: 1) == (1, False)
+
+    def test_breaker_opens_then_degraded_answers(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        executor = ResilientExecutor(ResilienceConfig(), breaker=breaker)
+        for _ in range(4):
+            executor.run(lambda: "exact", degraded_fn=lambda: "frozen")
+            breaker.record(failure=True)  # simulate slowness externally
+        result, degraded = executor.run(
+            lambda: "exact", degraded_fn=lambda: "frozen"
+        )
+        assert (result, degraded) == ("frozen", True)
+        clock.advance(10.0)
+        result, degraded = executor.run(
+            lambda: "exact", degraded_fn=lambda: "frozen"
+        )
+        assert (result, degraded) == ("exact", False)  # successful probe
+        assert breaker.state == CLOSED
+
+    def test_injected_error_feeds_breaker_failure(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, min_samples=1)
+        plan = FaultPlan(
+            rules=[FaultRule(site="live.exact", kind="error", times=1)]
+        )
+        executor = ResilientExecutor(
+            ResilienceConfig(), breaker=breaker,
+            injector=FaultInjector(plan),
+        )
+        with pytest.raises(FaultInjected):
+            executor.run(lambda: "exact", degraded_fn=lambda: "frozen")
+        assert breaker.state == OPEN
+
+    def test_sheds_when_gate_full(self):
+        executor = ResilientExecutor(ResilienceConfig(max_inflight=1))
+        started = threading.Event()
+        finish = threading.Event()
+
+        def slow():
+            started.set()
+            finish.wait(5)
+            return "slow"
+
+        worker = threading.Thread(
+            target=lambda: executor.run(slow), daemon=True
+        )
+        worker.start()
+        assert started.wait(5)
+        with pytest.raises(Overloaded):
+            executor.run(lambda: "fast")
+        finish.set()
+        worker.join(timeout=5)
+        assert executor.run(lambda: "fast") == ("fast", False)

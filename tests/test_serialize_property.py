@@ -1,8 +1,12 @@
 """Property-based serialization roundtrips."""
 
+import contextlib
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.core.serialize as serialize_module
 from repro.core.build import build_index
 from repro.core.queries import TTLPlanner
 from repro.core.serialize import load_index, save_index
@@ -113,6 +117,87 @@ def test_truncated_file_raises_serialization_error(
         load_index(path, graph)
     except SerializationError:
         pass
+
+
+class _SimulatedCrash(BaseException):
+    """Raised mid-save; BaseException so except-Exception can't eat it."""
+
+
+@contextlib.contextmanager
+def _crash_at(point):
+    """Break one step of ``save_index`` (plain try/finally patching —
+    hypothesis forbids function-scoped monkeypatch fixtures)."""
+    if point == "mid_write":
+        saved = serialize_module._write_stats
+        def fail(*_args, **_kwargs):
+            raise _SimulatedCrash
+        serialize_module._write_stats = fail
+        try:
+            yield
+        finally:
+            serialize_module._write_stats = saved
+    elif point == "fsync":
+        saved = serialize_module.os.fsync
+        def fail(*_args, **_kwargs):
+            raise _SimulatedCrash
+        serialize_module.os.fsync = fail
+        try:
+            yield
+        finally:
+            serialize_module.os.fsync = saved
+    elif point == "replace":
+        saved = serialize_module.os.replace
+        def fail(*_args, **_kwargs):
+            raise _SimulatedCrash
+        serialize_module.os.replace = fail
+        try:
+            yield
+        finally:
+            serialize_module.os.replace = saved
+    else:  # pragma: no cover - guard against typo'd points
+        raise AssertionError(point)
+
+
+@given(small_graphs(), st.sampled_from(["mid_write", "fsync", "replace"]))
+@settings(max_examples=25, deadline=None)
+def test_interrupted_save_leaves_previous_index_intact(
+    tmp_path_factory, graph, point
+):
+    """A save that dies mid-write, at fsync, or at the final rename
+    must leave the previous index byte-identical and loadable, and no
+    temp file behind."""
+    tmp_path = tmp_path_factory.mktemp("atomic")
+    index = build_index(graph)
+    path = tmp_path / "index.ttl"
+    save_index(index, path)
+    original = path.read_bytes()
+
+    with _crash_at(point):
+        with pytest.raises(_SimulatedCrash):
+            save_index(index, path)
+
+    assert path.read_bytes() == original
+    assert [p.name for p in tmp_path.iterdir()] == ["index.ttl"]
+    loaded = load_index(path, graph)
+    assert loaded.ranks == index.ranks
+
+
+@given(small_graphs(), st.sampled_from(["mid_write", "fsync", "replace"]))
+@settings(max_examples=15, deadline=None)
+def test_interrupted_first_save_leaves_no_file(
+    tmp_path_factory, graph, point
+):
+    """With no previous index, an interrupted save leaves *nothing* —
+    never a truncated file a later start would trip over."""
+    tmp_path = tmp_path_factory.mktemp("atomic-first")
+    index = build_index(graph)
+    path = tmp_path / "index.ttl"
+
+    with _crash_at(point):
+        with pytest.raises(_SimulatedCrash):
+            save_index(index, path)
+
+    assert list(tmp_path.iterdir()) == []
 
 
 @given(small_graphs())

@@ -220,6 +220,95 @@ class TestErrors:
             get(port, "/eap?from=a&to=b&t=c")
         assert err.value.code == 400
 
+    def test_missing_param_names_field(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/eap?from=0&to=1")
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert body["field"] == "t"
+        assert "t" in body["error"]
+
+    def test_garbage_param_names_field(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/sdp?from=0&to=1&t=0&t_end=never")
+        assert err.value.code == 400
+        assert json.loads(err.value.read())["field"] == "t_end"
+
+
+class TestInputHardening:
+    def test_malformed_json_body_400(self, service):
+        _, port = service
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/live/events",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+        assert "error" in json.loads(err.value.read())
+
+    def test_non_object_json_body_400(self, service):
+        _, port = service
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/live/events",
+            data=b"[1, 2, 3]",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_oversized_body_413(self, service):
+        from repro.resilience import ResilienceConfig
+
+        _, port = service
+        huge = b"x" * (ResilienceConfig().max_body_bytes + 1)
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/live/events",
+            data=huge,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 413
+        assert "error" in json.loads(err.value.read())
+
+
+class TestResilienceEndpoints:
+    def test_healthz_live(self, service):
+        _, port = service
+        status, body = get(port, "/healthz/live")
+        assert status == 200
+        assert body == {"status": "alive"}
+
+    def test_healthz_ready_when_warm(self, service):
+        _, port = service
+        status, body = get(port, "/healthz/ready")
+        assert status == 200
+        assert body == {"ready": True}
+
+    def test_resilience_snapshot_shape(self, service):
+        _, port = service
+        status, body = get(port, "/resilience")
+        assert status == 200
+        assert body["enabled"] is True
+        assert body["deadline_exceeded"] == 0
+        admission = body["admission"]
+        assert admission["shed"] == 0
+        assert admission["inflight"] == 0
+
+    def test_metrics_include_resilience(self, service):
+        _, port = service
+        _, body = get(port, "/metrics")
+        assert "resilience" in body
+        assert "admission" in body["resilience"]
+
 
 @pytest.fixture(scope="module")
 def live_service(request):

@@ -2,10 +2,16 @@
 
 Exercises shapes that break naive implementations: long chains (deep
 unfolding), heavy parallel multi-edges (dominance churn), stations
-with no service, single-route graphs, and dense transfer meshes.
+with no service, single-route graphs, dense transfer meshes — and the
+HTTP service hammered concurrently while a fault plan is active.
 """
 
+import json
 import random
+import threading
+import time
+import urllib.error
+import urllib.request
 
 import pytest
 
@@ -142,6 +148,175 @@ class TestTransferMesh:
                 assert (ref is None) == (got is None), planner.name
                 if ref is not None:
                     assert got.duration == ref.duration, planner.name
+
+
+class TestServiceUnderChaos:
+    """Concurrent load against a live service with faults firing.
+
+    The contract under chaos: every response carries a *documented*
+    status (never a 500 — all injected faults here are latency/skew,
+    not errors), no request deadlocks, and once the fault budget is
+    exhausted and the breaker closes again the answers are exact.
+    """
+
+    def _fetch(self, port, path):
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=15
+            ) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    def _post(self, port, path, body):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=15) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    def test_concurrent_chaos_no_500s_no_deadlocks_exact_after(self):
+        from tests.conftest import make_random_route_graph
+        from repro.live import LiveOverlayEngine
+        from repro.resilience import (
+            CLOSED,
+            CircuitBreaker,
+            FaultPlan,
+            FaultRule,
+            ResilienceConfig,
+        )
+        from repro.service import PlannerService
+
+        graph = make_random_route_graph(random.Random(29), 12, 8)
+        engine = LiveOverlayEngine(graph)
+        breaker = CircuitBreaker(
+            window=8,
+            min_samples=4,
+            failure_threshold=0.5,
+            slow_threshold_s=0.05,
+            cooldown_s=0.2,
+        )
+        plan = FaultPlan(
+            rules=[
+                FaultRule(site="planner.query", kind="latency",
+                          seconds=0.1, times=6, probability=0.5),
+                FaultRule(site="live.exact", kind="latency",
+                          seconds=0.1, times=6, probability=0.5),
+                FaultRule(site="service.lock", kind="latency",
+                          seconds=0.1, times=4, probability=0.5),
+                FaultRule(site="clock", kind="clock_skew",
+                          seconds=10.0, times=3),
+            ],
+            seed=7,
+        )
+        config = ResilienceConfig(
+            deadline_ms=60.0, max_inflight=4, shed_grace_s=0.1
+        )
+        service = PlannerService(
+            engine, resilience=config, fault_plan=plan, breaker=breaker
+        )
+        port = service.start(port=0)
+        try:
+            statuses = []
+            record = threading.Lock()
+            trip_ids = sorted(graph.trips)
+
+            def hammer(worker_seed):
+                rng = random.Random(worker_seed)
+                for _ in range(25):
+                    u = rng.randrange(graph.n)
+                    v = (u + rng.randrange(1, graph.n)) % graph.n
+                    t = rng.randrange(0, 200)
+                    path = rng.choice(
+                        [
+                            f"/eap?from={u}&to={v}&t={t}",
+                            f"/ldp?from={u}&to={v}&t={t + 300}",
+                            f"/sdp?from={u}&to={v}&t={t}&t_end={t + 400}",
+                        ]
+                    )
+                    status, _ = self._fetch(port, path)
+                    with record:
+                        statuses.append(status)
+
+            def churn(worker_seed):
+                rng = random.Random(worker_seed)
+                for _ in range(10):
+                    trip = rng.choice(trip_ids)
+                    status, _ = self._post(
+                        port,
+                        "/live/events",
+                        {"kind": "delay", "trip_id": trip,
+                         "delay": rng.randrange(30, 300)},
+                    )
+                    assert status in (200, 400)
+                    status, _ = self._post(port, "/live/clear", {})
+                    assert status == 200
+
+            workers = [
+                threading.Thread(target=hammer, args=(100 + i,))
+                for i in range(6)
+            ]
+            workers.append(threading.Thread(target=churn, args=(999,)))
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=120)
+            assert not any(w.is_alive() for w in workers), "deadlocked"
+
+            # Every response carried a documented status; no 500s.
+            assert statuses and set(statuses) <= {200, 429, 503, 504}
+
+            # Drain whatever fault budget the stress phase left armed
+            # (exact-path sites do not fire while the breaker is open,
+            # so budgets can survive the hammering), then let the
+            # breaker probe its way closed.
+            self._post(port, "/live/clear", {})
+            drain_deadline = time.monotonic() + 60
+            while time.monotonic() < drain_deadline:
+                _, snap = self._fetch(port, "/resilience")
+                if all(r == 0 for r in snap["faults"]["remaining"]):
+                    break
+                self._fetch(port, "/eap?from=0&to=1&t=0")
+                time.sleep(0.05)
+            else:
+                pytest.fail("fault budget never drained")
+            recover_deadline = time.monotonic() + 30
+            while (
+                breaker.state != CLOSED
+                and time.monotonic() < recover_deadline
+            ):
+                time.sleep(0.25)
+                self._fetch(port, "/eap?from=0&to=1&t=0")
+            assert breaker.state == CLOSED
+            exact = TTLPlanner(graph)
+            checked = 0
+            for u in range(graph.n):
+                for v in range(graph.n):
+                    if u == v:
+                        continue
+                    status, body = self._fetch(
+                        port, f"/eap?from={u}&to={v}&t=0"
+                    )
+                    assert status == 200
+                    assert body["degraded"] is False
+                    expected = exact.earliest_arrival(u, v, 0)
+                    if expected is None:
+                        assert body["journey"] is None
+                    else:
+                        assert body["journey"]["arr"] == expected.arr
+                        checked += 1
+                    if checked >= 10:
+                        break
+                if checked >= 10:
+                    break
+        finally:
+            service.stop()
 
 
 class TestZeroWaitChains:
