@@ -53,10 +53,16 @@ def _percentile(values: List[float], q: float) -> float:
 
 
 def label_distribution(index: TTLIndex) -> LabelDistribution:
-    """Distribution of per-node label counts (in + out)."""
+    """Distribution of per-node label counts (in + out).
+
+    Counts come straight from the sealed
+    :class:`~repro.core.store.LabelStore` offset columns (O(1) per
+    node, no group materialization), so the report works identically
+    on freshly built and ``TTLIDX02``-loaded indexes.
+    """
+    in_store, out_store = index.in_store, index.out_store
     per_node = [
-        sum(len(g) for g in index.in_groups[v])
-        + sum(len(g) for g in index.out_groups[v])
+        in_store.node_label_count(v) + out_store.node_label_count(v)
         for v in range(index.graph.n)
     ]
     total = sum(per_node)
@@ -121,12 +127,18 @@ def transfer_histogram(planner, queries) -> Dict[int, int]:
 
 
 def hub_report(index: TTLIndex, top: int = 10) -> HubReport:
-    """Label counts per hub, and how concentrated they are."""
+    """Label counts per hub, and how concentrated they are.
+
+    Reads the flat ``hubs``/``group_starts`` store columns directly —
+    one pass over the group table, no per-node view objects.
+    """
     counts: Dict[int, int] = {}
-    for groups_per_node in (index.in_groups, index.out_groups):
-        for groups in groups_per_node:
-            for group in groups:
-                counts[group.hub] = counts.get(group.hub, 0) + len(group)
+    for store in (index.in_store, index.out_store):
+        hubs = store.hubs
+        starts = store.group_starts
+        for g in range(store.num_groups):
+            hub = hubs[g]
+            counts[hub] = counts.get(hub, 0) + (starts[g + 1] - starts[g])
     total = sum(counts.values())
     ranked = sorted(
         counts.items(), key=lambda item: (-item[1], index.ranks[item[0]])

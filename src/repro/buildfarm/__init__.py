@@ -1,0 +1,36 @@
+"""repro.buildfarm — parallel, checkpointable index construction.
+
+Turns the serial IndexBuild sweep (paper §5, Algorithm 3) into a
+resumable multi-process pipeline while keeping the output
+label-for-label identical to :func:`repro.core.build.build_index`:
+
+* :mod:`~repro.buildfarm.plan` — deterministic chunking of the
+  rank-ordered hub sweep;
+* :mod:`~repro.buildfarm.worker` — under-pruned per-hub searches in
+  worker processes (flat-array IPC, spawn-safe);
+* :mod:`~repro.buildfarm.merge` — the rank-ordered reduction that
+  re-applies exact hub-cover pruning;
+* :mod:`~repro.buildfarm.checkpoint` — TTLIDX02-compatible shards and
+  the build manifest;
+* :mod:`~repro.buildfarm.progress` — thread-safe build observability;
+* :mod:`~repro.buildfarm.farm` — the orchestrator.
+"""
+
+from repro.buildfarm.farm import build_index_parallel
+from repro.buildfarm.plan import BuildPlan, Chunk, default_chunk_size, make_plan
+from repro.buildfarm.progress import (
+    BuildProgress,
+    ProgressTracker,
+    WorkerBeat,
+)
+
+__all__ = [
+    "BuildPlan",
+    "BuildProgress",
+    "Chunk",
+    "ProgressTracker",
+    "WorkerBeat",
+    "build_index_parallel",
+    "default_chunk_size",
+    "make_plan",
+]

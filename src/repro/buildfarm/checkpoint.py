@@ -1,0 +1,199 @@
+"""Checkpoint shards and the build manifest.
+
+Layout of a checkpoint directory::
+
+    manifest.json     build identity: graph/order digests, chunk plan
+    shard-0000.bin    labels committed by chunk 0
+    shard-0001.bin    ...
+
+A shard holds exactly the labels a chunk's merge committed, in commit
+order, encoded with the same group records as ``TTLIDX02`` index files
+(``<qq`` hub/size header then ``<qqqq`` per label), so the persistence
+and validation code is shared with :mod:`repro.core.serialize`.  Each
+entry is prefixed with the node the group belongs to and whether it
+extends the in- or out-table.
+
+Every file is written with :func:`repro.core.serialize.atomic_write`:
+a build killed mid-chunk leaves either a complete shard or none, never
+a torn one.  Resume loads the longest *contiguous* prefix of shards —
+a gap means later shards were built against state we cannot
+reconstruct, so they are ignored and rebuilt.
+
+The manifest pins what the shards mean: digests of the graph's
+connection data and of the rank permutation, plus the chunk ranges.
+Resuming against a different graph, order, or chunk size raises
+:class:`~repro.errors.BuildFarmError` instead of silently producing a
+frankenindex.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.label import LabelGroup
+from repro.core.serialize import (
+    atomic_write,
+    read_exact,
+    read_group_record,
+    write_group_record,
+)
+from repro.errors import BuildFarmError, SerializationError
+
+PathLike = Union[str, Path]
+
+SHARD_MAGIC = b"TTLSHD01"
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = "TTLFARM01"
+
+#: ``(node, group)`` pairs, in commit order.
+Entries = List[Tuple[int, LabelGroup]]
+
+
+def shard_path(directory: PathLike, chunk_index: int) -> Path:
+    return Path(directory) / f"shard-{chunk_index:04d}.bin"
+
+
+def manifest_path(directory: PathLike) -> Path:
+    return Path(directory) / MANIFEST_NAME
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+
+
+def build_manifest(
+    graph_digest: str,
+    order_digest: str,
+    n: int,
+    chunk_size: int,
+    rank_ranges: Sequence[Sequence[int]],
+) -> Dict[str, object]:
+    return {
+        "format": MANIFEST_FORMAT,
+        "graph_digest": graph_digest,
+        "order_digest": order_digest,
+        "n": n,
+        "chunk_size": chunk_size,
+        "chunks": [list(r) for r in rank_ranges],
+    }
+
+
+def write_manifest(directory: PathLike, manifest: Dict[str, object]) -> None:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8")
+    with atomic_write(manifest_path(directory)) as fh:
+        fh.write(payload)
+
+
+def load_manifest(directory: PathLike) -> Optional[Dict[str, object]]:
+    """The manifest in ``directory``, or ``None`` if none exists."""
+    path = manifest_path(directory)
+    if not path.exists():
+        return None
+    try:
+        manifest = json.loads(path.read_text("utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BuildFarmError(f"unreadable manifest {path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise BuildFarmError(f"malformed manifest {path}: not an object")
+    return manifest
+
+
+def check_manifest(
+    manifest: Dict[str, object], expected: Dict[str, object]
+) -> None:
+    """Reject resuming under a different build identity."""
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise BuildFarmError(
+            f"unsupported checkpoint format {manifest.get('format')!r}"
+        )
+    for key in ("graph_digest", "order_digest", "n", "chunk_size", "chunks"):
+        if manifest.get(key) != expected.get(key):
+            raise BuildFarmError(
+                f"checkpoint does not match this build: {key} differs "
+                f"(checkpoint {manifest.get(key)!r}, build "
+                f"{expected.get(key)!r}); use a fresh --checkpoint-dir "
+                f"or drop --resume"
+            )
+
+
+# ----------------------------------------------------------------------
+# Shards
+# ----------------------------------------------------------------------
+
+
+def write_shard(
+    directory: PathLike,
+    chunk_index: int,
+    in_entries: Entries,
+    out_entries: Entries,
+) -> None:
+    """Persist one chunk's committed labels atomically."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with atomic_write(shard_path(directory, chunk_index)) as fh:
+        fh.write(SHARD_MAGIC)
+        fh.write(struct.pack("<q", chunk_index))
+        for entries in (in_entries, out_entries):
+            fh.write(struct.pack("<q", len(entries)))
+            for node, group in entries:
+                fh.write(struct.pack("<q", node))
+                write_group_record(fh, group)
+
+
+def read_shard(
+    directory: PathLike,
+    chunk_index: int,
+    ranks: List[int],
+    n: int,
+) -> Tuple[Entries, Entries]:
+    """Load one shard, validating ids against the build's graph/order."""
+    path = shard_path(directory, chunk_index)
+    try:
+        with open(path, "rb") as fh:
+            magic = fh.read(len(SHARD_MAGIC))
+            if magic != SHARD_MAGIC:
+                raise BuildFarmError(f"not a checkpoint shard: {path}")
+            (stored_index,) = struct.unpack("<q", read_exact(fh, 8))
+            if stored_index != chunk_index:
+                raise BuildFarmError(
+                    f"shard {path} claims chunk {stored_index}, "
+                    f"expected {chunk_index}"
+                )
+            tables: List[Entries] = []
+            for _ in range(2):
+                (count,) = struct.unpack("<q", read_exact(fh, 8))
+                if count < 0:
+                    raise BuildFarmError(
+                        f"corrupt shard {path}: negative entry count"
+                    )
+                entries: Entries = []
+                for _ in range(count):
+                    (node,) = struct.unpack("<q", read_exact(fh, 8))
+                    if not 0 <= node < n:
+                        raise BuildFarmError(
+                            f"corrupt shard {path}: node {node} "
+                            f"outside 0..{n - 1}"
+                        )
+                    entries.append((node, read_group_record(fh, ranks, n)))
+                tables.append(entries)
+    except SerializationError as exc:
+        raise BuildFarmError(f"corrupt shard {path}: {exc}") from exc
+    except OSError as exc:
+        raise BuildFarmError(f"unreadable shard {path}: {exc}") from exc
+    return tables[0], tables[1]
+
+
+def contiguous_shards(directory: PathLike, num_chunks: int) -> int:
+    """Length of the longest resumable prefix ``shard-0000..k-1``."""
+    count = 0
+    for chunk_index in range(num_chunks):
+        if not shard_path(directory, chunk_index).exists():
+            break
+        count += 1
+    return count

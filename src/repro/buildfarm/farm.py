@@ -1,0 +1,392 @@
+"""The build farm orchestrator.
+
+:func:`build_index_parallel` is the parallel, checkpointable,
+observable counterpart of :func:`repro.core.build.build_index`:
+
+1. resolve the node order and cut the rank sweep into deterministic
+   chunks (:mod:`repro.buildfarm.plan`);
+2. optionally resume: load the longest contiguous prefix of checkpoint
+   shards whose manifest matches this build's graph/order digests;
+3. per chunk, fan the hub searches out over worker processes
+   (:mod:`repro.buildfarm.worker`) — or run them inline for
+   ``jobs=1`` — then reduce the candidates deterministically
+   (:mod:`repro.buildfarm.merge`), persist the chunk as a shard, and
+   broadcast the committed delta to the workers;
+4. seal the committed tables into a :class:`~repro.core.index.TTLIndex`.
+
+The output is identical to the serial builder's, label for label; the
+equality gate in ``tests/test_buildfarm.py`` asserts it across every
+registry dataset.  Interruptions are first-class: a build killed
+mid-run (or aborted via the deterministic ``fail_after_chunks`` test
+hook) leaves a valid checkpoint directory behind, and a ``--resume``
+run completes the index without recomputing finished chunks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from multiprocessing.connection import wait as connection_wait
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.build import BuildStats, OrderSpec, resolve_order
+from repro.core.order import graph_digest, order_digest
+from repro.core.store import decode_group_entries, encode_group_entries
+from repro.errors import BuildAborted, BuildFarmError
+from repro.graph.timetable import TimetableGraph
+
+from repro.buildfarm import checkpoint as ckpt
+from repro.buildfarm.checkpoint import Entries
+from repro.buildfarm.merge import apply_entries, merge_hub
+from repro.buildfarm.plan import (
+    assign_round_robin,
+    default_chunk_size,
+    make_plan,
+)
+from repro.buildfarm.progress import ProgressCallback, ProgressTracker
+from repro.buildfarm.worker import (
+    HubSearcher,
+    StateTables,
+    encode_graph,
+    worker_main,
+)
+
+#: hub -> (forward entries, backward entries)
+_Candidates = Dict[int, Tuple[Entries, Entries]]
+
+
+class _WorkerPool:
+    """Parent-side handle over the persistent worker processes."""
+
+    def __init__(
+        self,
+        graph: TimetableGraph,
+        ranks: List[int],
+        prune_cover: bool,
+        jobs: int,
+        mp_start: Optional[str],
+        tracker: ProgressTracker,
+    ) -> None:
+        self.ranks = ranks
+        self.tracker = tracker
+        ctx = multiprocessing.get_context(mp_start)
+        graph_blob = encode_graph(graph)
+        self.procs = []
+        self.conns = []
+        for worker_id in range(jobs):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=worker_main,
+                args=(child_conn, worker_id),
+                daemon=True,
+                name=f"buildfarm-worker-{worker_id}",
+            )
+            proc.start()
+            child_conn.close()
+            try:
+                parent_conn.send(
+                    (
+                        "init", worker_id, graph.n,
+                        graph_blob, ranks, prune_cover,
+                    )
+                )
+            except (BrokenPipeError, OSError) as exc:
+                raise BuildFarmError(
+                    f"worker {worker_id} died during startup (under the "
+                    f"spawn start method the program must be importable "
+                    f"as a module): {exc}"
+                ) from exc
+            self.procs.append(proc)
+            self.conns.append(parent_conn)
+        for worker_id, conn in enumerate(self.conns):
+            reply = self._recv(conn)
+            if reply[0] != "ready":
+                raise BuildFarmError(
+                    f"worker {worker_id} failed to initialize: {reply!r}"
+                )
+            self.tracker.worker_beat(worker_id, reply[2], 0)
+
+    def _recv(self, conn):
+        try:
+            message = conn.recv()
+        except EOFError as exc:
+            raise BuildFarmError(
+                "a build worker died unexpectedly (pipe closed)"
+            ) from exc
+        if message[0] == "error":
+            raise BuildFarmError(
+                f"worker {message[1]} crashed:\n{message[2]}"
+            )
+        return message
+
+    def broadcast_state(
+        self, in_entries: Entries, out_entries: Entries
+    ) -> None:
+        if not in_entries and not out_entries:
+            return
+        in_blob = encode_group_entries(in_entries)
+        out_blob = encode_group_entries(out_entries)
+        for conn in self.conns:
+            conn.send(("state", in_blob, out_blob))
+
+    def run_chunk(
+        self, chunk_index: int, hubs: List[int], stats: BuildStats
+    ) -> _Candidates:
+        """Fan one chunk's hubs out and collect all candidate labels."""
+        lanes = assign_round_robin(hubs, len(self.conns))
+        active = {}
+        hubs_done_per_worker = [0] * len(self.conns)
+        for worker_id, lane in enumerate(lanes):
+            if lane:
+                self.conns[worker_id].send(("hubs", chunk_index, lane))
+                active[worker_id] = self.conns[worker_id]
+        candidates: _Candidates = {}
+        while active:
+            for conn in connection_wait(list(active.values())):
+                message = self._recv(conn)
+                kind = message[0]
+                if kind == "hub":
+                    _, worker_id, _, h, fwd_blob, bwd_blob = message
+                    candidates[h] = (
+                        decode_group_entries(fwd_blob, self.ranks),
+                        decode_group_entries(bwd_blob, self.ranks),
+                    )
+                    hubs_done_per_worker[worker_id] += 1
+                    self.tracker.worker_beat(
+                        worker_id,
+                        self.procs[worker_id].pid,
+                        hubs_done_per_worker[worker_id],
+                    )
+                    self.tracker.hub_done()
+                elif kind == "done":
+                    _, worker_id, _, stats_tuple = message
+                    stats.forward_pops += stats_tuple[0]
+                    stats.backward_pops += stats_tuple[1]
+                    stats.cover_pruned += stats_tuple[2]
+                    stats.dominance_pruned += stats_tuple[3]
+                    stats.dijkstra_runs += stats_tuple[4]
+                    del active[worker_id]
+                else:
+                    raise BuildFarmError(
+                        f"unexpected worker message {kind!r}"
+                    )
+        return candidates
+
+    def shutdown(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self.procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self.conns:
+            conn.close()
+
+
+def build_index_parallel(
+    graph: TimetableGraph,
+    order: OrderSpec = "hub",
+    *,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    prune_cover: bool = True,
+    progress: Optional[ProgressCallback] = None,
+    tracker: Optional[ProgressTracker] = None,
+    mp_start: Optional[str] = None,
+    fail_after_chunks: Optional[int] = None,
+):
+    """Build a TTL index with the parallel, checkpointable pipeline.
+
+    Args:
+        graph: the timetable graph.
+        order: node-order specification (see
+            :func:`repro.core.build.resolve_order`).
+        jobs: worker processes; ``1`` runs the searches inline in this
+            process (serial speed, same chunking/checkpoint path).
+        chunk_size: hubs per chunk; default scales with ``jobs``.
+        checkpoint_dir: directory for shards + manifest; ``None``
+            disables checkpointing.
+        resume: reuse a matching checkpoint's completed chunks instead
+            of recomputing them.  Requires ``checkpoint_dir``.
+        prune_cover: disable only for the pruning ablation.
+        progress: callback receiving a
+            :class:`~repro.buildfarm.progress.BuildProgress` snapshot
+            after every hub, chunk, and phase transition.
+        tracker: externally owned tracker (the service passes its own
+            so ``/healthz/ready`` can poll mid-build); overrides
+            ``progress``.
+        mp_start: multiprocessing start method (``"fork"``/``"spawn"``);
+            ``None`` uses the platform default.
+        fail_after_chunks: deterministic fault hook — raise
+            :class:`~repro.errors.BuildAborted` after this many chunks
+            complete *in this run*, leaving the checkpoint resumable.
+            Exercised by the kill-and-resume tests and CI smoke job.
+
+    Returns:
+        A sealed :class:`~repro.core.index.TTLIndex` identical to
+        :func:`repro.core.build.build_index`'s output.
+    """
+    from repro.core.index import TTLIndex
+
+    if jobs < 1:
+        raise BuildFarmError(f"jobs must be >= 1, got {jobs}")
+    if resume and checkpoint_dir is None:
+        raise BuildFarmError("resume requires a checkpoint directory")
+
+    if tracker is None:
+        tracker = ProgressTracker(callback=progress)
+    start = time.perf_counter()
+
+    tracker.start_phase("order")
+    ranks = resolve_order(graph, order)
+    order_seconds = time.perf_counter() - start
+
+    tracker.start_phase("plan")
+    n = graph.n
+    if chunk_size is None:
+        chunk_size = default_chunk_size(n, jobs)
+    plan = make_plan(ranks, chunk_size)
+    tracker.configure(jobs, n, len(plan.chunks))
+
+    resumed_chunks = 0
+    if checkpoint_dir is not None:
+        manifest = ckpt.build_manifest(
+            graph_digest(graph),
+            order_digest(ranks),
+            n,
+            chunk_size,
+            plan.rank_ranges(),
+        )
+        existing = ckpt.load_manifest(checkpoint_dir)
+        if resume and existing is not None:
+            ckpt.check_manifest(existing, manifest)
+            resumed_chunks = ckpt.contiguous_shards(
+                checkpoint_dir, len(plan.chunks)
+            )
+        else:
+            # Fresh build: stale shards from an earlier, possibly
+            # incompatible run must not survive next to the new
+            # manifest where a later --resume would trust them.
+            for chunk in plan.chunks:
+                stale = ckpt.shard_path(checkpoint_dir, chunk.index)
+                if stale.exists():
+                    stale.unlink()
+            ckpt.write_manifest(checkpoint_dir, manifest)
+
+    in_state: StateTables = [dict() for _ in range(n)]
+    out_state: StateTables = [dict() for _ in range(n)]
+    stats = BuildStats()
+
+    if resumed_chunks:
+        tracker.start_phase("resume")
+        for chunk in plan.chunks[:resumed_chunks]:
+            in_entries, out_entries = ckpt.read_shard(
+                checkpoint_dir, chunk.index, ranks, n
+            )
+            labels = apply_entries(
+                in_entries, out_entries, in_state, out_state
+            )
+            tracker.hubs_resumed(len(chunk))
+            tracker.chunk_done(labels, resumed=True)
+
+    tracker.start_phase("build")
+    pool: Optional[_WorkerPool] = None
+    inline: Optional[HubSearcher] = None
+    if jobs > 1:
+        pool = _WorkerPool(graph, ranks, prune_cover, jobs, mp_start, tracker)
+        if resumed_chunks:
+            pool.broadcast_state(
+                [
+                    (node, group)
+                    for node in range(n)
+                    for group in in_state[node].values()
+                ],
+                [
+                    (node, group)
+                    for node in range(n)
+                    for group in out_state[node].values()
+                ],
+            )
+    else:
+        inline = HubSearcher(
+            graph, ranks, prune_cover, in_state=in_state, out_state=out_state
+        )
+
+    merge_dropped = 0
+    built_this_run = 0
+    try:
+        for chunk in plan.chunks[resumed_chunks:]:
+            if pool is not None:
+                candidates = pool.run_chunk(
+                    chunk.index, list(chunk.hubs), stats
+                )
+            else:
+                candidates = {}
+
+            chunk_in: Entries = []
+            chunk_out: Entries = []
+            labels_committed = 0
+            for h in chunk.hubs:  # ascending rank: the serial order
+                if pool is not None:
+                    fwd_entries, bwd_entries = candidates.pop(h)
+                else:
+                    fwd_blob, bwd_blob, hub_stats = inline.search_hub(h)
+                    fwd_entries = decode_group_entries(fwd_blob, ranks)
+                    bwd_entries = decode_group_entries(bwd_blob, ranks)
+                    stats.forward_pops += hub_stats[0]
+                    stats.backward_pops += hub_stats[1]
+                    stats.cover_pruned += hub_stats[2]
+                    stats.dominance_pruned += hub_stats[3]
+                    stats.dijkstra_runs += hub_stats[4]
+                in_commits, out_commits, dropped = merge_hub(
+                    h, fwd_entries, bwd_entries,
+                    in_state, out_state, prune_cover,
+                )
+                merge_dropped += dropped
+                chunk_in.extend(in_commits)
+                chunk_out.extend(out_commits)
+                labels_committed += sum(len(g) for _, g in in_commits)
+                labels_committed += sum(len(g) for _, g in out_commits)
+                if pool is None:
+                    tracker.hub_done()
+
+            if checkpoint_dir is not None:
+                ckpt.write_shard(
+                    checkpoint_dir, chunk.index, chunk_in, chunk_out
+                )
+            if pool is not None:
+                pool.broadcast_state(chunk_in, chunk_out)
+            tracker.chunk_done(labels_committed)
+            built_this_run += 1
+            if (
+                fail_after_chunks is not None
+                and built_this_run >= fail_after_chunks
+                and resumed_chunks + built_this_run < len(plan.chunks)
+            ):
+                tracker.start_phase("aborted")
+                raise BuildAborted(resumed_chunks + built_this_run)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    tracker.start_phase("seal")
+    # Merge-dropped candidates are labels the serial build never emits;
+    # count them with cover_pruned so the ablation accounting stays
+    # comparable (totals still differ from serial: workers under-prune).
+    stats.cover_pruned += merge_dropped
+    stats.order_seconds = order_seconds
+    stats.extra["jobs"] = jobs
+    stats.extra["chunks"] = len(plan.chunks)
+    stats.extra["chunks_resumed"] = resumed_chunks
+    stats.extra["merge_dropped_labels"] = merge_dropped
+    index = TTLIndex(graph, ranks, in_state, out_state, stats)
+    stats.num_labels = index.num_labels
+    stats.seconds = time.perf_counter() - start
+    tracker.start_phase("done")
+    return index

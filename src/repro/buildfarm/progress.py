@@ -1,0 +1,199 @@
+"""Build observability: progress snapshots and worker heartbeats.
+
+The farm drives a single :class:`ProgressTracker` through the whole
+pipeline.  The tracker is written from the build thread (or the main
+thread for foreground builds) and read from arbitrary other threads —
+the service's ``/healthz/ready`` handler polls it while a background
+build runs — so every mutation and the snapshot path take one lock.
+
+Consumers get an immutable :class:`BuildProgress` snapshot; the
+optional user callback receives the same snapshot after every hub,
+chunk, and phase transition, which is what feeds the CLI's live
+progress line.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+#: Seconds without a heartbeat after which a worker is reported stale.
+STALE_WORKER_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class WorkerBeat:
+    """Last observed activity of one worker process."""
+
+    pid: int
+    hubs_done: int
+    seconds_since_beat: float
+
+    @property
+    def stale(self) -> bool:
+        return self.seconds_since_beat > STALE_WORKER_SECONDS
+
+
+@dataclass(frozen=True)
+class BuildProgress:
+    """Immutable snapshot of a running (or finished) index build."""
+
+    phase: str
+    jobs: int
+    hubs_total: int
+    hubs_done: int
+    chunks_total: int
+    chunks_done: int
+    chunks_resumed: int
+    labels_committed: int
+    elapsed_seconds: float
+    labels_per_second: float
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    workers: Dict[int, WorkerBeat] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form for ``/healthz/ready`` and the CLI."""
+        return {
+            "phase": self.phase,
+            "jobs": self.jobs,
+            "hubs_done": self.hubs_done,
+            "hubs_total": self.hubs_total,
+            "chunks_done": self.chunks_done,
+            "chunks_total": self.chunks_total,
+            "chunks_resumed": self.chunks_resumed,
+            "labels_committed": self.labels_committed,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "labels_per_second": round(self.labels_per_second, 1),
+            "phase_seconds": {
+                name: round(seconds, 3)
+                for name, seconds in self.phase_seconds.items()
+            },
+            "workers": {
+                str(worker_id): {
+                    "pid": beat.pid,
+                    "hubs_done": beat.hubs_done,
+                    "seconds_since_beat": round(beat.seconds_since_beat, 1),
+                    "stale": beat.stale,
+                }
+                for worker_id, beat in self.workers.items()
+            },
+        }
+
+
+ProgressCallback = Callable[[BuildProgress], None]
+
+
+class ProgressTracker:
+    """Thread-safe accumulator behind :class:`BuildProgress` snapshots.
+
+    ``clock`` is injectable so tests can drive deterministic elapsed
+    times and staleness without sleeping.
+    """
+
+    def __init__(
+        self,
+        callback: Optional[ProgressCallback] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._callback = callback
+        self._clock = clock
+        self._started = clock()
+        self._phase = "idle"
+        self._phase_started = self._started
+        self._phase_seconds: Dict[str, float] = {}
+        self._jobs = 0
+        self._hubs_total = 0
+        self._hubs_done = 0
+        self._chunks_total = 0
+        self._chunks_done = 0
+        self._chunks_resumed = 0
+        self._labels_committed = 0
+        # worker_id -> (pid, hubs_done, last_beat_monotonic)
+        self._beats: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Mutations (build side)
+    # ------------------------------------------------------------------
+
+    def configure(
+        self, jobs: int, hubs_total: int, chunks_total: int
+    ) -> None:
+        with self._lock:
+            self._jobs = jobs
+            self._hubs_total = hubs_total
+            self._chunks_total = chunks_total
+        self._emit()
+
+    def start_phase(self, name: str) -> None:
+        with self._lock:
+            now = self._clock()
+            elapsed = now - self._phase_started
+            self._phase_seconds[self._phase] = (
+                self._phase_seconds.get(self._phase, 0.0) + elapsed
+            )
+            self._phase = name
+            self._phase_started = now
+        self._emit()
+
+    def worker_beat(self, worker_id: int, pid: int, hubs_done: int) -> None:
+        with self._lock:
+            self._beats[worker_id] = (pid, hubs_done, self._clock())
+
+    def hub_done(self) -> None:
+        with self._lock:
+            self._hubs_done += 1
+        self._emit()
+
+    def chunk_done(self, labels_committed: int, resumed: bool = False) -> None:
+        with self._lock:
+            self._chunks_done += 1
+            self._labels_committed += labels_committed
+            if resumed:
+                self._chunks_resumed += 1
+        self._emit()
+
+    def hubs_resumed(self, count: int) -> None:
+        with self._lock:
+            self._hubs_done += count
+        self._emit()
+
+    # ------------------------------------------------------------------
+    # Snapshot (any thread)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> BuildProgress:
+        with self._lock:
+            now = self._clock()
+            elapsed = now - self._started
+            phase_seconds = dict(self._phase_seconds)
+            phase_seconds[self._phase] = (
+                phase_seconds.get(self._phase, 0.0)
+                + (now - self._phase_started)
+            )
+            phase_seconds.pop("idle", None)
+            rate = self._labels_committed / elapsed if elapsed > 0 else 0.0
+            workers = {
+                worker_id: WorkerBeat(pid, hubs, max(0.0, now - beat_at))
+                for worker_id, (pid, hubs, beat_at) in self._beats.items()
+            }
+            return BuildProgress(
+                phase=self._phase,
+                jobs=self._jobs,
+                hubs_total=self._hubs_total,
+                hubs_done=self._hubs_done,
+                chunks_total=self._chunks_total,
+                chunks_done=self._chunks_done,
+                chunks_resumed=self._chunks_resumed,
+                labels_committed=self._labels_committed,
+                elapsed_seconds=elapsed,
+                labels_per_second=rate,
+                phase_seconds=phase_seconds,
+                workers=workers,
+            )
+
+    def _emit(self) -> None:
+        if self._callback is not None:
+            self._callback(self.snapshot())

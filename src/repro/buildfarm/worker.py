@@ -1,0 +1,206 @@
+"""Worker processes: under-pruned label searches over assigned hubs.
+
+Each worker is a long-lived child process holding
+
+* a rebuilt :class:`~repro.graph.timetable.TimetableGraph` (shipped
+  once, as flat connection columns — never pickled dicts), and
+* a mirror of the *committed* label state, updated from per-chunk
+  delta broadcasts.
+
+For every assigned hub the worker runs the unmodified
+:class:`repro.core.build._Builder` phases with the pruning tables
+pointed at its committed mirror and emissions kept separate.  Pruning
+against the committed rank-prefix only (never against same-chunk hubs
+or its own candidates) is what makes the search *under-pruned*: it
+yields a superset of the hub's canonical labels, every surplus label
+being provably cover-dominated — the merge removes exactly those, so
+the reduced index is identical to the serial one (see
+``docs/build_pipeline.md`` for the argument).
+
+Wire protocol (tuples over a duplex pipe; payloads are flat
+``array('q')`` columns from :mod:`repro.core.store`):
+
+* ``("init", worker_id, n, graph_blob, ranks, prune_cover)`` →
+  ``("ready", worker_id, pid)``
+* ``("state", in_blob, out_blob)`` — apply committed delta, no reply
+* ``("hubs", chunk_index, [hub, ...])`` → one
+  ``("hub", worker_id, chunk_index, hub, fwd_blob, bwd_blob)`` per
+  hub (doubling as heartbeat) then
+  ``("done", worker_id, chunk_index, stats_tuple)``
+* ``("stop",)`` — exit
+* any exception → ``("error", worker_id, traceback_text)``
+
+Everything here must be importable under the ``spawn`` start method:
+:func:`worker_main` is a module-level function and every message is
+picklable without the parent's object graph.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from array import array
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.build import _Builder
+from repro.core.label import LabelGroup
+from repro.core.store import (
+    GroupTableBlob,
+    decode_group_entries,
+    encode_group_entries,
+)
+from repro.graph.connection import Connection
+from repro.graph.timetable import TimetableGraph
+
+#: (forward_pops, backward_pops, cover_pruned, dominance_pruned,
+#: dijkstra_runs) — summed into the farm's BuildStats.
+StatsTuple = Tuple[int, int, int, int, int]
+
+#: Per-node hub->group tables, the shape the serial builder uses.
+StateTables = List[Dict[int, LabelGroup]]
+
+#: (us, vs, deps, arrs, trips) connection columns.
+GraphBlob = Tuple[array, array, array, array, array]
+
+
+def encode_graph(graph: TimetableGraph) -> GraphBlob:
+    """Flatten a graph's connections into five typed columns.
+
+    Routes/trips metadata and station names are deliberately dropped:
+    the label sweep reads only the connection relation, and the full
+    graph object (with its dict-shaped route tables) would be slow to
+    pickle and is not needed in the children.
+    """
+    us = array("q")
+    vs = array("q")
+    deps = array("q")
+    arrs = array("q")
+    trips = array("q")
+    for c in graph.connections:
+        us.append(c.u)
+        vs.append(c.v)
+        deps.append(c.dep)
+        arrs.append(c.arr)
+        trips.append(c.trip)
+    return (us, vs, deps, arrs, trips)
+
+
+def decode_graph(n: int, blob: GraphBlob) -> TimetableGraph:
+    """Rebuild a sweep-ready graph from flat columns.
+
+    ``validate=False``: the parent's graph already passed validation,
+    and re-validating in every worker would repeat O(m log m) work.
+    """
+    us, vs, deps, arrs, trips = blob
+    connections = [
+        Connection(us[i], vs[i], deps[i], arrs[i], trips[i])
+        for i in range(len(us))
+    ]
+    return TimetableGraph(n, connections, validate=False)
+
+
+class HubSearcher:
+    """Runs under-pruned per-hub searches against a committed mirror.
+
+    Used verbatim by the worker processes *and* by the farm's inline
+    (``jobs=1``) mode, so both paths exercise the same search code.
+    """
+
+    def __init__(
+        self,
+        graph: TimetableGraph,
+        ranks: List[int],
+        prune_cover: bool,
+        in_state: "StateTables" = None,
+        out_state: "StateTables" = None,
+    ) -> None:
+        self.graph = graph
+        self.ranks = ranks
+        self.prune_cover = prune_cover
+        n = graph.n
+        # Inline (jobs=1) builds hand in the farm's committed tables so
+        # each merge commit immediately tightens the next hub's pruning
+        # — the serial prefix, at serial speed.  Workers get fresh
+        # mirrors fed by delta broadcasts instead.
+        self.in_state: StateTables = (
+            in_state if in_state is not None else [dict() for _ in range(n)]
+        )
+        self.out_state: StateTables = (
+            out_state if out_state is not None else [dict() for _ in range(n)]
+        )
+
+    def apply_delta(
+        self, in_blob: GroupTableBlob, out_blob: GroupTableBlob
+    ) -> None:
+        """Fold a committed-label broadcast into the mirror tables."""
+        for node, group in decode_group_entries(in_blob, self.ranks):
+            self.in_state[node][group.hub] = group
+        for node, group in decode_group_entries(out_blob, self.ranks):
+            self.out_state[node][group.hub] = group
+
+    def search_hub(
+        self, h: int
+    ) -> Tuple[GroupTableBlob, GroupTableBlob, StatsTuple]:
+        """Candidate labels of hub ``h`` against the committed prefix."""
+        builder = _Builder(
+            self.graph,
+            self.ranks,
+            self.prune_cover,
+            prune_in=self.in_state,
+            prune_out=self.out_state,
+        )
+        fwd = builder.forward_phase(h)
+        bwd = builder.backward_phase(h)
+        stats = builder.stats
+        return (
+            encode_group_entries(fwd),
+            encode_group_entries(bwd),
+            (
+                stats.forward_pops,
+                stats.backward_pops,
+                stats.cover_pruned,
+                stats.dominance_pruned,
+                stats.dijkstra_runs,
+            ),
+        )
+
+
+def worker_main(conn, worker_id: int) -> None:
+    """Child process entry point: serve search requests until stopped."""
+    searcher = None
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "init":
+                _, worker_id, n, graph_blob, ranks, prune_cover = message
+                graph = decode_graph(n, graph_blob)
+                searcher = HubSearcher(graph, list(ranks), prune_cover)
+                conn.send(("ready", worker_id, os.getpid()))
+            elif kind == "state":
+                _, in_blob, out_blob = message
+                searcher.apply_delta(in_blob, out_blob)
+            elif kind == "hubs":
+                _, chunk_index, hubs = message
+                stats_sum = [0, 0, 0, 0, 0]
+                for h in hubs:
+                    fwd_blob, bwd_blob, stats = searcher.search_hub(h)
+                    for i, value in enumerate(stats):
+                        stats_sum[i] += value
+                    conn.send(
+                        ("hub", worker_id, chunk_index, h, fwd_blob, bwd_blob)
+                    )
+                conn.send(("done", worker_id, chunk_index, tuple(stats_sum)))
+            elif kind == "stop":
+                return
+            else:
+                raise ValueError(f"unknown message kind {kind!r}")
+    except (EOFError, KeyboardInterrupt):
+        return
+    except BaseException:
+        try:
+            conn.send(("error", worker_id, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()

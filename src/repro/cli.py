@@ -48,6 +48,22 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    """``--scale`` plus ``--seed`` for commands that load one dataset.
+
+    (The ``live`` subcommand keeps its own ``--seed`` for the
+    disruption feed, so it takes only ``--scale``.)
+    """
+    _add_scale(parser)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the dataset's catalogue seed (reproducible "
+        "alternate instances of the same network family)",
+    )
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     print(f"{'name':12s} {'kind':8s} {'stations':>8s} {'routes':>6s}")
     for name in dataset_names():
@@ -60,7 +76,7 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    graph = load_dataset(args.name, scale=args.scale)
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
     stats = graph.stats()
     print(f"dataset      {args.name} (scale {args.scale})")
     print(f"stations     {stats.num_stations}")
@@ -75,7 +91,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    graph = load_dataset(args.name, scale=args.scale)
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
     save_graph_csv(graph, args.directory)
     print(f"wrote {graph.n} stations / {graph.m} connections to "
           f"{args.directory}")
@@ -83,14 +99,49 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    graph = load_dataset(args.name, scale=args.scale)
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
 
-    def progress(done: int, total: int) -> None:
-        if done % max(1, total // 20) == 0 or done == total:
-            print(f"\r  building: {done}/{total} hubs", end="", flush=True)
+    use_farm = (
+        args.jobs > 1
+        or args.checkpoint_dir is not None
+        or args.resume
+    )
+    if use_farm:
+        from repro.buildfarm import build_index_parallel
 
-    index = build_index(graph, order=args.order, progress=progress)
-    print()
+        def farm_progress(snapshot) -> None:
+            print(
+                f"\r  [{snapshot.phase:7s}] "
+                f"chunks {snapshot.chunks_done}/{snapshot.chunks_total}  "
+                f"hubs {snapshot.hubs_done}/{snapshot.hubs_total}  "
+                f"labels {snapshot.labels_committed} "
+                f"({snapshot.labels_per_second:.0f}/s)",
+                end="",
+                flush=True,
+            )
+
+        index = build_index_parallel(
+            graph,
+            order=args.order,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            progress=farm_progress,
+            mp_start=args.mp_start,
+            fail_after_chunks=args.fail_after_chunks,
+        )
+        print()
+    else:
+
+        def progress(done: int, total: int) -> None:
+            if done % max(1, total // 20) == 0 or done == total:
+                print(
+                    f"\r  building: {done}/{total} hubs", end="", flush=True
+                )
+
+        index = build_index(graph, order=args.order, progress=progress)
+        print()
     save_index(index, args.index)
     stats = index.stats()
     build = index.build_stats
@@ -98,12 +149,18 @@ def _cmd_build(args: argparse.Namespace) -> int:
     print(f"avg/node     {stats.avg_labels_per_node:.1f}")
     if build is not None:
         print(f"build time   {build.seconds:.2f}s")
+        if use_farm:
+            print(
+                f"pipeline     jobs {build.extra.get('jobs')}  "
+                f"chunks {build.extra.get('chunks')}  "
+                f"resumed {build.extra.get('chunks_resumed')}"
+            )
     print(f"saved to     {args.index}")
     return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    graph = load_dataset(args.name, scale=args.scale)
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
     planners = [
         DijkstraPlanner(graph),
         CSAPlanner(graph),
@@ -203,7 +260,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.verify import verify_index
 
-    graph = load_dataset(args.name, scale=args.scale)
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
     index = load_index(args.index, graph)
     report = verify_index(
         index,
@@ -217,7 +274,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.timeutil import format_duration, format_time as fmt
 
-    graph = load_dataset(args.name, scale=args.scale)
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
     planner = TTLPlanner(graph)
     t = parse_time(args.start)
     t_end = parse_time(args.end)
@@ -240,7 +297,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
     from repro.core import build_index
 
-    graph = load_dataset(args.name, scale=args.scale)
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
     print(reachability_report(graph).render())
     index = build_index(graph)
     print()
@@ -254,7 +311,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.resilience import ResilienceConfig, load_fault_plan
     from repro.service import PlannerService
 
-    graph = load_dataset(args.name, scale=args.scale)
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
     if args.live:
         from repro.live import LiveOverlayEngine
 
@@ -264,7 +321,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "/live/events /live/stats /live/advance /live/clear"
         )
     else:
-        planner = TTLPlanner(graph)
+        planner = TTLPlanner(graph, build_jobs=args.build_jobs)
         endpoints = (
             "/stations /eap /ldp /sdp /profile /healthz /metrics "
             "/resilience"
@@ -275,7 +332,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     fault_plan = load_fault_plan(args.chaos) if args.chaos else None
     service = PlannerService(planner, resilience=config, fault_plan=fault_plan)
-    port = service.start(host=args.host, port=args.port)
+    port = service.start(host=args.host, port=args.port, warm=not args.no_warm)
+    if args.no_warm:
+        print("index building in the background; /healthz shows progress")
     if fault_plan is not None:
         print(
             f"chaos plan active: {len(fault_plan.rules)} rules, "
@@ -375,18 +434,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="show dataset characteristics")
     p.add_argument("name")
-    _add_scale(p)
+    _add_dataset_args(p)
 
     p = sub.add_parser("generate", help="write a dataset as CSV")
     p.add_argument("name")
     p.add_argument("directory")
-    _add_scale(p)
+    _add_dataset_args(p)
 
     p = sub.add_parser("build", help="build and save a TTL index")
     p.add_argument("name")
     p.add_argument("index", help="output index file")
     p.add_argument("--order", default="hub")
-    _add_scale(p)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the build farm (1 = in-process)",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="hubs per build-farm chunk (default: auto from --jobs)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        help="persist per-chunk shards here; an interrupted build can "
+        "be continued with --resume",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from a matching checkpoint in --checkpoint-dir",
+    )
+    # Hidden: deterministic mid-build abort + start-method override,
+    # used by the kill-and-resume tests and the CI smoke job.
+    p.add_argument(
+        "--fail-after-chunks", type=int, default=None, help=argparse.SUPPRESS
+    )
+    p.add_argument(
+        "--mp-start",
+        choices=["fork", "spawn", "forkserver"],
+        default=None,
+        help=argparse.SUPPRESS,
+    )
+    _add_dataset_args(p)
 
     p = sub.add_parser("query", help="answer one query with every method")
     p.add_argument("name")
@@ -401,7 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-planner query metrics after the answers",
     )
-    _add_scale(p)
+    _add_dataset_args(p)
 
     p = sub.add_parser("bench", help="run a paper experiment")
     p.add_argument(
@@ -415,7 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name")
     p.add_argument("index")
     p.add_argument("--samples", type=int, default=200)
-    _add_scale(p)
+    _add_dataset_args(p)
 
     p = sub.add_parser(
         "profile", help="all non-dominated journeys in a window"
@@ -425,11 +517,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dest", type=int)
     p.add_argument("--start", required=True, help="HH:MM[:SS]")
     p.add_argument("--end", required=True, help="HH:MM[:SS]")
-    _add_scale(p)
+    _add_dataset_args(p)
 
     p = sub.add_parser("analyze", help="index/network analysis reports")
     p.add_argument("name")
-    _add_scale(p)
+    _add_dataset_args(p)
 
     p = sub.add_parser("serve", help="serve a planner over HTTP")
     p.add_argument("name")
@@ -453,9 +545,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="concurrent requests before shedding with 429",
     )
+    p.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="start serving immediately and build the index in the "
+        "background (/healthz reports build progress; queries answer "
+        "503 until ready)",
+    )
+    p.add_argument(
+        "--build-jobs",
+        type=int,
+        default=1,
+        help="build-farm worker processes for index construction",
+    )
     # Hidden: deterministic fault injection for chaos drills.
     p.add_argument("--chaos", metavar="PLAN.json", help=argparse.SUPPRESS)
-    _add_scale(p)
+    _add_dataset_args(p)
 
     p = sub.add_parser(
         "live", help="replay a disruption feed, report live-engine stats"

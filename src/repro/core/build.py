@@ -31,7 +31,7 @@ import heapq
 import time
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.label import LabelGroup
 from repro.core.order import (
@@ -142,10 +142,32 @@ def _covered(
 
 
 class _Builder:
-    """Mutable state shared by the per-hub phases."""
+    """Mutable state shared by the per-hub phases.
+
+    Two table pairs are distinguished so the parallel build farm can
+    reuse the phases unchanged:
+
+    * ``in_groups`` / ``out_groups`` — the **emission** tables new
+      labels are appended to;
+    * ``prune_in`` / ``prune_out`` — the **pruning state** the
+      hub-cover checks consult.
+
+    The serial build passes nothing and both pairs are the *same*
+    objects (labels become pruning state the moment they are emitted —
+    Algorithm 3's behavior).  A farm worker instead points the pruning
+    pair at its read-only mirror of the committed prefix and keeps
+    emissions separate, so candidates never leak into its own cover
+    checks; the emission entries are inert for the current hub either
+    way because ``L_out(h)`` / ``L_in(h)`` never contain ``h`` itself.
+    """
 
     def __init__(
-        self, graph: TimetableGraph, ranks: List[int], prune_cover: bool
+        self,
+        graph: TimetableGraph,
+        ranks: List[int],
+        prune_cover: bool,
+        prune_in: Optional[List[Dict[int, LabelGroup]]] = None,
+        prune_out: Optional[List[Dict[int, LabelGroup]]] = None,
     ) -> None:
         self.graph = graph
         self.ranks = ranks
@@ -153,6 +175,10 @@ class _Builder:
         n = graph.n
         self.in_groups: List[Dict[int, LabelGroup]] = [dict() for _ in range(n)]
         self.out_groups: List[Dict[int, LabelGroup]] = [dict() for _ in range(n)]
+        self.prune_in = prune_in if prune_in is not None else self.in_groups
+        self.prune_out = (
+            prune_out if prune_out is not None else self.out_groups
+        )
         self.stats = BuildStats()
         # Per-search stamped scratch arrays (reset-free Dijkstra).
         self._stamp = [0] * n
@@ -165,21 +191,24 @@ class _Builder:
     # Forward phase: canonical paths h -> v, labels into L_in(v)
     # ------------------------------------------------------------------
 
-    def forward_phase(self, h: int) -> None:
+    def forward_phase(self, h: int) -> List[Tuple[int, LabelGroup]]:
+        """Run the forward phase of ``h``; returns the ``(node, group)``
+        pairs created (ascending-departure order restored)."""
         graph = self.graph
         ranks = self.ranks
         rank_h = ranks[h]
         out = graph.out
         out_deps = graph.out_deps
         in_groups = self.in_groups
-        out_map_h = self.out_groups[h]
+        prune_in = self.prune_in
+        out_map_h = self.prune_out[h]
         prune_cover = self.prune_cover
         stats = self.stats
 
         best_arr = [INF] * graph.n
         stamp, dist = self._stamp, self._dist
         trip_of, pivot_of = self._trip, self._pivot
-        touched: List[LabelGroup] = []
+        touched: List[Tuple[int, LabelGroup]] = []
 
         for t_d in reversed(graph.departure_times(h)):
             self._gen += 1
@@ -215,13 +244,13 @@ class _Builder:
                     continue
                 best_arr[v] = arr_v
                 stats.forward_pops += 1
-                if prune_cover and _covered(out_map_h, in_groups[v], t_d, arr_v):
+                if prune_cover and _covered(out_map_h, prune_in[v], t_d, arr_v):
                     stats.cover_pruned += 1
                     continue
                 group = in_groups[v].get(h)
                 if group is None:
                     group = in_groups[v][h] = LabelGroup(h, rank_h)
-                    touched.append(group)
+                    touched.append((v, group))
                 group.append(t_d, arr_v, trip_of[v], pivot_of[v])
 
                 trip_v = trip_of[v]
@@ -249,27 +278,32 @@ class _Builder:
 
         # Phase appended labels in descending departure order; flip to
         # the ascending order the index requires.
-        for group in touched:
+        for _, group in touched:
             group.reverse()
+        return touched
 
     # ------------------------------------------------------------------
     # Backward phase: canonical paths v -> h, labels into L_out(v)
     # ------------------------------------------------------------------
 
-    def backward_phase(self, h: int) -> None:
+    def backward_phase(self, h: int) -> List[Tuple[int, LabelGroup]]:
+        """Run the backward phase of ``h``; returns the ``(node, group)``
+        pairs created (already in ascending-departure order)."""
         graph = self.graph
         ranks = self.ranks
         rank_h = ranks[h]
         inc = graph.inc
         inc_arrs = graph.inc_arrs
         out_groups = self.out_groups
-        in_map_h = self.in_groups[h]
+        prune_out = self.prune_out
+        in_map_h = self.prune_in[h]
         prune_cover = self.prune_cover
         stats = self.stats
 
         best_dep = [NEG_INF] * graph.n
         stamp, dist = self._stamp, self._dist
         trip_of, pivot_of = self._trip, self._pivot
+        touched: List[Tuple[int, LabelGroup]] = []
 
         for t_a in graph.arrival_times(h):
             self._gen += 1
@@ -304,13 +338,14 @@ class _Builder:
                 best_dep[v] = dep_v
                 stats.backward_pops += 1
                 if prune_cover and _covered(
-                    out_groups[v], in_map_h, dep_v, t_a
+                    prune_out[v], in_map_h, dep_v, t_a
                 ):
                     stats.cover_pruned += 1
                     continue
                 group = out_groups[v].get(h)
                 if group is None:
                     group = out_groups[v][h] = LabelGroup(h, rank_h)
+                    touched.append((v, group))
                 # Ascending arrival sweep appends in ascending departure
                 # order already; no reversal needed.
                 group.append(dep_v, t_a, trip_of[v], pivot_of[v])
@@ -337,6 +372,8 @@ class _Builder:
                         trip_of[x] = c.trip if trip_v == c.trip else None
                         pivot_of[x] = pivot_if_via_v
                         heapq.heappush(heap, (-nd, x))
+
+        return touched
 
 
 def build_index(

@@ -22,9 +22,10 @@ is the most important node.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.profiles import ParetoProfile
 from repro.algorithms.temporal_dijkstra import earliest_arrival_search
@@ -41,6 +42,35 @@ def _ranks_from_sequence(sequence: List[int], n: int) -> List[int]:
     for rank, node in enumerate(sequence):
         ranks[node] = rank
     return ranks
+
+
+def order_digest(ranks: Sequence[int]) -> str:
+    """Hex digest of a rank permutation.
+
+    Recorded in build-farm checkpoint manifests: a resumed build must
+    run under the exact order the shards were produced with, since the
+    chunk partition and every cover-pruning decision depend on it.
+    """
+    h = hashlib.sha256()
+    h.update(len(ranks).to_bytes(8, "little"))
+    for rank in ranks:
+        h.update(int(rank).to_bytes(8, "little", signed=True))
+    return h.hexdigest()
+
+
+def graph_digest(graph: TimetableGraph) -> str:
+    """Hex digest of a timetable graph's connection data.
+
+    Covers the station count and every connection tuple in canonical
+    (sorted) order — the inputs the label sweep actually reads — so a
+    manifest can reject resuming against a different graph.
+    """
+    h = hashlib.sha256()
+    h.update(graph.n.to_bytes(8, "little"))
+    for c in sorted(graph.connections):
+        for field in (c.u, c.v, c.dep, c.arr, c.trip):
+            h.update(int(field).to_bytes(8, "little", signed=True))
+    return h.hexdigest()
 
 
 def random_order(graph: TimetableGraph, seed: int = 0) -> List[int]:

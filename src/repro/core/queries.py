@@ -36,6 +36,10 @@ class TTLPlanner(RoutePlanner):
         order: OrderSpec = "hub",
         concise: bool = False,
         index: Optional[TTLIndex] = None,
+        build_jobs: int = 1,
+        build_chunk_size: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        build_resume: bool = False,
     ) -> None:
         """Create the planner.
 
@@ -45,20 +49,64 @@ class TTLPlanner(RoutePlanner):
             concise: return concise paths instead of full paths.
             index: adopt a pre-built index instead of building one in
                 :meth:`preprocess` (it must index the same graph).
+            build_jobs: worker processes for index construction;
+                ``> 1`` routes preprocessing through the build farm
+                (``repro.buildfarm``), whose output is identical to
+                the serial builder's.
+            build_chunk_size: hubs per farm chunk (default: auto).
+            checkpoint_dir: persist build progress as resumable
+                checkpoint shards in this directory.
+            build_resume: resume from a matching checkpoint instead of
+                rebuilding completed chunks.
         """
         super().__init__(graph)
         self._order = order
         self.concise = concise
         self.index: Optional[TTLIndex] = index
+        self._build_jobs = build_jobs
+        self._build_chunk_size = build_chunk_size
+        self._checkpoint_dir = checkpoint_dir
+        self._build_resume = build_resume
         #: Cumulative per-query observability counters.
         self.metrics = QueryMetrics()
+        #: Live build observability (polled by ``/healthz`` while a
+        #: background warm-up runs).
+        from repro.buildfarm.progress import ProgressTracker
+
+        self.build_progress = ProgressTracker()
         if index is not None:
             self._preprocess_seconds = (
                 index.build_stats.seconds if index.build_stats else 0.0
             )
 
     def _build(self) -> None:
-        self.index = build_index(self.graph, order=self._order)
+        tracker = self.build_progress
+        if (
+            self._build_jobs > 1
+            or self._checkpoint_dir is not None
+        ):
+            from repro.buildfarm import build_index_parallel
+
+            self.index = build_index_parallel(
+                self.graph,
+                order=self._order,
+                jobs=self._build_jobs,
+                chunk_size=self._build_chunk_size,
+                checkpoint_dir=self._checkpoint_dir,
+                resume=self._build_resume,
+                tracker=tracker,
+            )
+            return
+        # Serial path: cheapest for one process, but still feeds the
+        # progress tracker so readiness probes see hub counts.
+        tracker.configure(jobs=1, hubs_total=self.graph.n, chunks_total=0)
+        tracker.start_phase("build")
+        self.index = build_index(
+            self.graph,
+            order=self._order,
+            progress=lambda done, total: tracker.hub_done(),
+        )
+        tracker.start_phase("done")
 
     def index_bytes(self) -> int:
         from repro.core.serialize import index_bytes

@@ -30,8 +30,9 @@ from __future__ import annotations
 
 import os
 import struct
+from contextlib import contextmanager
 from pathlib import Path as FsPath
-from typing import BinaryIO, Dict, List, Optional, Union
+from typing import BinaryIO, Dict, Iterator, List, Optional, Union
 
 from repro.core.build import BuildStats
 from repro.core.index import TTLIndex
@@ -79,6 +80,50 @@ def connections_bytes(num_connections: int) -> int:
 # ----------------------------------------------------------------------
 # Binary persistence
 # ----------------------------------------------------------------------
+
+
+@contextmanager
+def atomic_write(path: PathLike) -> Iterator[BinaryIO]:
+    """Write a file atomically: yield a handle onto a temp file in the
+    target directory; on clean exit flush + fsync it, rename it over
+    ``path`` with :func:`os.replace`, and fsync the directory entry.
+    On failure the temp file is removed and ``path`` is untouched, so a
+    crash mid-write leaves either the previous file or no file — never
+    a truncated one.  Shared by :func:`save_index` and the build-farm
+    checkpoint shards.
+    """
+    path = FsPath(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def write_group_record(fh: BinaryIO, group) -> None:
+    """Write one label group in the TTLIDX02 group-record encoding
+    (``<qq`` hub/size header, then ``<qqqq`` per label), the unit
+    shared by full index files and checkpoint shards."""
+    _write_group(fh, group)
+
+
+def read_group_record(fh: BinaryIO, ranks: List[int], n: int) -> LabelGroup:
+    """Read one TTLIDX02 group record, validating hub/pivot ids."""
+    return _read_group(fh, ranks, n)
+
+
+def read_exact(fh: BinaryIO, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise ``SerializationError``."""
+    return _read_exact(fh, count)
 
 
 def _write_group(fh: BinaryIO, group) -> None:
@@ -180,30 +225,17 @@ def save_index(index: TTLIndex, path: PathLike) -> None:
     ``TTLIDX02`` that a later service start would reject (or worse,
     half-load).  The temporary file is removed on failure.
     """
-    path = FsPath(path)
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-    try:
-        with open(tmp, "wb") as fh:
-            fh.write(_MAGIC)
-            fh.write(struct.pack("<q", index.graph.n))
-            for rank in index.ranks:
-                fh.write(struct.pack("<q", rank))
-            for groups_per_node in (index.in_groups, index.out_groups):
-                for groups in groups_per_node:
-                    fh.write(struct.pack("<q", len(groups)))
-                    for group in groups:
-                        _write_group(fh, group)
-            _write_stats(fh, index.build_stats)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-    _fsync_directory(path.parent)
+    with atomic_write(path) as fh:
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<q", index.graph.n))
+        for rank in index.ranks:
+            fh.write(struct.pack("<q", rank))
+        for groups_per_node in (index.in_groups, index.out_groups):
+            for groups in groups_per_node:
+                fh.write(struct.pack("<q", len(groups)))
+                for group in groups:
+                    _write_group(fh, group)
+        _write_stats(fh, index.build_stats)
 
 
 def _fsync_directory(directory: FsPath) -> None:

@@ -71,32 +71,18 @@ def generate_sketches_from_lists(
     """Sketch generation over explicit group lists.
 
     The compressed index (Appendix B) materializes its label groups on
-    the fly and feeds them through this same merge.
+    the fly and feeds them through this same merge, and the selector
+    fast paths below reuse the identical :func:`_merge_groups` walk —
+    one implementation of the Algorithm 1 hub merge serves all of them.
     """
-    i = j = 0
-    len_out = len(out_list)
-    len_in = len(in_list)
-    while i < len_out or j < len_in:
-        ga = out_list[i] if i < len_out else None
-        gb = in_list[j] if j < len_in else None
-        if ga is not None and ga.hub == v:
+    for kind, ga, gb in _merge_groups(out_list, in_list, u, v):
+        if kind == "out":
             yield from _direct_sketches(ga, u, v, t, t_end, first=True)
-            i += 1
-            continue
-        if gb is not None and gb.hub == u:
-            yield from _direct_sketches(gb, u, v, t, t_end, first=False)
-            j += 1
-            continue
-        if gb is None or (ga is not None and ga.rank < gb.rank):
-            i += 1
-            continue
-        if ga is None or gb.rank < ga.rank:
-            j += 1
-            continue
-        # Shared hub: combine the two Pareto frontiers.
-        yield from _pair_sketches(ga, gb, u, v, t, t_end)
-        i += 1
-        j += 1
+        elif kind == "in":
+            yield from _direct_sketches(ga, u, v, t, t_end, first=False)
+        else:
+            # Shared hub: combine the two Pareto frontiers.
+            yield from _pair_sketches(ga, gb, u, v, t, t_end)
 
 
 def _direct_sketches(

@@ -31,9 +31,9 @@ paths.
 from __future__ import annotations
 
 from array import array
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.label import Label
+from repro.core.label import Label, LabelGroup
 
 #: Sentinel for a ``None`` trip/pivot in the typed columns.
 NONE_SENTINEL = -1
@@ -41,6 +41,77 @@ NONE_SENTINEL = -1
 
 def _encode(value: Optional[int]) -> int:
     return NONE_SENTINEL if value is None else value
+
+
+# ----------------------------------------------------------------------
+# Flat wire format for label-group tables
+#
+# The build farm ships label state between processes.  Pickling the
+# per-node ``Dict[int, LabelGroup]`` tables would serialize millions of
+# small Python objects; instead a table is flattened into seven typed
+# ``array('q')`` columns (which pickle as raw bytes) and rebuilt on the
+# other side.  The layout mirrors :class:`LabelStore`: one row per
+# group in the ``nodes``/``hubs`` columns, label payloads contiguous in
+# ``deps``/``arrs``/``trips``/``pivots`` with ``group_starts`` offsets.
+# ----------------------------------------------------------------------
+
+#: (nodes, hubs, group_starts, deps, arrs, trips, pivots)
+GroupTableBlob = Tuple[array, array, array, array, array, array, array]
+
+
+def encode_group_entries(
+    entries: Iterable[Tuple[int, LabelGroup]]
+) -> GroupTableBlob:
+    """Flatten ``(node, group)`` pairs into typed columns.
+
+    Accepts any group-like objects (``LabelGroup`` or ``GroupView``).
+    Order is preserved exactly — decoding yields the same sequence.
+    """
+    nodes = array("q")
+    hubs = array("q")
+    group_starts = array("q", [0])
+    deps = array("q")
+    arrs = array("q")
+    trips = array("q")
+    pivots = array("q")
+    for node, group in entries:
+        nodes.append(node)
+        hubs.append(group.hub)
+        deps.extend(group.deps)
+        arrs.extend(group.arrs)
+        trips.extend(_encode(t) for t in group.trips)
+        pivots.extend(_encode(p) for p in group.pivots)
+        group_starts.append(len(deps))
+    return (nodes, hubs, group_starts, deps, arrs, trips, pivots)
+
+
+def decode_group_entries(
+    blob: GroupTableBlob, ranks: Sequence[int]
+) -> List[Tuple[int, LabelGroup]]:
+    """Rebuild the ``(node, LabelGroup)`` sequence from flat columns.
+
+    ``ranks`` supplies each hub's rank (not carried on the wire).
+    """
+    nodes, hubs, group_starts, deps, arrs, trips, pivots = blob
+    entries: List[Tuple[int, LabelGroup]] = []
+    for g in range(len(nodes)):
+        lo = group_starts[g]
+        hi = group_starts[g + 1]
+        group = LabelGroup(
+            hubs[g],
+            ranks[hubs[g]],
+            deps=list(deps[lo:hi]),
+            arrs=list(arrs[lo:hi]),
+            trips=[None if t < 0 else t for t in trips[lo:hi]],
+            pivots=[None if p < 0 else p for p in pivots[lo:hi]],
+        )
+        entries.append((nodes[g], group))
+    return entries
+
+
+def blob_num_labels(blob: GroupTableBlob) -> int:
+    """Number of labels carried by one wire blob — O(1)."""
+    return len(blob[3])
 
 
 class GroupView:

@@ -12,7 +12,7 @@ within the process because several benchmarks reuse them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.datasets.synthetic import (
     CitySpec,
@@ -39,10 +39,19 @@ class DatasetInfo:
     cities: int = 0
     rail_headway: int = 0
 
-    def generate(self, scale: float = 1.0) -> TimetableGraph:
-        """Materialize the dataset at the given scale."""
+    def generate(
+        self, scale: float = 1.0, seed: Optional[int] = None
+    ) -> TimetableGraph:
+        """Materialize the dataset at the given scale.
+
+        ``seed`` overrides the catalogue seed and is threaded through
+        every generator path, so ``generate(scale, seed)`` is fully
+        reproducible — the property the build-farm equality tests rely
+        on.
+        """
         if scale <= 0:
             raise DatasetError(f"scale must be positive: {scale}")
+        effective_seed = self.seed if seed is None else seed
         stations = max(4, int(round(self.stations * scale)))
         routes = max(2, int(round(self.routes * scale)))
         if self.kind == "grid":
@@ -52,7 +61,7 @@ class DatasetInfo:
                     stations=stations,
                     routes=routes,
                     headway=self.headway,
-                    seed=self.seed,
+                    seed=effective_seed,
                 )
             )
         if self.kind == "radial":
@@ -62,7 +71,7 @@ class DatasetInfo:
                     stations=stations,
                     routes=routes,
                     headway=self.headway,
-                    seed=self.seed,
+                    seed=effective_seed,
                 )
             )
         if self.kind == "country":
@@ -75,7 +84,7 @@ class DatasetInfo:
                     routes_per_city=max(3, routes // cities),
                     city_headway=self.headway,
                     rail_headway=self.rail_headway,
-                    seed=self.seed,
+                    seed=effective_seed,
                 )
             )
         raise DatasetError(f"unknown dataset kind: {self.kind}")
@@ -114,17 +123,23 @@ def dataset_names() -> List[str]:
     return list(DATASETS)
 
 
-_CACHE: Dict[Tuple[str, float], TimetableGraph] = {}
+_CACHE: Dict[Tuple[str, float, Optional[int]], TimetableGraph] = {}
 
 
-def load_dataset(name: str, scale: float = 1.0) -> TimetableGraph:
-    """Materialize a catalogue dataset (process-cached)."""
+def load_dataset(
+    name: str, scale: float = 1.0, seed: Optional[int] = None
+) -> TimetableGraph:
+    """Materialize a catalogue dataset (process-cached).
+
+    ``seed`` overrides the catalogue seed (``None`` keeps it); distinct
+    seeds cache separately.
+    """
     info = DATASETS.get(name)
     if info is None:
         raise DatasetError(
             f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
         )
-    key = (name, scale)
+    key = (name, scale, seed)
     if key not in _CACHE:
-        _CACHE[key] = info.generate(scale)
+        _CACHE[key] = info.generate(scale, seed=seed)
     return _CACHE[key]

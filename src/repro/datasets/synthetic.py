@@ -138,13 +138,17 @@ def _add_service(
         t += _next_headway(t, headway)
 
 
-def generate_city_grid(spec: CitySpec) -> TimetableGraph:
+def generate_city_grid(
+    spec: CitySpec, seed: Optional[int] = None
+) -> TimetableGraph:
     """A grid bus city.
 
     Stations sit on a ``w x h`` jittered grid; each route follows a
     straight row/column or an L-shaped corridor, in both directions.
+    ``seed`` overrides ``spec.seed``; the same effective seed always
+    yields the identical timetable.
     """
-    rng = random.Random(spec.seed)
+    rng = random.Random(spec.seed if seed is None else seed)
     side = max(2, int(round(math.sqrt(spec.stations))))
     w = side
     h = max(2, (spec.stations + side - 1) // side)
@@ -250,9 +254,14 @@ def _locate(index: List[List[int]], station: int) -> Tuple[int, int]:
     raise DatasetError(f"station {station} not on grid")  # pragma: no cover
 
 
-def generate_city_radial(spec: CitySpec) -> TimetableGraph:
-    """A radial metro city: spokes through the centre plus a ring."""
-    rng = random.Random(spec.seed)
+def generate_city_radial(
+    spec: CitySpec, seed: Optional[int] = None
+) -> TimetableGraph:
+    """A radial metro city: spokes through the centre plus a ring.
+
+    ``seed`` overrides ``spec.seed``.
+    """
+    rng = random.Random(spec.seed if seed is None else seed)
     n_spokes = max(3, spec.routes // 2)
     per_spoke = max(2, (spec.stations - 1) // n_spokes)
 
@@ -342,9 +351,14 @@ def generate_city_radial(spec: CitySpec) -> TimetableGraph:
     return graph
 
 
-def generate_country(spec: CountrySpec) -> TimetableGraph:
-    """A country: radial cities chained by fast intercity rail."""
-    rng = random.Random(spec.seed)
+def generate_country(
+    spec: CountrySpec, seed: Optional[int] = None
+) -> TimetableGraph:
+    """A country: radial cities chained by fast intercity rail.
+
+    ``seed`` overrides ``spec.seed``.
+    """
+    rng = random.Random(spec.seed if seed is None else seed)
     builder = GraphBuilder()
     positions: List[Tuple[float, float]] = []
     centres: List[int] = []

@@ -61,6 +61,23 @@ class ReconstructionError(IndexError_):
     """Raised when a label cannot be unfolded back into a concrete path."""
 
 
+class BuildFarmError(IndexError_):
+    """Raised when the parallel build pipeline fails (bad plan, worker
+    death, checkpoint/graph mismatch...)."""
+
+
+class BuildAborted(BuildFarmError):
+    """Raised when a build is deliberately aborted mid-pipeline (the
+    ``fail_after_chunks`` test hook); completed shards stay on disk so
+    the build can be resumed."""
+
+    def __init__(self, chunks_done: int) -> None:
+        super().__init__(
+            f"build aborted after {chunks_done} committed chunks"
+        )
+        self.chunks_done = chunks_done
+
+
 class QueryError(ReproError):
     """Raised for invalid query arguments (bad window, unknown nodes...)."""
 

@@ -287,9 +287,13 @@ def _make_handler(service: PlannerService):
                 )
                 return
             except ServiceNotReady as exc:
+                body = {"error": str(exc)}
+                build = self._build_progress()
+                if build is not None:
+                    body["build"] = build
                 self._send(
                     503,
-                    {"error": str(exc)},
+                    body,
                     headers={"Retry-After": _retry_after(exc.retry_after)},
                 )
                 return
@@ -354,6 +358,15 @@ def _make_handler(service: PlannerService):
 
         # --------------------------------------------------------------
 
+        def _build_progress(self):
+            """Build-farm progress payload while warming, else None."""
+            if service._ready.is_set():
+                return None
+            tracker = getattr(planner, "build_progress", None)
+            if tracker is None:
+                return None
+            return tracker.snapshot().as_dict()
+
         def _require_ready(self) -> None:
             if not service._ready.is_set():
                 reason = (
@@ -392,6 +405,9 @@ def _make_handler(service: PlannerService):
                     "ready": service._ready.is_set(),
                     "preprocess_seconds": planner.preprocess_seconds,
                 }
+                build = self._build_progress()
+                if build is not None:
+                    body["build"] = build
                 if live is not None:
                     with lock:
                         body["now"] = live.now

@@ -1,0 +1,533 @@
+"""Tests for the parallel, checkpointable build pipeline (repro.buildfarm).
+
+The central contract is the *equality gate*: for every dataset in the
+test registry the parallel build must reproduce the serial
+:func:`repro.core.build.build_index` output label for label — same
+ranks, same group order, same metadata — and therefore answer every
+query identically.  The checkpoint tests then assert that a killed
+build resumes from its shards without recomputing finished chunks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.buildfarm import (
+    BuildPlan,
+    Chunk,
+    ProgressTracker,
+    build_index_parallel,
+    default_chunk_size,
+    make_plan,
+)
+from repro.buildfarm.checkpoint import (
+    build_manifest,
+    check_manifest,
+    contiguous_shards,
+    load_manifest,
+    read_shard,
+    shard_path,
+    write_manifest,
+    write_shard,
+)
+from repro.buildfarm.plan import assign_round_robin
+from repro.buildfarm.progress import STALE_WORKER_SECONDS
+from repro.buildfarm.worker import HubSearcher, decode_graph, encode_graph
+from repro.core import TTLPlanner
+from repro.core.build import build_index
+from repro.core.label import LabelGroup
+from repro.core.order import graph_digest, order_digest
+from repro.core.store import (
+    blob_num_labels,
+    decode_group_entries,
+    encode_group_entries,
+)
+from repro.datasets import QueryWorkload, load_dataset
+from repro.errors import BuildAborted, BuildFarmError
+
+#: The equality gate runs over every entry here (name, scale).
+TEST_REGISTRY = [
+    ("Austin", 1.0),
+    ("Toronto", 1.0),
+    ("Berlin", 1.0),
+]
+
+_SERIAL_CACHE = {}
+
+
+def serial_index(name, scale=1.0):
+    """Module-cached serial reference index for a registry dataset."""
+    key = (name, scale)
+    if key not in _SERIAL_CACHE:
+        _SERIAL_CACHE[key] = build_index(load_dataset(name, scale))
+    return _SERIAL_CACHE[key]
+
+
+def journey_key(journey):
+    """Comparable projection of a Journey (which has no ``__eq__``)."""
+    if journey is None:
+        return None
+    return (
+        journey.source,
+        journey.destination,
+        journey.dep,
+        journey.arr,
+        tuple(journey.path or ()),
+        tuple(journey.legs or ()),
+    )
+
+
+def assert_indexes_identical(expected, actual):
+    """Label-for-label equality: ranks plus every store column."""
+    assert actual.ranks == expected.ranks
+    for direction in ("in_store", "out_store"):
+        want = getattr(expected, direction)
+        got = getattr(actual, direction)
+        for column in (
+            "node_starts",
+            "group_starts",
+            "hubs",
+            "group_ranks",
+            "deps",
+            "arrs",
+            "trips",
+            "pivots",
+        ):
+            assert list(getattr(got, column)) == list(
+                getattr(want, column)
+            ), f"{direction}.{column} differs"
+
+
+class TestEqualityGate:
+    @pytest.mark.parametrize("name,scale", TEST_REGISTRY)
+    def test_parallel_matches_serial(self, name, scale):
+        graph = load_dataset(name, scale)
+        parallel = build_index_parallel(graph, jobs=2)
+        assert_indexes_identical(serial_index(name, scale), parallel)
+
+    def test_inline_jobs1_matches_serial(self):
+        graph = load_dataset("Austin")
+        inline = build_index_parallel(graph, jobs=1)
+        assert_indexes_identical(serial_index("Austin"), inline)
+
+    def test_three_jobs_small_chunks_match_serial(self):
+        graph = load_dataset("Toronto")
+        parallel = build_index_parallel(graph, jobs=3, chunk_size=5)
+        assert_indexes_identical(serial_index("Toronto"), parallel)
+
+    def test_spawn_context_matches_serial(self):
+        graph = load_dataset("Austin", 0.5)
+        parallel = build_index_parallel(graph, jobs=2, mp_start="spawn")
+        assert_indexes_identical(serial_index("Austin", 0.5), parallel)
+
+    @pytest.mark.parametrize("name,scale", TEST_REGISTRY)
+    def test_queries_answered_identically(self, name, scale):
+        graph = load_dataset(name, scale)
+        serial = TTLPlanner(graph, index=serial_index(name, scale))
+        parallel = TTLPlanner(
+            graph, index=build_index_parallel(graph, jobs=2)
+        )
+        for q in QueryWorkload(graph, seed=13).generate(40):
+            checks = [
+                ("EAP", serial.earliest_arrival, parallel.earliest_arrival,
+                 (q.source, q.destination, q.t_start)),
+                ("LDP", serial.latest_departure, parallel.latest_departure,
+                 (q.source, q.destination, q.t_end)),
+                ("SDP", serial.shortest_duration, parallel.shortest_duration,
+                 (q.source, q.destination, q.t_start, q.t_end)),
+            ]
+            for tag, ask_serial, ask_parallel, arguments in checks:
+                assert journey_key(ask_serial(*arguments)) == journey_key(
+                    ask_parallel(*arguments)
+                ), f"{tag} diverged on {q}"
+
+    def test_parallel_stats_extras(self):
+        graph = load_dataset("Austin")
+        index = build_index_parallel(graph, jobs=2)
+        extra = index.build_stats.extra
+        assert extra["jobs"] == 2
+        assert extra["chunks"] >= 1
+        assert extra["chunks_resumed"] == 0
+        assert extra["merge_dropped_labels"] >= 0
+
+    def test_no_prune_cover_also_matches(self):
+        graph = load_dataset("Austin", 0.5)
+        serial = build_index(graph, prune_cover=False)
+        parallel = build_index_parallel(graph, jobs=2, prune_cover=False)
+        assert_indexes_identical(serial, parallel)
+
+
+class TestCheckpointResume:
+    def test_kill_then_resume_is_identical_and_skips_done_chunks(
+        self, tmp_path
+    ):
+        graph = load_dataset("Austin")
+        ckpt = tmp_path / "ck"
+
+        with pytest.raises(BuildAborted) as abort:
+            build_index_parallel(
+                graph,
+                jobs=2,
+                chunk_size=8,
+                checkpoint_dir=ckpt,
+                fail_after_chunks=2,
+            )
+        assert abort.value.chunks_done == 2
+        assert load_manifest(ckpt) is not None
+
+        snapshots = []
+        tracker = ProgressTracker(callback=snapshots.append)
+        resumed = build_index_parallel(
+            graph,
+            jobs=2,
+            chunk_size=8,
+            checkpoint_dir=ckpt,
+            resume=True,
+            tracker=tracker,
+        )
+        assert_indexes_identical(serial_index("Austin"), resumed)
+
+        # Chunk-level counters prove the finished shards were replayed,
+        # not recomputed: exactly two chunks arrive via resume and the
+        # rest are built fresh.
+        extra = resumed.build_stats.extra
+        assert extra["chunks_resumed"] == 2
+        final = tracker.snapshot()
+        assert final.chunks_resumed == 2
+        assert final.chunks_done == final.chunks_total
+        assert final.hubs_done == graph.n
+        assert any(s.phase == "resume" for s in snapshots)
+
+    def test_resume_without_checkpoint_dir_rejected(self):
+        graph = load_dataset("Austin", 0.5)
+        with pytest.raises(BuildFarmError):
+            build_index_parallel(graph, jobs=2, resume=True)
+
+    def test_resume_rejects_mismatched_graph(self, tmp_path):
+        ckpt = tmp_path / "ck"
+        build_index_parallel(
+            load_dataset("Austin", 0.5), checkpoint_dir=ckpt, chunk_size=8
+        )
+        with pytest.raises(BuildFarmError, match="does not match"):
+            build_index_parallel(
+                load_dataset("Toronto", 0.5),
+                checkpoint_dir=ckpt,
+                chunk_size=8,
+                resume=True,
+            )
+
+    def test_resume_rejects_corrupt_shard(self, tmp_path):
+        graph = load_dataset("Austin", 0.5)
+        ckpt = tmp_path / "ck"
+        with pytest.raises(BuildAborted):
+            build_index_parallel(
+                graph,
+                checkpoint_dir=ckpt,
+                chunk_size=4,
+                fail_after_chunks=1,
+            )
+        path = shard_path(ckpt, 0)
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises(BuildFarmError):
+            build_index_parallel(
+                graph,
+                checkpoint_dir=ckpt,
+                chunk_size=4,
+                resume=True,
+            )
+
+    def test_fresh_build_clears_stale_shards(self, tmp_path):
+        graph = load_dataset("Austin", 0.5)
+        ckpt = tmp_path / "ck"
+        with pytest.raises(BuildAborted):
+            build_index_parallel(
+                graph,
+                checkpoint_dir=ckpt,
+                chunk_size=4,
+                fail_after_chunks=1,
+            )
+        # A fresh (non-resume) build must not trust the old shards.
+        index = build_index_parallel(
+            graph, checkpoint_dir=ckpt, chunk_size=4
+        )
+        assert_indexes_identical(serial_index("Austin", 0.5), index)
+        assert index.build_stats.extra["chunks_resumed"] == 0
+
+    def test_checkpointed_build_leaves_complete_shard_set(self, tmp_path):
+        graph = load_dataset("Austin", 0.5)
+        ckpt = tmp_path / "ck"
+        index = build_index_parallel(
+            graph, checkpoint_dir=ckpt, chunk_size=8
+        )
+        manifest = load_manifest(ckpt)
+        chunks = len(manifest["chunks"])
+        assert contiguous_shards(ckpt, chunks) == chunks
+        total = 0
+        for i in range(chunks):
+            in_entries, out_entries = read_shard(
+                ckpt, i, index.ranks, graph.n
+            )
+            total += sum(len(g.deps) for _, g in in_entries)
+            total += sum(len(g.deps) for _, g in out_entries)
+        assert total == index.num_labels
+
+
+def group_key(group):
+    """Comparable projection of a LabelGroup or GroupView."""
+    return (
+        group.hub,
+        list(group.deps),
+        list(group.arrs),
+        list(group.trips),
+        list(group.pivots),
+    )
+
+
+class TestShardFormat:
+    def test_shard_round_trip(self, tmp_path):
+        graph = load_dataset("Austin", 0.5)
+        index = serial_index("Austin", 0.5)
+        entries = [
+            (v, group)
+            for v in range(graph.n)
+            for group in index.in_store.views(v)
+        ]
+        write_shard(tmp_path, 3, entries, [])
+        in_back, out_back = read_shard(tmp_path, 3, index.ranks, graph.n)
+        assert out_back == []
+        assert [(v, group_key(g)) for v, g in in_back] == [
+            (v, group_key(g)) for v, g in entries
+        ]
+
+    def test_read_shard_rejects_bad_magic(self, tmp_path):
+        path = shard_path(tmp_path, 0)
+        path.write_bytes(b"NOTSHARD" + b"\0" * 16)
+        with pytest.raises(BuildFarmError):
+            read_shard(tmp_path, 0, [0, 1], 2)
+
+    def test_read_shard_rejects_wrong_index(self, tmp_path):
+        write_shard(tmp_path, 1, [], [])
+        # File claims chunk 1; asking for it as chunk 0 must fail.
+        shard_path(tmp_path, 1).rename(shard_path(tmp_path, 0))
+        with pytest.raises(BuildFarmError):
+            read_shard(tmp_path, 0, [0, 1], 2)
+
+    def test_manifest_round_trip_and_check(self, tmp_path):
+        manifest = build_manifest("g" * 8, "o" * 8, 10, 4, [(0, 4), (4, 10)])
+        write_manifest(tmp_path, manifest)
+        loaded = load_manifest(tmp_path)
+        assert loaded == manifest
+        assert loaded["chunks"] == [[0, 4], [4, 10]]
+        check_manifest(loaded, manifest)  # no raise
+        other = build_manifest("x" * 8, "o" * 8, 10, 4, [(0, 4), (4, 10)])
+        with pytest.raises(BuildFarmError, match="graph_digest"):
+            check_manifest(loaded, other)
+
+    def test_load_manifest_absent_and_corrupt(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(BuildFarmError):
+            load_manifest(tmp_path)
+
+
+class TestPlan:
+    def test_chunks_partition_ranks(self):
+        ranks = [3, 0, 4, 1, 2]
+        plan = make_plan(ranks, 2)
+        assert isinstance(plan, BuildPlan)
+        covered = [h for chunk in plan.chunks for h in chunk.hubs]
+        assert [ranks[h] for h in covered] == [0, 1, 2, 3, 4]
+        assert plan.rank_ranges() == [[0, 2], [2, 4], [4, 5]]
+        assert plan.chunks[0] == Chunk(0, 0, 2, (1, 3))
+        assert plan.num_hubs == 5
+
+    def test_plan_is_deterministic(self):
+        rng = random.Random(7)
+        ranks = list(range(40))
+        rng.shuffle(ranks)
+        assert make_plan(ranks, 7) == make_plan(list(ranks), 7)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(BuildFarmError):
+            make_plan([0, 1, 2], 0)
+
+    def test_default_chunk_size_bounds(self):
+        assert default_chunk_size(1000, 1) == 8
+        assert default_chunk_size(1000, 4) == 16
+        assert default_chunk_size(3, 8) == 3
+        assert default_chunk_size(0, 2) == 1
+
+    def test_round_robin_deal(self):
+        lanes = assign_round_robin([10, 11, 12, 13, 14], 2)
+        assert lanes == [[10, 12, 14], [11, 13]]
+        assert assign_round_robin([], 3) == [[], [], []]
+
+
+class TestWireCodecs:
+    def test_group_entries_round_trip(self):
+        groups = [
+            (
+                2,
+                LabelGroup(
+                    hub=5,
+                    rank=1,
+                    deps=[5, 10],
+                    arrs=[25, 20],
+                    trips=[None, 7],
+                    pivots=[None, 3],
+                ),
+            ),
+            (
+                0,
+                LabelGroup(
+                    hub=9, rank=9, deps=[1], arrs=[2], trips=[0], pivots=[None]
+                ),
+            ),
+        ]
+        ranks = [0, 3, 4, 2, 5, 1, 6, 7, 8, 9]
+        blob = encode_group_entries(groups)
+        assert blob_num_labels(blob) == 3
+        back = decode_group_entries(blob, ranks)
+        assert [(v, g.rank, group_key(g)) for v, g in back] == [
+            (v, ranks[g.hub], group_key(g)) for v, g in groups
+        ]
+
+    def test_empty_entries(self):
+        blob = encode_group_entries([])
+        assert blob_num_labels(blob) == 0
+        assert decode_group_entries(blob, []) == []
+
+    def test_graph_round_trip(self):
+        graph = load_dataset("Austin", 0.5)
+        rebuilt = decode_graph(graph.n, encode_graph(graph))
+        assert rebuilt.n == graph.n
+        assert list(rebuilt.connections) == list(graph.connections)
+
+
+class TestHubSearcher:
+    def test_matches_serial_phases_on_first_hub(self):
+        graph = load_dataset("Austin", 0.5)
+        index = serial_index("Austin", 0.5)
+        searcher = HubSearcher(graph, index.ranks, prune_cover=True)
+        h = index.node_of_rank[0]
+        fwd_blob, bwd_blob, stats = searcher.search_hub(h)
+        # Rank-0 searches prune against an empty prefix, exactly like
+        # serial, and the rank-0 merge commits everything, so the
+        # candidates must equal the sealed index's hub-h groups.
+        for blob, store in (
+            (fwd_blob, index.in_store),
+            (bwd_blob, index.out_store),
+        ):
+            decoded = decode_group_entries(blob, index.ranks)
+            assert decoded, "first hub should reach someone"
+            for v, group in decoded:
+                (committed,) = [
+                    g for g in store.views(v) if g.hub == h
+                ]
+                assert group_key(group) == group_key(committed)
+        # (forward_pops, backward_pops, cover_pruned, dominance_pruned,
+        #  dijkstra_runs)
+        assert len(stats) == 5
+        assert all(isinstance(x, int) for x in stats)
+        assert stats[0] > 0 and stats[1] > 0
+
+    def test_delta_application_tightens_pruning(self):
+        graph = load_dataset("Austin", 0.5)
+        index = serial_index("Austin", 0.5)
+        searcher = HubSearcher(graph, index.ranks, prune_cover=True)
+        h0 = index.node_of_rank[0]
+        h1 = index.node_of_rank[1]
+        fwd0, bwd0, _ = searcher.search_hub(h0)
+        baseline = blob_num_labels(searcher.search_hub(h1)[0])
+        searcher.apply_delta(fwd0, bwd0)
+        pruned = blob_num_labels(searcher.search_hub(h1)[0])
+        assert pruned <= baseline
+
+
+class TestProgressTracker:
+    def make_tracker(self):
+        times = [0.0]
+        snapshots = []
+
+        def clock():
+            return times[0]
+
+        tracker = ProgressTracker(callback=snapshots.append, clock=clock)
+        return tracker, times, snapshots
+
+    def test_phase_timing_and_rates(self):
+        tracker, times, snapshots = self.make_tracker()
+        tracker.configure(jobs=2, hubs_total=10, chunks_total=2)
+        tracker.start_phase("build")
+        times[0] = 2.0
+        for _ in range(5):
+            tracker.hub_done()
+        tracker.chunk_done(labels_committed=100)
+        snap = tracker.snapshot()
+        assert snap.phase == "build"
+        assert snap.jobs == 2
+        assert snap.hubs_done == 5
+        assert snap.chunks_done == 1
+        assert snap.labels_committed == 100
+        assert snap.elapsed_seconds == pytest.approx(2.0)
+        assert snap.labels_per_second == pytest.approx(50.0)
+        times[0] = 3.0
+        tracker.start_phase("seal")
+        assert tracker.snapshot().phase_seconds["build"] == pytest.approx(3.0)
+        assert snapshots  # callback fired along the way
+
+    def test_resume_counters(self):
+        tracker, _, _ = self.make_tracker()
+        tracker.configure(jobs=1, hubs_total=8, chunks_total=2)
+        tracker.hubs_resumed(4)
+        tracker.chunk_done(labels_committed=40, resumed=True)
+        snap = tracker.snapshot()
+        assert snap.chunks_resumed == 1
+        assert snap.chunks_done == 1
+        assert snap.hubs_done == 4
+
+    def test_worker_staleness(self):
+        tracker, times, _ = self.make_tracker()
+        tracker.configure(jobs=1, hubs_total=4, chunks_total=1)
+        tracker.worker_beat(0, pid=1234, hubs_done=2)
+        times[0] = STALE_WORKER_SECONDS + 1.0
+        snap = tracker.snapshot()
+        beat = snap.workers[0]
+        assert beat.pid == 1234
+        assert beat.hubs_done == 2
+        assert beat.stale
+
+    def test_as_dict_shape(self):
+        tracker, _, _ = self.make_tracker()
+        tracker.configure(jobs=3, hubs_total=6, chunks_total=2)
+        tracker.start_phase("plan")
+        tracker.worker_beat(1, pid=99, hubs_done=0)
+        payload = tracker.snapshot().as_dict()
+        assert payload["phase"] == "plan"
+        assert payload["jobs"] == 3
+        assert payload["hubs_done"] == 0
+        assert payload["hubs_total"] == 6
+        assert payload["chunks_total"] == 2
+        assert payload["workers"]["1"]["pid"] == 99
+        assert payload["workers"]["1"]["stale"] is False
+
+
+class TestValidation:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(BuildFarmError):
+            build_index_parallel(load_dataset("Austin", 0.5), jobs=0)
+
+
+class TestDigests:
+    def test_order_digest_sensitivity(self):
+        assert order_digest([0, 1, 2]) == order_digest([0, 1, 2])
+        assert order_digest([0, 1, 2]) != order_digest([0, 2, 1])
+        assert order_digest([]) != order_digest([0])
+
+    def test_graph_digest_tracks_content(self):
+        a = load_dataset("Austin", 0.5)
+        b = load_dataset("Austin", 0.5, seed=99)
+        assert graph_digest(a) == graph_digest(load_dataset("Austin", 0.5))
+        assert graph_digest(a) != graph_digest(b)

@@ -197,3 +197,98 @@ class TestLive:
             main(["live", "Austin", "--scale", "0.4", "--rate", "7"]) == 2
         )
         assert "error:" in capsys.readouterr().err
+
+
+class TestSeedFlag:
+    def test_seed_changes_generated_data(self, tmp_path, capsys):
+        first = tmp_path / "a"
+        second = tmp_path / "b"
+        third = tmp_path / "c"
+        for target, seed in ((first, "5"), (second, "5"), (third, "6")):
+            assert (
+                main(
+                    [
+                        "generate", "Austin", str(target),
+                        "--scale", "0.4", "--seed", seed,
+                    ]
+                )
+                == 0
+            )
+        same = (first / "stop_times.csv").read_bytes()
+        assert same == (second / "stop_times.csv").read_bytes()
+        assert same != (third / "stop_times.csv").read_bytes()
+
+    def test_info_accepts_seed(self, capsys):
+        assert main(["info", "Austin", "--scale", "0.4", "--seed", "9"]) == 0
+        assert "stations" in capsys.readouterr().out
+
+
+def assert_index_files_equal(first, second):
+    """Two saved indexes carry identical labels and ranks.
+
+    The whole files are not compared byte for byte because the footer
+    records build wall-clock stats, which legitimately differ.
+    """
+    from repro.core.serialize import load_index
+    from repro.datasets import load_dataset
+
+    graph = load_dataset("Austin", 0.4)
+    a = load_index(first, graph)
+    b = load_index(second, graph)
+    assert a.ranks == b.ranks
+    for direction in ("in_store", "out_store"):
+        for column in ("node_starts", "group_starts", "hubs",
+                       "deps", "arrs", "trips", "pivots"):
+            assert list(getattr(getattr(a, direction), column)) == list(
+                getattr(getattr(b, direction), column)
+            ), f"{direction}.{column} differs"
+
+
+class TestBuildFarmCli:
+    def test_parallel_build_writes_identical_index(self, tmp_path, capsys):
+        serial = tmp_path / "serial.ttl"
+        parallel = tmp_path / "parallel.ttl"
+        assert main(["build", "Austin", str(serial), "--scale", "0.4"]) == 0
+        assert (
+            main(
+                [
+                    "build", "Austin", str(parallel),
+                    "--scale", "0.4", "--jobs", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pipeline" in out and "jobs 2" in out
+        assert_index_files_equal(serial, parallel)
+
+    def test_kill_and_resume_round_trip(self, tmp_path, capsys):
+        serial = tmp_path / "serial.ttl"
+        resumed = tmp_path / "resumed.ttl"
+        ckpt = tmp_path / "ck"
+        assert main(["build", "Austin", str(serial), "--scale", "0.4"]) == 0
+        assert (
+            main(
+                [
+                    "build", "Austin", str(resumed), "--scale", "0.4",
+                    "--jobs", "2", "--chunk-size", "4",
+                    "--checkpoint-dir", str(ckpt),
+                    "--fail-after-chunks", "1",
+                ]
+            )
+            == 2
+        )
+        assert not resumed.exists()
+        assert (
+            main(
+                [
+                    "build", "Austin", str(resumed), "--scale", "0.4",
+                    "--jobs", "2", "--chunk-size", "4",
+                    "--checkpoint-dir", str(ckpt), "--resume",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        assert_index_files_equal(serial, resumed)

@@ -139,3 +139,64 @@ class TestQueryWorkload:
 
         with pytest.raises(DatasetError):
             QueryWorkload(TimetableGraph(1, []))
+
+
+class TestSeedOverride:
+    """The ``seed`` parameter threads end-to-end through every path."""
+
+    def test_generator_seed_argument_overrides_spec(self):
+        spec = CitySpec("t", stations=25, routes=8, headway=1800, seed=1)
+        override = generate_city_grid(spec, seed=2)
+        direct = generate_city_grid(
+            CitySpec("t", stations=25, routes=8, headway=1800, seed=2)
+        )
+        assert {tuple(c) for c in override.connections} == {
+            tuple(c) for c in direct.connections
+        }
+
+    def test_all_generators_accept_seed(self):
+        city = CitySpec("t", stations=25, routes=8, headway=1800, seed=1)
+        country = CountrySpec(
+            "c",
+            cities=2,
+            stations_per_city=8,
+            routes_per_city=3,
+            city_headway=1800,
+            rail_headway=3600,
+            seed=1,
+        )
+        for generate, spec in (
+            (generate_city_grid, city),
+            (generate_city_radial, city),
+            (generate_country, country),
+        ):
+            a = generate(spec, seed=7)
+            b = generate(spec, seed=7)
+            c = generate(spec, seed=8)
+            assert {tuple(x) for x in a.connections} == {
+                tuple(x) for x in b.connections
+            }
+            assert {tuple(x) for x in a.connections} != {
+                tuple(x) for x in c.connections
+            }
+
+    def test_load_dataset_seed_caches_separately(self):
+        from repro.datasets import load_dataset
+
+        default = load_dataset("Austin", 0.5)
+        seeded = load_dataset("Austin", 0.5, seed=99)
+        assert seeded is not default
+        assert seeded is load_dataset("Austin", 0.5, seed=99)
+        assert {tuple(c) for c in seeded.connections} != {
+            tuple(c) for c in default.connections
+        }
+
+    def test_info_generate_seed_matches_catalogue_default(self):
+        from repro.datasets.registry import DATASETS
+
+        info = DATASETS["Austin"]
+        implicit = info.generate(0.5)
+        explicit = info.generate(0.5, seed=info.seed)
+        assert {tuple(c) for c in implicit.connections} == {
+            tuple(c) for c in explicit.connections
+        }

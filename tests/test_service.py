@@ -396,3 +396,57 @@ class TestLiveEndpoints:
         )
         _, body = post(port, "/live/advance", {"now": engine.now + 100})
         assert body["events"] == 0
+
+
+class TestBackgroundBuildReadiness:
+    """``warm=False`` serves immediately; 503s carry build progress."""
+
+    def test_warming_responses_include_build_progress(self):
+        import threading
+
+        from tests.conftest import make_random_route_graph
+        import random as random_mod
+
+        release = threading.Event()
+
+        class SlowPlanner(TTLPlanner):
+            def preprocess(self):
+                self.build_progress.configure(
+                    jobs=2, hubs_total=5, chunks_total=3
+                )
+                self.build_progress.start_phase("build")
+                self.build_progress.chunk_done(labels_committed=10)
+                release.wait(timeout=30)
+                return super().preprocess()
+
+        graph = make_random_route_graph(random_mod.Random(5), 8, 5)
+        svc = PlannerService(SlowPlanner(graph))
+        port = svc.start(port=0, warm=False)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz/ready", timeout=10
+                )
+            assert err.value.code == 503
+            assert err.value.headers["Retry-After"]
+            body = json.loads(err.value.read())
+            build = body["build"]
+            assert build["phase"] == "build"
+            assert build["jobs"] == 2
+            assert build["chunks_done"] == 1
+            assert build["labels_committed"] == 10
+
+            _, health = get(port, "/healthz")
+            assert health["build"]["chunks_total"] == 3
+
+            release.set()
+            assert svc._warm_thread is not None
+            svc._warm_thread.join(timeout=30)
+            status, body = get(port, "/healthz/ready")
+            assert status == 200
+            assert body == {"ready": True}
+            _, health = get(port, "/healthz")
+            assert "build" not in health
+        finally:
+            release.set()
+            svc.stop()
