@@ -1,0 +1,223 @@
+"""Prefork serving benchmark: worker-count RPS sweep + cold-start cost.
+
+Two questions the prefork + mmap redesign must answer with numbers:
+
+* **Does adding workers add throughput?**  The GIL caps a single
+  process near one core for CPU-bound label scans, so a threaded
+  server flatlines; forked workers should not.  The sweep starts a
+  :class:`~repro.serving.ServingSupervisor` with 1 / 2 / 4 workers
+  over one shared listening socket and hammers ``/v1/eap`` from
+  concurrent client threads, reporting achieved RPS and median
+  latency per worker count.
+
+* **What does a worker pay to come up?**  Each worker memory-maps the
+  same TTLIDX03 file instead of materialising its own heap copy.  The
+  cold-start section times ``load_index(path, graph)`` (heap) against
+  ``load_index(path, graph, mmap=True)`` (zero-copy) and reports the
+  resident delta per extra worker.
+
+Run standalone (not a pytest-benchmark file)::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py           # Berlin
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py --smoke   # Austin
+
+Results land in ``benchmarks/results/serving_throughput.txt`` (smoke
+runs write ``serving_throughput_smoke.txt``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import time
+import tracemalloc
+import urllib.request
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _get(port: int, path: str) -> dict:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=30
+    ) as response:
+        return json.loads(response.read())
+
+
+def _client_main(port, paths, queue):
+    """One load-generator process: issue each path, report latencies."""
+    latencies = []
+    try:
+        for path in paths:
+            started = time.perf_counter()
+            _get(port, path)
+            latencies.append((time.perf_counter() - started) * 1e6)
+    except Exception as exc:  # noqa: BLE001 - report, don't mask
+        queue.put(("error", repr(exc)))
+        return
+    queue.put(("ok", latencies))
+
+
+def _hammer(port, paths, num_clients):
+    """Issue every path once, split across ``num_clients`` forked
+    client processes (threads would serialise on the client's GIL and
+    cap the server far below its capacity).
+
+    Returns (wall seconds, per-request latencies in microseconds).
+    """
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    clients = [
+        ctx.Process(
+            target=_client_main,
+            args=(port, paths[i::num_clients], queue),
+        )
+        for i in range(num_clients)
+    ]
+    started = time.perf_counter()
+    for client in clients:
+        client.start()
+    results = [queue.get(timeout=300) for _ in clients]
+    wall = time.perf_counter() - started
+    for client in clients:
+        client.join(timeout=30)
+    for status, payload in results:
+        if status == "error":
+            raise RuntimeError(f"load-generator client failed: {payload}")
+    return wall, [value for _, chunk in results for value in chunk]
+
+
+def _timed_load(path, graph, use_mmap):
+    """(load seconds, retained MB, first-query seconds) for one loader."""
+    from repro.core.queries import TTLPlanner
+    from repro.core.serialize import load_index
+
+    gc.collect()
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    started = time.perf_counter()
+    index = load_index(path, graph, mmap=use_mmap)
+    load_seconds = time.perf_counter() - started
+    gc.collect()
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    planner = TTLPlanner(graph, index=index)
+    started = time.perf_counter()
+    planner.earliest_arrival(0, graph.n - 1, 8 * 3600)
+    first_query = time.perf_counter() - started
+    return load_seconds, (after - before) / 1e6, first_query
+
+
+def run(dataset, worker_counts, num_requests, num_clients, repeats):
+    from repro.core.build import build_index
+    from repro.core.serialize import save_index
+    from repro.datasets import QueryWorkload, load_dataset
+    from repro.serving import ServingSupervisor, mapped_planner_factory
+
+    import os
+
+    graph = load_dataset(dataset)
+    index = build_index(graph)
+    index_path = RESULTS_DIR / f".bench_serving_{dataset.lower()}.ttl"
+    save_index(index, index_path)
+
+    cores = len(os.sched_getaffinity(0))
+    lines = [
+        f"prefork serving benchmark — dataset {dataset}",
+        f"stations            {graph.n}",
+        f"labels              {index.num_labels}",
+        f"index file          {index_path.stat().st_size / 1e6:.2f} MB (TTLIDX03)",
+        f"cpu cores           {cores}",
+        "",
+        "cold start: heap copy vs zero-copy mmap (median of "
+        f"{repeats} loads)",
+    ]
+
+    for label, use_mmap in (("heap", False), ("mmap", True)):
+        loads, residents, first = [], [], []
+        for _ in range(repeats):
+            seconds, resident, first_query = _timed_load(
+                index_path, graph, use_mmap
+            )
+            loads.append(seconds)
+            residents.append(resident)
+            first.append(first_query)
+        lines.append(
+            f"  {label}  load {statistics.median(loads) * 1e3:8.2f} ms   "
+            f"resident {statistics.median(residents):7.2f} MB   "
+            f"first query {statistics.median(first) * 1e6:8.1f} us"
+        )
+
+    queries = QueryWorkload(graph, seed=7).generate(num_requests)
+    paths = [
+        f"/v1/eap?from={q.source}&to={q.destination}&t={q.t_start}"
+        for q in queries
+    ]
+
+    lines += [
+        "",
+        f"throughput sweep: {num_requests} /v1/eap requests, "
+        f"{num_clients} client processes",
+        f"  {'workers':>7}  {'RPS':>8}  {'median us':>10}  {'p99 us':>10}",
+    ]
+    if cores < max(worker_counts):
+        lines.append(
+            f"  note: only {cores} core(s) visible — worker counts past "
+            "that measure prefork overhead, not scaling"
+        )
+    for workers in worker_counts:
+        supervisor = ServingSupervisor(
+            mapped_planner_factory(graph, index_path),
+            workers=workers,
+        )
+        port = supervisor.start()
+        try:
+            supervisor.wait_ready(timeout_s=60)
+            _hammer(port, paths[: max(num_clients * 4, 32)], num_clients)
+            wall, latencies = _hammer(port, paths, num_clients)
+        finally:
+            supervisor.stop()
+        latencies.sort()
+        p99 = latencies[int(0.99 * (len(latencies) - 1))]
+        lines.append(
+            f"  {workers:>7}  {len(paths) / wall:>8.0f}  "
+            f"{statistics.median(latencies):>10.0f}  {p99:>10.0f}"
+        )
+
+    index_path.unlink()
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small dataset + few requests (CI sanity run)",
+    )
+    parser.add_argument("--dataset", help="override the dataset name")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--clients", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    dataset = args.dataset or ("Austin" if args.smoke else "Berlin")
+    num_requests = args.requests or (200 if args.smoke else 3000)
+    num_clients = args.clients or (4 if args.smoke else 8)
+    worker_counts = (1, 2) if args.smoke else (1, 2, 4)
+    repeats = 3 if args.smoke else 5
+
+    report = run(dataset, worker_counts, num_requests, num_clients, repeats)
+    print(report)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    name = "serving_throughput_smoke" if args.smoke else "serving_throughput"
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

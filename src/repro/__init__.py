@@ -60,17 +60,23 @@ from repro.algorithms import DijkstraPlanner, ParetoProfile
 from repro.baselines import CHTPlanner, CSAPlanner, RaptorPlanner
 from repro.core import (
     CompressedTTLPlanner,
+    GroupView,
+    LabelStore,
     TTLIndex,
     TTLPlanner,
     build_index,
     build_index_brute_force,
     compress_index,
     degree_order,
+    eat_matrix,
     hub_order,
+    isochrone,
     load_index,
+    one_to_many_eat,
     random_order,
     save_index,
 )
+from repro.serving import Scoreboard, ServingSupervisor, mapped_planner_factory
 
 __version__ = "1.0.0"
 
@@ -125,4 +131,14 @@ __all__ = [
     "random_order",
     "save_index",
     "load_index",
+    "LabelStore",
+    "GroupView",
+    # batched queries
+    "one_to_many_eat",
+    "eat_matrix",
+    "isochrone",
+    # prefork serving
+    "ServingSupervisor",
+    "Scoreboard",
+    "mapped_planner_factory",
 ]

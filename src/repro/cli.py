@@ -16,7 +16,9 @@ Subcommands:
 * ``report [-o FILE]``         — run all experiments, emit a markdown
   reproduction report with shape verdicts.
 * ``serve NAME``               — HTTP JSON API over a TTL planner
-  (``--live`` serves a disruption-aware engine with ``/live/*``).
+  (``--live`` serves a disruption-aware engine with ``/live/*``;
+  ``--workers K --mmap --index FILE`` preforks K processes sharing
+  one memory-mapped index behind one listening socket).
 * ``live NAME``                — replay a disruption feed against the
   live overlay engine and report fast-path / fallback statistics.
 """
@@ -312,6 +314,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import PlannerService
 
     graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    if args.mmap and not args.index:
+        print(
+            "error: --mmap requires --index FILE (a saved TTLIDX03 "
+            "index; build one with 'repro-ttl build')",
+            file=sys.stderr,
+        )
+        return 2
+    config = ResilienceConfig(
+        deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
+        max_inflight=args.max_inflight,
+    )
+    fault_plan = load_fault_plan(args.chaos) if args.chaos else None
+
+    if args.workers > 1:
+        if args.live:
+            print(
+                "error: --workers does not support --live (overlay "
+                "state is per-process; serve live engines single-"
+                "process)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.serving import ServingSupervisor, mapped_planner_factory
+
+        if args.index and args.mmap:
+            # One full digest pass up front; workers then map the
+            # verified file lazily (verify=False keeps their cold
+            # start O(header) instead of faulting every page in).
+            load_index(args.index, graph, mmap=True, verify=True)
+            factory = mapped_planner_factory(
+                graph, args.index, verify=False
+            )
+            sharing = "mmap-shared index"
+        else:
+            if args.index:
+                index = load_index(args.index, graph)
+            else:
+                index = build_index(graph)
+            # Forked workers inherit the heap index copy-on-write.
+            factory = lambda: TTLPlanner(graph, index=index)  # noqa: E731
+            sharing = "copy-on-write heap index"
+        supervisor = ServingSupervisor(
+            factory,
+            workers=args.workers,
+            resilience=config,
+            fault_plan=fault_plan,
+            host=args.host,
+            port=args.port,
+        )
+        port = supervisor.start()
+        supervisor.wait_ready()
+        if fault_plan is not None:
+            print(
+                f"chaos plan active: {len(fault_plan.rules)} rules, "
+                f"seed {fault_plan.seed}"
+            )
+        print(
+            f"serving {args.name} on http://{args.host}:{port} with "
+            f"{args.workers} workers ({sharing}; /v1 endpoints; "
+            "Ctrl-C stops)",
+            flush=True,
+        )
+        try:
+            import time as _time
+
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            supervisor.stop()
+        return 0
+
     if args.live:
         from repro.live import LiveOverlayEngine
 
@@ -321,16 +394,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "/live/events /live/stats /live/advance /live/clear"
         )
     else:
-        planner = TTLPlanner(graph, build_jobs=args.build_jobs)
+        if args.index:
+            index = load_index(args.index, graph, mmap=args.mmap)
+            planner = TTLPlanner(graph, index=index)
+        else:
+            planner = TTLPlanner(graph, build_jobs=args.build_jobs)
         endpoints = (
             "/stations /eap /ldp /sdp /profile /healthz /metrics "
             "/resilience"
         )
-    config = ResilienceConfig(
-        deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
-        max_inflight=args.max_inflight,
-    )
-    fault_plan = load_fault_plan(args.chaos) if args.chaos else None
     service = PlannerService(planner, resilience=config, fault_plan=fault_plan)
     port = service.start(host=args.host, port=args.port, warm=not args.no_warm)
     if args.no_warm:
@@ -341,7 +413,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"seed {fault_plan.seed}"
         )
     print(f"serving {args.name} on http://{args.host}:{port} "
-          f"(endpoints: {endpoints}; Ctrl-C stops)")
+          f"(endpoints, preferably under /v1: {endpoints}; "
+          f"Ctrl-C stops)",
+          flush=True)
     try:
         import time as _time
 
@@ -528,6 +602,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
     p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="prefork worker processes sharing one listening socket "
+        "(1 = classic single-process serving)",
+    )
+    p.add_argument(
+        "--index",
+        help="serve a saved index file instead of building in-process",
+    )
+    p.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map the --index file (zero-copy; requires the "
+        "TTLIDX03 format written by 'repro-ttl build'); with "
+        "--workers every process shares one physical copy",
+    )
+    p.add_argument(
         "--live",
         action="store_true",
         help="serve a disruption-aware live overlay engine",
@@ -608,7 +700,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return handlers[args.command](args)
     except ReproError as exc:
+        # Mirror the HTTP API's one error shape on stderr: message,
+        # then the offending field and an actionable hint when known.
         print(f"error: {exc}", file=sys.stderr)
+        field = getattr(exc, "field", None)
+        if field is not None:
+            print(f"  field: {field}", file=sys.stderr)
+        hint = getattr(exc, "hint", None)
+        if hint is not None:
+            print(f"  hint: {hint}", file=sys.stderr)
         return 2
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -17,7 +17,7 @@
 
 from repro.core.label import Label, LabelGroup
 from repro.core.metrics import QueryMetrics
-from repro.core.store import GroupView, LabelStore
+from repro.core.store import COLUMN_NAMES, GroupView, LabelStore, MappedGroupView
 from repro.core.order import (
     approximation_order,
     betweenness_order,
@@ -30,7 +30,13 @@ from repro.core.index import TTLIndex
 from repro.core.queries import TTLPlanner
 from repro.core.compression import compress_index, CompressionStats
 from repro.core.cindex import CompressedTTLPlanner
-from repro.core.serialize import index_bytes, load_index, save_index
+from repro.core.serialize import (
+    index_bytes,
+    index_file_magic,
+    is_mmap_capable,
+    load_index,
+    save_index,
+)
 from repro.core.multiday import MultiDayPlanner, WeeklyCalendar
 from repro.core.profile_queries import oracle_profile, ttl_profile
 from repro.core.verify import VerificationReport, verify_index
@@ -41,6 +47,8 @@ __all__ = [
     "LabelGroup",
     "LabelStore",
     "GroupView",
+    "MappedGroupView",
+    "COLUMN_NAMES",
     "QueryMetrics",
     "approximation_order",
     "betweenness_order",
@@ -55,6 +63,8 @@ __all__ = [
     "CompressionStats",
     "CompressedTTLPlanner",
     "index_bytes",
+    "index_file_magic",
+    "is_mmap_capable",
     "load_index",
     "save_index",
     "MultiDayPlanner",

@@ -57,6 +57,57 @@ class TTLIndex:
         out_groups: List[Dict[int, LabelGroup]],
         build_stats: Optional[BuildStats] = None,
     ) -> None:
+        self._init_identity(graph, ranks, build_stats)
+
+        #: Flat sealed columns, one store per direction.
+        self.in_store: LabelStore = LabelStore.from_groups(
+            [
+                sorted(groups.values(), key=lambda g: g.rank)
+                for groups in in_groups
+            ]
+        )
+        self.out_store: LabelStore = LabelStore.from_groups(
+            [
+                sorted(groups.values(), key=lambda g: g.rank)
+                for groups in out_groups
+            ]
+        )
+        self._materialize_views()
+
+    @classmethod
+    def from_stores(
+        cls,
+        graph: TimetableGraph,
+        ranks: List[int],
+        in_store: LabelStore,
+        out_store: LabelStore,
+        build_stats: Optional[BuildStats] = None,
+    ) -> "TTLIndex":
+        """Adopt already-sealed stores without re-flattening.
+
+        This is the zero-copy load path: a TTLIDX03 file's columns are
+        memory-mapped into two :meth:`LabelStore.frombuffer` stores and
+        handed straight to the index — no per-label Python objects are
+        ever materialized.
+        """
+        if in_store.n != graph.n or out_store.n != graph.n:
+            raise IndexBuildError(
+                f"store sized for {in_store.n}/{out_store.n} nodes does "
+                f"not match graph with {graph.n} stations"
+            )
+        index = cls.__new__(cls)
+        index._init_identity(graph, ranks, build_stats)
+        index.in_store = in_store
+        index.out_store = out_store
+        index._materialize_views()
+        return index
+
+    def _init_identity(
+        self,
+        graph: TimetableGraph,
+        ranks: List[int],
+        build_stats: Optional[BuildStats],
+    ) -> None:
         if len(ranks) != graph.n:
             raise IndexBuildError("rank array does not match graph size")
         self.graph = graph
@@ -76,20 +127,8 @@ class TTLIndex:
             self.node_of_rank[rank] = node
         self.build_stats = build_stats
 
-        #: Flat sealed columns, one store per direction.
-        self.in_store: LabelStore = LabelStore.from_groups(
-            [
-                sorted(groups.values(), key=lambda g: g.rank)
-                for groups in in_groups
-            ]
-        )
-        self.out_store: LabelStore = LabelStore.from_groups(
-            [
-                sorted(groups.values(), key=lambda g: g.rank)
-                for groups in out_groups
-            ]
-        )
-
+    def _materialize_views(self) -> None:
+        n = self.graph.n
         #: in_groups[v] / out_groups[u]: label-group views sorted by
         #: hub rank, materialized once at seal time.
         self.in_groups: List[List[GroupView]] = [
@@ -102,6 +141,11 @@ class TTLIndex:
         #: Number of times PathUnfold had to fall back to a search
         #: because a tie-pruned child label was absent (observability).
         self.unfold_fallbacks = 0
+
+    @property
+    def mapped(self) -> bool:
+        """True when the label columns are memory-mapped (TTLIDX03)."""
+        return bool(self.in_store.mapped or self.out_store.mapped)
 
     # ------------------------------------------------------------------
     # Narrow accessor layer (SketchGen / PathUnfold / batch queries)

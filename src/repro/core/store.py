@@ -38,6 +38,19 @@ from repro.core.label import Label, LabelGroup
 #: Sentinel for a ``None`` trip/pivot in the typed columns.
 NONE_SENTINEL = -1
 
+#: The eight flat columns of one direction, in canonical order — the
+#: order the TTLIDX03 on-disk column directory uses.
+COLUMN_NAMES = (
+    "deps",
+    "arrs",
+    "trips",
+    "pivots",
+    "hubs",
+    "group_ranks",
+    "group_starts",
+    "node_starts",
+)
+
 
 def _encode(value: Optional[int]) -> int:
     return NONE_SENTINEL if value is None else value
@@ -193,6 +206,51 @@ class GroupView:
         return f"GroupView(hub={self.hub}, size={len(self)})"
 
 
+class MappedGroupView(GroupView):
+    """A :class:`GroupView` over a memory-mapped store.
+
+    *Every* column — including the hot ``deps``/``arrs`` — decodes
+    lazily on first access and is cached on the view.  Eager decoding
+    (the heap store's choice) would materialize the whole index as
+    Python lists at load time, which is exactly what the zero-copy
+    TTLIDX03 path exists to avoid: only the groups a workload actually
+    touches ever leave the page cache, so N worker processes mapping
+    the same file share one physical copy of the cold data.
+    """
+
+    __slots__ = ("_deps", "_arrs")
+
+    def __init__(self, store: "LabelStore", g: int) -> None:
+        self.hub = store.hubs[g]
+        self.rank = store.group_ranks[g]
+        self._store = store
+        self._lo = store.group_starts[g]
+        self._hi = store.group_starts[g + 1]
+        self._deps = None
+        self._arrs = None
+        self._trips = None
+        self._pivots = None
+
+    @property
+    def deps(self) -> List[int]:
+        column = self._deps
+        if column is None:
+            column = self._store.deps_mv[self._lo:self._hi].tolist()
+            self._deps = column
+        return column
+
+    @property
+    def arrs(self) -> List[int]:
+        column = self._arrs
+        if column is None:
+            column = self._store.arrs_mv[self._lo:self._hi].tolist()
+            self._arrs = column
+        return column
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MappedGroupView(hub={self.hub}, size={len(self)})"
+
+
 class LabelStore:
     """Flat typed columns for one direction (in or out) of an index.
 
@@ -208,6 +266,7 @@ class LabelStore:
 
     __slots__ = (
         "n",
+        "mapped",
         "deps",
         "arrs",
         "trips",
@@ -224,6 +283,7 @@ class LabelStore:
 
     def __init__(self, n: int) -> None:
         self.n = n
+        self.mapped = False
         self.deps = array("q")
         self.arrs = array("q")
         self.trips = array("q")
@@ -256,6 +316,83 @@ class LabelStore:
         store._freeze_views()
         return store
 
+    @classmethod
+    def frombuffer(cls, n: int, columns: dict) -> "LabelStore":
+        """Zero-copy store over externally owned int64 buffers.
+
+        ``columns`` maps every name in :data:`COLUMN_NAMES` to a
+        ``memoryview`` already cast to format ``'q'`` (typically slices
+        of one read-only ``mmap`` of a TTLIDX03 index file).  Nothing
+        is copied: the store's columns *are* the supplied buffers, so N
+        processes mapping the same file share one physical copy of the
+        label data through the page cache.  The buffers keep their
+        exporter (the mmap) alive for the store's lifetime.
+
+        The caller is responsible for structural validation — see
+        :meth:`check_columns`.
+        """
+        store = cls.__new__(cls)
+        store.n = n
+        store.mapped = True
+        for name in COLUMN_NAMES:
+            setattr(store, name, columns[name])
+        store._freeze_views()
+        return store
+
+    def check_columns(self) -> None:
+        """Validate the structural invariants of the flat columns.
+
+        Cheap — O(groups + nodes), no per-label work — and raises
+        ``ValueError`` with a precise message on the first defect.
+        Used by the TTLIDX03 loader after the per-column digests have
+        already established byte integrity.
+        """
+        num_labels = len(self.deps)
+        for name in ("arrs", "trips", "pivots"):
+            if len(getattr(self, name)) != num_labels:
+                raise ValueError(
+                    f"column {name!r} has {len(getattr(self, name))} "
+                    f"entries, expected {num_labels}"
+                )
+        num_groups = len(self.hubs)
+        if len(self.group_ranks) != num_groups:
+            raise ValueError(
+                f"column 'group_ranks' has {len(self.group_ranks)} "
+                f"entries, expected {num_groups}"
+            )
+        if len(self.group_starts) != num_groups + 1:
+            raise ValueError(
+                f"column 'group_starts' has {len(self.group_starts)} "
+                f"entries, expected {num_groups + 1}"
+            )
+        if len(self.node_starts) != self.n + 1:
+            raise ValueError(
+                f"column 'node_starts' has {len(self.node_starts)} "
+                f"entries, expected {self.n + 1}"
+            )
+        for name, limit in (
+            ("group_starts", num_labels),
+            ("node_starts", num_groups),
+        ):
+            offsets = getattr(self, name)
+            if offsets[0] != 0 or offsets[len(offsets) - 1] != limit:
+                raise ValueError(
+                    f"column {name!r} does not span 0..{limit}"
+                )
+            previous = 0
+            for offset in offsets:
+                if offset < previous:
+                    raise ValueError(
+                        f"column {name!r} is not monotone at offset "
+                        f"{offset} (previous {previous})"
+                    )
+                previous = offset
+        for g in range(num_groups):
+            if not 0 <= self.hubs[g] < self.n:
+                raise ValueError(
+                    f"group {g} hub {self.hubs[g]} outside 0..{self.n - 1}"
+                )
+
     def _freeze_views(self) -> None:
         self.deps_mv = memoryview(self.deps)
         self.arrs_mv = memoryview(self.arrs)
@@ -267,9 +404,15 @@ class LabelStore:
     # ------------------------------------------------------------------
 
     def views(self, node: int) -> List[GroupView]:
-        """Group views of ``node`` in hub-rank order."""
+        """Group views of ``node`` in hub-rank order.
+
+        Mapped stores hand out :class:`MappedGroupView` (fully lazy
+        columns); sealed heap stores keep the eager-hot-column
+        :class:`GroupView`.  Both expose the same surface.
+        """
+        cls = MappedGroupView if self.mapped else GroupView
         return [
-            GroupView(self, g)
+            cls(self, g)
             for g in range(self.node_starts[node], self.node_starts[node + 1])
         ]
 

@@ -10,7 +10,17 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` package."""
+    """Base class for all errors raised by the ``repro`` package.
+
+    Every library error can carry an optional ``hint`` — a short,
+    actionable suggestion surfaced verbatim in HTTP error payloads
+    (the uniform ``{"error", "field", "hint"}`` shape) and on the CLI's
+    stderr.  ``None`` means "the message is self-explanatory".
+    """
+
+    def __init__(self, *args: object, hint: "str | None" = None) -> None:
+        super().__init__(*args)
+        self.hint = hint
 
 
 class GraphError(ReproError):
@@ -133,8 +143,10 @@ class RequestValidationError(ReproError):
     """Raised when an HTTP request parameter is missing or malformed
     (HTTP 400).  ``field`` names the offending parameter."""
 
-    def __init__(self, message: str, field: str) -> None:
-        super().__init__(message)
+    def __init__(
+        self, message: str, field: str, hint: "str | None" = None
+    ) -> None:
+        super().__init__(message, hint=hint)
         self.field = field
 
 

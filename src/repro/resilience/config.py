@@ -49,3 +49,8 @@ class ResilienceConfig:
     # Input hardening ----------------------------------------------------
     #: Largest accepted request body; beyond it the service answers 413.
     max_body_bytes: int = 1 << 20
+    #: Largest (source, target) workload a single ``POST /v1/batch``
+    #: may request: ``len(sources) * len(targets)`` for matrices,
+    #: ``len(targets)`` for one-to-many, ``n`` for isochrones.  Beyond
+    #: it the service answers 400 with ``field`` naming the culprit.
+    max_batch_pairs: int = 10000

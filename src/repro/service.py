@@ -11,19 +11,43 @@ library, with production guard rails:
     service = PlannerService(TTLPlanner(load_dataset("Berlin")))
     service.start(port=8080)          # non-blocking (daemon thread)
 
-Query endpoints (GET, JSON responses):
+The current API is **versioned**: every endpoint answers under a
+``/v1`` prefix, where successful responses use a uniform envelope::
 
-* ``/healthz``                          — liveness + planner identity
-* ``/healthz/live``                     — bare liveness probe
-* ``/healthz/ready``                    — readiness (503 while warming
-  or shedding)
-* ``/metrics``                          — cumulative query counters
-* ``/resilience``                       — deadline/gate/breaker state
-* ``/stations``                         — id/name listing
-* ``/eap?from=U&to=V&t=SECONDS``        — earliest arrival
-* ``/ldp?from=U&to=V&t=SECONDS``        — latest departure
-* ``/sdp?from=U&to=V&t=A&t_end=B``      — shortest duration
-* ``/profile?from=U&to=V&t=A&t_end=B``  — non-dominated (dep, arr) pairs
+    {"data": <the result>, "meta": {"elapsed_us": ..., "degraded": ...,
+                                    "worker": ...}}
+
+``meta.elapsed_us`` is server-side handling time, ``meta.degraded``
+flags circuit-broken frozen-timetable answers, and ``meta.worker``
+identifies the serving process under prefork multi-worker serving
+(:mod:`repro.serving`).  The bare legacy paths keep answering with
+their historical (un-enveloped) bodies but carry a
+``Deprecation: true`` header; see ``docs/api.md`` for the migration
+table.
+
+Query endpoints (GET, JSON responses, shown with the ``/v1`` prefix):
+
+* ``/v1/healthz``                          — liveness + planner identity
+* ``/v1/healthz/live``                     — bare liveness probe
+* ``/v1/healthz/ready``                    — readiness (503 while
+  warming or shedding)
+* ``/v1/metrics``                          — cumulative query counters
+* ``/v1/resilience``                       — deadline/gate/breaker state
+* ``/v1/stations``                         — id/name listing
+* ``/v1/eap?from=U&to=V&t=SECONDS``        — earliest arrival
+* ``/v1/ldp?from=U&to=V&t=SECONDS``        — latest departure
+* ``/v1/sdp?from=U&to=V&t=A&t_end=B``      — shortest duration
+* ``/v1/profile?from=U&to=V&t=A&t_end=B``  — non-dominated (dep, arr)
+  pairs
+
+Batched accessibility queries go through one POST instead of N GETs:
+
+* ``POST /v1/batch`` with body ``{"kind": "one_to_many", "source": U,
+  "targets": [...], "t": T}``, ``{"kind": "matrix", "sources": [...],
+  "targets": [...], "t": T}``, or ``{"kind": "isochrone", "source": U,
+  "t": T, "budget": B}``.  Workloads larger than
+  ``ResilienceConfig.max_batch_pairs`` pairs are rejected with 400
+  (and bodies above ``max_body_bytes`` with 413, as everywhere).
 
 When the planner is a :class:`~repro.live.engine.LiveOverlayEngine`,
 disruption endpoints come alive:
@@ -42,12 +66,17 @@ breaker that, when tripped, serves TTL answers on the frozen base
 timetable flagged ``"degraded": true`` instead of exact overlay
 answers.  The full status-code contract:
 
+Every error — any method, any version, any status — carries one JSON
+shape: ``{"error": <message>, "field": <offending parameter or null>,
+"hint": <actionable suggestion or null>}``.  The CLI prints the same
+triple on stderr.  The full status-code contract:
+
 ====== =================================================================
 status meaning
 ====== =================================================================
 200    answered (infeasible journeys are ``{"journey": null}``)
-400    invalid input (``{"error": ..., "field": ...}`` when one
-       parameter is at fault)
+400    invalid input (``field`` names the culprit when one parameter
+       is at fault)
 404    unknown path
 413    request body larger than the configured cap
 429    shed by admission control (``Retry-After`` header)
@@ -67,10 +96,14 @@ so injecting an event while queries are in flight is safe; degraded
 from __future__ import annotations
 
 import json
+import os
+import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional
 
+from repro.core.batch import eat_matrix, isochrone, one_to_many_eat
 from repro.errors import (
     DeadlineExceeded,
     FaultInjected,
@@ -102,6 +135,8 @@ class PlannerService:
         resilience: Optional[ResilienceConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
         breaker: Optional[CircuitBreaker] = None,
+        worker_id: int = 0,
+        scoreboard=None,
     ) -> None:
         """Wrap ``planner`` for serving.
 
@@ -115,8 +150,24 @@ class PlannerService:
             breaker: pre-built circuit breaker (tests inject one with
                 a fake clock); by default one is constructed for live
                 engines from the config.
+            worker_id: identity reported in ``meta.worker`` of ``/v1``
+                envelopes; the prefork supervisor numbers its workers,
+                single-process serving keeps the default ``0``.
+            scoreboard: shared
+                :class:`~repro.serving.scoreboard.Scoreboard` under
+                prefork serving.  When set, ``/metrics`` carries
+                cluster-aggregated counters and ``/healthz`` carries
+                per-worker liveness, both read from shared memory by
+                whichever worker answers.
         """
         self.planner = planner
+        self.worker_id = worker_id
+        self.scoreboard = scoreboard
+        #: Spawn generation under prefork serving (set by worker_main).
+        self.generation = 0
+        #: Requests handled (any endpoint, any status) — fed to the
+        #: prefork scoreboard and summed across workers in /metrics.
+        self.requests_handled = 0
         self.config = resilience or ResilienceConfig()
         #: Serializes planner access against live overlay swaps.
         self.lock = threading.RLock()
@@ -147,7 +198,11 @@ class PlannerService:
     # ------------------------------------------------------------------
 
     def start(
-        self, host: str = "127.0.0.1", port: int = 0, warm: bool = True
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        warm: bool = True,
+        sock: Optional[socket.socket] = None,
     ) -> int:
         """Bind and serve on a daemon thread; returns the bound port.
 
@@ -158,11 +213,19 @@ class PlannerService:
         thread; until it finishes, query endpoints and
         ``/healthz/ready`` answer 503 (liveness stays 200), which is
         the contract a rolling deployment's health checks rely on.
+
+        ``sock`` adopts an already-bound, already-listening socket
+        instead of binding a fresh one — the prefork path, where the
+        supervisor binds once and every forked worker ``accept()``\\ s
+        on the shared descriptor.  ``host``/``port`` are ignored then.
         """
         if warm:
             self._warm_up()
         handler = _make_handler(self)
-        self._server = ThreadingHTTPServer((host, port), handler)
+        if sock is not None:
+            self._server = _adopt_socket(handler, sock)
+        else:
+            self._server = ThreadingHTTPServer((host, port), handler)
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True
         )
@@ -188,6 +251,46 @@ class PlannerService:
     def ready(self) -> bool:
         """True once preprocessing finished."""
         return self._ready.is_set()
+
+    def counters(self) -> Dict[str, int]:
+        """Flat cumulative counters for cross-process aggregation.
+
+        The prefork scoreboard publishes exactly these fields; the
+        supervisor sums them across workers (plus retired totals from
+        dead workers) so aggregated ``/metrics`` stays monotonic.
+        """
+        counters = {
+            "requests": self.requests_handled,
+            "queries": 0,
+            "labels_scanned": 0,
+            "sketches_generated": 0,
+            "unfold_fallbacks": 0,
+            "deadline_exceeded": 0,
+            "degraded_served": 0,
+            "shed": 0,
+        }
+        metrics = getattr(self.planner, "metrics", None)
+        if metrics is not None:
+            counters["queries"] = metrics.queries
+            counters["labels_scanned"] = metrics.labels_scanned
+            counters["sketches_generated"] = metrics.sketches_generated
+            counters["unfold_fallbacks"] = metrics.unfold_fallbacks
+        snapshot = self.executor.snapshot()
+        counters["deadline_exceeded"] = snapshot.get("deadline_exceeded", 0)
+        counters["degraded_served"] = snapshot.get("degraded_served", 0)
+        counters["shed"] = snapshot.get("admission", {}).get("shed", 0)
+        return counters
+
+    def publish_counters(self) -> None:
+        """Push this worker's counters to the shared scoreboard now
+        (the worker heartbeat loop also does this periodically)."""
+        if self.scoreboard is not None:
+            self.scoreboard.publish(
+                self.worker_id,
+                self.counters(),
+                pid=os.getpid(),
+                generation=self.generation,
+            )
 
     def stop(self) -> None:
         """Shut the server down and join the threads."""
@@ -248,6 +351,7 @@ def _make_handler(service: PlannerService):
     live = service._live
     executor = service.executor
     config = service.config
+    scoreboard = service.scoreboard
 
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, *_args) -> None:  # silence request logs
@@ -260,7 +364,7 @@ def _make_handler(service: PlannerService):
             # unsupported methods); keep the API JSON end to end.
             if message is None:
                 message = self.responses.get(code, ("error",))[0]
-            self._send(code, {"error": message})
+            self._send(code, _error_body(message))
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             parsed = urlparse(self.path)
@@ -268,26 +372,36 @@ def _make_handler(service: PlannerService):
                 key: values[0]
                 for key, values in parse_qs(parsed.query).items()
             }
-            self._dispatch(lambda: self._route_get(parsed.path, params))
+            versioned, path = _split_api_version(parsed.path)
+            self._dispatch(
+                versioned, path, lambda: self._route_get(path, params)
+            )
 
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
             parsed = urlparse(self.path)
+            versioned, path = _split_api_version(parsed.path)
             self._dispatch(
-                lambda: self._route_post(parsed.path, self._read_body())
+                versioned,
+                path,
+                lambda: self._route_post(
+                    path, self._read_body(), versioned
+                ),
             )
 
-        def _dispatch(self, route) -> None:
+        def _dispatch(self, versioned: bool, path: str, route) -> None:
+            started = time.perf_counter()
+            service.requests_handled += 1
             try:
                 body = route()
             except Overloaded as exc:
                 self._send(
                     429,
-                    {"error": str(exc)},
+                    _error_body(exc),
                     headers={"Retry-After": _retry_after(exc.retry_after)},
                 )
                 return
             except ServiceNotReady as exc:
-                body = {"error": str(exc)}
+                body = _error_body(exc)
                 build = self._build_progress()
                 if build is not None:
                     body["build"] = build
@@ -298,33 +412,53 @@ def _make_handler(service: PlannerService):
                 )
                 return
             except DeadlineExceeded as exc:
-                self._send(504, {"error": str(exc)})
+                self._send(504, _error_body(exc))
                 return
             except PayloadTooLarge as exc:
-                self._send(413, {"error": str(exc)})
+                self._send(413, _error_body(exc))
                 return
             except RequestValidationError as exc:
-                self._send(400, {"error": str(exc), "field": exc.field})
+                self._send(400, _error_body(exc))
                 return
             except FaultInjected as exc:
-                self._send(500, {"error": f"internal error: {exc}"})
+                self._send(500, _error_body(f"internal error: {exc}"))
                 return
             except (ReproError, KeyError, ValueError) as exc:
-                self._send(400, {"error": str(exc)})
+                self._send(400, _error_body(exc))
                 return
             except Exception as exc:  # never kill the handler thread
                 self._send(
                     500,
-                    {
-                        "error": "internal error: "
+                    _error_body(
+                        "internal error: "
                         f"{exc.__class__.__name__}: {exc}"
-                    },
+                    ),
                 )
                 return
             if body is None:
-                self._send(404, {"error": f"unknown path: {self.path}"})
+                self._send(404, _error_body(f"unknown path: {self.path}"))
                 return
-            self._send(200, body)
+            headers = None
+            if versioned:
+                degraded = False
+                if isinstance(body, dict):
+                    degraded = bool(body.pop("degraded", False))
+                body = {
+                    "data": body,
+                    "meta": {
+                        "elapsed_us": int(
+                            (time.perf_counter() - started) * 1e6
+                        ),
+                        "degraded": degraded,
+                        "worker": service.worker_id,
+                    },
+                }
+            elif not path.startswith("/healthz"):
+                # Legacy unversioned query surface: still answers, but
+                # tells clients to move to /v1 (docs/api.md has the
+                # migration table).
+                headers = {"Deprecation": "true"}
+            self._send(200, body, headers=headers)
 
         def _read_body(self) -> dict:
             raw_length = self.headers.get("Content-Length", 0) or 0
@@ -341,6 +475,7 @@ def _make_handler(service: PlannerService):
                     field="Content-Length",
                 )
             if length > config.max_body_bytes:
+                self._discard_body(length)
                 raise PayloadTooLarge(
                     f"request body of {length} bytes exceeds the "
                     f"{config.max_body_bytes} byte limit"
@@ -355,6 +490,19 @@ def _make_handler(service: PlannerService):
             if not isinstance(data, dict):
                 raise ValueError("JSON body must be an object")
             return data
+
+        def _discard_body(self, length: int) -> None:
+            """Drain an oversized request body (bounded) before the
+            413 goes out, so a client mid-upload finishes its write and
+            reads the response instead of dying on EPIPE.  Bodies
+            beyond the drain bound just get the connection closed."""
+            remaining = min(length, 4 * config.max_body_bytes)
+            while remaining > 0:
+                chunk = self.rfile.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            self.close_connection = True
 
         # --------------------------------------------------------------
 
@@ -413,6 +561,9 @@ def _make_handler(service: PlannerService):
                         body["now"] = live.now
                         body["generation"] = live.generation
                         body["events"] = len(live.events())
+                if scoreboard is not None:
+                    body["worker"] = service.worker_id
+                    body["workers"] = scoreboard.workers()
                 return body
             if path == "/healthz/live":
                 return {"status": "alive"}
@@ -441,6 +592,17 @@ def _make_handler(service: PlannerService):
                                 "store_bytes": index.store_bytes(),
                             }
                 body["resilience"] = executor.snapshot()
+                if scoreboard is not None:
+                    # Fold this worker's very latest counters in before
+                    # aggregating, then sum live rows + retired totals
+                    # from shared memory — the cluster-wide view any
+                    # single worker can serve.
+                    service.publish_counters()
+                    body["cluster"] = {
+                        "worker": service.worker_id,
+                        "workers": scoreboard.workers(),
+                        "totals": scoreboard.totals(),
+                    }
                 return body
             if path == "/stations":
                 return {
@@ -517,7 +679,13 @@ def _make_handler(service: PlannerService):
                 return body
             return None
 
-        def _route_post(self, path: str, body: dict):
+        def _route_post(
+            self, path: str, body: dict, versioned: bool = False
+        ):
+            if path == "/batch":
+                if not versioned:
+                    return None  # batch is /v1-only
+                return self._batch(body)
             if path == "/live/events":
                 self._require_live()
                 self._require_ready()
@@ -545,6 +713,92 @@ def _make_handler(service: PlannerService):
                         cleared = live.clear_all()
                 return {"cleared": cleared}
             return None
+
+        def _batch(self, body: dict):
+            """``POST /v1/batch`` — batched accessibility queries."""
+            index = getattr(planner, "index", None)
+            if index is None:
+                raise ValueError(
+                    f"{planner.name} does not expose a TTL index; "
+                    "batch queries need one"
+                )
+            kind = body.get("kind")
+            if kind not in ("one_to_many", "matrix", "isochrone"):
+                raise RequestValidationError(
+                    "body field 'kind' must be one of 'one_to_many', "
+                    f"'matrix', 'isochrone', got {kind!r}",
+                    field="kind",
+                    hint="see docs/api.md for the /v1/batch request "
+                    "shapes",
+                )
+            t = _int_field(body, "t")
+            cap = config.max_batch_pairs
+            cap_hint = (
+                f"this server caps batch workloads at {cap} "
+                "source-target pairs (ResilienceConfig.max_batch_pairs); "
+                "split the request"
+            )
+            if kind == "one_to_many":
+                source = _int_field(body, "source")
+                targets = _int_list_field(body, "targets")
+                if len(targets) > cap:
+                    raise RequestValidationError(
+                        f"{len(targets)} targets exceed the batch cap "
+                        f"of {cap}",
+                        field="targets",
+                        hint=cap_hint,
+                    )
+                arrivals, is_degraded = self._query(
+                    lambda: one_to_many_eat(index, source, targets, t),
+                    None,
+                )
+                result = {
+                    "kind": kind,
+                    "source": source,
+                    "t": t,
+                    "arrivals": arrivals,
+                }
+            elif kind == "matrix":
+                sources = _int_list_field(body, "sources")
+                targets = _int_list_field(body, "targets")
+                if len(sources) * len(targets) > cap:
+                    raise RequestValidationError(
+                        f"{len(sources)}x{len(targets)} matrix exceeds "
+                        f"the batch cap of {cap} pairs",
+                        field="sources",
+                        hint=cap_hint,
+                    )
+                cells, is_degraded = self._query(
+                    lambda: eat_matrix(index, sources, targets, t),
+                    None,
+                )
+                matrix: Dict[int, Dict[int, Optional[int]]] = {}
+                for (s, target), arr in cells.items():
+                    matrix.setdefault(s, {})[target] = arr
+                result = {"kind": kind, "t": t, "matrix": matrix}
+            else:  # isochrone
+                source = _int_field(body, "source")
+                budget = _int_field(body, "budget")
+                if graph.n > cap:
+                    raise RequestValidationError(
+                        f"an isochrone sweeps all {graph.n} stations, "
+                        f"exceeding the batch cap of {cap}",
+                        field="kind",
+                        hint=cap_hint,
+                    )
+                stations, is_degraded = self._query(
+                    lambda: isochrone(index, source, t, budget), None
+                )
+                result = {
+                    "kind": kind,
+                    "source": source,
+                    "t": t,
+                    "budget": budget,
+                    "stations": stations,
+                }
+            if live is not None:
+                result["degraded"] = is_degraded
+            return result
 
         def _require_live(self) -> None:
             if live is None:
@@ -578,3 +832,89 @@ def _make_handler(service: PlannerService):
 def _retry_after(seconds: float) -> str:
     """Retry-After wants whole seconds; round up, floor at 1."""
     return str(max(1, int(seconds + 0.999)))
+
+
+def _split_api_version(path: str):
+    """Strip the ``/v1`` prefix; returns ``(versioned, subpath)``."""
+    if path == "/v1":
+        return True, "/"
+    if path.startswith("/v1/"):
+        return True, path[3:]
+    return False, path
+
+
+def _error_body(error) -> dict:
+    """The one error shape every response uses.
+
+    ``error`` is an exception or a plain message; ``field`` and
+    ``hint`` come from the exception when it carries them
+    (``RequestValidationError.field``, ``ReproError.hint``) and are
+    ``null`` otherwise — clients can always read all three keys.
+    """
+    return {
+        "error": str(error),
+        "field": getattr(error, "field", None),
+        "hint": getattr(error, "hint", None),
+    }
+
+
+def _int_list_field(body: dict, name: str) -> list:
+    """Parse one required list-of-station-ids JSON body field."""
+    if name not in body:
+        raise RequestValidationError(
+            f"missing required body field: {name!r}", field=name
+        )
+    value = body[name]
+    if not isinstance(value, list):
+        raise RequestValidationError(
+            f"body field {name!r} must be a list of station ids, "
+            f"got {value!r}",
+            field=name,
+        )
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise RequestValidationError(
+                f"body field {name!r} must contain only integers, "
+                f"got {item!r}",
+                field=name,
+            )
+    return value
+
+
+class _SharedSocketServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer over an inherited listening socket.
+
+    The prefork supervisor's listener is non-blocking (every worker
+    polls it; a blocking ``accept()`` would make lost wake-ups hang a
+    worker), and on some platforms accepted connections inherit that —
+    so ``get_request`` pins each accepted connection back to blocking
+    before the handler reads from it.
+    """
+
+    def get_request(self):
+        request, client_address = self.socket.accept()
+        request.setblocking(True)
+        return request, client_address
+
+
+def _adopt_socket(
+    handler, sock: socket.socket
+) -> ThreadingHTTPServer:
+    """Build a server that accepts on ``sock`` instead of binding.
+
+    ``bind_and_activate=False`` keeps the constructor from binding a
+    fresh socket; the placeholder it created anyway is closed and
+    replaced with the shared one.  ``server_bind``/``server_activate``
+    are deliberately not called — the supervisor already bound and
+    listened — so server identity fields are filled in by hand.
+    """
+    host, port = sock.getsockname()[:2]
+    server = _SharedSocketServer(
+        (host, port), handler, bind_and_activate=False
+    )
+    server.socket.close()
+    server.socket = sock
+    server.server_address = (host, port)
+    server.server_name = host
+    server.server_port = port
+    return server

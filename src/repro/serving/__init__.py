@@ -1,0 +1,40 @@
+"""Prefork multi-worker serving.
+
+One supervisor process binds the listening socket, forks K workers
+that each ``mmap`` the same TTLIDX03 index file read-only and
+``accept()`` on the shared socket.  The kernel load-balances accepts;
+the page cache holds one physical copy of the label columns no matter
+how many workers serve them — the Delling et al. / Phan & Viennot
+serving shape, where the label file is an immutable shared artifact.
+
+* :class:`~repro.serving.scoreboard.Scoreboard` — lock-free shared
+  memory where every worker publishes liveness heartbeats and its
+  cumulative counters; any worker can answer aggregated ``/metrics``
+  and per-worker ``/healthz`` from it.  A retired-totals row keeps the
+  aggregate monotonic across worker deaths.
+* :func:`~repro.serving.worker.worker_main` — the forked child body:
+  build the planner, adopt the shared socket into a
+  :class:`~repro.service.PlannerService`, publish forever.
+* :class:`~repro.serving.supervisor.ServingSupervisor` — binds, forks,
+  monitors, respawns.
+
+Wired to the CLI as ``repro-ttl serve NAME --workers K --mmap
+--index FILE``.
+"""
+
+from repro.serving.scoreboard import (
+    COUNTER_FIELDS,
+    FIELDS,
+    Scoreboard,
+)
+from repro.serving.supervisor import ServingSupervisor
+from repro.serving.worker import mapped_planner_factory, worker_main
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "FIELDS",
+    "Scoreboard",
+    "ServingSupervisor",
+    "mapped_planner_factory",
+    "worker_main",
+]

@@ -1,0 +1,208 @@
+"""The prefork supervisor: bind once, fork K, watch, respawn.
+
+The supervisor owns exactly three things:
+
+* the **listening socket** — bound and set listening (and
+  non-blocking) before any fork, so every worker inherits the same
+  kernel accept queue and the kernel load-balances connections;
+* the **scoreboard** — shared memory allocated before any fork;
+* the **worker table** — ``fork``-context processes running
+  :func:`~repro.serving.worker.worker_main`.
+
+It deliberately does *not* serve HTTP itself: aggregated ``/metrics``
+and per-worker ``/healthz`` liveness are answered by whichever worker
+accepts the request, reading the shared scoreboard.  That keeps the
+parent a pure process manager — if it has nothing to do it does
+nothing, and a wedged handler can never take the supervisor down.
+
+Respawn: a monitor thread polls child liveness; when a worker dies
+(crash, OOM-kill, chaos drill) its last published counters are folded
+into the scoreboard's retired row — keeping aggregated ``/metrics``
+monotonic — and a fresh worker is forked into the same slot with a
+bumped generation number.  Forking from the live parent means respawn
+needs no exec, no re-parse, and no index reload beyond the O(header)
+mmap in the child.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.errors import ServiceNotReady
+from repro.resilience import FaultPlan, ResilienceConfig
+from repro.serving.scoreboard import Scoreboard
+from repro.serving.worker import PlannerFactory, worker_main
+
+
+class ServingSupervisor:
+    """Run ``workers`` forked servers behind one listening socket."""
+
+    def __init__(
+        self,
+        planner_factory: PlannerFactory,
+        workers: int = 2,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_interval_s: float = 0.25,
+        respawn: bool = True,
+        respawn_backoff_s: float = 0.1,
+        warm: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker: {workers}")
+        self.planner_factory = planner_factory
+        self.num_workers = workers
+        self.resilience = resilience
+        self.fault_plan = fault_plan
+        self.host = host
+        self.port = port
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.respawn = respawn
+        self.respawn_backoff_s = respawn_backoff_s
+        self.warm = warm
+        self.scoreboard = Scoreboard(
+            workers,
+            liveness_timeout_s=max(2.0, 8 * heartbeat_interval_s),
+        )
+        self.respawns = 0
+        self._ctx = multiprocessing.get_context("fork")
+        self._procs: Dict[int, multiprocessing.Process] = {}
+        self._generation = 0
+        self._sock: Optional[socket.socket] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> int:
+        """Bind, fork every worker, start the monitor; returns the
+        bound port."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen(128)
+        # Non-blocking so a worker that loses an accept race gets
+        # EAGAIN instead of hanging (socketserver swallows the OSError
+        # and re-polls).  Workers re-pin accepted connections to
+        # blocking; see _SharedSocketServer.
+        sock.setblocking(False)
+        self._sock = sock
+        self.port = sock.getsockname()[1]
+        for worker_id in range(self.num_workers):
+            self._spawn(worker_id)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, daemon=True
+        )
+        self._monitor.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Terminate every worker and release the socket."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+            self._monitor = None
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            proc.join(timeout=5)
+        self._procs.clear()
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def wait_ready(self, timeout_s: float = 30.0) -> None:
+        """Block until every worker has published a heartbeat (i.e.
+        its service warmed up and is accepting), or raise
+        :class:`~repro.errors.ServiceNotReady`."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            rows = self.scoreboard.workers()
+            if all(row["pid"] > 0 for row in rows):
+                return
+            time.sleep(0.05)
+        missing = [
+            row["worker"]
+            for row in self.scoreboard.workers()
+            if row["pid"] == 0
+        ]
+        raise ServiceNotReady(
+            f"workers {missing} did not become ready within "
+            f"{timeout_s:.0f}s"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / chaos hooks
+    # ------------------------------------------------------------------
+
+    def worker_pids(self) -> Dict[int, int]:
+        """Live worker pids by worker id."""
+        return {
+            worker_id: proc.pid
+            for worker_id, proc in self._procs.items()
+            if proc.is_alive() and proc.pid is not None
+        }
+
+    def kill_worker(
+        self, worker_id: int, sig: int = signal.SIGKILL
+    ) -> int:
+        """Kill one worker (chaos drills, the CI smoke job); returns
+        the pid killed.  The monitor notices and respawns."""
+        proc = self._procs[worker_id]
+        if proc.pid is None or not proc.is_alive():
+            raise ValueError(f"worker {worker_id} is not running")
+        os.kill(proc.pid, sig)
+        return proc.pid
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _spawn(self, worker_id: int) -> None:
+        self._generation += 1
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(
+                worker_id,
+                self._generation,
+                self._sock,
+                self.planner_factory,
+                self.scoreboard,
+            ),
+            kwargs={
+                "resilience": self.resilience,
+                "fault_plan": self.fault_plan,
+                "heartbeat_interval_s": self.heartbeat_interval_s,
+                "warm": self.warm,
+            },
+            daemon=True,
+            name=f"repro-serve-worker-{worker_id}",
+        )
+        proc.start()
+        self._procs[worker_id] = proc
+
+    def _monitor_loop(self) -> None:
+        interval = max(0.05, self.heartbeat_interval_s / 2)
+        while not self._stopping.wait(interval):
+            for worker_id, proc in list(self._procs.items()):
+                if proc.is_alive() or self._stopping.is_set():
+                    continue
+                proc.join(timeout=0)
+                # Preserve what the dead worker had published, then
+                # hand its slot to a replacement.
+                self.scoreboard.retire(worker_id)
+                if self.respawn:
+                    time.sleep(self.respawn_backoff_s)
+                    self._spawn(worker_id)
+                    self.respawns += 1

@@ -1,0 +1,92 @@
+"""The forked worker body and planner factories.
+
+A worker is a forked child of the supervisor.  It builds its own
+planner (for mmap serving that means mapping the shared index file —
+a zero-copy O(header) load), adopts the supervisor's listening socket
+into a :class:`~repro.service.PlannerService`, and then spends its
+life publishing heartbeats + counters to the shared scoreboard.  It
+never returns; the supervisor terminates it.
+
+Factories are plain closures: workers are started with the ``fork``
+start method precisely so nothing has to pickle — the graph, config,
+and socket all arrive by address-space inheritance, and the index
+pages arrive by ``mmap`` against the page cache.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Callable, Optional
+
+from repro.core.queries import TTLPlanner
+from repro.core.serialize import load_index
+from repro.graph.timetable import TimetableGraph
+from repro.planner import RoutePlanner
+from repro.resilience import FaultPlan, ResilienceConfig
+from repro.serving.scoreboard import Scoreboard
+
+PlannerFactory = Callable[[], RoutePlanner]
+
+
+def mapped_planner_factory(
+    graph: TimetableGraph,
+    index_path: str,
+    verify: bool = False,
+) -> PlannerFactory:
+    """A factory that memory-maps ``index_path`` when called.
+
+    ``verify=False`` skips the per-column crc pass in the worker —
+    the supervisor (or CLI) is expected to have verified the file once
+    before forking, and re-verifying in every worker would fault every
+    page in, defeating the lazy cold start.
+    """
+
+    def factory() -> RoutePlanner:
+        index = load_index(index_path, graph, mmap=True, verify=verify)
+        return TTLPlanner(graph, index=index)
+
+    return factory
+
+
+def worker_main(
+    worker_id: int,
+    generation: int,
+    sock: socket.socket,
+    planner_factory: PlannerFactory,
+    scoreboard: Scoreboard,
+    resilience: Optional[ResilienceConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    heartbeat_interval_s: float = 0.25,
+    warm: bool = True,
+) -> None:
+    """Serve forever on the shared socket (runs in the forked child)."""
+    # Lazy import: repro.service imports a lot; the supervisor module
+    # must stay importable without it for the scoreboard unit tests.
+    from repro.service import PlannerService
+
+    planner = planner_factory()
+    service = PlannerService(
+        planner,
+        resilience=resilience,
+        fault_plan=fault_plan,
+        worker_id=worker_id,
+        scoreboard=scoreboard,
+    )
+    service.generation = generation
+    service.start(sock=sock, warm=warm)
+    pid = os.getpid()
+    try:
+        while True:
+            scoreboard.publish(
+                worker_id,
+                service.counters(),
+                pid=pid,
+                generation=generation,
+            )
+            time.sleep(heartbeat_interval_s)
+    except KeyboardInterrupt:
+        # Ctrl-C hits the whole foreground process group; exit quietly
+        # and let the supervisor's shutdown own the terminal.
+        pass

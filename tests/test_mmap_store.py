@@ -1,0 +1,319 @@
+"""TTLIDX03 zero-copy store: round-trip, corruption fuzz, fork-share.
+
+The contract under test: a memory-mapped TTLIDX03 load is
+*indistinguishable* from the in-memory index it was saved from —
+column for column, query for query, across process boundaries — and
+every way the bytes can rot surfaces as a clean
+:class:`~repro.errors.SerializationError`, never a wrong answer.
+"""
+
+import multiprocessing
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro.core.build import build_index
+from repro.core.queries import TTLPlanner
+from repro.core.serialize import load_index, save_index
+from repro.core.store import COLUMN_NAMES
+from repro.datasets import load_dataset
+from repro.errors import SerializationError
+from tests.conftest import make_random_route_graph
+
+_STATS_FORMAT = "<2d6q"
+_DIR_ENTRY = "<3q"
+
+
+def _v3_layout(data: bytes):
+    """Parse (n, directory_offset, entries) out of a TTLIDX03 blob."""
+    assert data[:8] == b"TTLIDX03"
+    (n,) = struct.unpack_from("<q", data, 8)
+    off = 16 + 8 * n
+    (present,) = struct.unpack_from("<q", data, off)
+    off += 8
+    if present:
+        off += struct.calcsize(_STATS_FORMAT)
+    (ncols,) = struct.unpack_from("<q", data, off)
+    off += 8
+    entries = [
+        struct.unpack_from(_DIR_ENTRY, data, off + i * 24)
+        for i in range(ncols)
+    ]
+    return n, off, entries
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    rng = random.Random(0xBEEF)
+    graph = make_random_route_graph(rng, 25, 8)
+    index = build_index(graph)
+    path = tmp_path_factory.mktemp("v3") / "index.ttl"
+    save_index(index, path)
+    return graph, index, path
+
+
+class TestRoundtripColumns:
+    def test_every_column_identical_heap(self, saved):
+        graph, index, path = saved
+        loaded = load_index(path, graph)
+        assert not loaded.mapped
+        for direction in ("in_store", "out_store"):
+            original = getattr(index, direction)
+            restored = getattr(loaded, direction)
+            for name in COLUMN_NAMES:
+                assert list(getattr(restored, name)) == list(
+                    getattr(original, name)
+                ), f"{direction}.{name}"
+
+    def test_every_column_identical_mmap(self, saved):
+        graph, index, path = saved
+        mapped = load_index(path, graph, mmap=True)
+        assert mapped.mapped
+        for direction in ("in_store", "out_store"):
+            original = getattr(index, direction)
+            restored = getattr(mapped, direction)
+            assert restored.mapped
+            for name in COLUMN_NAMES:
+                assert list(getattr(restored, name)) == list(
+                    getattr(original, name)
+                ), f"{direction}.{name}"
+
+    def test_label_surface_identical(self, saved):
+        graph, index, path = saved
+        mapped = load_index(path, graph, mmap=True)
+        mapped.check_invariants()
+        for v in range(graph.n):
+            assert mapped.in_labels(v) == index.in_labels(v)
+            assert mapped.out_labels(v) == index.out_labels(v)
+
+    def test_build_stats_roundtrip(self, saved):
+        graph, index, path = saved
+        mapped = load_index(path, graph, mmap=True)
+        assert mapped.build_stats is not None
+        assert mapped.build_stats.num_labels == index.build_stats.num_labels
+        assert mapped.build_stats.seconds == index.build_stats.seconds
+
+    def test_mmap_refused_for_v2_files(self, saved, tmp_path):
+        graph, index, _ = saved
+        path = tmp_path / "v2.ttl"
+        save_index(index, path, version=2)
+        with pytest.raises(SerializationError, match="memory-map"):
+            load_index(path, graph, mmap=True)
+
+
+class TestBerlinEqualityGate:
+    """The acceptance gate: a TTLIDX03 mmap load answers EAP / LDP /
+    SDP / profile byte-identically to a TTLIDX02 heap load on Berlin.
+    """
+
+    @pytest.fixture(scope="class")
+    def planners(self, tmp_path_factory):
+        graph = load_dataset("Berlin")
+        index = build_index(graph)
+        directory = tmp_path_factory.mktemp("berlin")
+        v2 = directory / "berlin.v2.ttl"
+        v3 = directory / "berlin.v3.ttl"
+        save_index(index, v2, version=2)
+        save_index(index, v3)
+        heap = TTLPlanner(graph, index=load_index(v2, graph))
+        mapped_index = load_index(v3, graph, mmap=True)
+        assert mapped_index.mapped
+        mapped = TTLPlanner(graph, index=mapped_index)
+        return graph, heap, mapped
+
+    def test_point_queries_identical(self, planners):
+        graph, heap, mapped = planners
+        rng = random.Random(2015)
+        for _ in range(150):
+            u = rng.randrange(graph.n)
+            v = rng.randrange(graph.n)
+            if u == v:
+                continue
+            t = rng.randrange(0, 24 * 3600)
+            for kind in ("earliest_arrival", "latest_departure"):
+                a = getattr(heap, kind)(u, v, t)
+                b = getattr(mapped, kind)(u, v, t)
+                assert (a is None) == (b is None), (kind, u, v, t)
+                if a is not None:
+                    assert a.to_dict() == b.to_dict(), (kind, u, v, t)
+
+    def test_window_queries_identical(self, planners):
+        graph, heap, mapped = planners
+        rng = random.Random(4103)
+        for _ in range(60):
+            u = rng.randrange(graph.n)
+            v = rng.randrange(graph.n)
+            if u == v:
+                continue
+            t = rng.randrange(0, 20 * 3600)
+            t_end = t + rng.randrange(3600, 6 * 3600)
+            a = heap.shortest_duration(u, v, t, t_end)
+            b = mapped.shortest_duration(u, v, t, t_end)
+            assert (a is None) == (b is None), (u, v, t, t_end)
+            if a is not None:
+                assert a.to_dict() == b.to_dict(), (u, v, t, t_end)
+            assert heap.profile(u, v, t, t_end) == mapped.profile(
+                u, v, t, t_end
+            ), (u, v, t, t_end)
+
+
+def _fuzz_load(path, graph, data: bytes):
+    path.write_bytes(data)
+    with pytest.raises(SerializationError) as err:
+        load_index(path, graph, mmap=True)
+    return err.value
+
+
+class TestCorruptionFuzz:
+    def test_truncated_blob(self, saved, tmp_path):
+        graph, _, path = saved
+        data = path.read_bytes()
+        target = tmp_path / "trunc.ttl"
+        exc = _fuzz_load(target, graph, data[: len(data) - 9])
+        assert "truncated" in str(exc)
+
+    def test_truncated_header(self, saved, tmp_path):
+        graph, _, path = saved
+        data = path.read_bytes()
+        target = tmp_path / "header.ttl"
+        exc = _fuzz_load(target, graph, data[:20])
+        assert "truncated" in str(exc)
+
+    def test_bad_offset(self, saved, tmp_path):
+        graph, _, path = saved
+        data = bytearray(path.read_bytes())
+        _, dir_off, entries = _v3_layout(data)
+        # Point the first column far past the end of the file.
+        offset, count, crc = entries[0]
+        struct.pack_into(
+            _DIR_ENTRY, data, dir_off, offset + (1 << 40), count, crc
+        )
+        exc = _fuzz_load(tmp_path / "offset.ttl", graph, bytes(data))
+        assert "truncated" in str(exc)
+        assert exc.hint is not None
+
+    def test_misaligned_offset(self, saved, tmp_path):
+        graph, _, path = saved
+        data = bytearray(path.read_bytes())
+        _, dir_off, entries = _v3_layout(data)
+        offset, count, crc = entries[0]
+        struct.pack_into(
+            _DIR_ENTRY, data, dir_off, offset + 4, count, crc
+        )
+        exc = _fuzz_load(tmp_path / "align.ttl", graph, bytes(data))
+        assert "truncated" in str(exc)
+
+    def test_digest_mismatch(self, saved, tmp_path):
+        graph, _, path = saved
+        data = bytearray(path.read_bytes())
+        _, _, entries = _v3_layout(data)
+        offset, count, _ = entries[0]
+        assert count > 0
+        data[offset] ^= 0xFF
+        exc = _fuzz_load(tmp_path / "digest.ttl", graph, bytes(data))
+        assert "digest mismatch" in str(exc)
+
+    def test_bad_column_count(self, saved, tmp_path):
+        graph, _, path = saved
+        data = bytearray(path.read_bytes())
+        _, dir_off, _ = _v3_layout(data)
+        struct.pack_into("<q", data, dir_off - 8, 99)
+        exc = _fuzz_load(tmp_path / "ncols.ttl", graph, bytes(data))
+        assert "columns" in str(exc)
+
+    def test_rank_corruption(self, saved, tmp_path):
+        graph, index, path = saved
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<q", data, 16, index.ranks[1])
+        exc = _fuzz_load(tmp_path / "rank.ttl", graph, bytes(data))
+        assert "permutation" in str(exc)
+
+    def test_hub_out_of_range_caught_structurally(self, saved, tmp_path):
+        # Flip a hub id to an invalid station AND fix the digest, so
+        # only the structural check can catch it.
+        graph, _, path = saved
+        data = bytearray(path.read_bytes())
+        _, dir_off, entries = _v3_layout(data)
+        hubs_entry = COLUMN_NAMES.index("hubs")  # in-direction hubs
+        offset, count, _ = entries[hubs_entry]
+        assert count > 0
+        struct.pack_into("<q", data, offset, graph.n + 5)
+        blob = bytes(data[offset:offset + 8 * count])
+        struct.pack_into(
+            _DIR_ENTRY,
+            data,
+            dir_off + hubs_entry * 24,
+            offset,
+            count,
+            zlib.crc32(blob),
+        )
+        exc = _fuzz_load(tmp_path / "hub.ttl", graph, bytes(data))
+        assert "hub" in str(exc)
+
+    def test_station_count_mismatch(self, saved, tmp_path):
+        graph, _, path = saved
+        rng = random.Random(99)
+        other = make_random_route_graph(rng, graph.n + 3, 4)
+        with pytest.raises(SerializationError, match="stations"):
+            load_index(path, other, mmap=True)
+
+    def test_skip_verify_skips_digests_not_structure(self, saved, tmp_path):
+        graph, _, path = saved
+        data = bytearray(path.read_bytes())
+        _, _, entries = _v3_layout(data)
+        offset, count, _ = entries[0]  # in-direction deps payload
+        assert count > 0
+        data[offset] ^= 0x01
+        target = tmp_path / "unverified.ttl"
+        target.write_bytes(bytes(data))
+        with pytest.raises(SerializationError, match="digest"):
+            load_index(target, graph, mmap=True)
+        # verify=False trusts the digests away; structure still holds.
+        loaded = load_index(target, graph, mmap=True, verify=False)
+        assert loaded.mapped
+
+
+def _forked_reader(path, graph, queries, queue):
+    index = load_index(path, graph, mmap=True)
+    planner = TTLPlanner(graph, index=index)
+    answers = []
+    for u, v, t in queries:
+        journey = planner.earliest_arrival(u, v, t)
+        answers.append(journey.to_dict() if journey else None)
+    queue.put(answers)
+
+
+class TestForkedReaders:
+    def test_two_processes_answer_identically(self, saved):
+        graph, index, path = saved
+        rng = random.Random(7)
+        queries = [
+            (rng.randrange(graph.n), rng.randrange(graph.n), rng.randrange(200))
+            for _ in range(50)
+        ]
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_forked_reader,
+                args=(path, graph, queries, queue),
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        first = queue.get(timeout=60)
+        second = queue.get(timeout=60)
+        for proc in procs:
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+        assert first == second
+        # ...and both match the parent's in-memory index.
+        planner = TTLPlanner(graph, index=index)
+        expected = []
+        for u, v, t in queries:
+            journey = planner.earliest_arrival(u, v, t)
+            expected.append(journey.to_dict() if journey else None)
+        assert first == expected

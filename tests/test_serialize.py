@@ -72,7 +72,20 @@ class TestBuildStatsFooter:
         index = build_index(route_graph)
         path = tmp_path / "index.ttl"
         save_index(index, path)
+        assert path.read_bytes()[:8] == b"TTLIDX03"
+
+    def test_version_2_writes_legacy_magic(self, route_graph, tmp_path):
+        index = build_index(route_graph)
+        path = tmp_path / "index.ttl"
+        save_index(index, path, version=2)
         assert path.read_bytes()[:8] == b"TTLIDX02"
+        loaded = load_index(path, route_graph)
+        assert loaded.ranks == index.ranks
+
+    def test_unknown_version_rejected(self, route_graph, tmp_path):
+        index = build_index(route_graph)
+        with pytest.raises(ValueError, match="version"):
+            save_index(index, tmp_path / "index.ttl", version=7)
 
     def test_build_stats_roundtrip(self, route_graph, tmp_path):
         index = build_index(route_graph)
@@ -113,7 +126,7 @@ class TestBuildStatsFooter:
 
         index = build_index(route_graph)
         path = tmp_path / "index.ttl"
-        save_index(index, path)
+        save_index(index, path, version=2)
         data = path.read_bytes()
         # A v1 file is the v2 body without the stats footer.
         footer = 8 + (struct.calcsize("<2d6q") if index.build_stats else 0)
@@ -128,11 +141,13 @@ class TestBuildStatsFooter:
 
 class TestErrors:
     def test_bad_hub_id_rejected(self, route_graph, tmp_path):
+        # Patches a v2 group record; v3 hub corruption is covered by
+        # the TTLIDX03 fuzz tests in tests/test_mmap_store.py.
         import struct
 
         index = build_index(route_graph)
         path = tmp_path / "index.ttl"
-        save_index(index, path)
+        save_index(index, path, version=2)
         data = bytearray(path.read_bytes())
         off = _first_group_hub_offset(data, route_graph.n)
         if off < 0:

@@ -450,3 +450,227 @@ class TestBackgroundBuildReadiness:
         finally:
             release.set()
             svc.stop()
+
+
+def get_with_headers(port, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10
+    ) as response:
+        return (
+            response.status,
+            json.loads(response.read()),
+            dict(response.headers),
+        )
+
+
+class TestV1Envelope:
+    def test_eap_wrapped_in_envelope(self, service):
+        graph, port = service
+        status, body = get(port, "/v1/eap?from=0&to=1&t=0")
+        assert status == 200
+        assert set(body) == {"data", "meta"}
+        assert "journey" in body["data"]
+        meta = body["meta"]
+        assert meta["elapsed_us"] >= 0
+        assert meta["degraded"] is False
+        assert meta["worker"] == 0
+
+    def test_v1_matches_legacy_answer(self, service):
+        graph, port = service
+        for u in range(graph.n):
+            _, legacy = get(port, f"/eap?from=0&to={u}&t=0")
+            _, versioned = get(port, f"/v1/eap?from=0&to={u}&t=0")
+            assert versioned["data"]["journey"] == legacy["journey"]
+
+    def test_all_get_endpoints_enveloped(self, service):
+        _, port = service
+        for path in (
+            "/v1/stations",
+            "/v1/healthz",
+            "/v1/healthz/ready",
+            "/v1/metrics",
+            "/v1/resilience",
+            "/v1/sdp?from=0&to=1&t=0&t_end=500",
+            "/v1/profile?from=0&to=1&t=0&t_end=500",
+        ):
+            status, body = get(port, path)
+            assert status == 200, path
+            assert set(body) == {"data", "meta"}, path
+
+    def test_legacy_paths_carry_deprecation_header(self, service):
+        _, port = service
+        _, _, headers = get_with_headers(port, "/eap?from=0&to=1&t=0")
+        assert headers.get("Deprecation") == "true"
+        _, _, headers = get_with_headers(port, "/stations")
+        assert headers.get("Deprecation") == "true"
+
+    def test_v1_and_health_probes_not_deprecated(self, service):
+        _, port = service
+        _, _, headers = get_with_headers(port, "/v1/eap?from=0&to=1&t=0")
+        assert "Deprecation" not in headers
+        # Infrastructure probes (k8s etc.) are config, not client code;
+        # nagging them would only pollute logs.
+        _, _, headers = get_with_headers(port, "/healthz/live")
+        assert "Deprecation" not in headers
+
+    def test_unknown_v1_path_404(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/v1/teleport")
+        assert err.value.code == 404
+
+
+class TestOneErrorShape:
+    """Every error payload is {"error", "field", "hint"}."""
+
+    def _assert_shape(self, err):
+        body = json.loads(err.read())
+        assert set(body) >= {"error", "field", "hint"}, body
+        return body
+
+    def test_validation_error_with_field(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/v1/eap?from=0&to=1")
+        assert err.value.code == 400
+        body = self._assert_shape(err.value)
+        assert body["field"] == "t"
+
+    def test_query_error_null_field(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/v1/eap?from=9999&to=0&t=0")
+        assert err.value.code == 400
+        body = self._assert_shape(err.value)
+        assert body["field"] is None
+        assert body["hint"] is None
+
+    def test_404_shape(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(port, "/nope")
+        self._assert_shape(err.value)
+
+    def test_legacy_and_v1_errors_identical(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as legacy:
+            get(port, "/eap?from=0&to=1")
+        with pytest.raises(urllib.error.HTTPError) as versioned:
+            get(port, "/v1/eap?from=0&to=1")
+        assert json.loads(legacy.value.read()) == json.loads(
+            versioned.value.read()
+        )
+
+    def test_batch_cap_hint(self, service):
+        _, port = service
+        from repro.core import TTLPlanner as _P  # noqa: F401
+        from repro.resilience import ResilienceConfig
+        from repro.service import PlannerService
+        from tests.conftest import make_random_route_graph
+        import random as _random
+
+        graph = make_random_route_graph(_random.Random(11), 8, 4)
+        svc = PlannerService(
+            TTLPlanner(graph),
+            resilience=ResilienceConfig(max_batch_pairs=3),
+        )
+        capped_port = svc.start(port=0)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post(
+                    capped_port,
+                    "/v1/batch",
+                    {
+                        "kind": "one_to_many",
+                        "source": 0,
+                        "targets": [1, 2, 3, 4],
+                        "t": 0,
+                    },
+                )
+            assert err.value.code == 400
+            body = self._assert_shape(err.value)
+            assert body["field"] == "targets"
+            assert "max_batch_pairs" in body["hint"]
+        finally:
+            svc.stop()
+
+
+class TestBatchEndpoint:
+    def test_one_to_many(self, service):
+        graph, port = service
+        targets = list(range(graph.n))
+        status, body = post(
+            port,
+            "/v1/batch",
+            {"kind": "one_to_many", "source": 0, "targets": targets, "t": 0},
+        )
+        assert status == 200
+        data = body["data"]
+        assert data["kind"] == "one_to_many"
+        arrivals = data["arrivals"]
+        assert len(arrivals) == graph.n
+        assert arrivals["0"] == 0  # source reaches itself at t
+        planner = TTLPlanner(graph)
+        for v in range(graph.n):
+            journey = planner.earliest_arrival(0, v, 0)
+            expected = journey.arr if journey else None
+            if v == 0:
+                expected = 0
+            assert arrivals[str(v)] == expected, v
+
+    def test_matrix(self, service):
+        graph, port = service
+        status, body = post(
+            port,
+            "/v1/batch",
+            {"kind": "matrix", "sources": [0, 1], "targets": [2, 3], "t": 0},
+        )
+        assert status == 200
+        matrix = body["data"]["matrix"]
+        assert set(matrix) == {"0", "1"}
+        assert set(matrix["0"]) == {"2", "3"}
+
+    def test_isochrone(self, service):
+        graph, port = service
+        status, body = post(
+            port,
+            "/v1/batch",
+            {"kind": "isochrone", "source": 0, "t": 0, "budget": 100},
+        )
+        assert status == 200
+        data = body["data"]
+        assert 0 in data["stations"]
+        planner = TTLPlanner(graph)
+        for v in data["stations"]:
+            if v == 0:
+                continue
+            journey = planner.earliest_arrival(0, v, 0)
+            assert journey is not None and journey.arr <= 100
+
+    def test_bad_kind_400(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(port, "/v1/batch", {"kind": "teleport", "t": 0})
+        assert err.value.code == 400
+        assert json.loads(err.value.read())["field"] == "kind"
+
+    def test_non_integer_targets_400(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(
+                port,
+                "/v1/batch",
+                {"kind": "one_to_many", "source": 0, "targets": ["x"], "t": 0},
+            )
+        assert err.value.code == 400
+        assert json.loads(err.value.read())["field"] == "targets"
+
+    def test_batch_is_v1_only(self, service):
+        _, port = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(
+                port,
+                "/batch",
+                {"kind": "one_to_many", "source": 0, "targets": [1], "t": 0},
+            )
+        assert err.value.code == 404
