@@ -16,13 +16,22 @@ Two questions the prefork + mmap redesign must answer with numbers:
   ``load_index(path, graph, mmap=True)`` (zero-copy) and reports the
   resident delta per extra worker.
 
+* **What does the answer cache buy on a realistic workload?**  Journey
+  traffic is Zipfian, so the cache section replays a Zipf-distributed
+  request sequence (theoretical hit rate >= 0.9) against one
+  cache-enabled and one cache-disabled service, comparing server-side
+  ``meta.elapsed_us`` p50/p99, then measures a live-churn run where
+  disruptions drive the taint-directed invalidation sweep.  Both
+  sections land machine-readable in
+  ``benchmarks/results/BENCH_serving.json``.
+
 Run standalone (not a pytest-benchmark file)::
 
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py           # Berlin
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py --smoke   # Austin
 
 Results land in ``benchmarks/results/serving_throughput.txt`` (smoke
-runs write ``serving_throughput_smoke.txt``).
+runs write ``serving_throughput_smoke.txt``) plus ``BENCH_serving.json``.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import random
 import statistics
 import time
 import tracemalloc
@@ -193,6 +203,181 @@ def run(dataset, worker_counts, num_requests, num_clients, repeats):
     return "\n".join(lines)
 
 
+def _zipf_requests(graph, num_requests, seed=1234):
+    """A Zipf-distributed ``/v1/eap`` request sequence.
+
+    The distinct-key count is sized so the *theoretical* hit rate of an
+    unbounded cache over the sequence — ``1 - unique/total`` — clears
+    0.9; the sequence itself then reports the exact figure.
+    """
+    rng = random.Random(seed)
+    num_keys = max(6, num_requests // 50)
+    pairs = []
+    while len(pairs) < num_keys:
+        u = rng.randrange(graph.n)
+        v = rng.randrange(graph.n)
+        if u != v:
+            pairs.append((u, v))
+    times = (28800, 32400, 36000)
+    keys = [
+        (u, v, times[i % len(times)]) for i, (u, v) in enumerate(pairs)
+    ]
+    weights = [1.0 / (rank + 1) ** 1.1 for rank in range(len(keys))]
+    sequence = rng.choices(keys, weights=weights, k=num_requests)
+    theoretical = 1.0 - len(set(sequence)) / len(sequence)
+    return (
+        [f"/v1/eap?from={u}&to={v}&t={t}" for u, v, t in sequence],
+        theoretical,
+    )
+
+
+def _replay(port, paths):
+    """Serially replay paths; returns (server-side us list, wall s)."""
+    elapsed = []
+    started = time.perf_counter()
+    for path in paths:
+        elapsed.append(_get(port, path)["meta"]["elapsed_us"])
+    return elapsed, time.perf_counter() - started
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+    return {
+        "p50_us": ordered[len(ordered) // 2],
+        "p99_us": ordered[int(0.99 * (len(ordered) - 1))],
+    }
+
+
+def run_cache(dataset, num_requests):
+    """The answer-cache sections; returns (report text, JSON dict)."""
+    from repro.core.build import build_index
+    from repro.core.queries import TTLPlanner
+    from repro.datasets import clear_dataset_cache, load_dataset
+    from repro.live import LiveOverlayEngine
+    from repro.resilience import ResilienceConfig
+    from repro.service import PlannerService
+
+    graph = load_dataset(dataset)
+    index = build_index(graph)
+    paths, theoretical = _zipf_requests(graph, num_requests)
+
+    # -- Zipf replay: cache on vs cache off --------------------------
+    modes = {}
+    for label, cache_size in (("cache", 512), ("nocache", 0)):
+        service = PlannerService(
+            TTLPlanner(graph, index=index),
+            resilience=ResilienceConfig(cache_size=cache_size),
+        )
+        port = service.start(port=0)
+        try:
+            _replay(port, paths[:32])  # warm sockets + JIT-ish caches
+            if service.cache is not None:
+                service.cache.clear()
+                service.cache.stats.invalidations = 0
+            elapsed, wall = _replay(port, paths)
+        finally:
+            service.stop()
+        stats = _percentiles(elapsed)
+        stats["rps"] = round(len(paths) / wall)
+        counters = service.counters()
+        stats["cache_hits"] = counters["cache_hits"]
+        stats["cache_misses"] = counters["cache_misses"]
+        lookups = counters["cache_hits"] + counters["cache_misses"]
+        stats["hit_rate"] = (
+            round(counters["cache_hits"] / lookups, 4) if lookups else 0.0
+        )
+        modes[label] = stats
+
+    p50_improvement = (
+        (modes["nocache"]["p50_us"] - modes["cache"]["p50_us"])
+        / modes["nocache"]["p50_us"]
+        if modes["nocache"]["p50_us"]
+        else 0.0
+    )
+
+    # -- Live churn: disruptions drive the invalidation sweep --------
+    cached = PlannerService(
+        LiveOverlayEngine(graph),
+        resilience=ResilienceConfig(cache_size=512),
+    )
+    plain = PlannerService(LiveOverlayEngine(graph))
+    cached_port = cached.start(port=0)
+    plain_port = plain.start(port=0)
+    rng = random.Random(4321)
+    trip_ids = sorted(graph.trips)
+    hot = paths[: max(24, len(paths) // 50)]
+    churn_elapsed = []
+    stale = 0
+    try:
+        for round_no in range(4):
+            for path in hot:
+                body = _get(cached_port, path)
+                churn_elapsed.append(body["meta"]["elapsed_us"])
+                reference = _get(plain_port, path)
+                if json.dumps(body["data"], sort_keys=True) != json.dumps(
+                    reference["data"], sort_keys=True
+                ):
+                    stale += 1
+            event = {
+                "kind": "delay",
+                "trip_id": rng.choice(trip_ids),
+                "delay": rng.randrange(60, 900),
+            }
+            for port in (cached_port, plain_port):
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/v1/live/events",
+                    data=json.dumps(event).encode(),
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=30):
+                    pass
+        churn_counters = cached.counters()
+    finally:
+        cached.stop()
+        plain.stop()
+    clear_dataset_cache()
+
+    churn = _percentiles(churn_elapsed)
+    churn["cache_hits"] = churn_counters["cache_hits"]
+    churn["cache_invalidations"] = churn_counters["cache_invalidations"]
+    churn["stale_answers"] = stale
+
+    payload = {
+        "dataset": dataset,
+        "requests": num_requests,
+        "zipf_theoretical_hit_rate": round(theoretical, 4),
+        "zipf": modes,
+        "p50_improvement": round(p50_improvement, 4),
+        "live_churn": churn,
+    }
+    lines = [
+        "",
+        f"answer cache: {num_requests} Zipf /v1/eap requests "
+        f"(theoretical hit rate {theoretical:.3f})",
+        f"  {'mode':>8}  {'p50 us':>8}  {'p99 us':>8}  {'RPS':>8}  "
+        f"{'hit rate':>8}",
+    ]
+    for label in ("cache", "nocache"):
+        stats = modes[label]
+        lines.append(
+            f"  {label:>8}  {stats['p50_us']:>8}  {stats['p99_us']:>8}  "
+            f"{stats['rps']:>8}  {stats['hit_rate']:>8.3f}"
+        )
+    lines += [
+        f"  p50 improvement     {p50_improvement:.1%}",
+        "",
+        "live churn (cached /v1 vs uncached reference, delay events "
+        "between rounds)",
+        f"  p50 {churn['p50_us']} us   hits {churn['cache_hits']}   "
+        f"invalidations {churn['cache_invalidations']}   "
+        f"stale answers {churn['stale_answers']}",
+    ]
+    if stale:
+        lines.append("  ERROR: cache served stale answers!")
+    return "\n".join(lines), payload
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -212,10 +397,23 @@ def main(argv=None) -> int:
     repeats = 3 if args.smoke else 5
 
     report = run(dataset, worker_counts, num_requests, num_clients, repeats)
+    cache_report, cache_payload = run_cache(
+        dataset, max(num_requests, 1000) if not args.smoke else num_requests
+    )
+    report += "\n" + cache_report
     print(report)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     name = "serving_throughput_smoke" if args.smoke else "serving_throughput"
     (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
+    (RESULTS_DIR / "BENCH_serving.json").write_text(
+        json.dumps(cache_payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    from repro.datasets import clear_dataset_cache
+
+    clear_dataset_cache()
+    if cache_payload["live_churn"]["stale_answers"]:
+        return 1
     return 0
 
 

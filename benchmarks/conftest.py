@@ -41,3 +41,13 @@ def write_result(name: str, result) -> None:
 @pytest.fixture(scope="session")
 def cache() -> PlannerCache:
     return CACHE
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _drop_dataset_cache():
+    """Release the (LRU-bounded) graph cache when the session ends so a
+    benchmark sweep does not leave every generated graph resident."""
+    yield
+    from repro.datasets import clear_dataset_cache
+
+    clear_dataset_cache()

@@ -12,6 +12,12 @@ as a subprocess, then asserts the whole redesign in one pass:
    worker id) and the aggregated ``/metrics`` counters never move
    backwards across the kill.
 
+A second phase starts two single-process ``--live`` servers — one
+with ``--cache-size``, one without — primes hot pairs until the cache
+reports a positive hit rate, injects the same delay event into both,
+and asserts every answer stays byte-identical to the cache-disabled
+reference (zero stale answers across the invalidation sweep).
+
 Exit code 0 on success; any assertion failure or timeout is fatal.
 
 Usage::
@@ -79,13 +85,8 @@ def wait_for(predicate, timeout_s, what):
     raise SystemExit(f"timed out after {timeout_s}s waiting for {what}")
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("index", help="saved TTLIDX03 index file")
-    parser.add_argument("--dataset", default="Austin")
-    parser.add_argument("--requests", type=int, default=50)
-    args = parser.parse_args(argv)
-
+def launch(cli_args):
+    """Start ``repro-ttl serve`` and return (process, bound port)."""
     # -u: the child's "serving ..." line must not sit in a block buffer.
     server = subprocess.Popen(
         [
@@ -94,12 +95,7 @@ def main(argv=None) -> int:
             "-m",
             "repro.cli",
             "serve",
-            args.dataset,
-            "--workers",
-            "2",
-            "--mmap",
-            "--index",
-            args.index,
+            *cli_args,
             "--port",
             "0",
         ],
@@ -107,14 +103,119 @@ def main(argv=None) -> int:
         stderr=subprocess.STDOUT,
         text=True,
     )
-    try:
-        line = server.stdout.readline()
-        print(f"server: {line.strip()}")
-        match = SERVE_LINE.search(line)
-        if not match:
-            raise SystemExit(f"could not parse serve line: {line!r}")
-        port = int(match.group(1))
+    line = server.stdout.readline()
+    print(f"server: {line.strip()}")
+    match = SERVE_LINE.search(line)
+    if not match:
+        server.terminate()
+        raise SystemExit(f"could not parse serve line: {line!r}")
+    return server, int(match.group(1))
 
+
+def shutdown(server):
+    server.terminate()
+    try:
+        server.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        server.kill()
+
+
+def answer_blob(port, path):
+    body, _ = get(port, path)
+    return json.dumps(body["data"], sort_keys=True)
+
+
+def cache_live_smoke(dataset: str) -> None:
+    """Phase 2: cached vs uncached ``--live`` servers must agree."""
+    cached, cached_port = launch([dataset, "--live", "--cache-size", "256"])
+    plain, plain_port = launch([dataset, "--live"])
+    try:
+        for port in (cached_port, plain_port):
+            wait_for(
+                lambda: get(port, "/v1/healthz/ready")[0]["data"]["ready"],
+                60,
+                "live server readiness",
+            )
+        stations, _ = get(cached_port, "/v1/stations")
+        n = len(stations["data"]["stations"])
+        hot = [
+            f"/v1/eap?from={i % n}&to={(i + 5) % n}&t={28800 + 60 * i}"
+            for i in range(8)
+        ]
+
+        # Prime, then replay: the replay pass must be served from the
+        # cache, and every answer must match the uncached reference.
+        for _ in range(2):
+            for path in hot:
+                if answer_blob(cached_port, path) != answer_blob(
+                    plain_port, path
+                ):
+                    raise SystemExit(f"cached answer diverged on {path}")
+        metrics, _ = get(cached_port, "/v1/metrics")
+        cache_stats = metrics["data"]["cache"]
+        assert cache_stats["hits"] > 0, cache_stats
+        assert cache_stats["hit_rate"] > 0, cache_stats
+        print(
+            f"cache warm: {cache_stats['hits']} hits, "
+            f"hit rate {cache_stats['hit_rate']}"
+        )
+
+        # Disrupt a trip a hot journey actually rides, on BOTH servers.
+        trip_id = None
+        for path in hot:
+            body, _ = get(cached_port, path)
+            journey = body["data"]["journey"]
+            if journey and journey.get("path"):
+                trip_id = journey["path"][0][4]
+                break
+        if trip_id is None:
+            raise SystemExit("no feasible hot journey to disrupt")
+        event = {"kind": "delay", "trip_id": trip_id, "delay": 900}
+        for port in (cached_port, plain_port):
+            post(port, "/v1/live/events", event)
+        print(f"injected delay on trip {trip_id}")
+
+        # Zero stale answers: every hot pair, twice (the second pass
+        # exercises entries the sweep re-keyed or repopulated).
+        stale = [
+            path
+            for _ in range(2)
+            for path in hot
+            if answer_blob(cached_port, path)
+            != answer_blob(plain_port, path)
+        ]
+        assert not stale, f"stale cached answers after event: {stale}"
+        metrics, _ = get(cached_port, "/v1/metrics")
+        after = metrics["data"]["cache"]
+        assert after["invalidations"] > 0, after
+        print(
+            f"invalidation sweep ok: {after['invalidations']} evicted, "
+            "0 stale answers"
+        )
+        print("cache+live smoke OK")
+    finally:
+        shutdown(cached)
+        shutdown(plain)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("index", help="saved TTLIDX03 index file")
+    parser.add_argument("--dataset", default="Austin")
+    parser.add_argument("--requests", type=int, default=50)
+    args = parser.parse_args(argv)
+
+    server, port = launch(
+        [
+            args.dataset,
+            "--workers",
+            "2",
+            "--mmap",
+            "--index",
+            args.index,
+        ]
+    )
+    try:
         workers = wait_for(
             lambda: len(alive_workers(port)) == 2 and alive_workers(port),
             30,
@@ -183,14 +284,13 @@ def main(argv=None) -> int:
         }
         assert not regressions, f"counters moved backwards: {regressions}"
         print("aggregated metrics stayed monotonic across the kill")
-        print("serving smoke OK")
-        return 0
+        print("prefork smoke OK")
     finally:
-        server.terminate()
-        try:
-            server.wait(timeout=15)
-        except subprocess.TimeoutExpired:
-            server.kill()
+        shutdown(server)
+
+    cache_live_smoke(args.dataset)
+    print("serving smoke OK")
+    return 0
 
 
 if __name__ == "__main__":

@@ -324,6 +324,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ResilienceConfig(
         deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
         max_inflight=args.max_inflight,
+        cache_size=args.cache_size,
     )
     fault_plan = load_fault_plan(args.chaos) if args.chaos else None
 
@@ -636,6 +637,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="concurrent requests before shedding with 429",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="per-worker hot-pair answer cache capacity in entries "
+        "(0 disables; live mutations invalidate via taint analysis — "
+        "see docs/serving.md)",
     )
     p.add_argument(
         "--no-warm",

@@ -7,9 +7,12 @@ two canonical sub-paths (Lemma 4): the left child — the canonical
 right child — the canonical ``p -> dst`` path arriving at the label's
 arrival time.  Both resolve through the index's O(1) lookup tables.
 
-Concise unfolding stops the recursion at any label whose vehicle is
-not ``null`` (the whole segment rides one trip), which skips most of
-the work and directly yields the boarding instructions of Section 8.
+A label whose vehicle is not ``null`` rides one trip end to end:
+concise unfolding stops the recursion there (Section 8's boarding
+instructions), and full unfolding emits that trip's own legs directly
+— splitting at the pivot instead could resolve to child labels that
+canonically ride a *different* vehicle, handing out a path the live
+engine's taint analysis never certified.
 
 When a child label is missing — possible only when IndexBuild's weak
 (``⊆``-interval) pruning discarded a canonical path that *tied* with a
@@ -88,11 +91,27 @@ def _unfold(
             else:
                 result.append(Connection(src, dst, dep, arr, trip))
             continue
-        if concise and trip is not None:
-            # Whole segment rides one vehicle: stop unfolding here
-            # (the partial unfolding of Section 8).
-            result.append((src, dst, dep, arr, trip))
-            continue
+        if trip is not None:
+            # Whole segment rides one vehicle.  Concise unfolding stops
+            # here (the partial unfolding of Section 8); full unfolding
+            # must walk *that trip's* own legs rather than split at the
+            # pivot: the pivot lookups resolve to stored child labels,
+            # which — under tie-breaking — can canonically ride a
+            # different vehicle than the one this label certifies.  The
+            # taint analysis (live engine, Definition 7) certifies the
+            # single-vehicle path, so the unfolded connections must be
+            # exactly that path or a clean verdict could hand out a
+            # journey over connections the analyzer never examined.
+            if concise:
+                result.append((src, dst, dep, arr, trip))
+                continue
+            legs = _trip_legs(index, src, dst, dep, arr, trip)
+            if legs is not None:
+                result.extend(legs)
+                continue
+            # Defensive: the label does not match the trip's schedule
+            # (should not happen for a well-formed index) — fall
+            # through to the pivot split below.
         left = index.lookup_by_dep(src, pivot, dep)
         right = index.lookup_by_arr(pivot, dst, arr)
         if left is None or right is None:
@@ -111,6 +130,35 @@ def _unfold(
     if metrics is not None:
         metrics.record_unfold_depth(max_depth)
     return result
+
+
+def _trip_legs(
+    index: TTLIndex, src: int, dst: int, dep: int, arr: int, trip: int
+) -> Optional[Path]:
+    """The connections of ``trip`` from ``src`` (departing ``dep``) to
+    ``dst`` (arriving ``arr``), or ``None`` when the label does not
+    line up with the trip's schedule."""
+    graph = index.graph
+    trip_obj = graph.trips.get(trip)
+    if trip_obj is None:
+        return None
+    stops = graph.routes[trip_obj.route_id].stops
+    times = trip_obj.stop_times
+    start = end = None
+    for i, stop in enumerate(stops):
+        if start is None and stop == src and times[i].dep == dep:
+            start = i
+        elif start is not None and stop == dst and times[i].arr == arr:
+            end = i
+            break
+    if start is None or end is None:
+        return None
+    return [
+        Connection(
+            stops[k], stops[k + 1], times[k].dep, times[k + 1].arr, trip
+        )
+        for k in range(start, end)
+    ]
 
 
 def _fallback_segment(

@@ -23,6 +23,7 @@ from repro.datasets.synthetic import (
 from repro.datasets.registry import (
     DATASETS,
     DatasetInfo,
+    clear_dataset_cache,
     dataset_names,
     load_dataset,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "generate_country",
     "DATASETS",
     "DatasetInfo",
+    "clear_dataset_cache",
     "dataset_names",
     "load_dataset",
     "Query",

@@ -11,6 +11,7 @@ within the process because several benchmarks reuse them.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -123,16 +124,28 @@ def dataset_names() -> List[str]:
     return list(DATASETS)
 
 
-_CACHE: Dict[Tuple[str, float, Optional[int]], TimetableGraph] = {}
+#: Most-recently-used graphs; bounded so a benchmark sweeping many
+#: (name, scale, seed) combinations cannot pin every generated graph
+#: in memory for the life of the process.
+_CACHE: "OrderedDict[Tuple[str, float, Optional[int]], TimetableGraph]" = (
+    OrderedDict()
+)
+_CACHE_CAPACITY = 8
+
+
+def clear_dataset_cache() -> None:
+    """Drop every cached graph (benchmark teardown hook)."""
+    _CACHE.clear()
 
 
 def load_dataset(
     name: str, scale: float = 1.0, seed: Optional[int] = None
 ) -> TimetableGraph:
-    """Materialize a catalogue dataset (process-cached).
+    """Materialize a catalogue dataset (process-cached, LRU-bounded).
 
     ``seed`` overrides the catalogue seed (``None`` keeps it); distinct
-    seeds cache separately.
+    seeds cache separately.  At most ``_CACHE_CAPACITY`` graphs stay
+    resident; the least recently used is dropped beyond that.
     """
     info = DATASETS.get(name)
     if info is None:
@@ -140,6 +153,12 @@ def load_dataset(
             f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
         )
     key = (name, scale, seed)
-    if key not in _CACHE:
-        _CACHE[key] = info.generate(scale, seed=seed)
-    return _CACHE[key]
+    graph = _CACHE.get(key)
+    if graph is None:
+        graph = info.generate(scale, seed=seed)
+        _CACHE[key] = graph
+        while len(_CACHE) > _CACHE_CAPACITY:
+            _CACHE.popitem(last=False)
+    else:
+        _CACHE.move_to_end(key)
+    return graph

@@ -149,6 +149,9 @@ class LiveOverlayEngine(RoutePlanner):
         self._now = now
         self._max_candidates = max_candidates
         self._state: Optional[_LiveState] = None
+        #: Whether the most recent query was answered verbatim from the
+        #: sealed static index (read under the caller's lock).
+        self._last_fast_path = False
         self.stats = LiveQueryStats()
         #: Malformed / out-of-order feed records skipped by
         #: :func:`repro.live.feed.replay` (surfaced in ``/live/stats``).
@@ -292,11 +295,21 @@ class LiveOverlayEngine(RoutePlanner):
         generation = (
             self._state.generation + 1 if self._state is not None else 1
         )
+        taint = TaintAnalyzer(self._ttl.index, patch)
+        # Taint verdicts are memoized on label identity (src, dst, dep)
+        # and are only meaningful against the patch they were decided
+        # under — a stale clean verdict carried across a generation
+        # (e.g. after clear_event) would certify a path against the
+        # wrong patch.  Every swap therefore gets a *fresh* analyzer;
+        # assert the invariant instead of trusting it silently.
+        assert taint.patch is patch and not taint.memo_size, (
+            "taint analyzer must start empty for its own patch-set"
+        )
         self._state = _LiveState(
             generation=generation,
             patch=patch,
             overlay=overlay,
-            taint=TaintAnalyzer(self._ttl.index, patch),
+            taint=taint,
             fallback=DijkstraPlanner(overlay),
         )
 
@@ -305,6 +318,76 @@ class LiveOverlayEngine(RoutePlanner):
         state = self._state
         assert state is not None
         return state
+
+    @property
+    def last_query_fast_path(self) -> bool:
+        """True when the most recent query was answered verbatim from
+        the sealed static index.
+
+        Such an answer is a pure function of the index — independent of
+        the patch generation that happened to be active — which is what
+        makes it eligible for the serving cache's generation re-keying
+        (:meth:`static_answer_valid`).  Callers must hold the same lock
+        across the query and this read; the service's planner lock
+        already provides that.
+        """
+        return self._last_fast_path
+
+    def static_answer_valid(
+        self,
+        kind: str,
+        source: int,
+        destination: int,
+        t: int,
+        t_end: Optional[int] = None,
+    ) -> bool:
+        """Certify that the static index's answer is exact right now.
+
+        Runs the same two-stage safety argument the query paths use —
+        the TaintAnalyzer over the active patch-set (Definition 7 /
+        Lemma 4) plus the added-connection improvement bound — without
+        materializing the journey.  ``True`` is a proof that re-running
+        the query would take the fast path and reproduce the static
+        answer byte for byte; ``False`` means tainted, improvable, or
+        punted (candidate flood), i.e. *cannot certify* — the serving
+        cache treats all three as invalidation.
+        """
+        if source == destination:
+            return True
+        state = self._ready_state()
+        if state.patch.is_empty():
+            return True
+        index = self._ttl.index
+        assert index is not None
+        if kind == "eap":
+            sketch = best_eap_sketch(index, source, destination, t)
+            if sketch is not None and state.taint.sketch_tainted(sketch):
+                return False
+            bound = sketch.arr if sketch is not None else INF
+            verdict = self._eap_improvable(
+                state, source, destination, t, bound
+            )
+        elif kind == "ldp":
+            sketch = best_ldp_sketch(index, source, destination, t)
+            if sketch is not None and state.taint.sketch_tainted(sketch):
+                return False
+            bound = sketch.dep if sketch is not None else NEG_INF
+            verdict = self._ldp_improvable(
+                state, source, destination, t, bound
+            )
+        elif kind == "sdp":
+            if t_end is None:
+                return False
+            sketch = best_sdp_sketch(index, source, destination, t, t_end)
+            if sketch is not None and state.taint.sketch_tainted(sketch):
+                return False
+            bound = sketch.duration if sketch is not None else INF
+            verdict = self._sdp_improvable(
+                state, source, destination, t, t_end, bound
+            )
+        else:
+            return False
+        return verdict is False
 
     # ------------------------------------------------------------------
     # Optimistic bounds through the static index
@@ -480,6 +563,7 @@ class LiveOverlayEngine(RoutePlanner):
         self, source: int, destination: int, t: int
     ) -> Optional[Journey]:
         self._check_query(source, destination)
+        self._last_fast_path = True
         if source == destination:
             return Journey(source, destination, t, t, path=[])
         state = self._ready_state()
@@ -487,6 +571,7 @@ class LiveOverlayEngine(RoutePlanner):
         if state.patch.is_empty():
             self.stats.fast_path += 1
             return self._ttl.earliest_arrival(source, destination, t)
+        self._last_fast_path = False
         index = self._ttl.index
         assert index is not None
         sketch = best_eap_sketch(index, source, destination, t)
@@ -502,6 +587,7 @@ class LiveOverlayEngine(RoutePlanner):
             self.stats.fallback_improvement += 1
             return state.fallback.earliest_arrival(source, destination, t)
         self.stats.fast_path += 1
+        self._last_fast_path = True
         if sketch is None:
             return None
         return sketch_to_journey(
@@ -512,6 +598,7 @@ class LiveOverlayEngine(RoutePlanner):
         self, source: int, destination: int, t: int
     ) -> Optional[Journey]:
         self._check_query(source, destination)
+        self._last_fast_path = True
         if source == destination:
             return Journey(source, destination, t, t, path=[])
         state = self._ready_state()
@@ -519,6 +606,7 @@ class LiveOverlayEngine(RoutePlanner):
         if state.patch.is_empty():
             self.stats.fast_path += 1
             return self._ttl.latest_departure(source, destination, t)
+        self._last_fast_path = False
         index = self._ttl.index
         assert index is not None
         sketch = best_ldp_sketch(index, source, destination, t)
@@ -534,6 +622,7 @@ class LiveOverlayEngine(RoutePlanner):
             self.stats.fallback_improvement += 1
             return state.fallback.latest_departure(source, destination, t)
         self.stats.fast_path += 1
+        self._last_fast_path = True
         if sketch is None:
             return None
         return sketch_to_journey(
@@ -545,6 +634,7 @@ class LiveOverlayEngine(RoutePlanner):
     ) -> Optional[Journey]:
         self._check_query(source, destination)
         self._check_window(t, t_end)
+        self._last_fast_path = True
         if source == destination:
             return Journey(source, destination, t, t, path=[])
         state = self._ready_state()
@@ -552,6 +642,7 @@ class LiveOverlayEngine(RoutePlanner):
         if state.patch.is_empty():
             self.stats.fast_path += 1
             return self._ttl.shortest_duration(source, destination, t, t_end)
+        self._last_fast_path = False
         index = self._ttl.index
         assert index is not None
         sketch = best_sdp_sketch(index, source, destination, t, t_end)
@@ -575,6 +666,7 @@ class LiveOverlayEngine(RoutePlanner):
                 source, destination, t, t_end
             )
         self.stats.fast_path += 1
+        self._last_fast_path = True
         if sketch is None:
             return None
         return sketch_to_journey(

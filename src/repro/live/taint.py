@@ -52,8 +52,16 @@ class TaintAnalyzer:
         self.index = index
         self.patch = patch
         #: (src, dst, dep) -> taint verdict; the key is unique because
-        #: canonical paths of a pair have distinct departures.
+        #: canonical paths of a pair have distinct departures.  The
+        #: memo is valid ONLY against ``patch``: verdicts must never be
+        #: carried to another patch-set generation (the engine builds a
+        #: fresh analyzer on every overlay swap and asserts as much).
         self._memo: Dict[Tuple[int, int, int], bool] = {}
+
+    @property
+    def memo_size(self) -> int:
+        """Memoized verdict count (generation-leak regression tests)."""
+        return len(self._memo)
 
     # ------------------------------------------------------------------
     # Core decision

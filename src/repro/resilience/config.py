@@ -46,6 +46,16 @@ class ResilienceConfig:
     #: Open duration before a half-open probe is allowed.
     breaker_cooldown_s: float = 5.0
 
+    # Answer cache -------------------------------------------------------
+    #: Per-worker hot-pair answer cache capacity in entries; ``0``
+    #: (the default) disables caching entirely, keeping the
+    #: pre-cache pipeline byte for byte.  See
+    #: :class:`repro.serving.cache.AnswerCache` / docs/serving.md.
+    cache_size: int = 0
+    #: Departure-time bucket (seconds) used in cache keys — the
+    #: granularity hot-pair grouping and invalidation sweeps reason at.
+    cache_bucket_s: int = 900
+
     # Input hardening ----------------------------------------------------
     #: Largest accepted request body; beyond it the service answers 413.
     max_body_bytes: int = 1 << 20

@@ -169,6 +169,18 @@ class PlannerService:
         #: prefork scoreboard and summed across workers in /metrics.
         self.requests_handled = 0
         self.config = resilience or ResilienceConfig()
+        #: Per-worker hot-pair answer cache (None when disabled).  Its
+        #: taint-driven invalidation runs under :attr:`lock` on every
+        #: live mutation; see repro/serving/cache.py.
+        self.cache = None
+        if self.config.cache_size > 0:
+            from repro.serving.cache import AnswerCache
+
+            self.cache = AnswerCache(
+                self.config.cache_size,
+                bucket_s=self.config.cache_bucket_s,
+            )
+        self._epoch: Optional[str] = None
         #: Serializes planner access against live overlay swaps.
         self.lock = threading.RLock()
         self._live = (
@@ -279,7 +291,29 @@ class PlannerService:
         counters["deadline_exceeded"] = snapshot.get("deadline_exceeded", 0)
         counters["degraded_served"] = snapshot.get("degraded_served", 0)
         counters["shed"] = snapshot.get("admission", {}).get("shed", 0)
+        counters.update(
+            self.cache.counters()
+            if self.cache is not None
+            else {
+                "cache_hits": 0,
+                "cache_misses": 0,
+                "cache_evictions": 0,
+                "cache_invalidations": 0,
+            }
+        )
         return counters
+
+    def cache_epoch(self) -> str:
+        """Fingerprint of the timetable + sealed index this worker
+        serves — a cache-key component, so answers computed on one
+        index can never be resurrected against another.  Only
+        meaningful once the service is ready."""
+        if self._epoch is None:
+            graph = self.planner.graph
+            index = getattr(self.planner, "index", None)
+            labels = index.num_labels if index is not None else 0
+            self._epoch = f"{graph.n}.{graph.m}.{labels}"
+        return self._epoch
 
     def publish_counters(self) -> None:
         """Push this worker's counters to the shared scoreboard now
@@ -352,6 +386,7 @@ def _make_handler(service: PlannerService):
     executor = service.executor
     config = service.config
     scoreboard = service.scoreboard
+    cache = service.cache
 
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, *_args) -> None:  # silence request logs
@@ -536,11 +571,78 @@ def _make_handler(service: PlannerService):
             )
             return result, is_degraded
 
-        def _journey_body(self, exact, degraded) -> dict:
+        def _cache_key(self, kind, origin, destination, t, t_end=None,
+                       extra=()):
+            """Key for the answer cache, or None when caching is off.
+
+            Requires a ready service (the epoch fingerprints the built
+            index), so callers probe readiness first — exactly what a
+            cache-less request would do inside ``_query``.
+            """
+            if cache is None:
+                return None
+            self._require_ready()
+            generation = live.generation if live is not None else 0
+            return cache.make_key(
+                kind,
+                origin,
+                destination,
+                t,
+                epoch=service.cache_epoch(),
+                generation=generation,
+                t_end=t_end,
+                extra=extra,
+            )
+
+        def _cache_put(self, key, body, is_degraded, t_end=None):
+            """Store one computed answer.
+
+            Degraded (circuit-broken frozen-timetable) answers are
+            never cached: they are only acceptable while the breaker
+            is open.  ``static_ok`` marks answers that are pure
+            functions of the sealed index — the live engine's fast
+            path — which invalidation sweeps may re-key across
+            generations after certifying them against the new patch.
+            """
+            if key is None or is_degraded:
+                return
+            static_ok = live is None or live.last_query_fast_path
+            cache.put(key, body, static_ok=static_ok, t_end=t_end)
+
+        def _cache_invalidate(self):
+            """Taint-driven sweep after a live mutation (caller holds
+            the service lock).  Entries whose static answers the
+            TaintAnalyzer certifies against the new patch-set are
+            re-keyed to the new generation; the rest are evicted."""
+            if cache is None or live is None:
+                return
+            cache.revalidate(
+                live.generation,
+                certify=lambda entry: live.static_answer_valid(
+                    entry.query_type,
+                    entry.origin,
+                    entry.destination,
+                    entry.t,
+                    entry.t_end,
+                ),
+            )
+
+        def _journey_body(self, exact, degraded, cache_ctx=None) -> dict:
+            key = None
+            if cache is not None and cache_ctx is not None:
+                kind, origin, destination, t, t_end = cache_ctx
+                key = self._cache_key(
+                    kind, origin, destination, t, t_end=t_end
+                )
+                hit = cache.get(key)
+                if hit is not None:
+                    return hit
             journey, is_degraded = self._query(exact, degraded)
             body = {"journey": journey.to_dict() if journey else None}
             if live is not None:
                 body["degraded"] = is_degraded
+            if key is not None:
+                self._cache_put(key, body, is_degraded, t_end=cache_ctx[4])
             return body
 
         def _route_get(self, path: str, params: dict):
@@ -576,7 +678,10 @@ def _make_handler(service: PlannerService):
                     )
                 return {"ready": True}
             if path == "/resilience":
-                return executor.snapshot()
+                body = executor.snapshot()
+                if cache is not None:
+                    body["cache"] = cache.snapshot()
+                return body
             if path == "/metrics":
                 body = {"planner": planner.name}
                 metrics = getattr(planner, "metrics", None)
@@ -592,6 +697,8 @@ def _make_handler(service: PlannerService):
                                 "store_bytes": index.store_bytes(),
                             }
                 body["resilience"] = executor.snapshot()
+                if cache is not None:
+                    body["cache"] = cache.snapshot()
                 if scoreboard is not None:
                     # Fold this worker's very latest counters in before
                     # aggregating, then sum live rows + retired totals
@@ -621,12 +728,14 @@ def _make_handler(service: PlannerService):
                         lambda: live.frozen.earliest_arrival(u, v, t)
                         if live is not None
                         else None,
+                        cache_ctx=("eap", u, v, t, None),
                     )
                 return self._journey_body(
                     lambda: planner.latest_departure(u, v, t),
                     lambda: live.frozen.latest_departure(u, v, t)
                     if live is not None
                     else None,
+                    cache_ctx=("ldp", u, v, t, None),
                 )
             if path == "/sdp":
                 u = _int_param(params, "from")
@@ -638,6 +747,7 @@ def _make_handler(service: PlannerService):
                     lambda: live.frozen.shortest_duration(u, v, t, t_end)
                     if live is not None
                     else None,
+                    cache_ctx=("sdp", u, v, t, t_end),
                 )
             if path == "/profile":
                 profile = getattr(planner, "profile", None)
@@ -649,6 +759,11 @@ def _make_handler(service: PlannerService):
                 v = _int_param(params, "to")
                 t = _int_param(params, "t")
                 t_end = _int_param(params, "t_end")
+                key = self._cache_key("profile", u, v, t, t_end=t_end)
+                if key is not None:
+                    hit = cache.get(key)
+                    if hit is not None:
+                        return hit
                 pairs, is_degraded = self._query(
                     lambda: profile(u, v, t, t_end),
                     lambda: live.frozen.profile(u, v, t, t_end)
@@ -658,6 +773,11 @@ def _make_handler(service: PlannerService):
                 body = {"pairs": pairs}
                 if live is not None:
                     body["degraded"] = is_degraded
+                if key is not None:
+                    # Profile enumerations are not certified across
+                    # generations (static_ok only without a live
+                    # engine, where the generation never moves).
+                    self._cache_put(key, body, is_degraded, t_end=t_end)
                 return body
             if path == "/live/events":
                 self._require_live()
@@ -693,6 +813,7 @@ def _make_handler(service: PlannerService):
                 with lock:
                     event_id = live.apply_event(event)
                     generation = live.generation
+                    self._cache_invalidate()
                 return {"id": event_id, "generation": generation}
             if path == "/live/advance":
                 self._require_live()
@@ -701,6 +822,7 @@ def _make_handler(service: PlannerService):
                 with lock:
                     live.advance_to(now)
                     remaining = len(live.events())
+                    self._cache_invalidate()
                 return {"now": now, "events": remaining}
             if path == "/live/clear":
                 self._require_live()
@@ -711,6 +833,7 @@ def _make_handler(service: PlannerService):
                         cleared = 1
                     else:
                         cleared = live.clear_all()
+                    self._cache_invalidate()
                 return {"cleared": cleared}
             return None
 
@@ -722,6 +845,27 @@ def _make_handler(service: PlannerService):
                     f"{planner.name} does not expose a TTL index; "
                     "batch queries need one"
                 )
+            key = None
+            t_raw = body.get("t")
+            if (
+                cache is not None
+                and isinstance(t_raw, int)
+                and not isinstance(t_raw, bool)
+            ):
+                # The canonical body is the key; origin/destination are
+                # sentinels (a batch spans many pairs, so invalidation
+                # cannot certify it per-pair — static_ok=False below
+                # makes any generation bump evict it).
+                key = self._cache_key(
+                    "batch",
+                    -1,
+                    -1,
+                    t_raw,
+                    extra=(json.dumps(body, sort_keys=True),),
+                )
+                hit = cache.get(key)
+                if hit is not None:
+                    return hit
             kind = body.get("kind")
             if kind not in ("one_to_many", "matrix", "isochrone"):
                 raise RequestValidationError(
@@ -798,6 +942,8 @@ def _make_handler(service: PlannerService):
                 }
             if live is not None:
                 result["degraded"] = is_degraded
+            if key is not None and not (live is not None and is_degraded):
+                cache.put(key, result, static_ok=False)
             return result
 
         def _require_live(self) -> None:

@@ -17,11 +17,15 @@ serving shape, where the label file is an immutable shared artifact.
   :class:`~repro.service.PlannerService`, publish forever.
 * :class:`~repro.serving.supervisor.ServingSupervisor` — binds, forks,
   monitors, respawns.
+* :class:`~repro.serving.cache.AnswerCache` — per-worker hot-pair
+  answer cache with taint-driven invalidation (``serve --cache-size``;
+  see docs/serving.md).
 
 Wired to the CLI as ``repro-ttl serve NAME --workers K --mmap
---index FILE``.
+--index FILE --cache-size N``.
 """
 
+from repro.serving.cache import AnswerCache, CacheStats
 from repro.serving.scoreboard import (
     COUNTER_FIELDS,
     FIELDS,
@@ -31,6 +35,8 @@ from repro.serving.supervisor import ServingSupervisor
 from repro.serving.worker import mapped_planner_factory, worker_main
 
 __all__ = [
+    "AnswerCache",
+    "CacheStats",
     "COUNTER_FIELDS",
     "FIELDS",
     "Scoreboard",

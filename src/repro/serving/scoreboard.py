@@ -14,6 +14,15 @@ into the retired totals.  ``totals()`` always returns
 ``sum(live rows) + retired``, so aggregated counters never move
 backwards across a kill-and-respawn — the invariant the CI smoke job
 asserts.
+
+Liveness math runs on ``time.monotonic()``: heartbeats and their ages
+must survive an NTP step, which under wall-clock arithmetic could mark
+healthy workers dead (clock jumps forward) or report negative ages
+(clock jumps backward).  ``CLOCK_MONOTONIC`` is system-wide, so
+monotonic stamps compare correctly across the forked workers and the
+supervisor.  A wall-clock stamp is still published, but only for
+display (``last_heartbeat_unix``) — it never feeds an aliveness
+decision.
 """
 
 from __future__ import annotations
@@ -22,8 +31,9 @@ import time
 from multiprocessing.sharedctypes import RawArray
 from typing import Dict, List, Optional
 
-#: Per-row identity cells (not summed).
-IDENTITY_FIELDS = ("pid", "generation", "heartbeat")
+#: Per-row identity cells (not summed).  ``heartbeat`` is a monotonic
+#: stamp (liveness math); ``heartbeat_wall`` is wall time for display.
+IDENTITY_FIELDS = ("pid", "generation", "heartbeat", "heartbeat_wall")
 
 #: Per-row cumulative counters (summed by :meth:`Scoreboard.totals`).
 #: Mirrors :meth:`repro.service.PlannerService.counters`.
@@ -36,6 +46,10 @@ COUNTER_FIELDS = (
     "deadline_exceeded",
     "degraded_served",
     "shed",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_invalidations",
 )
 
 FIELDS = IDENTITY_FIELDS + COUNTER_FIELDS
@@ -66,13 +80,19 @@ class Scoreboard:
         pid: int = 0,
         generation: int = 0,
         now: Optional[float] = None,
+        wall: Optional[float] = None,
     ) -> None:
-        """Publish one worker's identity + cumulative counters."""
+        """Publish one worker's identity + cumulative counters.
+
+        ``now`` overrides the monotonic heartbeat stamp and ``wall``
+        the wall-clock display stamp (fake-clock tests).
+        """
         base = self._base(worker_id)
         cells = self._cells
         cells[base + 0] = float(pid)
         cells[base + 1] = float(generation)
-        cells[base + 2] = time.time() if now is None else now
+        cells[base + 2] = time.monotonic() if now is None else now
+        cells[base + 3] = time.time() if wall is None else wall
         for i, field in enumerate(COUNTER_FIELDS):
             cells[base + len(IDENTITY_FIELDS) + i] = float(
                 counters.get(field, 0)
@@ -95,11 +115,17 @@ class Scoreboard:
     # ------------------------------------------------------------------
 
     def row(self, worker_id: int, now: Optional[float] = None) -> dict:
-        """One worker's published state, JSON-ready."""
+        """One worker's published state, JSON-ready.
+
+        ``now`` is a monotonic reference (defaults to
+        ``time.monotonic()``); age math never touches the wall clock,
+        so an NTP step cannot flip liveness or produce negative ages.
+        """
         base = self._base(worker_id)
         cells = self._cells
         heartbeat = cells[base + 2]
-        age = (time.time() if now is None else now) - heartbeat
+        wall = cells[base + 3]
+        age = (time.monotonic() if now is None else now) - heartbeat
         counters = {
             field: int(cells[base + len(IDENTITY_FIELDS) + i])
             for i, field in enumerate(COUNTER_FIELDS)
@@ -110,13 +136,16 @@ class Scoreboard:
             "generation": int(cells[base + 1]),
             "alive": heartbeat > 0.0 and age <= self.liveness_timeout_s,
             "heartbeat_age_s": round(age, 3) if heartbeat > 0.0 else None,
+            "last_heartbeat_unix": (
+                round(wall, 3) if heartbeat > 0.0 else None
+            ),
             "counters": counters,
         }
 
     def workers(self, now: Optional[float] = None) -> List[dict]:
         """Per-worker rows (``/healthz`` liveness payload)."""
         if now is None:
-            now = time.time()
+            now = time.monotonic()
         return [self.row(w, now=now) for w in range(self.num_workers)]
 
     def retired_totals(self) -> Dict[str, int]:

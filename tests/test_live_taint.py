@@ -83,6 +83,37 @@ class TestTaint:
             trip_id, first_leg.dep, first_leg.arr
         )
 
+    def test_memo_never_crosses_patch_generations(self, route_graph):
+        """Taint verdicts are memoized per analyzer, and an analyzer is
+        bound to one PatchSet: every overlay swap must start from an
+        empty memo, or a clean verdict decided under one patch could
+        certify a path against a different one."""
+        from repro.live import LiveOverlayEngine
+
+        engine = LiveOverlayEngine(route_graph)
+        engine.preprocess()
+        trip_id = sorted(route_graph.trips)[0]
+        event_id = engine.apply_event(TripCancellation(trip_id=trip_id))
+        first = engine._ready_state().taint
+        assert first.patch is engine._ready_state().patch
+        # Queries populate the memo.
+        for u in range(route_graph.n):
+            engine.earliest_arrival(u, (u + 1) % route_graph.n, 0)
+        assert first.memo_size > 0
+        populated = first.memo_size
+        # Clearing the event swaps the overlay: a *fresh* analyzer,
+        # empty memo, bound to the new (empty) patch-set.
+        engine.clear_event(event_id)
+        second = engine._ready_state().taint
+        assert second is not first
+        assert second.memo_size == 0
+        assert second.patch is engine._ready_state().patch
+        assert not second.patch.removed
+        # The old analyzer's verdicts were not carried over...
+        assert first.memo_size == populated
+        # ...and the new patch-set taints nothing.
+        assert second.report().num_tainted == 0
+
     def test_tainted_hub_sets(self, figure1_graph):
         trip_id = sorted(figure1_graph.trips)[0]
         _, analyzer = make_analyzer(

@@ -61,8 +61,25 @@ class TestScoreboard:
 
     def test_stale_heartbeat_is_dead(self):
         board = Scoreboard(1, liveness_timeout_s=0.5)
-        board.publish(0, {}, pid=9, now=time.time() - 10.0)
+        board.publish(0, {}, pid=9, now=time.monotonic() - 10.0)
         assert not board.row(0)["alive"]
+
+    def test_liveness_ignores_wall_clock_steps(self):
+        # Regression: liveness used time.time(), so an NTP step could
+        # mark healthy workers dead (forward jump) or report negative
+        # heartbeat ages (backward jump).  Liveness math must run
+        # exclusively on the fake *monotonic* stamps below, no matter
+        # how absurd the wall clock gets.
+        board = Scoreboard(1, liveness_timeout_s=2.0)
+        fake_mono = 1000.0
+        for wall in (0.0, 1e9, 123.456):  # wall clock jumping wildly
+            board.publish(0, {}, pid=9, now=fake_mono, wall=wall)
+            row = board.row(0, now=fake_mono + 0.5)
+            assert row["alive"]
+            assert row["heartbeat_age_s"] == 0.5
+            assert row["last_heartbeat_unix"] == round(wall, 3)
+        # Expiry is likewise a monotonic-only decision.
+        assert not board.row(0, now=fake_mono + 3.0)["alive"]
 
     def test_totals_sum_workers(self):
         board = Scoreboard(2)

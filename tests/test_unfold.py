@@ -64,7 +64,10 @@ class TestFallback:
             victim = None
             for v in range(graph.n):
                 for label in index.in_labels(v):
-                    if label.pivot is not None:
+                    # Trip-labelled segments unfold by walking the trip
+                    # itself; only multi-vehicle labels consult the
+                    # child lookups this test sabotages.
+                    if label.pivot is not None and label.trip is None:
                         victim = (v, label)
                         break
                 if victim:
