@@ -405,8 +405,18 @@ def main(argv=None) -> int:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     name = "serving_throughput_smoke" if args.smoke else "serving_throughput"
     (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
-    (RESULTS_DIR / "BENCH_serving.json").write_text(
-        json.dumps(cache_payload, indent=2, sort_keys=True) + "\n"
+    # Merge, don't clobber: the soak harness (scripts/soak.py) keeps
+    # its trajectory under the "soak" key of the same file.
+    bench_path = RESULTS_DIR / "BENCH_serving.json"
+    merged = {}
+    if bench_path.exists():
+        try:
+            merged = json.loads(bench_path.read_text())
+        except (json.JSONDecodeError, OSError):
+            merged = {}
+    merged.update(cache_payload)
+    bench_path.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n"
     )
 
     from repro.datasets import clear_dataset_cache

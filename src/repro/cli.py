@@ -26,7 +26,9 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import threading
 from typing import List, Optional
 
 from repro.baselines import CHTPlanner, CSAPlanner
@@ -325,28 +327,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
         max_inflight=args.max_inflight,
         cache_size=args.cache_size,
+        drain_grace_s=args.drain_grace,
     )
     fault_plan = load_fault_plan(args.chaos) if args.chaos else None
 
     if args.workers > 1:
-        if args.live:
-            print(
-                "error: --workers does not support --live (overlay "
-                "state is per-process; serve live engines single-"
-                "process)",
-                file=sys.stderr,
-            )
-            return 2
-        from repro.serving import ServingSupervisor, mapped_planner_factory
+        from repro.serving import (
+            ServingSupervisor,
+            live_mapped_planner_factory,
+            mapped_planner_factory,
+        )
 
+        journal_path = None
+        if args.live:
+            # Live prefork: the supervisor owns a durable journal;
+            # workers tail it, so every overlay converges.
+            journal_path = args.journal
+            if journal_path is None:
+                import tempfile
+
+                fd, journal_path = tempfile.mkstemp(
+                    prefix="repro-journal-", suffix=".wal"
+                )
+                os.close(fd)
+                os.unlink(journal_path)
         if args.index and args.mmap:
             # One full digest pass up front; workers then map the
             # verified file lazily (verify=False keeps their cold
             # start O(header) instead of faulting every page in).
             load_index(args.index, graph, mmap=True, verify=True)
-            factory = mapped_planner_factory(
-                graph, args.index, verify=False
-            )
+            if args.live:
+                factory = live_mapped_planner_factory(
+                    graph, args.index, verify=False
+                )
+            else:
+                factory = mapped_planner_factory(
+                    graph, args.index, verify=False
+                )
             sharing = "mmap-shared index"
         else:
             if args.index:
@@ -354,7 +371,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else:
                 index = build_index(graph)
             # Forked workers inherit the heap index copy-on-write.
-            factory = lambda: TTLPlanner(graph, index=index)  # noqa: E731
+            if args.live:
+                from repro.live import LiveOverlayEngine
+
+                factory = lambda: LiveOverlayEngine(  # noqa: E731
+                    graph, index=index
+                )
+            else:
+                factory = lambda: TTLPlanner(  # noqa: E731
+                    graph, index=index
+                )
             sharing = "copy-on-write heap index"
         supervisor = ServingSupervisor(
             factory,
@@ -363,6 +389,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             host=args.host,
             port=args.port,
+            journal_path=journal_path,
+            control_port=args.control_port,
         )
         port = supervisor.start()
         supervisor.wait_ready()
@@ -374,17 +402,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"serving {args.name} on http://{args.host}:{port} with "
             f"{args.workers} workers ({sharing}; /v1 endpoints; "
-            "Ctrl-C stops)",
+            "Ctrl-C stops, SIGTERM drains)",
             flush=True,
         )
-        try:
-            import time as _time
+        if args.live:
+            print(
+                f"live mutations via {supervisor.coordinator_url} "
+                f"(journal: {journal_path}); workers answer 409 and "
+                "point there",
+                flush=True,
+            )
 
-            while True:
-                _time.sleep(3600)
+        # SIGTERM = graceful drain: stop accepting, finish in-flight
+        # requests within the grace window, fsync the journal, exit 0.
+        import signal as _signal
+
+        drain_requested = threading.Event()
+        _signal.signal(
+            _signal.SIGTERM, lambda signum, frame: drain_requested.set()
+        )
+        try:
+            while not drain_requested.wait(timeout=1.0):
+                pass
         except KeyboardInterrupt:  # pragma: no cover - interactive
             supervisor.stop()
-        return 0
+            return 0
+        clean = supervisor.drain(grace_s=config.drain_grace_s)
+        print(
+            "drained" if clean else "drain escalated to SIGKILL",
+            flush=True,
+        )
+        return 0 if clean else 1
 
     if args.live:
         from repro.live import LiveOverlayEngine
@@ -658,6 +706,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="build-farm worker processes for index construction",
+    )
+    p.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="durable live-event journal for --live --workers>1: the "
+        "supervisor appends every mutation here and workers replay it "
+        "(created if missing; recovered + compacted on restart; "
+        "defaults to a temp file)",
+    )
+    p.add_argument(
+        "--control-port",
+        type=int,
+        default=0,
+        help="supervisor control-plane port for journalled live "
+        "mutations (0 = pick a free port)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        help="seconds SIGTERM-drain grants in-flight requests per "
+        "worker before SIGKILL",
     )
     # Hidden: deterministic fault injection for chaos drills.
     p.add_argument("--chaos", metavar="PLAN.json", help=argparse.SUPPRESS)

@@ -150,6 +150,13 @@ class RequestValidationError(ReproError):
         self.field = field
 
 
+class ConflictError(ReproError):
+    """Raised when a request conflicts with how serving is coordinated
+    (HTTP 409) — e.g. a live mutation POSTed directly to a prefork
+    worker, which must instead go through the supervisor's journalled
+    endpoint so every worker sees it."""
+
+
 class PayloadTooLarge(ReproError):
     """Raised when an HTTP request body exceeds the size cap (413)."""
 

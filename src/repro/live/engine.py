@@ -223,17 +223,31 @@ class LiveOverlayEngine(RoutePlanner):
         assert self._state is not None
         return self._state.patch
 
-    def apply_event(self, event: LiveEvent) -> int:
+    def apply_event(
+        self, event: LiveEvent, event_id: Optional[int] = None
+    ) -> int:
         """Register ``event`` and swap the overlay; returns its id.
 
         The event is validated against the base timetable immediately,
         so a bad feed entry fails here instead of poisoning queries.
+
+        ``event_id`` pins an explicit id instead of assigning the next
+        one — the journal replay path, where every process must bind
+        the same id to the same event so ``clear``-by-id keeps meaning
+        the same disruption everywhere.  Ids stay unique either way.
         """
         self.preprocess()
         with self._lock:
             PatchSet.compile(self.graph, [event])  # validate eagerly
-            event_id = self._next_event_id
-            self._next_event_id += 1
+            if event_id is None:
+                event_id = self._next_event_id
+            elif event_id in self._events:
+                raise LiveEventError(
+                    f"event id {event_id} is already registered"
+                )
+            elif event_id < 1:
+                raise LiveEventError(f"event ids start at 1: {event_id}")
+            self._next_event_id = max(self._next_event_id, event_id + 1)
             self._events[event_id] = event
             self._rebuild()
         return event_id

@@ -56,6 +56,15 @@ class ResilienceConfig:
     #: granularity hot-pair grouping and invalidation sweeps reason at.
     cache_bucket_s: int = 900
 
+    # Prefork live coordination ------------------------------------------
+    #: Seconds a draining supervisor grants each worker to finish its
+    #: in-flight requests after SIGTERM before escalating to SIGKILL.
+    drain_grace_s: float = 5.0
+    #: Worker journal-follower poll interval (seconds): the upper
+    #: bound one *idle* poll adds to fan-out latency; a follower that
+    #: just applied a record immediately re-polls for the next.
+    journal_poll_s: float = 0.05
+
     # Input hardening ----------------------------------------------------
     #: Largest accepted request body; beyond it the service answers 413.
     max_body_bytes: int = 1 << 20

@@ -105,6 +105,7 @@ from typing import Dict, Optional
 
 from repro.core.batch import eat_matrix, isochrone, one_to_many_eat
 from repro.errors import (
+    ConflictError,
     DeadlineExceeded,
     FaultInjected,
     Overloaded,
@@ -137,6 +138,8 @@ class PlannerService:
         breaker: Optional[CircuitBreaker] = None,
         worker_id: int = 0,
         scoreboard=None,
+        journal=None,
+        coordinator: Optional[str] = None,
     ) -> None:
         """Wrap ``planner`` for serving.
 
@@ -159,10 +162,33 @@ class PlannerService:
                 cluster-aggregated counters and ``/healthz`` carries
                 per-worker liveness, both read from shared memory by
                 whichever worker answers.
+            journal: a :class:`~repro.serving.journal.LiveJournal`
+                this service *writes* — the supervisor's control-plane
+                role.  Live mutations are applied to the local (live)
+                planner, durably appended, and only then acknowledged;
+                responses carry the assigned ``seq``.
+            coordinator: URL of the supervisor's coordinated mutation
+                endpoint — the prefork *worker* role.  When set, live
+                mutation POSTs answer 409 pointing clients at the
+                coordinated path; this worker's live state changes only
+                through its journal follower.
         """
+        if journal is not None and coordinator is not None:
+            raise ValueError(
+                "a service is either the journal writer or a "
+                "coordinated worker, never both"
+            )
         self.planner = planner
         self.worker_id = worker_id
         self.scoreboard = scoreboard
+        self.journal = journal
+        self.coordinator = coordinator
+        #: Worker-side journal tail (set by worker_main under prefork
+        #: live serving); readiness requires it to have caught up.
+        self.journal_follower = None
+        #: Journal records that failed to apply locally (should stay 0:
+        #: the supervisor validated them before appending).
+        self.journal_skipped = 0
         #: Spawn generation under prefork serving (set by worker_main).
         self.generation = 0
         #: Requests handled (any endpoint, any status) — fed to the
@@ -238,6 +264,14 @@ class PlannerService:
             self._server = _adopt_socket(handler, sock)
         else:
             self._server = ThreadingHTTPServer((host, port), handler)
+        # Non-daemon handler threads: ThreadingMixIn only *tracks*
+        # (and so server_close() only joins) non-daemon threads.  This
+        # is what makes stop() a graceful drain — an accepted request
+        # always gets its response before the listener's fd dies, the
+        # guarantee the supervisor's SIGTERM drain path is built on.
+        # The bound comes from per-request deadlines plus the
+        # supervisor's SIGKILL escalation, not from abandoning work.
+        self._server.daemon_threads = False
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True
         )
@@ -315,6 +349,64 @@ class PlannerService:
             self._epoch = f"{graph.n}.{graph.m}.{labels}"
         return self._epoch
 
+    def live_generation(self) -> int:
+        """The live engine's patch generation (0 for static planners).
+
+        Published per worker through the scoreboard so cross-worker
+        divergence — the thing the journal fan-out exists to close —
+        is observable from ``/healthz`` and ``/v1/metrics``.
+        """
+        return self._live.generation if self._live is not None else 0
+
+    def journal_seq(self) -> int:
+        """Last journal record applied (writer: last appended)."""
+        if self.journal_follower is not None:
+            return self.journal_follower.applied_seq
+        if self.journal is not None:
+            return self.journal.seq
+        return 0
+
+    def revalidate_cache(self) -> None:
+        """Taint-driven cache sweep after a live mutation (caller holds
+        :attr:`lock`).  Entries whose static answers the TaintAnalyzer
+        certifies against the new patch-set are re-keyed to the new
+        generation; the rest are evicted."""
+        live = self._live
+        if self.cache is None or live is None:
+            return
+        self.cache.revalidate(
+            live.generation,
+            certify=lambda entry: live.static_answer_valid(
+                entry.query_type,
+                entry.origin,
+                entry.destination,
+                entry.t,
+                entry.t_end,
+            ),
+        )
+
+    def apply_journal_record(self, record: dict) -> None:
+        """Apply one journal record under the overlay-swap lock.
+
+        The worker-side fan-out path: the follower thread calls this
+        for every durable frame, in order, so the same taint-driven
+        cache revalidation that guards direct mutations runs per
+        worker per record.  Records the supervisor validated before
+        appending should never fail here; one that does is counted and
+        skipped rather than wedging the follower behind it forever.
+        """
+        if self._live is None:
+            return
+        from repro.serving.journal import apply_record
+
+        with self.lock:
+            try:
+                apply_record(self._live, record)
+            except ReproError:
+                self.journal_skipped += 1
+                return
+            self.revalidate_cache()
+
     def publish_counters(self) -> None:
         """Push this worker's counters to the shared scoreboard now
         (the worker heartbeat loop also does this periodically)."""
@@ -324,6 +416,8 @@ class PlannerService:
                 self.counters(),
                 pid=os.getpid(),
                 generation=self.generation,
+                live_generation=self.live_generation(),
+                journal_seq=self.journal_seq(),
             )
 
     def stop(self) -> None:
@@ -455,6 +549,9 @@ def _make_handler(service: PlannerService):
             except RequestValidationError as exc:
                 self._send(400, _error_body(exc))
                 return
+            except ConflictError as exc:
+                self._send(409, _error_body(exc))
+                return
             except FaultInjected as exc:
                 self._send(500, _error_body(f"internal error: {exc}"))
                 return
@@ -560,6 +657,17 @@ def _make_handler(service: PlannerService):
                 raise ServiceNotReady(
                     reason, retry_after=config.retry_after_s
                 )
+            follower = service.journal_follower
+            if follower is not None and not follower.caught_up.is_set():
+                # A worker that has not replayed the live-event journal
+                # to its tail could serve pre-disruption answers; it
+                # must not report ready or answer queries until caught
+                # up (the replay-to-ready contract).
+                raise ServiceNotReady(
+                    "replaying live-event journal "
+                    f"(applied seq {follower.applied_seq})",
+                    retry_after=config.retry_after_s,
+                )
 
         def _query(self, exact, degraded):
             """Run a query through the resilience pipeline."""
@@ -611,21 +719,8 @@ def _make_handler(service: PlannerService):
 
         def _cache_invalidate(self):
             """Taint-driven sweep after a live mutation (caller holds
-            the service lock).  Entries whose static answers the
-            TaintAnalyzer certifies against the new patch-set are
-            re-keyed to the new generation; the rest are evicted."""
-            if cache is None or live is None:
-                return
-            cache.revalidate(
-                live.generation,
-                certify=lambda entry: live.static_answer_valid(
-                    entry.query_type,
-                    entry.origin,
-                    entry.destination,
-                    entry.t,
-                    entry.t_end,
-                ),
-            )
+            the service lock); see PlannerService.revalidate_cache."""
+            service.revalidate_cache()
 
         def _journey_body(self, exact, degraded, cache_ctx=None) -> dict:
             key = None
@@ -662,7 +757,18 @@ def _make_handler(service: PlannerService):
                     with lock:
                         body["now"] = live.now
                         body["generation"] = live.generation
+                        body["live_generation"] = live.generation
                         body["events"] = len(live.events())
+                follower = service.journal_follower
+                if follower is not None:
+                    journal_body = follower.snapshot()
+                    journal_body["role"] = "follower"
+                    journal_body["skipped"] = service.journal_skipped
+                    body["journal"] = journal_body
+                elif service.journal is not None:
+                    journal_body = service.journal.snapshot()
+                    journal_body["role"] = "writer"
+                    body["journal"] = journal_body
                 if scoreboard is not None:
                     body["worker"] = service.worker_id
                     body["workers"] = scoreboard.workers()
@@ -697,6 +803,12 @@ def _make_handler(service: PlannerService):
                                 "store_bytes": index.store_bytes(),
                             }
                 body["resilience"] = executor.snapshot()
+                if live is not None:
+                    body["live"] = {
+                        "generation": live.generation,
+                        "now": live.now,
+                        "journal_seq": service.journal_seq(),
+                    }
                 if cache is not None:
                     body["cache"] = cache.snapshot()
                 if scoreboard is not None:
@@ -809,32 +921,66 @@ def _make_handler(service: PlannerService):
             if path == "/live/events":
                 self._require_live()
                 self._require_ready()
+                self._require_writer(path)
                 event = event_from_dict(body)
                 with lock:
                     event_id = live.apply_event(event)
                     generation = live.generation
                     self._cache_invalidate()
-                return {"id": event_id, "generation": generation}
+                    seq = self._journal_append(
+                        {
+                            "op": "apply_event",
+                            "id": event_id,
+                            "event": event.to_dict(),
+                        }
+                    )
+                result = {"id": event_id, "generation": generation}
+                if seq is not None:
+                    result["seq"] = seq
+                return result
             if path == "/live/advance":
                 self._require_live()
                 self._require_ready()
+                self._require_writer(path)
                 now = _int_field(body, "now")
                 with lock:
+                    current = live.now
+                    if now < current:
+                        raise RequestValidationError(
+                            f"'now' must not move backwards: {now} < "
+                            f"current live clock {current}",
+                            field="now",
+                            hint="the live clock is monotonic; POST a "
+                            "value >= the current clock (see GET "
+                            "/live/stats)",
+                        )
                     live.advance_to(now)
                     remaining = len(live.events())
                     self._cache_invalidate()
-                return {"now": now, "events": remaining}
+                    seq = self._journal_append({"op": "advance", "now": now})
+                result = {"now": now, "events": remaining}
+                if seq is not None:
+                    result["seq"] = seq
+                return result
             if path == "/live/clear":
                 self._require_live()
                 self._require_ready()
+                self._require_writer(path)
                 with lock:
                     if "id" in body:
-                        live.clear_event(_int_field(body, "id"))
+                        event_id = _int_field(body, "id")
+                        live.clear_event(event_id)
                         cleared = 1
+                        record = {"op": "clear", "id": event_id}
                     else:
                         cleared = live.clear_all()
+                        record = {"op": "clear_all"}
                     self._cache_invalidate()
-                return {"cleared": cleared}
+                    seq = self._journal_append(record)
+                result = {"cleared": cleared}
+                if seq is not None:
+                    result["seq"] = seq
+                return result
             return None
 
         def _batch(self, body: dict):
@@ -952,6 +1098,34 @@ def _make_handler(service: PlannerService):
                     f"{planner.name} is not a live engine; start the "
                     "service with a LiveOverlayEngine to use /live/*"
                 )
+
+        def _require_writer(self, path: str) -> None:
+            """Reject direct mutations on journal followers (HTTP 409).
+
+            Under prefork serving each worker only *follows* the
+            supervisor's journal; a mutation applied to one worker
+            would silently diverge the fleet.
+            """
+            coordinator = service.coordinator
+            if coordinator is not None:
+                raise ConflictError(
+                    "live mutations are coordinated by the supervisor "
+                    "under prefork serving; this worker only follows "
+                    "the journal",
+                    hint=f"POST to {coordinator}{path} (the journalled "
+                    "path, fanned out to every worker)",
+                )
+
+        def _journal_append(self, record: dict) -> Optional[int]:
+            """Append a mutation record after it applied locally.
+
+            Returns the assigned journal ``seq``, or ``None`` when this
+            service has no journal (single-process mode).  Called under
+            the planner lock so journal order matches apply order.
+            """
+            if service.journal is None:
+                return None
+            return service.journal.append(record)
 
         def _send(
             self,

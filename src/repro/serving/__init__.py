@@ -20,27 +20,48 @@ serving shape, where the label file is an immutable shared artifact.
 * :class:`~repro.serving.cache.AnswerCache` — per-worker hot-pair
   answer cache with taint-driven invalidation (``serve --cache-size``;
   see docs/serving.md).
+* :class:`~repro.serving.journal.LiveJournal` /
+  :class:`~repro.serving.journal.JournalFollower` — the durable
+  live-event journal the supervisor appends to and every worker tails,
+  so live mutations fan out to the whole fleet and a respawned worker
+  replays to the tail before reporting ready (``serve --live
+  --workers K --journal FILE``; see docs/serving.md).
 
 Wired to the CLI as ``repro-ttl serve NAME --workers K --mmap
 --index FILE --cache-size N``.
 """
 
 from repro.serving.cache import AnswerCache, CacheStats
+from repro.serving.journal import (
+    JournalFollower,
+    LiveJournal,
+    compact_records,
+    scan_frames,
+)
 from repro.serving.scoreboard import (
     COUNTER_FIELDS,
     FIELDS,
     Scoreboard,
 )
 from repro.serving.supervisor import ServingSupervisor
-from repro.serving.worker import mapped_planner_factory, worker_main
+from repro.serving.worker import (
+    live_mapped_planner_factory,
+    mapped_planner_factory,
+    worker_main,
+)
 
 __all__ = [
     "AnswerCache",
     "CacheStats",
     "COUNTER_FIELDS",
     "FIELDS",
+    "JournalFollower",
+    "LiveJournal",
     "Scoreboard",
     "ServingSupervisor",
+    "compact_records",
+    "live_mapped_planner_factory",
     "mapped_planner_factory",
+    "scan_frames",
     "worker_main",
 ]

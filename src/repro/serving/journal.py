@@ -1,0 +1,401 @@
+"""Durable live-event journal: the prefork fan-out log.
+
+Under single-process serving a live mutation (``apply_event`` /
+``advance`` / ``clear``) lands in the one engine that answers every
+query.  Under the prefork supervisor that stops being true: whichever
+worker accepts ``POST /live/events`` patches *its* overlay, every
+sibling keeps serving the undisrupted timetable, and a respawned
+worker forks from a parent that never saw any event — silently
+breaking the zero-stale guarantee the taint analyzer and answer cache
+were built to protect.
+
+:class:`LiveJournal` fixes the ownership: the **supervisor** is the
+only writer.  Every live mutation is validated against the
+supervisor's own reference engine, appended to an append-only,
+``fsync``'d, CRC-framed write-ahead log, and acknowledged only once
+the frame is durable.  Every worker runs a :class:`JournalFollower`
+that tails the file and applies records *in order* under its service's
+overlay-swap lock — so the existing taint-driven cache revalidation
+runs per worker per record, and all workers converge to the same
+``live_generation``.  A respawned worker replays the journal to the
+current tail **before** its readiness probe reports ready, so a
+SIGKILL-respawn cycle can never reintroduce pre-disruption answers.
+
+On-disk format
+--------------
+
+::
+
+    +--------- 8 bytes ----------+
+    | magic  b"RPJRNL1\\n"       |
+    +----------------------------+
+    | frame: <II  len, crc32     |  per record
+    |        payload (JSON)      |
+    +----------------------------+ ...
+
+Each payload is one canonical-JSON record carrying a monotonically
+increasing ``seq`` plus an ``op``:
+
+* ``{"op": "apply_event", "seq": n, "id": eid, "event": {...}}``
+* ``{"op": "advance",     "seq": n, "now": t}``
+* ``{"op": "clear",       "seq": n, "id": eid}``
+* ``{"op": "clear_all",   "seq": n}``
+
+The CRC frames make torn tails self-healing: a crash mid-append leaves
+a partial frame that :meth:`LiveJournal.scan` detects (short read or
+CRC mismatch) and recovery truncates, so replay always stops at the
+last *good* frame — a reader can never act on half a record.  Event
+ids are carried explicitly in the records, so replay after compaction
+reassigns nothing and ``clear``-by-id keeps meaning the same event in
+every process.
+
+On clean restart the supervisor **compacts**: the recovered records
+are reduced to the surviving state (active events + the clock) and the
+file is atomically rewritten (tmp + fsync + ``os.replace``), so the
+journal a fresh worker must replay is bounded by the number of live
+events, not the lifetime mutation count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SerializationError
+from repro.live.events import event_from_dict
+
+MAGIC = b"RPJRNL1\n"
+
+#: Frame header: payload length, CRC32 of the payload.
+_FRAME = struct.Struct("<II")
+
+#: Journal operations understood by :func:`apply_record`.
+OPS = ("apply_event", "advance", "clear", "clear_all")
+
+
+def _encode_frame(record: dict) -> bytes:
+    payload = json.dumps(record, sort_keys=True).encode()
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_frames(data: bytes) -> Tuple[List[dict], int]:
+    """Decode ``(records, good_offset)`` from raw journal bytes.
+
+    ``good_offset`` is the byte offset one past the last frame that
+    decoded cleanly; anything beyond it (a torn tail from a crash
+    mid-append, or rotted bytes) is for the caller to truncate or
+    ignore.  The magic header must be intact — a journal whose first
+    eight bytes are wrong is not a journal, and pretending it is an
+    empty one would silently drop every disruption.
+    """
+    if len(data) < len(MAGIC) or data[: len(MAGIC)] != MAGIC:
+        raise SerializationError(
+            "not a live-event journal (bad magic header)",
+            hint="the journal file is created by the serving "
+            "supervisor; point --journal at a fresh path to start one",
+        )
+    records: List[dict] = []
+    offset = len(MAGIC)
+    while True:
+        header = data[offset : offset + _FRAME.size]
+        if len(header) < _FRAME.size:
+            break  # torn or absent header
+        length, crc = _FRAME.unpack(header)
+        start = offset + _FRAME.size
+        payload = data[start : start + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            break  # torn or corrupt frame: stop at the good prefix
+        try:
+            record = json.loads(payload)
+        except ValueError:  # bad JSON *or* bad UTF-8: treat as torn
+            break
+        if not isinstance(record, dict):
+            break
+        records.append(record)
+        offset = start + length
+    return records, offset
+
+
+class LiveJournal:
+    """Append-only writer (the supervisor owns exactly one).
+
+    Opening an existing file *recovers* it: frames are scanned, the
+    torn tail (if any) is truncated away, and ``seq`` resumes from the
+    last durable record.  Every :meth:`append` is flushed and
+    ``fsync``'d before it returns — an acknowledged mutation survives
+    a supervisor crash.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self.records: List[dict] = []
+        self.seq = 0
+        self.truncated_bytes = 0
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            with open(self.path, "rb") as fh:
+                data = fh.read()
+            self.records, good = scan_frames(data)
+            if good < len(data):
+                self.truncated_bytes = len(data) - good
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(good)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            if self.records:
+                self.seq = int(self.records[-1].get("seq", len(self.records)))
+        else:
+            with open(self.path, "wb") as fh:
+                fh.write(MAGIC)
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._fh = open(self.path, "ab")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, op_body: dict) -> int:
+        """Durably append one record; returns its assigned ``seq``."""
+        with self._lock:
+            self.seq += 1
+            record = dict(op_body, seq=self.seq)
+            self._fh.write(_encode_frame(record))
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self.records.append(record)
+            return self.seq
+
+    def rewrite(self, records: List[dict]) -> None:
+        """Atomically replace the journal's contents (compaction).
+
+        Records are renumbered ``1..n``; only safe before any follower
+        has started tailing (the supervisor compacts during recovery,
+        strictly before forking workers).
+        """
+        with self._lock:
+            renumbered = [
+                dict(record, seq=i + 1) for i, record in enumerate(records)
+            ]
+            tmp = self.path + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(MAGIC)
+                for record in renumbered:
+                    fh.write(_encode_frame(record))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._fh.close()
+            self._fh = open(self.path, "ab")
+            self.records = renumbered
+            self.seq = len(renumbered)
+
+    def sync(self) -> None:
+        """Flush + fsync (the drain path calls this before exiting)."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                self._fh.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe journal state (served by the control ``/healthz``)."""
+        return {
+            "path": self.path,
+            "seq": self.seq,
+            "records": len(self.records),
+            "bytes": os.path.getsize(self.path)
+            if os.path.exists(self.path)
+            else 0,
+            "truncated_bytes": self.truncated_bytes,
+        }
+
+
+def compact_records(records: List[dict]) -> List[dict]:
+    """Reduce a record sequence to the state it leaves behind.
+
+    Pure event bookkeeping — no engine required: ``apply_event``
+    registers, ``clear``/``clear_all`` unregister, ``advance`` moves
+    the clock and drops events whose ``expires_at`` has passed (the
+    same deletion rule :meth:`LiveOverlayEngine.advance_to` applies).
+    The result reconstructs the surviving events (original ids kept)
+    followed by one trailing ``advance`` that restores the clock.
+    Malformed records are skipped — recovery must not die on one bad
+    entry the CRC happened to pass.
+    """
+    events: Dict[int, dict] = {}
+    now = 0
+    for record in records:
+        op = record.get("op")
+        try:
+            if op == "apply_event":
+                event = record["event"]
+                event_from_dict(event)  # validate the payload shape
+                events[int(record["id"])] = event
+            elif op == "clear":
+                events.pop(int(record["id"]), None)
+            elif op == "clear_all":
+                events.clear()
+            elif op == "advance":
+                now = max(now, int(record["now"]))
+                events = {
+                    eid: event
+                    for eid, event in events.items()
+                    if event_from_dict(event).expires_at > now
+                }
+        except Exception:
+            continue
+    compacted: List[dict] = [
+        {"op": "apply_event", "id": eid, "event": events[eid]}
+        for eid in sorted(events)
+    ]
+    if now > 0:
+        compacted.append({"op": "advance", "now": now})
+    return compacted
+
+
+def apply_record(engine, record: dict) -> None:
+    """Apply one journal record to a live engine (no lock, no cache).
+
+    The service-level wrapper
+    (:meth:`repro.service.PlannerService.apply_journal_record`) adds
+    the overlay-swap lock and the taint-driven cache sweep; this bare
+    form is what supervisor recovery uses before any traffic exists.
+    """
+    op = record.get("op")
+    if op == "apply_event":
+        engine.apply_event(
+            event_from_dict(record["event"]), event_id=int(record["id"])
+        )
+    elif op == "advance":
+        engine.advance_to(int(record["now"]))
+    elif op == "clear":
+        engine.clear_event(int(record["id"]))
+    elif op == "clear_all":
+        engine.clear_all()
+    else:
+        raise SerializationError(f"unknown journal op: {op!r}")
+
+
+class JournalFollower:
+    """Worker-side tail: replay to the tail, then keep following.
+
+    The follower thread waits for ``wait_for`` (the service's warm-up
+    event — records must not race index construction), replays every
+    durable frame through ``apply`` in order, and only then sets
+    :attr:`caught_up` — the event the worker's readiness probe gates
+    on.  After catch-up it keeps polling for new frames every
+    ``poll_interval_s``.
+
+    A frame that does not decode (short read mid-append, or a torn
+    tail from a dead writer) parks the follower at the last good
+    offset: it retries on the next poll, so an in-flight append is
+    picked up the moment its bytes are complete, while a permanently
+    corrupt tail simply never advances past the good prefix — exactly
+    the replay-from-last-good-frame semantics recovery has.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        apply: Callable[[dict], None],
+        poll_interval_s: float = 0.05,
+        wait_for: Optional[threading.Event] = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.apply = apply
+        self.poll_interval_s = poll_interval_s
+        self.wait_for = wait_for
+        self.applied_seq = 0
+        self.applied_records = 0
+        self.caught_up = threading.Event()
+        self._stop = threading.Event()
+        self._offset = len(MAGIC)
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-journal-follower"
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        if self.wait_for is not None:
+            while not self._stop.is_set():
+                if self.wait_for.wait(timeout=0.05):
+                    break
+        while not self._stop.is_set():
+            self._drain_available()
+            if not self.caught_up.is_set():
+                self.caught_up.set()
+            self._stop.wait(self.poll_interval_s)
+
+    def _drain_available(self) -> None:
+        """Apply every complete, CRC-clean frame past the offset."""
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(self._offset)
+                data = fh.read()
+        except OSError:
+            return
+        offset = 0
+        while not self._stop.is_set():
+            header = data[offset : offset + _FRAME.size]
+            if len(header) < _FRAME.size:
+                break
+            length, crc = _FRAME.unpack(header)
+            start = offset + _FRAME.size
+            payload = data[start : start + length]
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                break  # incomplete or torn: retry from here next poll
+            try:
+                record = json.loads(payload)
+            except ValueError:  # bad JSON or bad UTF-8: torn frame
+                break
+            offset = start + length
+            self._offset += _FRAME.size + length
+            if isinstance(record, dict):
+                self.apply(record)
+                self.applied_seq = int(record.get("seq", self.applied_seq))
+                self.applied_records += 1
+
+    def snapshot(self) -> dict:
+        """JSON-safe follower state (served inside ``/healthz``)."""
+        return {
+            "applied_seq": self.applied_seq,
+            "applied_records": self.applied_records,
+            "caught_up": self.caught_up.is_set(),
+        }
+
+
+__all__ = [
+    "MAGIC",
+    "OPS",
+    "LiveJournal",
+    "JournalFollower",
+    "scan_frames",
+    "compact_records",
+    "apply_record",
+]

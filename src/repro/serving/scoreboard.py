@@ -33,7 +33,17 @@ from typing import Dict, List, Optional
 
 #: Per-row identity cells (not summed).  ``heartbeat`` is a monotonic
 #: stamp (liveness math); ``heartbeat_wall`` is wall time for display.
-IDENTITY_FIELDS = ("pid", "generation", "heartbeat", "heartbeat_wall")
+#: ``live_generation`` / ``journal_seq`` track how far the worker's
+#: live overlay has converged on the supervisor's journal — state, not
+#: a cumulative counter, so they live here and never feed ``totals()``.
+IDENTITY_FIELDS = (
+    "pid",
+    "generation",
+    "heartbeat",
+    "heartbeat_wall",
+    "live_generation",
+    "journal_seq",
+)
 
 #: Per-row cumulative counters (summed by :meth:`Scoreboard.totals`).
 #: Mirrors :meth:`repro.service.PlannerService.counters`.
@@ -81,6 +91,8 @@ class Scoreboard:
         generation: int = 0,
         now: Optional[float] = None,
         wall: Optional[float] = None,
+        live_generation: int = 0,
+        journal_seq: int = 0,
     ) -> None:
         """Publish one worker's identity + cumulative counters.
 
@@ -93,6 +105,8 @@ class Scoreboard:
         cells[base + 1] = float(generation)
         cells[base + 2] = time.monotonic() if now is None else now
         cells[base + 3] = time.time() if wall is None else wall
+        cells[base + 4] = float(live_generation)
+        cells[base + 5] = float(journal_seq)
         for i, field in enumerate(COUNTER_FIELDS):
             cells[base + len(IDENTITY_FIELDS) + i] = float(
                 counters.get(field, 0)
@@ -139,6 +153,8 @@ class Scoreboard:
             "last_heartbeat_unix": (
                 round(wall, 3) if heartbeat > 0.0 else None
             ),
+            "live_generation": int(cells[base + 4]),
+            "journal_seq": int(cells[base + 5]),
             "counters": counters,
         }
 

@@ -15,9 +15,9 @@ pages arrive by ``mmap`` against the page cache.
 
 from __future__ import annotations
 
-import os
+import signal
 import socket
-import time
+import threading
 from typing import Callable, Optional
 
 from repro.core.queries import TTLPlanner
@@ -50,6 +50,27 @@ def mapped_planner_factory(
     return factory
 
 
+def live_mapped_planner_factory(
+    graph: TimetableGraph,
+    index_path: str,
+    verify: bool = False,
+) -> PlannerFactory:
+    """Like :func:`mapped_planner_factory`, but wraps the mapped index
+    in a :class:`~repro.live.LiveOverlayEngine` so the worker can apply
+    journalled live mutations.  The sealed index pages are still shared
+    copy-on-read across the fleet; only the (small) overlay state is
+    private per worker.
+    """
+
+    def factory() -> RoutePlanner:
+        from repro.live import LiveOverlayEngine
+
+        index = load_index(index_path, graph, mmap=True, verify=verify)
+        return LiveOverlayEngine(graph, index=index)
+
+    return factory
+
+
 def worker_main(
     worker_id: int,
     generation: int,
@@ -60,8 +81,23 @@ def worker_main(
     fault_plan: Optional[FaultPlan] = None,
     heartbeat_interval_s: float = 0.25,
     warm: bool = True,
+    journal_path: Optional[str] = None,
+    coordinator: Optional[str] = None,
 ) -> None:
-    """Serve forever on the shared socket (runs in the forked child)."""
+    """Serve on the shared socket (runs in the forked child).
+
+    With ``journal_path`` set the worker tails the supervisor's live
+    journal: a follower thread applies every durable record in order
+    under the service lock, and ``/healthz/ready`` reports ready only
+    once the replay has caught up to the tail — a respawned worker
+    never serves answers from a stale overlay.  ``coordinator`` is the
+    supervisor's control URL; direct mutations on this worker then
+    answer 409 pointing at it.
+
+    Runs until SIGTERM (graceful drain: stop accepting, finish
+    in-flight requests, final scoreboard publish, return so the child
+    exits 0) or SIGKILL (chaos; the supervisor respawns).
+    """
     # Lazy import: repro.service imports a lot; the supervisor module
     # must stay importable without it for the scoreboard unit tests.
     from repro.service import PlannerService
@@ -73,20 +109,39 @@ def worker_main(
         fault_plan=fault_plan,
         worker_id=worker_id,
         scoreboard=scoreboard,
+        coordinator=coordinator,
     )
     service.generation = generation
+
+    drain = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: drain.set())
+
     service.start(sock=sock, warm=warm)
-    pid = os.getpid()
+    if journal_path is not None:
+        from repro.serving.journal import JournalFollower
+
+        poll_s = (
+            resilience.journal_poll_s if resilience is not None else 0.05
+        )
+        service.journal_follower = JournalFollower(
+            journal_path,
+            service.apply_journal_record,
+            poll_interval_s=poll_s,
+            wait_for=service._ready,
+        )
+        service.journal_follower.start()
     try:
-        while True:
-            scoreboard.publish(
-                worker_id,
-                service.counters(),
-                pid=pid,
-                generation=generation,
-            )
-            time.sleep(heartbeat_interval_s)
+        while not drain.wait(timeout=heartbeat_interval_s):
+            service.publish_counters()
     except KeyboardInterrupt:
         # Ctrl-C hits the whole foreground process group; exit quietly
         # and let the supervisor's shutdown own the terminal.
-        pass
+        return
+    # Graceful drain: close the listener and join in-flight handler
+    # threads (service.stop() blocks on them via block_on_close), stop
+    # the follower, then publish one last counter snapshot so the
+    # supervisor's retire() folds a complete total.
+    if service.journal_follower is not None:
+        service.journal_follower.stop()
+    service.stop()
+    service.publish_counters()

@@ -398,6 +398,73 @@ class TestLiveEndpoints:
         assert body["events"] == 0
 
 
+class TestLiveCoordination:
+    """Single-process checks for the prefork journal contracts: the
+    advance monotonicity guard and the follower-role 409."""
+
+    def test_advance_backwards_400_names_now(self, live_service):
+        _, engine, port = live_service
+        target = engine.now + 50
+        post(port, "/live/advance", {"now": target})
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(port, "/live/advance", {"now": target - 10})
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert body["field"] == "now"
+        assert "backwards" in body["error"]
+        assert body["hint"]
+        # The clock did not move.
+        _, stats = get(port, "/live/stats")
+        assert stats["now"] == target
+
+    def test_advance_to_current_clock_is_allowed(self, live_service):
+        _, engine, port = live_service
+        status, body = post(port, "/live/advance", {"now": engine.now})
+        assert status == 200
+
+    def test_mutations_409_when_coordinated(self):
+        from tests.conftest import make_random_route_graph
+        from repro.live import LiveOverlayEngine
+        import random
+
+        graph = make_random_route_graph(random.Random(17), 8, 5)
+        svc = PlannerService(
+            LiveOverlayEngine(graph),
+            coordinator="http://127.0.0.1:9999",
+        )
+        port = svc.start(port=0)
+        try:
+            for path, body in (
+                ("/live/events", {"kind": "cancel", "trip_id": 0}),
+                ("/live/advance", {"now": 10}),
+                ("/live/clear", {}),
+            ):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    post(port, path, body)
+                assert err.value.code == 409, path
+                payload = json.loads(err.value.read())
+                assert "coordinated" in payload["error"]
+                assert f"http://127.0.0.1:9999{path}" in payload["hint"]
+            # Reads still answer locally.
+            status, _ = get(port, "/live/events")
+            assert status == 200
+        finally:
+            svc.stop()
+
+    def test_journal_and_coordinator_are_exclusive(self):
+        from tests.conftest import make_random_route_graph
+        from repro.live import LiveOverlayEngine
+        import random
+
+        graph = make_random_route_graph(random.Random(17), 8, 5)
+        with pytest.raises(ValueError, match="never both"):
+            PlannerService(
+                LiveOverlayEngine(graph),
+                journal=object(),
+                coordinator="http://127.0.0.1:9999",
+            )
+
+
 class TestBackgroundBuildReadiness:
     """``warm=False`` serves immediately; 503s carry build progress."""
 

@@ -110,6 +110,25 @@ class TestScoreboard:
         service = PlannerService(TTLPlanner(graph))
         assert set(service.counters()) == set(COUNTER_FIELDS)
 
+    def test_live_generation_and_journal_seq_published(self):
+        # Convergence state is identity, not a counter: it must show
+        # per row and must never leak into the summed totals.
+        board = Scoreboard(2)
+        board.publish(0, {}, pid=1, live_generation=7, journal_seq=12)
+        board.publish(1, {}, pid=2)
+        assert board.row(0)["live_generation"] == 7
+        assert board.row(0)["journal_seq"] == 12
+        assert board.row(1)["live_generation"] == 0
+        assert "live_generation" not in board.totals()
+        assert "journal_seq" not in board.totals()
+
+    def test_retire_clears_convergence_state(self):
+        board = Scoreboard(1)
+        board.publish(0, {}, pid=1, live_generation=7, journal_seq=12)
+        board.retire(0)
+        assert board.row(0)["journal_seq"] == 0
+        assert board.row(0)["live_generation"] == 0
+
     def test_bad_worker_id_rejected(self):
         board = Scoreboard(2)
         with pytest.raises(ValueError, match="worker id"):
