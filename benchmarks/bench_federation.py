@@ -1,0 +1,298 @@
+"""Federation benchmark: what does region sharding cost per query?
+
+Three questions the federated serving mode must answer with numbers:
+
+* **Intra vs cross latency.**  Intra-region requests are proxied
+  whole to the owning worker — one hop, the monolithic query path on
+  a smaller index — while cross-region requests pay the router's
+  stitch: four worker sub-requests (EAP/LDP) joined through the
+  border mini-index.  The sweep replays a deterministic workload
+  split into the two classes and reports server-side ``elapsed_us``
+  p50/p99 per class, next to a monolithic supervisor answering the
+  same queries.
+
+* **Fan-out overhead.**  Cross p50 over monolithic p50 on the same
+  query set, plus the router's sub-request counter — the multiplier
+  the stitch costs over a single index lookup.
+
+* **Per-worker memory.**  Each federation worker mmaps only its
+  region shard plus the shared border index, so its RSS (and its
+  shard's on-disk/loaded bytes) must stay well under the monolithic
+  worker's — the bound that lets a country-scale network be served
+  by laptop-sized workers.
+
+Run standalone (not a pytest-benchmark file)::
+
+    PYTHONPATH=src python benchmarks/bench_federation.py           # Berlin split
+    PYTHONPATH=src python benchmarks/bench_federation.py --smoke   # TwinCities
+
+The default run partitions Berlin with the METIS-lite heuristic
+(k=2, seed 0) — the "Berlin-split" line committed in
+``benchmarks/results/BENCH_federation.json``; smoke runs use the
+tagged TwinCities dataset and write ``federation_smoke.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _get(port: int, path: str) -> dict:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=30
+    ) as response:
+        return json.loads(response.read())
+
+
+def _rss_kb(pid: int) -> int:
+    """Resident set size of ``pid`` in kilobytes (/proc)."""
+    try:
+        with open(f"/proc/{pid}/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def _percentiles(values):
+    if not values:
+        return {"p50": None, "p99": None, "mean": None}
+    ordered = sorted(values)
+    return {
+        "p50": ordered[len(ordered) // 2],
+        "p99": ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))],
+        "mean": round(statistics.fmean(ordered), 1),
+    }
+
+
+def _replay(port: int, queries) -> list:
+    """Issue each query sequentially (single-core client), collecting
+    the server-side elapsed_us from the /v1 envelope."""
+    elapsed = []
+    for q in queries:
+        body = _get(
+            port,
+            f"/v1/eap?from={q.source}&to={q.destination}&t={q.t_start}",
+        )
+        elapsed.append(body["meta"]["elapsed_us"])
+    return elapsed
+
+
+def run(dataset: str, k: int, num_queries: int, seed: int) -> dict:
+    from repro.core import build_index
+    from repro.core.serialize import save_index
+    from repro.datasets import QueryWorkload, load_dataset
+    from repro.federation import (
+        build_federation,
+        partition_graph,
+        region_map_from_names,
+    )
+    from repro.federation.serve import FederationSupervisor
+    from repro.serving import ServingSupervisor
+
+    graph = load_dataset(dataset)
+    partition = region_map_from_names(graph)
+    partition_kind = "name-map"
+    if partition is None or partition.num_regions != k:
+        partition = partition_graph(graph, k, seed=seed)
+        partition_kind = f"heuristic(seed={seed})"
+
+    queries = QueryWorkload(graph, seed=seed).generate(num_queries * 3)
+    intra, cross = [], []
+    for q in queries:
+        same = partition.region_of[q.source] == partition.region_of[
+            q.destination
+        ]
+        bucket = intra if same else cross
+        if len(bucket) < num_queries:
+            bucket.append(q)
+    intra = intra[:num_queries]
+    cross = cross[:num_queries]
+
+    result = {
+        "dataset": dataset,
+        "stations": graph.n,
+        "connections": graph.m,
+        "regions": k,
+        "partition": partition_kind,
+        "cut_connections": partition.cut_size(graph),
+        "border_stops": len(partition.border_stops(graph)),
+        "queries_per_class": {"intra": len(intra), "cross": len(cross)},
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench_fed_") as tmp:
+        built = time.perf_counter()
+        manifest = build_federation(graph, partition, tmp)
+        result["federation_build_s"] = round(
+            time.perf_counter() - built, 2
+        )
+        result["shard_bytes"] = {
+            str(entry.region): os.path.getsize(
+                os.path.join(tmp, entry.path)
+            )
+            for entry in manifest.regions
+        }
+        result["border_bytes"] = os.path.getsize(
+            os.path.join(tmp, manifest.border_path)
+        )
+
+        built = time.perf_counter()
+        index = build_index(graph)
+        result["monolith_build_s"] = round(time.perf_counter() - built, 2)
+        mono_path = os.path.join(tmp, "monolith.ttl")
+        save_index(index, mono_path)
+        result["monolith_bytes"] = os.path.getsize(mono_path)
+
+        # --- Federated cluster ---------------------------------------
+        fed = FederationSupervisor(
+            graph, os.path.join(tmp, "federation.json")
+        )
+        fed_port = fed.start()
+        try:
+            fed.wait_ready(timeout_s=120)
+            fed_intra = _replay(fed_port, intra)
+            fed_cross = _replay(fed_port, cross)
+            metrics = _get(fed_port, "/v1/metrics")
+            router = metrics["data"]["federation"]["router"]
+            health = _get(fed_port, "/v1/healthz")["data"]
+            worker_rss = {
+                str(s["region"]): _rss_kb(s["pid"])
+                for s in health["shards"]
+            }
+        finally:
+            fed.stop()
+
+        # --- Monolithic baseline (one worker, same box) --------------
+        mono = ServingSupervisor(
+            planner_factory=lambda: __import__(
+                "repro.core", fromlist=["TTLPlanner"]
+            ).TTLPlanner(graph, index=index),
+            workers=1,
+        )
+        mono_port = mono.start()
+        try:
+            mono.wait_ready(timeout_s=120)
+            mono_intra = _replay(mono_port, intra)
+            mono_cross = _replay(mono_port, cross)
+            mono_rss = {
+                str(w): _rss_kb(pid)
+                for w, pid in mono.worker_pids().items()
+            }
+        finally:
+            mono.stop()
+
+    result["latency_us"] = {
+        "federated": {
+            "intra": _percentiles(fed_intra),
+            "cross": _percentiles(fed_cross),
+        },
+        "monolith": {
+            "intra": _percentiles(mono_intra),
+            "cross": _percentiles(mono_cross),
+        },
+    }
+    mono_p50 = result["latency_us"]["monolith"]["cross"]["p50"] or 1
+    result["fanout"] = {
+        "cross_over_monolith_p50": round(
+            (result["latency_us"]["federated"]["cross"]["p50"] or 0)
+            / mono_p50,
+            2,
+        ),
+        "router_subrequests": router["subrequests"],
+        "cross_stitched": router["cross_stitched"],
+        "intra_proxied": router["intra_proxied"],
+        "subrequests_per_cross": round(
+            router["subrequests"] / max(1, router["cross_stitched"]), 2
+        ),
+    }
+    result["rss_kb"] = {
+        "federated_workers": worker_rss,
+        "federated_worker_max": max(worker_rss.values() or [0]),
+        "monolith_worker": max(mono_rss.values() or [0]),
+    }
+    return result
+
+
+def render(result: dict) -> str:
+    lines = [
+        "Federation benchmark "
+        f"({result['dataset']}, {result['regions']} regions, "
+        f"{result['partition']})",
+        "=" * 66,
+        f"stations {result['stations']}  connections "
+        f"{result['connections']}  cut {result['cut_connections']}  "
+        f"border stops {result['border_stops']}",
+        f"build: federation {result['federation_build_s']}s  "
+        f"monolith {result['monolith_build_s']}s",
+        "",
+        f"{'class':<10}{'server':<12}{'p50 us':>10}{'p99 us':>10}",
+    ]
+    for server in ("federated", "monolith"):
+        for klass in ("intra", "cross"):
+            p = result["latency_us"][server][klass]
+            lines.append(
+                f"{klass:<10}{server:<12}{p['p50']:>10}{p['p99']:>10}"
+            )
+    fanout = result["fanout"]
+    lines += [
+        "",
+        f"fan-out: cross/monolith p50 x{fanout['cross_over_monolith_p50']}"
+        f"  subrequests/cross {fanout['subrequests_per_cross']}"
+        f"  (intra proxied: {fanout['intra_proxied']}, zero fan-out)",
+        f"memory: worker RSS max {result['rss_kb']['federated_worker_max']} kB"
+        f" vs monolith {result['rss_kb']['monolith_worker']} kB; "
+        f"shard bytes {sum(result['shard_bytes'].values())}"
+        f" + border {result['border_bytes']}"
+        f" vs monolith {result['monolith_bytes']}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tagged TwinCities dataset + few queries (CI sanity run)",
+    )
+    parser.add_argument("--dataset", help="override the dataset name")
+    parser.add_argument("--regions", type=int, default=2)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    dataset = args.dataset or ("TwinCities" if args.smoke else "Berlin")
+    num_queries = args.queries or (20 if args.smoke else 150)
+
+    result = run(dataset, args.regions, num_queries, args.seed)
+    report = render(result)
+    print(report)
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    name = "federation_smoke" if args.smoke else "federation"
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
+    if not args.smoke:
+        (RESULTS_DIR / "BENCH_federation.json").write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
+
+    # Sanity gates: intra must never pay the fan-out path, and a
+    # federation worker must stay under the monolithic worker's RSS.
+    if result["fanout"]["intra_proxied"] < 1:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,219 @@
+"""End-to-end federation smoke: the CI counterpart of
+``tests/test_federation_serving.py``, but through the real CLI.
+
+Runs the whole federated pipeline the way an operator would:
+
+1. ``repro-ttl partition <dataset> --from-names`` — the region split;
+2. ``repro-ttl build <dataset> <dir> --from-names --jobs 2`` — region
+   shards built in parallel plus the border mini-index and the
+   ``TTLFED01`` manifest;
+3. ``repro-ttl serve <dataset> --federation <dir>`` as a subprocess;
+4. asserts ``/v1/healthz`` reports every region shard alive with its
+   port, pid, border count, and the manifest epoch;
+5. replays a deterministic workload and checks *both* routing
+   classes against a monolithic in-process planner: intra-region
+   answers are proxied (``meta.worker`` = region id — never the
+   fan-out path) and cross-region answers are stitched
+   (``meta.worker`` = -1), all byte-equal on the journey corners;
+6. asserts ``/v1/batch`` one-to-many matches the monolithic
+   one-to-many, then SIGTERM-drains the server and requires the
+   clean-shutdown line.
+
+Exit code 0 on success; any assertion failure or timeout is fatal.
+
+Usage::
+
+    PYTHONPATH=src python scripts/federation_smoke.py /tmp/fed \
+        --dataset TwinCities --queries 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+SERVE_LINE = re.compile(r"http://127\.0\.0\.1:(\d+)")
+
+
+def get(port, path):
+    request = urllib.request.Request(f"http://127.0.0.1:{port}{path}")
+    with urllib.request.urlopen(request, timeout=15) as response:
+        return json.loads(response.read())
+
+
+def post(port, path, body):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=15) as response:
+        return json.loads(response.read())
+
+
+def run_cli(*argv):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        raise SystemExit(
+            f"repro-ttl {' '.join(argv)} failed "
+            f"({result.returncode}):\n{result.stdout}{result.stderr}"
+        )
+    return result.stdout
+
+
+def wait_port(proc) -> int:
+    """Read the serve banner until the router port appears."""
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit("serve exited before printing its banner")
+        sys.stdout.write(line)
+        match = SERVE_LINE.search(line)
+        if match:
+            return int(match.group(1))
+    raise SystemExit("timed out waiting for the serve banner")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("directory", help="federation output directory")
+    parser.add_argument("--dataset", default="TwinCities")
+    parser.add_argument("--queries", type=int, default=30)
+    args = parser.parse_args()
+
+    # 1+2: partition (printed for the log), then the federated build.
+    print(run_cli("partition", args.dataset, "--from-names"), end="")
+    print(
+        run_cli(
+            "build",
+            args.dataset,
+            args.directory,
+            "--from-names",
+            "--jobs",
+            "2",
+        ),
+        end="",
+    )
+    manifest_path = os.path.join(args.directory, "federation.json")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    num_regions = manifest["num_regions"]
+    region_of = manifest["region_of"]
+
+    # The monolithic oracle, in-process.
+    from repro.core import TTLPlanner
+    from repro.datasets import QueryWorkload, load_dataset
+
+    graph = load_dataset(args.dataset)
+    mono = TTLPlanner(graph)
+    mono.preprocess()
+
+    # 3: the federated server through the CLI.
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            args.dataset,
+            "--federation",
+            args.directory,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = wait_port(proc)
+
+        # 4: shard payload.
+        health = get(port, "/v1/healthz")["data"]
+        assert health["planner"] == "TTL-fed", health
+        assert health["federation"] is True, health
+        assert health["ready"] is True, health
+        assert health["epoch"] == manifest["epoch"], health
+        shards = health["shards"]
+        assert len(shards) == num_regions, shards
+        for shard in shards:
+            assert shard["alive"] and shard["pid"] > 0, shard
+            assert shard["port"] and shard["borders"] > 0, shard
+        print(
+            f"healthz: {num_regions} region shards alive, epoch "
+            f"{health['epoch']}"
+        )
+
+        # 5: equivalence over both routing classes.
+        intra = cross = 0
+        for q in QueryWorkload(graph, seed=17).generate(args.queries):
+            body = get(
+                port,
+                f"/v1/eap?from={q.source}&to={q.destination}"
+                f"&t={q.t_start}",
+            )
+            same = region_of[q.source] == region_of[q.destination]
+            if same:
+                assert body["meta"]["worker"] == region_of[q.source], body
+                intra += 1
+            else:
+                assert body["meta"]["worker"] == -1, body
+                cross += 1
+            expected = mono.earliest_arrival(
+                q.source, q.destination, q.t_start
+            )
+            journey = body["data"]["journey"]
+            assert (journey is None) == (expected is None), (q, journey)
+            if journey is not None:
+                assert journey["arr"] == expected.arr, (q, journey)
+        assert intra and cross, (intra, cross)
+        print(
+            f"equivalence: {intra} intra (proxied) + {cross} cross "
+            "(stitched) EAP answers match the monolith"
+        )
+
+        # 6: batch, then drain.
+        from repro.core import build_index
+        from repro.core.batch import one_to_many_eat
+
+        index = build_index(graph)
+        targets = list(range(graph.n))
+        body = post(
+            port,
+            "/v1/batch",
+            {"kind": "one_to_many", "source": 0, "targets": targets,
+             "t": 30000},
+        )
+        expected = {
+            str(k): v
+            for k, v in one_to_many_eat(index, 0, targets, 30000).items()
+        }
+        assert body["data"]["arrivals"] == expected
+        print("batch: federated one-to-many matches the monolith")
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        sys.stdout.write(out)
+        assert "drained" in out, out
+        assert proc.returncode == 0, proc.returncode
+        print("federation smoke passed")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

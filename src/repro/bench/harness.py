@@ -20,7 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import CHTPlanner, CSAPlanner
 from repro.core import CompressedTTLPlanner, TTLPlanner
-from repro.datasets import QueryWorkload, dataset_names, load_dataset
+from repro.datasets import QueryWorkload, load_dataset
+from repro.datasets.registry import paper_dataset_names
 from repro.datasets.queries import Query
 from repro.graph.timetable import TimetableGraph
 from repro.planner import RoutePlanner
@@ -31,7 +32,7 @@ class BenchConfig:
     """Resolved benchmark configuration."""
 
     scale: float = 1.0
-    datasets: List[str] = field(default_factory=dataset_names)
+    datasets: List[str] = field(default_factory=paper_dataset_names)
     num_queries: int = 200
     seed: int = 2015
 

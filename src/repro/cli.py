@@ -5,7 +5,11 @@ Subcommands:
 * ``datasets``                 — list the dataset catalogue.
 * ``info NAME``                — characteristics of one dataset.
 * ``generate NAME DIR``        — write a dataset as a CSV bundle.
-* ``build NAME INDEX``         — build a TTL index and save it.
+* ``build NAME INDEX``         — build a TTL index and save it
+  (``--regions K`` builds a *federation directory* instead: per-region
+  shards, border index, ``TTLFED01`` manifest).
+* ``partition NAME``           — preview a region partition (sizes,
+  cut connections, border stops) without building anything.
 * ``query NAME KIND U V ...``  — answer one query with every method.
 * ``bench EXPERIMENT``         — run one paper experiment and print
   its table (``table3``, ``fig3``–``fig10``, ``table4`` or ``all``).
@@ -18,7 +22,9 @@ Subcommands:
 * ``serve NAME``               — HTTP JSON API over a TTL planner
   (``--live`` serves a disruption-aware engine with ``/live/*``;
   ``--workers K --mmap --index FILE`` preforks K processes sharing
-  one memory-mapped index behind one listening socket).
+  one memory-mapped index behind one listening socket;
+  ``--federation DIR`` serves a federation: one worker per region
+  shard behind a stitching router).
 * ``live NAME``                — replay a disruption feed against the
   live overlay engine and report fast-path / fallback statistics.
 """
@@ -102,8 +108,74 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_partition(graph, args: argparse.Namespace):
+    """Partition per the shared --regions/--from-names/--region-seed
+    flags (``partition`` and ``build --regions``)."""
+    from repro.errors import FederationError
+    from repro.federation import partition_graph, region_map_from_names
+
+    if args.from_names:
+        partition = region_map_from_names(graph)
+        if partition is None:
+            raise FederationError(
+                "dataset station names carry no region tags",
+                hint="--from-names needs /r<i>/ or /c<i>/ name "
+                "segments (TwinCities, RheinRuhr, Sweden); use "
+                "--regions K for the min-cut heuristic instead",
+            )
+        return partition
+    return partition_graph(graph, args.regions, seed=args.region_seed)
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    partition = _resolve_partition(graph, args)
+    borders = partition.border_stops(graph)
+    print(f"dataset      {args.name} (scale {args.scale})")
+    print(f"regions      {partition.num_regions} "
+          f"(sizes {partition.sizes()})")
+    print(f"cut          {partition.cut_size(graph)} of {graph.m} "
+          f"connections")
+    print(f"border stops {len(borders)} of {graph.n} stations")
+    print(f"digest       {partition.digest()[:16]}")
+    if args.verbose:
+        for stop in borders:
+            print(f"  border {stop:5d}  region "
+                  f"{partition.region_of[stop]}  "
+                  f"{graph.station_name(stop)}")
+    return 0
+
+
+def _cmd_build_federation(args: argparse.Namespace, graph) -> int:
+    from repro.federation import build_federation
+
+    partition = _resolve_partition(graph, args)
+    manifest = build_federation(
+        graph,
+        partition,
+        args.index,
+        order=args.order,
+        jobs=args.jobs,
+        dataset={
+            "name": args.name,
+            "scale": args.scale,
+            "seed": args.seed,
+        },
+        progress=print,
+    )
+    for entry in manifest.regions:
+        print(f"region {entry.region}  {len(entry.stops):5d} stations  "
+              f"{entry.labels:7d} labels  {entry.path}")
+    print(f"border stops {len(manifest.border_stops)}")
+    print(f"epoch        {manifest.epoch}")
+    print(f"saved to     {args.index}/federation.json")
+    return 0
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    if args.regions is not None or args.from_names:
+        return _cmd_build_federation(args, graph)
 
     use_farm = (
         args.jobs > 1
@@ -311,12 +383,56 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_federation(args: argparse.Namespace, graph, config) -> int:
+    from repro.federation.serve import FederationSupervisor
+
+    manifest_path = args.federation
+    if os.path.isdir(manifest_path):
+        manifest_path = os.path.join(manifest_path, "federation.json")
+    supervisor = FederationSupervisor(
+        graph,
+        manifest_path,
+        resilience=config,
+        host=args.host,
+        port=args.port,
+        mmap=True,
+    )
+    port = supervisor.start()
+    supervisor.wait_ready()
+    print(
+        f"serving {args.name} federation on http://{args.host}:{port} "
+        f"with {supervisor.manifest.num_regions} region workers "
+        f"(epoch {supervisor.manifest.epoch}; intra-region queries "
+        "proxied to the owning shard, cross-region stitched through "
+        "the border index; Ctrl-C stops, SIGTERM drains)",
+        flush=True,
+    )
+    for region, worker_port in sorted(supervisor.worker_ports.items()):
+        print(f"  region {region} worker on port {worker_port}")
+
+    import signal as _signal
+
+    drain_requested = threading.Event()
+    _signal.signal(
+        _signal.SIGTERM, lambda signum, frame: drain_requested.set()
+    )
+    try:
+        while not drain_requested.wait(timeout=1.0):
+            pass
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        supervisor.stop()
+        return 0
+    clean = supervisor.drain(grace_s=config.drain_grace_s)
+    print("drained" if clean else "drain escalated to SIGKILL", flush=True)
+    return 0 if clean else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.resilience import ResilienceConfig, load_fault_plan
     from repro.service import PlannerService
 
     graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
-    if args.mmap and not args.index:
+    if args.mmap and not args.index and not args.federation:
         print(
             "error: --mmap requires --index FILE (a saved TTLIDX03 "
             "index; build one with 'repro-ttl build')",
@@ -330,6 +446,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_grace_s=args.drain_grace,
     )
     fault_plan = load_fault_plan(args.chaos) if args.chaos else None
+
+    if args.federation:
+        return _cmd_serve_federation(args, graph, config)
 
     if args.workers > 1:
         from repro.serving import (
@@ -601,6 +720,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=argparse.SUPPRESS,
     )
+    p.add_argument(
+        "--regions",
+        type=int,
+        default=None,
+        metavar="K",
+        help="build a K-region federation directory at INDEX instead "
+        "of one monolithic index file (per-region shards + border "
+        "index + TTLFED01 manifest)",
+    )
+    p.add_argument(
+        "--region-seed",
+        type=int,
+        default=0,
+        help="seed for the min-cut partition heuristic (--regions)",
+    )
+    p.add_argument(
+        "--from-names",
+        action="store_true",
+        help="derive regions from /r<i>/ or /c<i>/ station-name tags "
+        "instead of the heuristic (multi-region/country datasets)",
+    )
+    _add_dataset_args(p)
+
+    p = sub.add_parser(
+        "partition",
+        help="preview a region partition without building",
+    )
+    p.add_argument("name")
+    p.add_argument(
+        "--regions", type=int, default=2, metavar="K",
+        help="number of regions for the min-cut heuristic",
+    )
+    p.add_argument(
+        "--region-seed", type=int, default=0,
+        help="seed for the partition heuristic",
+    )
+    p.add_argument(
+        "--from-names",
+        action="store_true",
+        help="derive regions from station-name tags",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="list every border stop",
+    )
     _add_dataset_args(p)
 
     p = sub.add_parser("query", help="answer one query with every method")
@@ -729,6 +893,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds SIGTERM-drain grants in-flight requests per "
         "worker before SIGKILL",
     )
+    p.add_argument(
+        "--federation",
+        metavar="DIR",
+        help="serve a federation directory (built with "
+        "'build --regions'): one mmap worker per region shard behind "
+        "a stitching router",
+    )
     # Hidden: deterministic fault injection for chaos drills.
     p.add_argument("--chaos", metavar="PLAN.json", help=argparse.SUPPRESS)
     _add_dataset_args(p)
@@ -765,6 +936,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _cmd_info,
         "generate": _cmd_generate,
         "build": _cmd_build,
+        "partition": _cmd_partition,
         "query": _cmd_query,
         "bench": _cmd_bench,
         "verify": _cmd_verify,

@@ -16,9 +16,11 @@ and registers them under the paper's dataset names at laptop scale
 from repro.datasets.synthetic import (
     CitySpec,
     CountrySpec,
+    MultiRegionSpec,
     generate_city_grid,
     generate_city_radial,
     generate_country,
+    generate_multi_region,
 )
 from repro.datasets.registry import (
     DATASETS,
@@ -26,6 +28,7 @@ from repro.datasets.registry import (
     clear_dataset_cache,
     dataset_names,
     load_dataset,
+    paper_dataset_names,
 )
 from repro.datasets.queries import Query, QueryWorkload
 from repro.datasets.disruptions import (
@@ -37,14 +40,17 @@ from repro.datasets.disruptions import (
 __all__ = [
     "CitySpec",
     "CountrySpec",
+    "MultiRegionSpec",
     "generate_city_grid",
     "generate_city_radial",
     "generate_country",
+    "generate_multi_region",
     "DATASETS",
     "DatasetInfo",
     "clear_dataset_cache",
     "dataset_names",
     "load_dataset",
+    "paper_dataset_names",
     "Query",
     "QueryWorkload",
     "delay_trips",

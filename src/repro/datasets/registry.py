@@ -1,9 +1,11 @@
 """The dataset catalogue.
 
 Eleven named datasets mirror the paper's Table 3 line-up: nine cities
-plus one metropolis and one country, graded in size.  Absolute scale
-is reduced for pure-Python index construction (see DESIGN.md); the
-``scale`` knob multiplies station/route counts for larger runs.
+plus one metropolis and one country, graded in size.  Two extra
+multi-region datasets (TwinCities, RheinRuhr) carry explicit region
+tags for federation workloads.  Absolute scale is reduced for
+pure-Python index construction (see DESIGN.md); the ``scale`` knob
+multiplies station/route counts for larger runs.
 
 Use :func:`load_dataset`; graphs are cached per ``(name, scale)``
 within the process because several benchmarks reuse them.
@@ -18,9 +20,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.datasets.synthetic import (
     CitySpec,
     CountrySpec,
+    MultiRegionSpec,
     generate_city_grid,
     generate_city_radial,
     generate_country,
+    generate_multi_region,
 )
 from repro.errors import DatasetError
 from repro.graph.timetable import TimetableGraph
@@ -31,7 +35,7 @@ class DatasetInfo:
     """One catalogue entry."""
 
     name: str
-    kind: str  # "grid" | "radial" | "country"
+    kind: str  # "grid" | "radial" | "country" | "multi"
     stations: int
     routes: int
     headway: int
@@ -75,6 +79,19 @@ class DatasetInfo:
                     seed=effective_seed,
                 )
             )
+        if self.kind == "multi":
+            regions = max(2, self.cities)
+            return generate_multi_region(
+                MultiRegionSpec(
+                    name=self.name,
+                    regions=regions,
+                    stations_per_region=max(6, stations // regions),
+                    routes_per_region=max(3, routes // regions),
+                    headway=self.headway,
+                    intercity_headway=self.rail_headway,
+                    seed=effective_seed,
+                )
+            )
         if self.kind == "country":
             cities = max(2, int(round(self.cities * max(1.0, scale))))
             return generate_country(
@@ -115,6 +132,26 @@ DATASETS: Dict[str, DatasetInfo] = {
             cities=8,
             rail_headway=2700,
         ),
+        DatasetInfo(
+            "TwinCities",
+            "multi",
+            72,
+            16,
+            1200,
+            seed=21,
+            cities=2,
+            rail_headway=2700,
+        ),
+        DatasetInfo(
+            "RheinRuhr",
+            "multi",
+            108,
+            24,
+            1050,
+            seed=22,
+            cities=3,
+            rail_headway=2400,
+        ),
     ]
 }
 
@@ -122,6 +159,15 @@ DATASETS: Dict[str, DatasetInfo] = {
 def dataset_names() -> List[str]:
     """Catalogue names, smallest dataset first."""
     return list(DATASETS)
+
+
+def paper_dataset_names() -> List[str]:
+    """The paper's Table 3 line-up only — excludes the region-tagged
+    federation datasets, so paper-table benchmark sweeps are not
+    widened by catalogue growth."""
+    return [
+        name for name, info in DATASETS.items() if info.kind != "multi"
+    ]
 
 
 #: Most-recently-used graphs; bounded so a benchmark sweeping many

@@ -11,6 +11,10 @@ Three generators cover the topologies of the paper's datasets:
 * :func:`generate_country` — a country network (Sweden): several
   radial cities plus fast, infrequent intercity rail between their
   centres.
+* :func:`generate_multi_region` — a federation workload (TwinCities,
+  RheinRuhr): two or more metro cities whose station names carry
+  explicit ``/r<i>/`` region tags, joined only by sparse gateway
+  expresses so the inter-region cut stays small.
 
 Stations carry planar coordinates; leg travel times derive from
 Euclidean distance over a per-mode speed, so timetables are spatially
@@ -54,6 +58,34 @@ class CitySpec:
     headway: int
     #: Grid spacing / ring radius unit in metres.
     spacing: float = 600.0
+    seed: int = 0
+    service_start: int = SERVICE_START
+    service_end: int = SERVICE_END
+
+
+@dataclass(frozen=True)
+class MultiRegionSpec:
+    """Parameters of a multi-region network (federation workloads).
+
+    Two or more metro cities whose stations carry explicit ``/r<i>/``
+    region tags, joined by *sparse* intercity expresses — the cut
+    between regions is a handful of gateway links, so min-cut
+    partitioning (or :func:`~repro.federation.partition.region_map_from_names`)
+    recovers the intended regions and the border set stays small.
+    """
+
+    name: str
+    regions: int
+    stations_per_region: int
+    routes_per_region: int
+    #: Seconds between trips of an intra-region route.
+    headway: int
+    #: Seconds between intercity trips (sparse: much larger).
+    intercity_headway: int
+    #: Distance between neighbouring region centres, metres.
+    region_distance: float = 30000.0
+    #: Gateway express lines between each adjacent region pair.
+    links_per_pair: int = 2
     seed: int = 0
     service_start: int = SERVICE_START
     service_end: int = SERVICE_END
@@ -459,6 +491,141 @@ def generate_country(
             rng,
             dwell=120,
         )
+    graph = builder.build()
+    _check_generated(graph, spec.name)
+    return graph
+
+
+def generate_multi_region(
+    spec: MultiRegionSpec, seed: Optional[int] = None
+) -> TimetableGraph:
+    """Two or more tagged metro cities with sparse intercity links.
+
+    Each region is a radial city (spokes through its centre plus a
+    ring) whose station names carry the region tag
+    ``"{name}/r{r}/..."``.  Adjacent regions are joined only by
+    ``links_per_pair`` two-stop gateway expresses running at the
+    (large) ``intercity_headway`` — so the inter-region cut is a few
+    connections, exactly the shape the federation partitioner expects.
+    ``seed`` overrides ``spec.seed``; the same effective seed always
+    yields the identical timetable.
+    """
+    if spec.regions < 2:
+        raise DatasetError(
+            f"multi-region dataset needs >= 2 regions: {spec.regions}"
+        )
+    rng = random.Random(spec.seed if seed is None else seed)
+    builder = GraphBuilder()
+    positions: List[Tuple[float, float]] = []
+    region_stations: List[List[int]] = []
+
+    for r in range(spec.regions):
+        ox = r * spec.region_distance
+        oy = rng.uniform(-0.15, 0.15) * spec.region_distance
+        centre = builder.add_station(f"{spec.name}/r{r}/centre")
+        positions.append((ox, oy))
+        stations_r = [centre]
+
+        n_spokes = max(3, spec.routes_per_region)
+        per_spoke = max(2, (spec.stations_per_region - 1) // n_spokes)
+        spokes: List[List[int]] = []
+        for s in range(n_spokes):
+            angle = 2 * math.pi * s / n_spokes + rng.uniform(-0.08, 0.08)
+            spoke = [centre]
+            for k in range(1, per_spoke + 1):
+                station = builder.add_station(
+                    f"{spec.name}/r{r}/s{s}-{k}"
+                )
+                radius = k * 650.0 * rng.uniform(0.9, 1.1)
+                positions.append(
+                    (
+                        ox + radius * math.cos(angle),
+                        oy + radius * math.sin(angle),
+                    )
+                )
+                spoke.append(station)
+                stations_r.append(station)
+            spokes.append(spoke)
+
+        # Diameter lines, pairing opposite spokes (as in the radial
+        # city generator).
+        used = [False] * n_spokes
+        for s in range(n_spokes):
+            if used[s]:
+                continue
+            opposite = (s + n_spokes // 2) % n_spokes
+            if opposite == s or used[opposite]:
+                stops = spokes[s]
+                used[s] = True
+            else:
+                stops = list(reversed(spokes[opposite])) + spokes[s][1:]
+                used[s] = used[opposite] = True
+            for direction in (stops, list(reversed(stops))):
+                _add_service(
+                    builder,
+                    direction,
+                    positions,
+                    METRO_SPEED,
+                    spec.headway,
+                    spec.service_start,
+                    spec.service_end,
+                    rng,
+                )
+
+        # Feeder ring over the second station of each spoke.
+        ring_index = min(per_spoke, 2)
+        ring = [
+            spoke[ring_index]
+            for spoke in spokes
+            if len(spoke) > ring_index
+        ]
+        if len(ring) >= 3:
+            half = len(ring) // 2
+            for arc in (ring[: half + 1], ring[half:] + [ring[0]]):
+                if len(set(arc)) == len(arc) and len(arc) >= 2:
+                    for direction in (arc, list(reversed(arc))):
+                        _add_service(
+                            builder,
+                            direction,
+                            positions,
+                            BUS_SPEED,
+                            spec.headway * 2,
+                            spec.service_start,
+                            spec.service_end,
+                            rng,
+                        )
+        region_stations.append(stations_r)
+
+    # Sparse intercity gateways: between adjacent regions, pair the
+    # stations nearest the shared boundary and run two-stop expresses
+    # at the (large) intercity headway.  These are the only
+    # cross-region connections.
+    for r in range(spec.regions - 1):
+        k = max(1, spec.links_per_pair)
+        east = sorted(
+            region_stations[r],
+            key=lambda s: (-positions[s][0], s),
+        )[:k]
+        west = sorted(
+            region_stations[r + 1],
+            key=lambda s: (positions[s][0], s),
+        )[:k]
+        for i in range(k):
+            a = east[i % len(east)]
+            b = west[i % len(west)]
+            for direction in ([a, b], [b, a]):
+                _add_service(
+                    builder,
+                    direction,
+                    positions,
+                    RAIL_SPEED,
+                    spec.intercity_headway,
+                    spec.service_start,
+                    spec.service_end,
+                    rng,
+                    dwell=60,
+                )
+
     graph = builder.build()
     _check_generated(graph, spec.name)
     return graph

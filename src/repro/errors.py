@@ -104,6 +104,12 @@ class LiveEventError(ReproError):
     """Raised when a live schedule event is malformed or inapplicable."""
 
 
+class FederationError(ReproError):
+    """Raised when region partitioning, a federation manifest, or a
+    cross-region stitched query is invalid (bad region map, digest
+    mismatch, shard missing a queried station...)."""
+
+
 class ResilienceError(ReproError):
     """Base class for serving-robustness failures (deadlines, load
     shedding, readiness).  These carry a well-defined HTTP status so

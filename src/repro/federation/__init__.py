@@ -1,0 +1,62 @@
+"""Region-sharded federation of TTL indexes.
+
+One monolithic index serves one city; the federation subsystem turns a
+timetable into a set of *region shards* plus a small shared *border
+index*, so a country-scale network can be served by workers that each
+hold only their region's labels:
+
+* :mod:`repro.federation.partition` — deterministic, seedable
+  METIS-lite min-cut partitioning over the stop-adjacency graph, plus
+  explicit region maps derived from dataset station names.
+* :mod:`repro.federation.border` — the border mini-index: exact
+  full-network Pareto ``(dep, arr)`` profiles between every ordered
+  pair of border stops.
+* :mod:`repro.federation.manifest` — the ``TTLFED01`` manifest tying
+  region shard files, digests, the stop→region routing table, and the
+  border index together.
+* :mod:`repro.federation.build` — per-region index builds (through the
+  :mod:`repro.buildfarm` pipeline) emitting a manifest directory.
+* :mod:`repro.federation.stitch` — :class:`FederatedPlanner`: exact
+  EAP/LDP/profile answers by the hub-label join
+  ``local-labels ⋈ border-index ⋈ remote-labels``.
+* :mod:`repro.federation.serve` — the federated serving mode: one
+  router process in front of per-region workers that mmap only their
+  shard plus the border index.
+
+See ``docs/federation.md`` for the algebra and the exactness argument.
+"""
+
+from repro.federation.border import BorderIndex, build_border_index
+from repro.federation.build import build_federation
+from repro.federation.manifest import (
+    FEDERATION_MAGIC,
+    FederationManifest,
+    RegionEntry,
+)
+from repro.federation.partition import (
+    Partition,
+    partition_from_regions,
+    partition_graph,
+    region_map_from_names,
+)
+from repro.federation.stitch import (
+    FederatedPlanner,
+    RegionShard,
+    load_federation,
+)
+
+__all__ = [
+    "BorderIndex",
+    "build_border_index",
+    "build_federation",
+    "FEDERATION_MAGIC",
+    "FederationManifest",
+    "RegionEntry",
+    "Partition",
+    "partition_from_regions",
+    "partition_graph",
+    "region_map_from_names",
+    "FederatedPlanner",
+    "RegionShard",
+    "load_federation",
+]

@@ -1,0 +1,179 @@
+"""The border mini-index: exact Pareto profiles between border stops.
+
+Cross-region stitching decomposes any region-changing journey at the
+tail of its first cut connection (``b1``) and the head of its last
+(``b2``) — both *border stops*.  The section between them may wander
+the whole network, so the federation keeps one small shared index of
+exact **full-network** Pareto ``(dep, arr)`` profiles for every
+ordered border pair.  With :class:`~repro.algorithms.profiles`
+semantics, those staircases answer the three primitive questions the
+seam needs — earliest arrival, latest departure, and the profile
+itself — each in one bisect.
+
+Construction runs one temporal Dijkstra per (border stop, departure
+time) — the :func:`~repro.core.profile_queries.oracle_profile` sweep,
+amortized one-to-all over every other border stop.  Sweeping *all*
+departure times and Pareto-filtering yields pairs whose departures are
+the journeys' actual departures (a pair whose query time undercuts its
+journey's real departure is dominated by the real one), which is what
+makes stitched profile answers byte-identical to the monolith's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.profiles import ParetoProfile
+from repro.algorithms.temporal_dijkstra import earliest_arrival_search
+from repro.errors import FederationError
+from repro.graph.timetable import TimetableGraph
+from repro.timeutil import INF, NEG_INF
+
+#: Serialized format tag (inside the JSON payload).
+BORDER_MAGIC = "TTLBORDER01"
+
+
+class BorderIndex:
+    """Pareto ``(dep, arr)`` profiles between ordered border pairs."""
+
+    def __init__(
+        self,
+        stops: Sequence[int],
+        profiles: Dict[Tuple[int, int], List[Tuple[int, int]]],
+    ) -> None:
+        self.stops: List[int] = sorted(stops)
+        self._stop_set = set(self.stops)
+        for (b1, b2), pairs in profiles.items():
+            if b1 not in self._stop_set or b2 not in self._stop_set:
+                raise FederationError(
+                    f"border profile {b1}->{b2} references a stop "
+                    "outside the border set"
+                )
+            for i in range(1, len(pairs)):
+                if not (
+                    pairs[i - 1][0] < pairs[i][0]
+                    and pairs[i - 1][1] < pairs[i][1]
+                ):
+                    raise FederationError(
+                        f"border profile {b1}->{b2} is not a strictly "
+                        "increasing Pareto staircase"
+                    )
+        self._profiles = {
+            pair: ParetoProfile(pairs) for pair, pairs in profiles.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Queries (the hub-label join primitives at the seam)
+    # ------------------------------------------------------------------
+
+    def eap(self, b1: int, b2: int, t: int) -> int:
+        """Earliest arrival at ``b2`` leaving ``b1`` no sooner than
+        ``t`` (``INF`` when infeasible); exact over the full network."""
+        profile = self._profiles.get((b1, b2))
+        return profile.eat(t) if profile is not None else INF
+
+    def ldp(self, b1: int, b2: int, t: int) -> int:
+        """Latest departure from ``b1`` arriving ``b2`` no later than
+        ``t`` (``NEG_INF`` when infeasible)."""
+        profile = self._profiles.get((b1, b2))
+        return profile.ldt(t) if profile is not None else NEG_INF
+
+    def pairs(
+        self, b1: int, b2: int, t: int = NEG_INF, t_end: int = INF
+    ) -> List[Tuple[int, int]]:
+        """Pareto pairs ``b1 -> b2`` with departures inside the window."""
+        profile = self._profiles.get((b1, b2))
+        if profile is None:
+            return []
+        return [
+            (dep, arr)
+            for dep, arr in profile
+            if t <= dep <= t_end
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection / serialization
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pairs(self) -> int:
+        return sum(len(p.deps) for p in self._profiles.values())
+
+    def nbytes(self) -> int:
+        """Retained size estimate (two int64 per pair + pair keys)."""
+        return self.num_pairs * 16 + len(self._profiles) * 16
+
+    def to_json(self) -> str:
+        payload = {
+            "magic": BORDER_MAGIC,
+            "stops": self.stops,
+            "profiles": [
+                [b1, b2, [[dep, arr] for dep, arr in profile]]
+                for (b1, b2), profile in sorted(self._profiles.items())
+            ],
+        }
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "BorderIndex":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FederationError(
+                f"malformed border index JSON: {exc}"
+            ) from exc
+        if payload.get("magic") != BORDER_MAGIC:
+            raise FederationError(
+                f"not a border index (magic {payload.get('magic')!r}, "
+                f"want {BORDER_MAGIC!r})"
+            )
+        profiles = {
+            (b1, b2): [(dep, arr) for dep, arr in pairs]
+            for b1, b2, pairs in payload["profiles"]
+        }
+        return cls(payload["stops"], profiles)
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+
+def build_border_index(
+    graph: TimetableGraph,
+    stops: Sequence[int],
+    progress: Optional[callable] = None,
+) -> BorderIndex:
+    """Exact full-network border profiles by departure-time sweep.
+
+    For each border stop ``b1`` and each distinct departure time ``d``
+    at ``b1``, one one-to-all temporal Dijkstra yields the earliest
+    arrival at every other border stop; Pareto-filtering the
+    ``(d, arrival)`` pairs per ordered pair gives the true profile
+    staircases (see the module docstring for why the surviving
+    departures are actual departures).
+    """
+    border = sorted(set(stops))
+    for b in border:
+        if not 0 <= b < graph.n:
+            raise FederationError(f"border stop {b} not in graph")
+    profiles: Dict[Tuple[int, int], ParetoProfile] = {}
+    for i, b1 in enumerate(border):
+        if progress is not None:
+            progress(i, len(border))
+        for dep in graph.departure_times(b1):
+            eat, _ = earliest_arrival_search(graph, b1, dep)
+            for b2 in border:
+                if b2 == b1 or eat[b2] >= INF:
+                    continue
+                profile = profiles.get((b1, b2))
+                if profile is None:
+                    profile = profiles[(b1, b2)] = ParetoProfile()
+                profile.add(dep, eat[b2])
+    return BorderIndex(
+        border,
+        {
+            pair: list(profile)
+            for pair, profile in profiles.items()
+        },
+    )

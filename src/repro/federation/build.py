@@ -1,0 +1,123 @@
+"""Build a federation directory: region shards + border index + manifest.
+
+Each region's stations are carved out with
+:func:`~repro.graph.transforms.induced_subgraph` (cut connections are
+dropped — shards are internal-only by construction) and indexed
+through the :mod:`repro.buildfarm` pipeline, so region builds get the
+same chunked parallel label construction, cover pruning, and progress
+tracking as monolithic builds.  The border mini-index is built over
+the *full* graph (it must see cross-region connections) and saved
+alongside.  The ``TTLFED01`` manifest pins everything by digest.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from repro.buildfarm import build_index_parallel
+from repro.core.order import graph_digest
+from repro.core.serialize import atomic_write, save_index
+from repro.errors import FederationError
+from repro.federation.border import build_border_index
+from repro.federation.manifest import (
+    FederationManifest,
+    RegionEntry,
+    file_digest,
+)
+from repro.federation.partition import Partition
+from repro.graph.timetable import TimetableGraph
+from repro.graph.transforms import induced_subgraph
+
+#: File-name scheme inside a federation directory.
+BORDER_FILENAME = "border.json"
+MANIFEST_FILENAME = "federation.json"
+
+
+def region_filename(region: int) -> str:
+    return f"region_{region}.ttl"
+
+
+def build_federation(
+    graph: TimetableGraph,
+    partition: Partition,
+    out_dir: str,
+    *,
+    order: str = "hub",
+    jobs: int = 1,
+    dataset: Optional[dict] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FederationManifest:
+    """Build every region shard + the border index into ``out_dir``.
+
+    Args:
+        graph: the full timetable.
+        partition: station → region assignment (must cover the graph).
+        out_dir: target directory (created if missing).
+        order: hub-order spec forwarded to the label builder.
+        jobs: parallel build workers *per region build* (regions are
+            built sequentially; each build fans out internally).
+        dataset: optional provenance dict recorded in the manifest.
+        progress: optional callback receiving human-readable phase
+            lines (the CLI prints them).
+
+    Returns:
+        The saved :class:`FederationManifest` (directory set).
+    """
+    if graph.n != partition.n:
+        raise FederationError(
+            f"partition covers {partition.n} stations but the graph "
+            f"has {graph.n}"
+        )
+    os.makedirs(out_dir, exist_ok=True)
+
+    def say(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    entries = []
+    for region, stops in enumerate(partition.regions()):
+        say(
+            f"region {region}: building index over {len(stops)} "
+            f"stations (jobs={jobs})"
+        )
+        subgraph, _ = induced_subgraph(graph, stops)
+        index = build_index_parallel(subgraph, order=order, jobs=jobs)
+        path = os.path.join(out_dir, region_filename(region))
+        save_index(index, path)
+        entries.append(
+            RegionEntry(
+                region=region,
+                stops=list(stops),
+                path=region_filename(region),
+                digest=file_digest(path),
+                labels=index.num_labels,
+            )
+        )
+
+    border_stops = partition.border_stops(graph)
+    say(
+        f"border index: {len(border_stops)} border stops, "
+        f"{partition.cut_size(graph)} cut connections"
+    )
+    border = build_border_index(graph, border_stops)
+    border_file = os.path.join(out_dir, BORDER_FILENAME)
+    with atomic_write(border_file) as fh:
+        fh.write(border.to_json().encode() + b"\n")
+
+    manifest = FederationManifest(
+        graph_digest=graph_digest(graph),
+        partition_digest=partition.digest(),
+        region_of=list(partition.region_of),
+        regions=entries,
+        border_stops=border_stops,
+        border_path=BORDER_FILENAME,
+        border_digest=file_digest(border_file),
+        dataset=dataset,
+    )
+    manifest.save(os.path.join(out_dir, MANIFEST_FILENAME))
+    say(
+        f"manifest: {manifest.num_regions} regions, "
+        f"epoch {manifest.epoch}"
+    )
+    return manifest

@@ -1,0 +1,247 @@
+"""The ``TTLFED01`` federation manifest.
+
+One JSON file ties a federation directory together:
+
+* the **graph digest** (pins the timetable the shards were built for),
+* the **partition digest** and the full stop → region routing table,
+* one **region entry** per shard: its global stop list, index file
+  name, and file digest,
+* the **border-hub set** with its mini-index file name and digest,
+* the **epoch** — a digest over all of the above that keys answer
+  caches, so a re-partition or region rebuild can never serve an
+  answer cached against a stale layout.
+
+Everything is content-addressed: ``verify_files`` re-hashes the shard
+and border files, and loading a shard against the wrong subgraph
+fails the same way a monolithic index load would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.serialize import atomic_write
+from repro.errors import FederationError
+
+FEDERATION_MAGIC = "TTLFED01"
+
+
+def file_digest(path: str) -> str:
+    """sha256 of a file's bytes."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class RegionEntry:
+    """One region shard in the manifest."""
+
+    region: int
+    #: Sorted global station ids; index ``i`` is the shard's local id.
+    stops: List[int]
+    #: Shard file name, relative to the manifest directory.
+    path: str
+    #: sha256 of the shard file.
+    digest: str
+    labels: int
+
+    def to_dict(self) -> dict:
+        return {
+            "region": self.region,
+            "stops": self.stops,
+            "path": self.path,
+            "digest": self.digest,
+            "labels": self.labels,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegionEntry":
+        return cls(
+            region=data["region"],
+            stops=list(data["stops"]),
+            path=data["path"],
+            digest=data["digest"],
+            labels=data["labels"],
+        )
+
+
+@dataclass
+class FederationManifest:
+    """The parsed manifest (see the module docstring)."""
+
+    graph_digest: str
+    partition_digest: str
+    region_of: List[int]
+    regions: List[RegionEntry]
+    border_stops: List[int]
+    border_path: str
+    border_digest: str
+    #: Optional provenance: {"name", "scale", "seed"} of the dataset.
+    dataset: Optional[dict] = None
+    #: Directory the manifest was loaded from (None until saved/loaded).
+    directory: Optional[str] = None
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    @property
+    def epoch(self) -> str:
+        """Cache-key fingerprint of the whole federation layout."""
+        h = hashlib.sha256()
+        h.update(FEDERATION_MAGIC.encode())
+        h.update(self.graph_digest.encode())
+        h.update(self.partition_digest.encode())
+        for entry in self.regions:
+            h.update(entry.digest.encode())
+        h.update(self.border_digest.encode())
+        return h.hexdigest()[:16]
+
+    def stop_region(self, station: int) -> int:
+        """Region owning ``station`` (the routing table lookup)."""
+        if not 0 <= station < len(self.region_of):
+            raise FederationError(
+                f"station {station} not in the federated network "
+                f"(0..{len(self.region_of) - 1})"
+            )
+        return self.region_of[station]
+
+    def region_entry(self, region: int) -> RegionEntry:
+        if not 0 <= region < self.num_regions:
+            raise FederationError(f"unknown region: {region}")
+        return self.regions[region]
+
+    def borders_by_region(self) -> Dict[int, List[int]]:
+        """Border stops grouped by owning region (sorted)."""
+        grouped: Dict[int, List[int]] = {
+            r: [] for r in range(self.num_regions)
+        }
+        for stop in self.border_stops:
+            grouped[self.stop_region(stop)].append(stop)
+        return grouped
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = {
+            "magic": FEDERATION_MAGIC,
+            "graph_digest": self.graph_digest,
+            "partition_digest": self.partition_digest,
+            "num_regions": self.num_regions,
+            "region_of": self.region_of,
+            "regions": [entry.to_dict() for entry in self.regions],
+            "border_stops": self.border_stops,
+            "border_path": self.border_path,
+            "border_digest": self.border_digest,
+            "epoch": self.epoch,
+        }
+        if self.dataset is not None:
+            data["dataset"] = self.dataset
+        return data
+
+    def save(self, path: str) -> None:
+        payload = json.dumps(self.to_dict(), indent=2).encode()
+        with atomic_write(path) as fh:
+            fh.write(payload + b"\n")
+        self.directory = os.path.dirname(os.path.abspath(path))
+
+    @classmethod
+    def load(cls, path: str) -> "FederationManifest":
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except OSError as exc:
+            raise FederationError(
+                f"cannot read federation manifest {path!r}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise FederationError(
+                f"malformed federation manifest {path!r}: {exc}"
+            ) from exc
+        if data.get("magic") != FEDERATION_MAGIC:
+            raise FederationError(
+                f"{path!r} is not a federation manifest (magic "
+                f"{data.get('magic')!r}, want {FEDERATION_MAGIC!r})"
+            )
+        manifest = cls(
+            graph_digest=data["graph_digest"],
+            partition_digest=data["partition_digest"],
+            region_of=list(data["region_of"]),
+            regions=[
+                RegionEntry.from_dict(entry) for entry in data["regions"]
+            ],
+            border_stops=list(data["border_stops"]),
+            border_path=data["border_path"],
+            border_digest=data["border_digest"],
+            dataset=data.get("dataset"),
+            directory=os.path.dirname(os.path.abspath(path)),
+        )
+        recorded = data.get("epoch")
+        if recorded is not None and recorded != manifest.epoch:
+            raise FederationError(
+                f"manifest epoch mismatch in {path!r}: recorded "
+                f"{recorded}, derived {manifest.epoch} (edited file?)"
+            )
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def resolve(self, relative: str) -> str:
+        if self.directory is None:
+            raise FederationError(
+                "manifest has no directory (save or load it first)"
+            )
+        return os.path.join(self.directory, relative)
+
+    def verify_files(self) -> None:
+        """Re-hash every shard + the border index against the manifest.
+
+        Raises :class:`FederationError` on the first mismatch — the
+        federation equivalent of the monolithic loader's digest check.
+        """
+        for entry in self.regions:
+            path = self.resolve(entry.path)
+            try:
+                actual = file_digest(path)
+            except OSError as exc:
+                raise FederationError(
+                    f"region {entry.region} shard missing: {exc}"
+                ) from exc
+            if actual != entry.digest:
+                raise FederationError(
+                    f"region {entry.region} shard {entry.path!r} digest "
+                    f"mismatch: manifest {entry.digest[:12]}..., file "
+                    f"{actual[:12]}..."
+                )
+        try:
+            actual = file_digest(self.resolve(self.border_path))
+        except OSError as exc:
+            raise FederationError(
+                f"border index missing: {exc}"
+            ) from exc
+        if actual != self.border_digest:
+            raise FederationError(
+                f"border index {self.border_path!r} digest mismatch: "
+                f"manifest {self.border_digest[:12]}..., file "
+                f"{actual[:12]}..."
+            )
+
+    def check_graph(self, graph_digest: str) -> None:
+        if graph_digest != self.graph_digest:
+            raise FederationError(
+                "federation manifest was built for a different "
+                f"timetable (manifest graph {self.graph_digest[:12]}..., "
+                f"got {graph_digest[:12]}...); rebuild with "
+                "'repro-ttl build NAME DIR --regions K'"
+            )

@@ -1,0 +1,331 @@
+"""Deterministic region partitioning over the stop-adjacency graph.
+
+The federation needs the timetable's stations split into ``k``
+regions such that (a) regions are roughly balanced — each worker's
+shard should cost about the same to build and hold — and (b) the *cut*
+(connections whose endpoints live in different regions) is small,
+because every cut connection's endpoints become border stops and the
+border mini-index is quadratic in their number.
+
+:func:`partition_graph` is a METIS-lite heuristic: seeded
+farthest-first region seeds, greedy balanced region growing over the
+connection-weighted stop adjacency, then boundary refinement passes
+that move border stops across the cut while it shrinks.  Everything is
+deterministic under ``seed`` — the same graph and seed always yield
+the identical partition, which the manifest digests rely on.
+
+Datasets whose station names carry an explicit region tag
+(``"Name/r3/..."`` from the multi-region generator, ``"Name/c2/..."``
+from the country generator) can skip the heuristic entirely:
+:func:`region_map_from_names` recovers the intended regions from the
+names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import re
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FederationError
+from repro.graph.timetable import TimetableGraph
+
+#: Regions may exceed perfect balance ``n/k`` by this factor while
+#: growing / refining (METIS' default imbalance tolerance is similar).
+BALANCE_TOLERANCE = 1.3
+
+#: Station-name segment marking an explicit region: ``/r<digits>/``
+#: (multi-region generator) or ``/c<digits>/`` (country generator).
+_REGION_TAG = re.compile(r"/(?:r|c)(\d+)/")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A station → region assignment.
+
+    Attributes:
+        region_of: dense list mapping station id to region id.
+        num_regions: number of regions (ids ``0..num_regions-1``).
+    """
+
+    region_of: Tuple[int, ...]
+    num_regions: int
+    #: Seed the heuristic ran under (-1 for explicit region maps).
+    seed: int = -1
+
+    def __post_init__(self) -> None:
+        if self.num_regions < 1:
+            raise FederationError(
+                f"need at least one region: {self.num_regions}"
+            )
+        seen = set(self.region_of)
+        for region in range(self.num_regions):
+            if region not in seen:
+                raise FederationError(f"region {region} is empty")
+        for region in seen:
+            if not 0 <= region < self.num_regions:
+                raise FederationError(
+                    f"region id {region} out of range "
+                    f"[0, {self.num_regions})"
+                )
+
+    @property
+    def n(self) -> int:
+        return len(self.region_of)
+
+    def regions(self) -> List[List[int]]:
+        """Sorted station lists per region."""
+        stops: List[List[int]] = [[] for _ in range(self.num_regions)]
+        for station, region in enumerate(self.region_of):
+            stops[region].append(station)
+        return stops
+
+    def sizes(self) -> List[int]:
+        return [len(stops) for stops in self.regions()]
+
+    def cut_connections(self, graph: TimetableGraph) -> List:
+        """Connections whose endpoints lie in different regions."""
+        self._check_graph(graph)
+        region_of = self.region_of
+        return [
+            c for c in graph.connections
+            if region_of[c.u] != region_of[c.v]
+        ]
+
+    def cut_size(self, graph: TimetableGraph) -> int:
+        return len(self.cut_connections(graph))
+
+    def border_stops(self, graph: TimetableGraph) -> List[int]:
+        """Stations incident to a cut connection (sorted, global ids).
+
+        These are the federation's shared hubs: every journey that
+        changes region passes through one on the way out and one on
+        the way in, so exact cross-region stitching only needs labels
+        to/from this set.
+        """
+        self._check_graph(graph)
+        region_of = self.region_of
+        border = set()
+        for c in graph.connections:
+            if region_of[c.u] != region_of[c.v]:
+                border.add(c.u)
+                border.add(c.v)
+        return sorted(border)
+
+    def digest(self) -> str:
+        """Hex digest of the assignment (pins manifests to it)."""
+        h = hashlib.sha256()
+        h.update(self.num_regions.to_bytes(8, "little"))
+        for region in self.region_of:
+            h.update(int(region).to_bytes(4, "little"))
+        return h.hexdigest()
+
+    def _check_graph(self, graph: TimetableGraph) -> None:
+        if graph.n != self.n:
+            raise FederationError(
+                f"partition covers {self.n} stations but the graph "
+                f"has {graph.n}"
+            )
+
+
+def partition_from_regions(
+    region_of: List[int], seed: int = -1
+) -> Partition:
+    """Wrap an explicit station → region map (validated)."""
+    if not region_of:
+        raise FederationError("empty region map")
+    return Partition(
+        region_of=tuple(region_of),
+        num_regions=max(region_of) + 1,
+        seed=seed,
+    )
+
+
+def region_map_from_names(graph: TimetableGraph) -> Optional[Partition]:
+    """Recover the dataset's intended regions from station names.
+
+    Returns a :class:`Partition` when *every* station name carries a
+    ``/r<i>/`` or ``/c<i>/`` tag (the multi-region and country
+    generators emit these), ``None`` otherwise.  Tag values are
+    renumbered densely in sorted order, so region ids are stable.
+    """
+    if graph.station_names is None:
+        return None
+    tags: List[int] = []
+    for station in range(graph.n):
+        match = _REGION_TAG.search(graph.station_name(station))
+        if match is None:
+            return None
+        tags.append(int(match.group(1)))
+    dense = {tag: i for i, tag in enumerate(sorted(set(tags)))}
+    return partition_from_regions([dense[tag] for tag in tags])
+
+
+# ----------------------------------------------------------------------
+# METIS-lite heuristic
+# ----------------------------------------------------------------------
+
+
+def _adjacency(graph: TimetableGraph) -> List[Dict[int, int]]:
+    """Symmetric connection-count weights between station pairs."""
+    weights: List[Dict[int, int]] = [dict() for _ in range(graph.n)]
+    for c in graph.connections:
+        if c.u == c.v:
+            continue
+        weights[c.u][c.v] = weights[c.u].get(c.v, 0) + 1
+        weights[c.v][c.u] = weights[c.v].get(c.u, 0) + 1
+    return weights
+
+
+def _farthest_first_seeds(
+    adjacency: List[Dict[int, int]], k: int, rng: random.Random
+) -> List[int]:
+    """k seed stations, far apart in BFS hops (deterministic)."""
+    n = len(adjacency)
+    seeds = [rng.randrange(n)]
+    # hops[v] = BFS distance to the nearest chosen seed.
+    hops = _bfs_hops(adjacency, seeds[0])
+    while len(seeds) < k:
+        best = max(range(n), key=lambda v: (hops[v], -v))
+        if best in seeds:  # graph smaller than k or fully covered
+            remaining = [v for v in range(n) if v not in seeds]
+            if not remaining:
+                raise FederationError(
+                    f"cannot pick {k} seeds from {n} stations"
+                )
+            best = remaining[0]
+        seeds.append(best)
+        for v, d in enumerate(_bfs_hops(adjacency, best)):
+            if d < hops[v]:
+                hops[v] = d
+    return seeds
+
+
+def _bfs_hops(adjacency: List[Dict[int, int]], source: int) -> List[int]:
+    n = len(adjacency)
+    dist = [n + 1] * n
+    dist[source] = 0
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in adjacency[u]:
+                if dist[v] > dist[u] + 1:
+                    dist[v] = dist[u] + 1
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def partition_graph(
+    graph: TimetableGraph,
+    k: int,
+    seed: int = 0,
+    refine_passes: int = 4,
+    balance_tolerance: float = BALANCE_TOLERANCE,
+) -> Partition:
+    """Partition ``graph`` into ``k`` regions (METIS-lite heuristic).
+
+    Three deterministic phases:
+
+    1. **Seeds** — one random station, then farthest-first in BFS hops.
+    2. **Growth** — multi-source best-first expansion: each region
+       claims its most strongly connected unassigned neighbor, subject
+       to a balance cap of ``tolerance * n/k`` stations.
+    3. **Refinement** — Kernighan–Lin-style passes: move a border
+       station to the neighboring region where it has strictly more
+       connection weight, while the move keeps both regions within
+       size bounds; repeat until no move improves the cut.
+
+    Args:
+        graph: the timetable graph.
+        k: number of regions (``1 <= k <= graph.n``).
+        seed: RNG seed; identical seeds yield identical partitions.
+        refine_passes: maximum boundary refinement sweeps.
+        balance_tolerance: region size cap as a multiple of ``n/k``.
+    """
+    n = graph.n
+    if not 1 <= k <= n:
+        raise FederationError(
+            f"cannot cut {n} stations into {k} regions"
+        )
+    if k == 1:
+        return Partition(region_of=(0,) * n, num_regions=1, seed=seed)
+
+    adjacency = _adjacency(graph)
+    rng = random.Random(seed)
+    cap = max(2, int(balance_tolerance * n / k) + 1)
+    region_of = [-1] * n
+    sizes = [0] * k
+
+    seeds = _farthest_first_seeds(adjacency, k, rng)
+    heap: List[Tuple[int, int, int, int]] = []
+    order = 0
+    for region, station in enumerate(seeds):
+        heappush(heap, (0, order, station, region))
+        order += 1
+
+    # Growth: pop the (strongest-attachment, oldest) frontier entry.
+    # Priority is -weight so heavier attachments claim first.
+    while heap:
+        _, _, station, region = heappop(heap)
+        if region_of[station] != -1 or sizes[region] >= cap:
+            continue
+        region_of[station] = region
+        sizes[region] += 1
+        for neighbor, weight in sorted(adjacency[station].items()):
+            if region_of[neighbor] == -1:
+                heappush(heap, (-weight, order, neighbor, region))
+                order += 1
+
+    # Disconnected leftovers (and cap overflow): smallest region wins.
+    for station in range(n):
+        if region_of[station] == -1:
+            region = min(range(k), key=lambda r: (sizes[r], r))
+            region_of[station] = region
+            sizes[region] += 1
+
+    _refine(adjacency, region_of, sizes, k, cap, refine_passes)
+    return Partition(
+        region_of=tuple(region_of), num_regions=k, seed=seed
+    )
+
+
+def _refine(
+    adjacency: List[Dict[int, int]],
+    region_of: List[int],
+    sizes: List[int],
+    k: int,
+    cap: int,
+    passes: int,
+) -> None:
+    """KL-lite boundary refinement (in place, deterministic order)."""
+    n = len(adjacency)
+    floor = 2 if n >= 2 * k else 1
+    for _ in range(passes):
+        moved = False
+        for station in range(n):
+            home = region_of[station]
+            if sizes[home] <= floor:
+                continue
+            pull: Dict[int, int] = {}
+            for neighbor, weight in adjacency[station].items():
+                region = region_of[neighbor]
+                pull[region] = pull.get(region, 0) + weight
+            best_region, best_gain = home, 0
+            for region in sorted(pull):
+                if region == home or sizes[region] >= cap:
+                    continue
+                gain = pull[region] - pull.get(home, 0)
+                if gain > best_gain:
+                    best_region, best_gain = region, gain
+            if best_region != home:
+                region_of[station] = best_region
+                sizes[home] -= 1
+                sizes[best_region] += 1
+                moved = True
+        if not moved:
+            return

@@ -140,6 +140,7 @@ class PlannerService:
         scoreboard=None,
         journal=None,
         coordinator: Optional[str] = None,
+        epoch: Optional[str] = None,
     ) -> None:
         """Wrap ``planner`` for serving.
 
@@ -172,6 +173,12 @@ class PlannerService:
                 mutation POSTs answer 409 pointing clients at the
                 coordinated path; this worker's live state changes only
                 through its journal follower.
+            epoch: deployment-level cache-epoch component (e.g. a
+                federation manifest epoch plus region id).  Folded into
+                :meth:`cache_epoch` so answers cached against one
+                shard/manifest can never be served from another whose
+                graph happens to have identical ``(n, m, labels)``
+                counts.
         """
         if journal is not None and coordinator is not None:
             raise ValueError(
@@ -207,6 +214,11 @@ class PlannerService:
                 bucket_s=self.config.cache_bucket_s,
             )
         self._epoch: Optional[str] = None
+        self._epoch_override = epoch
+        #: Federation worker role (set by the federated serving path):
+        #: an object whose ``handle(subpath, body)`` answers the
+        #: internal ``POST /fed/*`` stitch primitives.
+        self.fed = None
         #: Serializes planner access against live overlay swaps.
         self.lock = threading.RLock()
         self._live = (
@@ -346,7 +358,13 @@ class PlannerService:
             graph = self.planner.graph
             index = getattr(self.planner, "index", None)
             labels = index.num_labels if index is not None else 0
-            self._epoch = f"{graph.n}.{graph.m}.{labels}"
+            epoch = f"{graph.n}.{graph.m}.{labels}"
+            if self._epoch_override is not None:
+                # Shape counts alone collide across shards/manifests
+                # (two region shards can share (n, m, labels)); the
+                # deployment-level component disambiguates.
+                epoch = f"{self._epoch_override}.{epoch}"
+            self._epoch = epoch
         return self._epoch
 
     def live_generation(self) -> int:
@@ -914,6 +932,13 @@ def _make_handler(service: PlannerService):
         def _route_post(
             self, path: str, body: dict, versioned: bool = False
         ):
+            if path.startswith("/fed/"):
+                fed = service.fed
+                if fed is None:
+                    return None
+                self._require_ready()
+                with lock:
+                    return fed.handle(path[len("/fed"):], body)
             if path == "/batch":
                 if not versioned:
                     return None  # batch is /v1-only

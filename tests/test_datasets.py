@@ -12,6 +12,7 @@ from repro.datasets import (
     generate_city_radial,
     generate_country,
     load_dataset,
+    paper_dataset_names,
 )
 from repro.errors import DatasetError
 
@@ -88,8 +89,14 @@ class TestGenerators:
 
 
 class TestRegistry:
-    def test_eleven_datasets(self):
-        assert len(dataset_names()) == 11
+    def test_eleven_paper_datasets(self):
+        # Table 3's line-up, plus the two region-tagged federation
+        # datasets that paper-table sweeps exclude.
+        assert len(paper_dataset_names()) == 11
+        assert len(dataset_names()) == 13
+        for name in ("TwinCities", "RheinRuhr"):
+            assert name in dataset_names()
+            assert name not in paper_dataset_names()
 
     def test_all_datasets_generate(self):
         for name in dataset_names():

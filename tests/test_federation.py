@@ -1,0 +1,254 @@
+"""Federation equivalence: stitched answers must equal monolithic ones.
+
+The metamorphic property at the heart of the subsystem: for any graph,
+partition, and query, the federated planner (region shards + border
+mini-index, hub-label join) returns *byte-identical* profiles and the
+same canonical EAP/LDP/SDP corners as one monolithic TTL index over
+the whole network.  Exercised over the committed seed set on the
+tagged multi-region dataset and over a heuristic min-cut split of an
+untagged city, so both partition paths are covered.
+"""
+
+import os
+
+import pytest
+
+from repro.core import TTLPlanner
+from repro.core.order import graph_digest
+from repro.datasets import QueryWorkload, load_dataset
+from repro.errors import FederationError
+from repro.federation import (
+    FederationManifest,
+    build_federation,
+    load_federation,
+    partition_graph,
+    region_map_from_names,
+)
+from repro.service import PlannerService
+
+#: The committed seed set the CI equivalence gate runs (>= 3 seeds).
+FED_SEEDS = (21, 101, 202)
+
+
+def assert_equivalent(fed, mono, graph, seed, count=25):
+    """Compare the two planners over a deterministic workload."""
+    queries = QueryWorkload(graph, seed=seed).generate(count)
+    for q in queries:
+        f_eap = fed.earliest_arrival(q.source, q.destination, q.t_start)
+        m_eap = mono.earliest_arrival(q.source, q.destination, q.t_start)
+        assert (f_eap is None) == (m_eap is None), q
+        if f_eap is not None:
+            assert f_eap.arr == m_eap.arr, q
+
+        f_ldp = fed.latest_departure(q.source, q.destination, q.t_end)
+        m_ldp = mono.latest_departure(q.source, q.destination, q.t_end)
+        assert (f_ldp is None) == (m_ldp is None), q
+        if f_ldp is not None:
+            assert f_ldp.dep == m_ldp.dep, q
+
+        f_sdp = fed.shortest_duration(
+            q.source, q.destination, q.t_start, q.t_end
+        )
+        m_sdp = mono.shortest_duration(
+            q.source, q.destination, q.t_start, q.t_end
+        )
+        assert (f_sdp is None) == (m_sdp is None), q
+        if f_sdp is not None:
+            assert f_sdp.arr - f_sdp.dep == m_sdp.arr - m_sdp.dep, q
+
+        # Profiles must be byte-identical, not just corner-equal.
+        f_prof = fed.profile(q.source, q.destination, q.t_start, q.t_end)
+        m_prof = mono.profile(
+            q.source, q.destination, q.t_start, q.t_end
+        )
+        assert list(f_prof) == list(m_prof), q
+
+
+@pytest.mark.parametrize("seed", FED_SEEDS)
+def test_federated_equals_monolithic_tagged(tmp_path, seed):
+    """Tagged multi-region dataset, explicit name-map partition."""
+    graph = load_dataset("TwinCities", seed=seed)
+    partition = region_map_from_names(graph)
+    assert partition is not None
+    manifest = build_federation(graph, partition, str(tmp_path))
+    fed = load_federation(
+        os.path.join(str(tmp_path), "federation.json"), graph
+    )
+    mono = TTLPlanner(graph)
+    assert_equivalent(fed, mono, graph, seed=seed)
+    # Both routing classes were exercised; intra stays off the seam.
+    assert fed.intra_queries > 0
+    assert fed.cross_queries > 0
+    assert manifest.epoch == fed.manifest.epoch
+
+
+def test_federated_equals_monolithic_heuristic(tmp_path):
+    """Untagged city, METIS-lite heuristic min-cut split."""
+    graph = load_dataset("Austin")
+    partition = partition_graph(graph, 2, seed=0)
+    build_federation(graph, partition, str(tmp_path))
+    fed = load_federation(
+        os.path.join(str(tmp_path), "federation.json"), graph
+    )
+    mono = TTLPlanner(graph)
+    assert_equivalent(fed, mono, graph, seed=5, count=30)
+
+
+def test_one_to_many_matches_monolith(tmp_path):
+    from repro.core import build_index
+    from repro.core.batch import one_to_many_eat
+
+    graph = load_dataset("TwinCities")
+    partition = region_map_from_names(graph)
+    build_federation(graph, partition, str(tmp_path))
+    fed = load_federation(
+        os.path.join(str(tmp_path), "federation.json"), graph
+    )
+    index = build_index(graph)
+    targets = list(range(graph.n))
+    for source in (0, graph.n // 2, graph.n - 1):
+        assert fed.one_to_many(source, targets, 30000) == one_to_many_eat(
+            index, source, targets, 30000
+        )
+
+
+class TestManifest:
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        out = str(tmp_path_factory.mktemp("fed"))
+        graph = load_dataset("TwinCities")
+        partition = region_map_from_names(graph)
+        manifest = build_federation(graph, partition, out)
+        return out, graph, manifest
+
+    def test_round_trip(self, built):
+        out, graph, manifest = built
+        loaded = FederationManifest.load(
+            os.path.join(out, "federation.json")
+        )
+        assert loaded.epoch == manifest.epoch
+        assert loaded.region_of == manifest.region_of
+        assert loaded.border_stops == manifest.border_stops
+        loaded.verify_files()
+        loaded.check_graph(graph_digest(graph))
+
+    def test_wrong_graph_rejected(self, built):
+        out, _, _ = built
+        other = load_dataset("Austin")
+        with pytest.raises(FederationError, match="different"):
+            load_federation(
+                os.path.join(out, "federation.json"), other
+            )
+
+    def test_tampered_shard_detected(self, built, tmp_path):
+        out, graph, _ = built
+        # Copy the directory, then flip a byte in one shard.
+        import shutil
+
+        clone = str(tmp_path / "clone")
+        shutil.copytree(out, clone)
+        shard = os.path.join(clone, "region_0.ttl")
+        with open(shard, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            last = fh.read(1)
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([last[0] ^ 0xFF]))
+        loaded = FederationManifest.load(
+            os.path.join(clone, "federation.json")
+        )
+        with pytest.raises(FederationError, match="digest mismatch"):
+            loaded.verify_files()
+
+    def test_edited_epoch_detected(self, built, tmp_path):
+        out, _, _ = built
+        import json
+
+        with open(os.path.join(out, "federation.json")) as fh:
+            data = json.load(fh)
+        data["epoch"] = "0" * 16
+        path = str(tmp_path / "edited.json")
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        with pytest.raises(FederationError, match="epoch mismatch"):
+            FederationManifest.load(path)
+
+    def test_not_a_manifest_rejected(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "nope.json")
+        with open(path, "w") as fh:
+            json.dump({"magic": "NOPE"}, fh)
+        with pytest.raises(FederationError, match="magic"):
+            FederationManifest.load(path)
+
+    def test_unknown_region_subset_rejected(self, built):
+        out, graph, _ = built
+        with pytest.raises(FederationError, match="not in the"):
+            load_federation(
+                os.path.join(out, "federation.json"),
+                graph,
+                regions=[7],
+            )
+
+    def test_single_region_subset_loads(self, built):
+        out, graph, _ = built
+        fed = load_federation(
+            os.path.join(out, "federation.json"), graph, regions=[0]
+        )
+        assert sorted(fed.shards) == [0]
+        # An intra query on the loaded region still answers exactly.
+        mono = TTLPlanner(graph)
+        stops = fed.manifest.region_entry(0).stops
+        u, v = stops[0], stops[-1]
+        f = fed.earliest_arrival(u, v, 0)
+        m = mono.earliest_arrival(u, v, 0)
+        assert (f is None) == (m is None)
+        if f is not None:
+            assert f.arr == m.arr
+
+
+class TestCacheEpoch:
+    """Answer-cache keys must incorporate the shard/manifest epoch.
+
+    Regression for the federation cache bug: two region shards can
+    share the same ``(n, m, labels)`` shape, which used to be the
+    whole cache fingerprint — a worker respawned onto a different
+    shard (or a rebuilt manifest) could then serve answers cached
+    against the old layout.
+    """
+
+    def test_epoch_override_changes_fingerprint(self):
+        graph = load_dataset("Austin")
+        planner = TTLPlanner(graph)
+        planner.preprocess()
+        plain = PlannerService(planner)
+        shard_a = PlannerService(planner, epoch="aaaa/r0")
+        shard_b = PlannerService(planner, epoch="aaaa/r1")
+        assert plain.cache_epoch() != shard_a.cache_epoch()
+        assert shard_a.cache_epoch() != shard_b.cache_epoch()
+        # The structural fingerprint is still present underneath.
+        assert plain.cache_epoch() in shard_a.cache_epoch()
+
+    def test_manifest_epoch_tracks_region_digests(self, tmp_path):
+        graph = load_dataset("TwinCities")
+        partition = region_map_from_names(graph)
+        manifest = build_federation(
+            graph, partition, str(tmp_path / "a")
+        )
+        # Same graph, same partition, different shard bytes => the
+        # epoch (and so every worker cache key) must move.
+        import dataclasses
+
+        tampered = dataclasses.replace(
+            manifest.regions[0], digest="f" * 64
+        )
+        other = FederationManifest(
+            graph_digest=manifest.graph_digest,
+            partition_digest=manifest.partition_digest,
+            region_of=list(manifest.region_of),
+            regions=[tampered] + list(manifest.regions[1:]),
+            border_stops=list(manifest.border_stops),
+            border_path=manifest.border_path,
+            border_digest=manifest.border_digest,
+        )
+        assert other.epoch != manifest.epoch

@@ -1,0 +1,270 @@
+"""Federated serving end to end: router + per-region workers.
+
+Starts a real :class:`FederationSupervisor` over a two-region
+federation — forked workers each holding one shard plus the border
+index — and checks the two routing classes against a monolithic
+planner: intra-region requests are proxied whole to the owning worker
+(``meta.worker`` is the region id, no fan-out), cross-region requests
+are stitched by the router (``meta.worker`` is ``-1``), and both give
+exactly the monolithic answers.  Ends with a chaos kill + respawn and
+a clean drain, like the CI federation smoke job.
+"""
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import TTLPlanner, build_index
+from repro.core.batch import isochrone, one_to_many_eat
+from repro.datasets import QueryWorkload, load_dataset
+from repro.federation import (
+    build_federation,
+    region_map_from_names,
+)
+from repro.federation.serve import FederationSupervisor
+
+
+def get(port, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10
+    ) as response:
+        return response.status, json.loads(response.read())
+
+
+def post(port, path, body):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    """A running two-region federation plus the monolithic oracle."""
+    out = str(tmp_path_factory.mktemp("fed_serving"))
+    graph = load_dataset("TwinCities")
+    partition = region_map_from_names(graph)
+    manifest = build_federation(graph, partition, out)
+    sup = FederationSupervisor(
+        graph,
+        os.path.join(out, "federation.json"),
+        heartbeat_interval_s=0.1,
+    )
+    port = sup.start()
+    try:
+        sup.wait_ready(timeout_s=60)
+        mono = TTLPlanner(graph)
+        mono.preprocess()
+        yield {
+            "sup": sup,
+            "port": port,
+            "graph": graph,
+            "manifest": manifest,
+            "mono": mono,
+        }
+    finally:
+        sup.stop()
+
+
+def split_queries(cluster, count=15):
+    """Deterministic workload split into intra / cross pairs."""
+    graph = cluster["graph"]
+    manifest = cluster["manifest"]
+    intra, cross = [], []
+    for q in QueryWorkload(graph, seed=9).generate(60):
+        same = manifest.stop_region(q.source) == manifest.stop_region(
+            q.destination
+        )
+        bucket = intra if same else cross
+        if len(bucket) < count:
+            bucket.append(q)
+    assert len(intra) == count and len(cross) == count
+    return intra, cross
+
+
+class TestFederatedServing:
+    def test_healthz_reports_shards(self, cluster):
+        status, body = get(cluster["port"], "/v1/healthz")
+        assert status == 200
+        data = body["data"]
+        assert data["status"] == "ok"
+        assert data["planner"] == "TTL-fed"
+        assert data["federation"] is True
+        assert data["ready"] is True
+        assert data["epoch"] == cluster["manifest"].epoch
+        assert data["regions"] == 2
+        shards = data["shards"]
+        assert [s["region"] for s in shards] == [0, 1]
+        for shard in shards:
+            assert shard["alive"]
+            assert shard["pid"] > 0
+            assert shard["stations"] > 0
+            assert shard["borders"] > 0
+            assert shard["labels"] > 0
+            assert shard["port"] == cluster["sup"].worker_ports[
+                shard["region"]
+            ]
+
+    def test_ready_endpoint(self, cluster):
+        status, body = get(cluster["port"], "/v1/healthz/ready")
+        assert status == 200
+        assert body["data"]["ready"] is True
+
+    def test_intra_is_proxied_and_exact(self, cluster):
+        """Same-region queries hit the owning worker directly — one
+        hop, no router stitching — and still match the monolith."""
+        manifest = cluster["manifest"]
+        mono = cluster["mono"]
+        intra, _ = split_queries(cluster)
+        for q in intra:
+            status, body = get(
+                cluster["port"],
+                f"/v1/eap?from={q.source}&to={q.destination}"
+                f"&t={q.t_start}",
+            )
+            assert status == 200
+            assert body["meta"]["worker"] == manifest.stop_region(
+                q.source
+            )
+            expected = mono.earliest_arrival(
+                q.source, q.destination, q.t_start
+            )
+            journey = body["data"]["journey"]
+            assert (journey is None) == (expected is None)
+            if journey is not None:
+                assert journey["arr"] == expected.arr
+
+    def test_cross_is_stitched_and_exact(self, cluster):
+        mono = cluster["mono"]
+        _, cross = split_queries(cluster)
+        for q in cross:
+            status, body = get(
+                cluster["port"],
+                f"/v1/eap?from={q.source}&to={q.destination}"
+                f"&t={q.t_start}",
+            )
+            assert status == 200
+            assert body["meta"]["worker"] == -1
+            expected = mono.earliest_arrival(
+                q.source, q.destination, q.t_start
+            )
+            journey = body["data"]["journey"]
+            assert (journey is None) == (expected is None)
+            if journey is not None:
+                assert journey["arr"] == expected.arr
+
+            status, body = get(
+                cluster["port"],
+                f"/v1/ldp?from={q.source}&to={q.destination}"
+                f"&t={q.t_end}",
+            )
+            expected = mono.latest_departure(
+                q.source, q.destination, q.t_end
+            )
+            journey = body["data"]["journey"]
+            assert (journey is None) == (expected is None)
+            if journey is not None:
+                assert journey["dep"] == expected.dep
+
+    def test_cross_profile_and_sdp(self, cluster):
+        mono = cluster["mono"]
+        _, cross = split_queries(cluster, count=6)
+        for q in cross:
+            status, body = get(
+                cluster["port"],
+                f"/v1/profile?from={q.source}&to={q.destination}"
+                f"&t={q.t_start}&t_end={q.t_end}",
+            )
+            assert status == 200
+            expected = mono.profile(
+                q.source, q.destination, q.t_start, q.t_end
+            )
+            assert body["data"]["pairs"] == [list(p) for p in expected]
+
+            status, body = get(
+                cluster["port"],
+                f"/v1/sdp?from={q.source}&to={q.destination}"
+                f"&t={q.t_start}&t_end={q.t_end}",
+            )
+            expected = mono.shortest_duration(
+                q.source, q.destination, q.t_start, q.t_end
+            )
+            journey = body["data"]["journey"]
+            assert (journey is None) == (expected is None)
+            if journey is not None:
+                duration = journey["arr"] - journey["dep"]
+                assert duration == expected.arr - expected.dep
+
+    def test_batch_matches_monolith(self, cluster):
+        graph = cluster["graph"]
+        index = build_index(graph)
+        targets = list(range(graph.n))
+        t = 30000
+        status, body = post(
+            cluster["port"],
+            "/v1/batch",
+            {
+                "kind": "one_to_many",
+                "source": 0,
+                "targets": targets,
+                "t": t,
+            },
+        )
+        assert status == 200
+        expected = {
+            str(k): v
+            for k, v in one_to_many_eat(index, 0, targets, t).items()
+        }
+        assert body["data"]["arrivals"] == expected
+
+        status, body = post(
+            cluster["port"],
+            "/v1/batch",
+            {"kind": "isochrone", "source": 0, "t": t, "budget": 3600},
+        )
+        assert status == 200
+        assert body["data"]["stations"] == isochrone(index, 0, t, 3600)
+
+    def test_router_metrics_count_both_paths(self, cluster):
+        status, body = get(cluster["port"], "/v1/metrics")
+        assert status == 200
+        router = body["data"]["federation"]["router"]
+        assert router["intra_proxied"] > 0
+        assert router["cross_stitched"] > 0
+        assert router["batch_requests"] >= 2
+        assert router["subrequests"] > 0
+
+    def test_kill_respawn_requery(self, cluster):
+        """A dead region worker comes back on the same port and
+        answers again — the chaos drill the smoke job runs."""
+        sup = cluster["sup"]
+        port_before = sup.worker_ports[0]
+        old_pid = sup.kill_worker(0)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            pids = sup.worker_pids()
+            if pids.get(0) not in (None, old_pid):
+                break
+            time.sleep(0.05)
+        sup.wait_ready(timeout_s=30)
+        assert sup.worker_ports[0] == port_before
+        stops = cluster["manifest"].region_entry(0).stops
+        u, v = stops[0], stops[-1]
+        status, body = get(
+            cluster["port"], f"/v1/eap?from={u}&to={v}&t=0"
+        )
+        assert status == 200
+        assert body["meta"]["worker"] == 0
+
+    def test_drain_is_clean(self, cluster):
+        # Runs last: drains the cluster; the fixture's stop() is then
+        # a no-op on already-exited workers.
+        assert cluster["sup"].drain(grace_s=10)

@@ -1,0 +1,146 @@
+"""Region partitioning: validation, determinism, name maps, digests.
+
+The federation's correctness argument starts here — every downstream
+artifact (shards, border index, manifest epoch) is keyed off the
+partition, so the partitioner must be deterministic under seed and the
+explicit name-map path must recover exactly the regions the
+multi-region generator laid down.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.errors import FederationError
+from repro.federation import (
+    Partition,
+    partition_from_regions,
+    partition_graph,
+    region_map_from_names,
+)
+from tests.conftest import make_random_route_graph
+
+
+class TestPartitionValidation:
+    def test_empty_region_rejected(self):
+        with pytest.raises(FederationError, match="empty"):
+            Partition(region_of=(0, 0, 0), num_regions=2)
+
+    def test_out_of_range_region_rejected(self):
+        with pytest.raises(FederationError):
+            Partition(region_of=(0, 1, 5), num_regions=2)
+
+    def test_zero_regions_rejected(self):
+        with pytest.raises(FederationError):
+            Partition(region_of=(), num_regions=0)
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(FederationError, match="empty"):
+            partition_from_regions([])
+
+    def test_regions_and_sizes(self):
+        p = partition_from_regions([1, 0, 1, 0, 1])
+        assert p.num_regions == 2
+        assert p.regions() == [[1, 3], [0, 2, 4]]
+        assert p.sizes() == [2, 3]
+        assert p.n == 5
+
+    def test_graph_mismatch_rejected(self):
+        graph = make_random_route_graph(random.Random(1), 10, 5)
+        p = partition_from_regions([0, 1])
+        with pytest.raises(FederationError, match="10"):
+            p.cut_size(graph)
+
+
+class TestPartitionDigest:
+    def test_digest_is_stable(self):
+        a = partition_from_regions([0, 1, 0, 1])
+        b = partition_from_regions([0, 1, 0, 1])
+        assert a.digest() == b.digest()
+
+    def test_digest_tracks_assignment(self):
+        a = partition_from_regions([0, 1, 0, 1])
+        b = partition_from_regions([0, 1, 1, 0])
+        assert a.digest() != b.digest()
+
+
+class TestPartitionGraph:
+    def test_deterministic_under_seed(self):
+        graph = load_dataset("Austin")
+        a = partition_graph(graph, 2, seed=7)
+        b = partition_graph(graph, 2, seed=7)
+        assert a.region_of == b.region_of
+        assert a.digest() == b.digest()
+
+    def test_covers_every_station_and_balances(self):
+        graph = load_dataset("Austin")
+        p = partition_graph(graph, 3, seed=0)
+        assert p.n == graph.n
+        sizes = p.sizes()
+        assert all(size >= 1 for size in sizes)
+        # The growth cap bounds any region near tolerance * n/k.
+        assert max(sizes) <= int(1.3 * graph.n / 3) + 2
+
+    def test_single_region_is_trivial(self):
+        graph = make_random_route_graph(random.Random(2), 12, 6)
+        p = partition_graph(graph, 1, seed=0)
+        assert p.num_regions == 1
+        assert set(p.region_of) == {0}
+        assert p.cut_size(graph) == 0
+        assert p.border_stops(graph) == []
+
+    def test_too_many_regions_rejected(self):
+        graph = make_random_route_graph(random.Random(3), 6, 4)
+        with pytest.raises(FederationError):
+            partition_graph(graph, 7, seed=0)
+
+    def test_border_stops_are_cut_endpoints(self):
+        graph = load_dataset("Austin")
+        p = partition_graph(graph, 2, seed=1)
+        border = set(p.border_stops(graph))
+        endpoints = set()
+        for c in p.cut_connections(graph):
+            assert p.region_of[c.u] != p.region_of[c.v]
+            endpoints.add(c.u)
+            endpoints.add(c.v)
+        assert border == endpoints
+        assert border  # a connected network always has a cut
+
+
+class TestRegionMapFromNames:
+    def test_multi_region_dataset_tags_recovered(self):
+        graph = load_dataset("TwinCities")
+        p = region_map_from_names(graph)
+        assert p is not None
+        assert p.num_regions == 2
+        assert p.n == graph.n
+        # Every station's tag agrees with its assigned region.
+        for station in range(graph.n):
+            assert f"/r{p.region_of[station]}/" in graph.station_name(
+                station
+            )
+
+    def test_three_region_dataset(self):
+        graph = load_dataset("RheinRuhr")
+        p = region_map_from_names(graph)
+        assert p is not None
+        assert p.num_regions == 3
+        assert sum(p.sizes()) == graph.n
+
+    def test_country_city_tags_recovered(self):
+        graph = load_dataset("Sweden")
+        p = region_map_from_names(graph)
+        assert p is not None
+        assert p.num_regions >= 2
+
+    def test_untagged_dataset_returns_none(self):
+        graph = load_dataset("Austin")
+        assert region_map_from_names(graph) is None
+
+    def test_name_map_cut_beats_nothing(self):
+        # The intended split keeps the cut to the sparse intercity
+        # expresses: far below the all-connections total.
+        graph = load_dataset("TwinCities")
+        p = region_map_from_names(graph)
+        assert p.cut_size(graph) < graph.m // 4
