@@ -378,6 +378,134 @@ def run_cache(dataset, num_requests):
     return "\n".join(lines), payload
 
 
+def run_kernels(dataset, sources=16, profile_pairs=200):
+    """Columnar-kernel section: scalar oracle vs numpy kernels,
+    in-process (no HTTP noise); returns (report text, JSON dict).
+
+    Times three workloads under ``REPRO_SCALAR_KERNELS=1`` and under
+    the default dispatch, on the same sealed index:
+
+    * ``one_to_many`` — one-to-all arrivals per source (the
+      ``/v1/batch`` hot loop);
+    * ``matrix`` — the many-to-many fan-out;
+    * ``profile`` — wide-window profile enumeration point queries
+      (forced through the kernels with ``REPRO_KERNEL_MIN_LABELS=0``).
+    """
+    import os
+
+    from repro.core import kernels
+    from repro.core.batch import batch_plan
+    from repro.core.build import build_index
+    from repro.core.queries import TTLPlanner
+    from repro.datasets import QueryWorkload, load_dataset
+    from repro.query import BatchQuery, QueryRequest
+
+    graph = load_dataset(dataset)
+    index = build_index(graph)
+    planner = TTLPlanner(graph, index=index)
+    rng = random.Random(99)
+    all_targets = tuple(range(graph.n))
+    o2m = [
+        BatchQuery(
+            kind="one_to_many",
+            sources=(rng.randrange(graph.n),),
+            targets=all_targets,
+            t=28800 + 600 * i,
+        )
+        for i in range(sources)
+    ]
+    matrix = [
+        BatchQuery(
+            kind="matrix",
+            sources=tuple(rng.randrange(graph.n) for _ in range(8)),
+            targets=tuple(rng.randrange(graph.n) for _ in range(8)),
+            t=30000,
+        )
+        for _ in range(sources)
+    ]
+    profiles = [
+        QueryRequest(
+            "profile", q.source, q.destination, t=q.t_start,
+            t_end=q.t_start + 6 * 3600,
+        )
+        for q in QueryWorkload(graph, seed=41).generate(profile_pairs)
+    ]
+
+    def one_to_many_run():
+        batch_plan(index, o2m)
+
+    def matrix_run():
+        batch_plan(index, matrix)
+
+    def profile_run():
+        for request in profiles:
+            planner.plan(request)
+
+    workloads = {
+        "one_to_many": one_to_many_run,
+        "matrix": matrix_run,
+        "profile": profile_run,
+    }
+    section = {"vectorized": kernels.vectorized_available()}
+    lines = [
+        "",
+        f"columnar kernels vs scalar oracle (in-process, {dataset})",
+        "  (dispatch = production default: kernel where it pays, "
+        "scalar below threshold)",
+        f"  {'workload':>12}  {'scalar s':>9}  {'kernel s':>9}  "
+        f"{'dispatch s':>10}  {'speedup':>8}",
+    ]
+    for name, fn in workloads.items():
+        timings = {}
+        for mode, env in (
+            ("scalar", {kernels.SCALAR_ENV: "1"}),
+            ("kernel", {kernels.POINT_MIN_LABELS_ENV: "0"}),
+            ("dispatch", {}),
+        ):
+            saved = {
+                k: os.environ.get(k)
+                for k in (kernels.SCALAR_ENV, kernels.POINT_MIN_LABELS_ENV)
+            }
+            for key in saved:
+                os.environ.pop(key, None)
+            os.environ.update(env)
+            try:
+                fn()  # warm derived-array caches out of the timing
+                best = min(
+                    _timed(fn) for _ in range(5)
+                )
+            finally:
+                for key, value in saved.items():
+                    if value is None:
+                        os.environ.pop(key, None)
+                    else:
+                        os.environ[key] = value
+            timings[mode] = best
+        speedup = (
+            timings["scalar"] / timings["dispatch"]
+            if timings["dispatch"]
+            else 0.0
+        )
+        section[name] = {
+            "scalar_s": round(timings["scalar"], 4),
+            "vectorized_s": round(timings["kernel"], 4),
+            "dispatch_s": round(timings["dispatch"], 4),
+            "speedup": round(speedup, 2),
+        }
+        lines.append(
+            f"  {name:>12}  {timings['scalar']:>9.3f}  "
+            f"{timings['kernel']:>9.3f}  {timings['dispatch']:>10.3f}  "
+            f"{speedup:>7.1f}x"
+        )
+    return "\n".join(lines), section
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -401,6 +529,28 @@ def main(argv=None) -> int:
         dataset, max(num_requests, 1000) if not args.smoke else num_requests
     )
     report += "\n" + cache_report
+    kernel_report, kernel_payload = run_kernels(
+        dataset,
+        sources=4 if args.smoke else 64,
+        profile_pairs=40 if args.smoke else 200,
+    )
+    report += "\n" + kernel_report
+    from repro.core import kernels as _kernels
+
+    cache_payload["vectorized"] = _kernels.vectorized_available()
+    cache_payload["kernels"] = kernel_payload
+    if not args.smoke:
+        # The batch kernels pay off with network size (scalar cost is
+        # one pair merge per target; the kernel is one columnar pass),
+        # so also measure the largest catalogue network.
+        large = "Sweden"
+        large_report, large_payload = run_kernels(
+            large, sources=32, profile_pairs=100
+        )
+        report += "\n" + large_report
+        cache_payload["kernels_large"] = {
+            "dataset": large, **large_payload
+        }
     print(report)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     name = "serving_throughput_smoke" if args.smoke else "serving_throughput"

@@ -15,7 +15,8 @@ Run with::
 import argparse
 import time
 
-from repro.core import build_index, isochrone, one_to_many_eat
+from repro.core import batch_plan, build_index
+from repro.query import BatchQuery
 from repro.datasets import load_dataset
 from repro.timeutil import format_time, hms
 
@@ -41,9 +42,13 @@ def main():
 
     start = time.perf_counter()
     budgets = [15, 30, 45, 60]
-    rings = {}
-    for minutes in budgets:
-        rings[minutes] = isochrone(index, source, t, minutes * 60)
+    queries = [
+        BatchQuery(
+            kind="isochrone", sources=(source,), t=t, budget=minutes * 60
+        )
+        for minutes in budgets
+    ]
+    rings = dict(zip(budgets, batch_plan(index, queries)))
     elapsed = time.perf_counter() - start
 
     for minutes in budgets:
@@ -57,7 +62,17 @@ def main():
 
     # Show the frontier of the 30-minute ring: the last few stations
     # that make it.
-    arrivals = one_to_many_eat(index, source, rings[30], t)
+    [arrivals] = batch_plan(
+        index,
+        [
+            BatchQuery(
+                kind="one_to_many",
+                sources=(source,),
+                targets=tuple(rings[30]),
+                t=t,
+            )
+        ],
+    )
     frontier = sorted(rings[30], key=lambda s: arrivals[s])[-5:]
     print("\n30-minute frontier:")
     for station in frontier:

@@ -185,7 +185,8 @@ def main() -> int:
 
         # 6: batch, then drain.
         from repro.core import build_index
-        from repro.core.batch import one_to_many_eat
+        from repro.core.batch import batch_plan
+        from repro.query import BatchQuery
 
         index = build_index(graph)
         targets = list(range(graph.n))
@@ -195,10 +196,18 @@ def main() -> int:
             {"kind": "one_to_many", "source": 0, "targets": targets,
              "t": 30000},
         )
-        expected = {
-            str(k): v
-            for k, v in one_to_many_eat(index, 0, targets, 30000).items()
-        }
+        [monolith] = batch_plan(
+            index,
+            [
+                BatchQuery(
+                    kind="one_to_many",
+                    sources=(0,),
+                    targets=tuple(targets),
+                    t=30000,
+                )
+            ],
+        )
+        expected = {str(k): v for k, v in monolith.items()}
         assert body["data"]["arrivals"] == expected
         print("batch: federated one-to-many matches the monolith")
 

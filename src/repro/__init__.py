@@ -55,6 +55,7 @@ from repro.graph import (
 )
 from repro.journey import ConciseLeg, Journey
 from repro.planner import RoutePlanner
+from repro.query import BatchQuery, QueryRequest, QueryResult
 from repro.service import PlannerService
 from repro.algorithms import DijkstraPlanner, ParetoProfile
 from repro.baselines import CHTPlanner, CSAPlanner, RaptorPlanner
@@ -64,6 +65,7 @@ from repro.core import (
     LabelStore,
     TTLIndex,
     TTLPlanner,
+    batch_plan,
     build_index,
     build_index_brute_force,
     compress_index,
@@ -113,6 +115,9 @@ __all__ = [
     "Journey",
     "ConciseLeg",
     "RoutePlanner",
+    "QueryRequest",
+    "QueryResult",
+    "BatchQuery",
     "PlannerService",
     "DijkstraPlanner",
     "ParetoProfile",
@@ -134,6 +139,7 @@ __all__ = [
     "LabelStore",
     "GroupView",
     # batched queries
+    "batch_plan",
     "one_to_many_eat",
     "eat_matrix",
     "isochrone",

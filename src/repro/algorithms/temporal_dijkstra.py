@@ -332,3 +332,19 @@ class DijkstraPlanner(RoutePlanner):
         if best_path is None:
             return None
         return Journey.from_path(best_path)
+
+    def profile(self, source: int, destination: int, t: int, t_end: int):
+        """All non-dominated ``(dep, arr)`` journeys in the window, by
+        sweeping the source's departure times (Lemma 6's enumeration).
+
+        Expensive but index-free — this is what lets the live engine's
+        Dijkstra fallback answer profile queries exactly on a disrupted
+        overlay timetable.
+        """
+        from repro.core.profile_queries import oracle_profile
+
+        self._check_query(source, destination)
+        self._check_window(t, t_end)
+        if source == destination:
+            return [(t, t)]
+        return oracle_profile(self.graph, source, destination, t, t_end)

@@ -25,6 +25,7 @@ from repro.datasets.registry import paper_dataset_names
 from repro.datasets.queries import Query
 from repro.graph.timetable import TimetableGraph
 from repro.planner import RoutePlanner
+from repro.query import QUERY_TYPES, QueryRequest
 
 
 @dataclass
@@ -138,27 +139,30 @@ class PlannerCache:
 DEFAULT_CACHE = PlannerCache()
 
 
+def query_request(q: Query, kind: str) -> QueryRequest:
+    """Map one workload :class:`Query` onto a :class:`QueryRequest`
+    (LDP's single time is the latest arrival, i.e. the window end)."""
+    if kind not in QUERY_TYPES:
+        raise ValueError(f"unknown query kind: {kind}")
+    return QueryRequest(
+        kind,
+        q.source,
+        q.destination,
+        t=None if kind == "ldp" else q.t_start,
+        t_end=None if kind == "eap" else q.t_end,
+    )
+
+
 def run_queries(
     planner: RoutePlanner, queries: Sequence[Query], kind: str
 ) -> int:
     """Run a query batch; returns how many were answerable."""
-    answered = 0
-    if kind == "eap":
-        for q in queries:
-            if planner.earliest_arrival(q.source, q.destination, q.t_start):
-                answered += 1
-    elif kind == "ldp":
-        for q in queries:
-            if planner.latest_departure(q.source, q.destination, q.t_end):
-                answered += 1
-    elif kind == "sdp":
-        for q in queries:
-            if planner.shortest_duration(
-                q.source, q.destination, q.t_start, q.t_end
-            ):
-                answered += 1
-    else:
+    if kind not in QUERY_TYPES:
         raise ValueError(f"unknown query kind: {kind}")
+    answered = 0
+    for q in queries:
+        if planner.plan(query_request(q, kind)).feasible:
+            answered += 1
     return answered
 
 

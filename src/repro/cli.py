@@ -48,7 +48,9 @@ from repro.core import (
 )
 from repro.algorithms import DijkstraPlanner
 from repro.datasets import DATASETS, dataset_names, load_dataset
+from repro.errors import QueryError
 from repro.graph import save_graph_csv
+from repro.query import QueryRequest
 from repro.timeutil import format_duration, format_time, parse_time
 
 
@@ -251,25 +253,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     t = parse_time(args.start) if args.start else None
     t_end = parse_time(args.end) if args.end else None
+    needs = {"eap": "--start", "ldp": "--end", "sdp": "--start and --end"}
+    request = QueryRequest(
+        args.kind,
+        args.source,
+        args.dest,
+        t=None if args.kind == "ldp" else t,
+        t_end=t_end,
+    )
+    try:
+        request.validated()
+    except QueryError:
+        print(f"{args.kind} requires {needs[args.kind]}", file=sys.stderr)
+        return 2
     for planner in planners:
         planner.preprocess()
-        if args.kind == "eap":
-            if t is None:
-                print("eap requires --start", file=sys.stderr)
-                return 2
-            journey = planner.earliest_arrival(args.source, args.dest, t)
-        elif args.kind == "ldp":
-            if t_end is None:
-                print("ldp requires --end", file=sys.stderr)
-                return 2
-            journey = planner.latest_departure(args.source, args.dest, t_end)
-        else:
-            if t is None or t_end is None:
-                print("sdp requires --start and --end", file=sys.stderr)
-                return 2
-            journey = planner.shortest_duration(
-                args.source, args.dest, t, t_end
-            )
+        journey = planner.plan(request).journey
         if journey is None:
             print(f"{planner.name:9s} no feasible journey")
         else:
@@ -622,19 +621,12 @@ def _cmd_live(args: argparse.Namespace) -> int:
     print(f"tainted      {taint.num_tainted}/{taint.num_labels} labels "
           f"({100.0 * taint.fraction:.1f}%)")
 
+    from repro.bench.harness import query_request
+
     queries = QueryWorkload(graph, seed=args.seed).generate(args.queries)
     kinds = ("eap", "ldp", "sdp")
     for i, query in enumerate(queries):
-        kind = kinds[i % 3]
-        if kind == "eap":
-            engine.earliest_arrival(query.source, query.destination,
-                                    query.t_start)
-        elif kind == "ldp":
-            engine.latest_departure(query.source, query.destination,
-                                    query.t_end)
-        else:
-            engine.shortest_duration(query.source, query.destination,
-                                     query.t_start, query.t_end)
+        engine.plan(query_request(query, kinds[i % 3]))
     stats = engine.stats
     print(f"queries      {stats.queries} "
           f"(mixed eap/ldp/sdp, seed {args.seed})")

@@ -1,36 +1,105 @@
-"""Batched label queries: one-to-many and matrix earliest arrivals.
+"""Batched label queries: one-to-many, matrix, and isochrone passes.
 
 Accessibility studies ("which stations can I reach within 45 minutes
 of 8am?", travel-time matrices for facility placement) ask the same
 EAP question for one source against many targets.  With a TTL index
 each target costs one merge of the source's out-labels with the
-target's in-labels — no graph search at all — so a full one-to-all
-sweep costs ``O(|L_out(u)| * groups + sum_v |L_in(v)|)``, independent
-of how congested the timetable is.
+target's in-labels — no graph search at all.
+
+The single entry point is :func:`batch_plan`: it takes
+:class:`~repro.query.BatchQuery` items and answers each with one
+vectorized pass over the entire in-store when numpy is available
+(:func:`repro.core.kernels.one_to_all_arrivals` — O(total labels)
+columnar work per source, independent of target count), falling back
+to the scalar per-target merge otherwise.  ``/v1/batch`` routes here.
+
+The three historical entry points (``one_to_many_eat``,
+``eat_matrix``, ``isochrone``) delegate to :func:`batch_plan` and emit
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import warnings
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core import kernels
 from repro.core.index import TTLIndex
 from repro.core.sketch import best_eap_sketch_from_lists
 from repro.errors import QueryError
+from repro.query import BatchQuery
+
+#: The per-kind result shapes, in request order.
+BatchResult = Union[
+    Dict[int, Optional[int]],           # one_to_many
+    Dict[Tuple[int, int], Optional[int]],  # matrix
+    List[int],                          # isochrone
+]
 
 
-def one_to_many_eat(
-    index: TTLIndex, source: int, targets: Iterable[int], t: int
-) -> Dict[int, Optional[int]]:
-    """Earliest arrival times from ``source`` (departing >= ``t``) to
-    each target; ``None`` where unreachable."""
+def batch_plan(
+    index: TTLIndex, requests: Sequence[BatchQuery]
+) -> List[BatchResult]:
+    """Answer a sequence of batched queries, one result per request.
+
+    Every request is validated up front (so a malformed item fails the
+    whole batch before any work), then each is answered by the
+    vectorized one-to-all kernel when available or the scalar
+    per-target merge otherwise — both produce identical values.
+    """
     n = index.graph.n
-    if not 0 <= source < n:
-        raise QueryError(f"unknown source station: {source}")
+    for request in requests:
+        request.validated()
+        for station in (*request.sources, *request.targets):
+            if not 0 <= station < n:
+                raise QueryError(f"unknown station: {station}")
+    vectorized = kernels.vectorized_available()
+    return [_answer(index, request, vectorized) for request in requests]
+
+
+def _answer(
+    index: TTLIndex, request: BatchQuery, vectorized: bool
+) -> BatchResult:
+    if request.kind == "one_to_many":
+        return _one_to_many(
+            index, request.sources[0], request.targets, request.t, vectorized
+        )
+    if request.kind == "matrix":
+        matrix: Dict[Tuple[int, int], Optional[int]] = {}
+        for source in request.sources:
+            row = _one_to_many(
+                index, source, request.targets, request.t, vectorized
+            )
+            for target, arr in row.items():
+                matrix[(source, target)] = arr
+        return matrix
+    # isochrone
+    source, t, budget = request.sources[0], request.t, request.budget
+    arrivals = _one_to_many(
+        index, source, range(index.graph.n), t, vectorized
+    )
+    reachable = [
+        (arr, station)
+        for station, arr in arrivals.items()
+        if arr is not None and arr - t <= budget
+    ]
+    reachable.sort()
+    return [station for _, station in reachable]
+
+
+def _one_to_many(
+    index: TTLIndex,
+    source: int,
+    targets: Iterable[int],
+    t: int,
+    vectorized: bool,
+) -> Dict[int, Optional[int]]:
+    targets = list(targets)
+    if vectorized and kernels.use_for_one_to_all(index, len(targets)):
+        return kernels.one_to_many_values(index, source, targets, t)
     out_list = index.out_label_groups(source)
     result: Dict[int, Optional[int]] = {}
     for target in targets:
-        if not 0 <= target < n:
-            raise QueryError(f"unknown target station: {target}")
         if target == source:
             result[target] = t
             continue
@@ -41,37 +110,76 @@ def one_to_many_eat(
     return result
 
 
+# ----------------------------------------------------------------------
+# Legacy entry points (delegating, deprecated)
+# ----------------------------------------------------------------------
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.core.batch.{name} is deprecated; use batch_plan with "
+        f"repro.query.BatchQuery instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def one_to_many_eat(
+    index: TTLIndex, source: int, targets: Iterable[int], t: int
+) -> Dict[int, Optional[int]]:
+    """Deprecated: earliest arrivals from ``source`` to each target;
+    ``None`` where unreachable.  Use :func:`batch_plan`."""
+    _deprecated("one_to_many_eat")
+    [result] = batch_plan(
+        index,
+        [
+            BatchQuery(
+                kind="one_to_many",
+                sources=(source,),
+                targets=tuple(targets),
+                t=t,
+            )
+        ],
+    )
+    return result
+
+
 def eat_matrix(
     index: TTLIndex,
     sources: Iterable[int],
     targets: Iterable[int],
     t: int,
 ) -> Dict[Tuple[int, int], Optional[int]]:
-    """Earliest-arrival matrix between station sets (departing >= t)."""
-    target_list = list(targets)
-    matrix: Dict[Tuple[int, int], Optional[int]] = {}
-    for source in sources:
-        row = one_to_many_eat(index, source, target_list, t)
-        for target, arr in row.items():
-            matrix[(source, target)] = arr
-    return matrix
+    """Deprecated: earliest-arrival matrix between station sets.  Use
+    :func:`batch_plan`."""
+    _deprecated("eat_matrix")
+    [result] = batch_plan(
+        index,
+        [
+            BatchQuery(
+                kind="matrix",
+                sources=tuple(sources),
+                targets=tuple(targets),
+                t=t,
+            )
+        ],
+    )
+    return result
 
 
 def isochrone(
     index: TTLIndex, source: int, t: int, budget: int
 ) -> List[int]:
-    """Stations reachable from ``source`` within ``budget`` seconds of
-    departing no sooner than ``t`` (the classic accessibility
-    isochrone), sorted by arrival time."""
-    if budget < 0:
-        raise QueryError(f"negative time budget: {budget}")
-    arrivals = one_to_many_eat(
-        index, source, range(index.graph.n), t
+    """Deprecated: stations reachable within ``budget`` seconds of
+    departing no sooner than ``t``, sorted by arrival time.  Use
+    :func:`batch_plan`."""
+    _deprecated("isochrone")
+    [result] = batch_plan(
+        index,
+        [
+            BatchQuery(
+                kind="isochrone", sources=(source,), t=t, budget=budget
+            )
+        ],
     )
-    reachable = [
-        (arr, station)
-        for station, arr in arrivals.items()
-        if arr is not None and arr - t <= budget
-    ]
-    reachable.sort()
-    return [station for _, station in reachable]
+    return result

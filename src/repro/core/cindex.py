@@ -314,9 +314,13 @@ class CompressedTTLPlanner(RoutePlanner):
 
     def profile(self, source: int, destination: int, t: int, t_end: int):
         """All non-dominated ``(dep, arr)`` journeys in the window,
-        computed over the decompressed label groups."""
-        from repro.algorithms.profiles import ParetoProfile
-        from repro.core.sketch import generate_sketches_from_lists
+        computed over the decompressed label groups.
+
+        C-TTL materializes its groups on demand as list-backed views,
+        so the columnar kernels of :mod:`repro.core.kernels` cannot
+        run here; the shared scalar fold is the implementation.
+        """
+        from repro.core.profile_queries import profile_from_lists
 
         self._check_query(source, destination)
         self._check_window(t, t_end)
@@ -325,15 +329,7 @@ class CompressedTTLPlanner(RoutePlanner):
         self.preprocess()
         self.metrics.queries += 1
         out_list, in_list = self._lists(source, destination)
-        profile = ParetoProfile()
-        generated = 0
-        for sketch in generate_sketches_from_lists(
-            out_list, in_list, source, destination, t, t_end
-        ):
-            generated += 1
-            profile.add(sketch.dep, sketch.arr)
-        self.metrics.labels_scanned += sum(len(g) for g in out_list) + sum(
-            len(g) for g in in_list
+        return profile_from_lists(
+            out_list, in_list, source, destination, t, t_end,
+            metrics=self.metrics,
         )
-        self.metrics.sketches_generated += generated
-        return profile.pairs()

@@ -19,9 +19,9 @@ from typing import List, Optional, Tuple
 
 from repro.algorithms.profiles import ParetoProfile
 from repro.algorithms.temporal_dijkstra import earliest_arrival_search
+from repro.core import kernels
 from repro.core.index import TTLIndex
 from repro.core.metrics import QueryMetrics
-from repro.core.sketch import generate_sketches
 from repro.graph.timetable import TimetableGraph
 from repro.resilience.deadline import check_deadline
 from repro.timeutil import INF
@@ -45,18 +45,58 @@ def ttl_profile(
     Runs in ``O(|L_out(u)| + |L_in(v)|)`` plus the Pareto filtering of
     the generated sketches (sketches from different hubs may dominate
     each other; within one hub SketchGen already emits a frontier).
+
+    When numpy is available and the pair's label sets are big enough
+    to amortize the columnar setup (the same
+    ``REPRO_KERNEL_MIN_LABELS`` threshold as the point queries), the
+    enumeration runs as one columnar pass (candidate generation +
+    dominance filter) in :mod:`repro.core.kernels`;
+    ``REPRO_SCALAR_KERNELS=1`` forces this scalar fold, and the two
+    return identical frontiers.
     """
+    if kernels.use_for_point(index, u, v):
+        return kernels.profile_pairs(index, u, v, t, t_end, metrics=metrics)
+    return profile_from_lists(
+        index.out_label_groups(u),
+        index.in_label_groups(v),
+        u,
+        v,
+        t,
+        t_end,
+        metrics=metrics,
+    )
+
+
+def profile_from_lists(
+    out_list,
+    in_list,
+    u: int,
+    v: int,
+    t: int,
+    t_end: int,
+    metrics: Optional[QueryMetrics] = None,
+) -> List[Tuple[int, int]]:
+    """Scalar profile fold over explicit label-group lists.
+
+    Shared by the compressed index (whose groups materialize on the
+    fly, so the columnar kernels cannot run on them) and the scalar
+    oracle path of :func:`ttl_profile`.
+    """
+    from repro.core.sketch import generate_sketches_from_lists
+
     profile = ParetoProfile()
     generated = 0
-    for sketch in generate_sketches(index, u, v, t, t_end):
+    for sketch in generate_sketches_from_lists(
+        out_list, in_list, u, v, t, t_end
+    ):
         generated += 1
         if not generated % _DEADLINE_STRIDE:
             check_deadline()
         profile.add(sketch.dep, sketch.arr)
     if metrics is not None:
-        metrics.labels_scanned += index.out_label_count(
-            u
-        ) + index.in_label_count(v)
+        metrics.labels_scanned += sum(len(g) for g in out_list) + sum(
+            len(g) for g in in_list
+        )
         metrics.sketches_generated += generated
     return profile.pairs()
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterator, List, NamedTuple, Optional, Tuple
 
+from repro.core import kernels
 from repro.core.index import TTLIndex
 from repro.core.metrics import QueryMetrics
 from repro.timeutil import INF, NEG_INF
@@ -367,7 +368,15 @@ def best_eap_sketch(
     metrics: Optional[QueryMetrics] = None,
 ) -> Optional[Sketch]:
     """The sketch with the earliest arrival departing no sooner than
-    ``t``."""
+    ``t``.
+
+    Dispatches to the vectorized kernel over the sealed columns when
+    numpy is available and the label sets are large enough to beat the
+    scalar bisections (``REPRO_SCALAR_KERNELS=1`` forces scalar; the
+    two produce byte-identical sketches).
+    """
+    if kernels.use_for_point(index, u, v):
+        return kernels.eap_sketch(index, u, v, t, metrics=metrics)
     return best_eap_sketch_from_lists(
         index.out_label_groups(u),
         index.in_label_groups(v),
@@ -386,7 +395,9 @@ def best_ldp_sketch(
     metrics: Optional[QueryMetrics] = None,
 ) -> Optional[Sketch]:
     """The sketch with the latest departure arriving no later than
-    ``t_end``."""
+    ``t_end`` (vectorized when worthwhile, like :func:`best_eap_sketch`)."""
+    if kernels.use_for_point(index, u, v):
+        return kernels.ldp_sketch(index, u, v, t_end, metrics=metrics)
     return best_ldp_sketch_from_lists(
         index.out_label_groups(u),
         index.in_label_groups(v),
@@ -405,7 +416,10 @@ def best_sdp_sketch(
     t_end: int,
     metrics: Optional[QueryMetrics] = None,
 ) -> Optional[Sketch]:
-    """The minimum-duration sketch inside ``[t, t_end]``."""
+    """The minimum-duration sketch inside ``[t, t_end]`` (vectorized
+    when worthwhile, like :func:`best_eap_sketch`)."""
+    if kernels.use_for_point(index, u, v):
+        return kernels.sdp_sketch(index, u, v, t, t_end, metrics=metrics)
     return best_sdp_sketch_from_lists(
         index.out_label_groups(u),
         index.in_label_groups(v),

@@ -279,6 +279,7 @@ class LabelStore:
         "arrs_mv",
         "trips_mv",
         "pivots_mv",
+        "_ndarrays",
     )
 
     def __init__(self, n: int) -> None:
@@ -398,6 +399,49 @@ class LabelStore:
         self.arrs_mv = memoryview(self.arrs)
         self.trips_mv = memoryview(self.trips)
         self.pivots_mv = memoryview(self.pivots)
+        self._ndarrays = None
+
+    def ndarray_columns(self) -> dict:
+        """Zero-copy ``numpy.int64`` views over every flat column.
+
+        The contract (relied on by :mod:`repro.core.kernels` and
+        documented in ``docs/label_store.md``): each entry of the
+        returned dict is a 1-D ``int64`` ndarray that **shares memory**
+        with the sealed column — ``np.frombuffer`` over the heap
+        ``array('q')`` columns, ``np.asarray`` over the ``'q'``-cast
+        memoryviews of a mapped (TTLIDX03) store.  Nothing is copied,
+        so N worker processes mapping one index file still share one
+        physical copy of the label data; the arrays are read-only in
+        spirit (the store is sealed) and cached after the first call.
+
+        Raises ``ImportError`` when numpy is unavailable — callers
+        gate on :func:`repro.core.kernels.vectorized_available`.
+        """
+        cached = self._ndarrays
+        if cached is None:
+            import numpy as np
+
+            cached = {
+                name: np.frombuffer(getattr(self, name), dtype=np.int64)
+                if not self.mapped
+                else np.asarray(getattr(self, name), dtype=np.int64)
+                for name in COLUMN_NAMES
+            }
+            self._ndarrays = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Extents
+    # ------------------------------------------------------------------
+
+    def node_group_extent(self, node: int) -> Tuple[int, int]:
+        """Half-open group-index range ``[g0, g1)`` of ``node``."""
+        return self.node_starts[node], self.node_starts[node + 1]
+
+    def node_label_extent(self, node: int) -> Tuple[int, int]:
+        """Half-open label-index range ``[lo, hi)`` of ``node``."""
+        g0, g1 = self.node_group_extent(node)
+        return self.group_starts[g0], self.group_starts[g1]
 
     # ------------------------------------------------------------------
     # Accessors

@@ -92,6 +92,25 @@ class QueryError(ReproError):
     """Raised for invalid query arguments (bad window, unknown nodes...)."""
 
 
+class UnsupportedQueryError(QueryError):
+    """Raised when a planner does not implement a query type.
+
+    The unified :meth:`~repro.planner.RoutePlanner.plan` entry point
+    accepts every query type for every planner; backends that cannot
+    answer one (e.g. profile enumeration on a method with no label
+    sets) raise this instead of ``AttributeError``, so callers can
+    branch on capability with one typed ``except``.
+    """
+
+    def __init__(self, planner: str, query_type: str) -> None:
+        super().__init__(
+            f"planner {planner!r} does not support {query_type!r} queries",
+            hint="query a labelling-based planner (TTL, C-TTL) instead",
+        )
+        self.planner = planner
+        self.query_type = query_type
+
+
 class SerializationError(ReproError):
     """Raised when loading or saving an index or graph fails."""
 

@@ -62,6 +62,7 @@ from repro.graph.timetable import TimetableGraph
 from repro.graph.transforms import induced_subgraph
 from repro.journey import Journey
 from repro.planner import RoutePlanner
+from repro.query import QueryRequest
 from repro.timeutil import INF, NEG_INF
 
 
@@ -108,24 +109,33 @@ class RegionShard:
                 f"station {station} is not in region {self.region}"
             ) from None
 
-    # Value-level queries (global ids in, plain times out).
+    # Value-level queries (global ids in, plain times out).  All three
+    # go through the planner's unified ``plan`` entry point — the shard
+    # never names a query method.
 
     def eap_value(self, u: int, v: int, t: int) -> int:
-        journey = self.planner.earliest_arrival(
-            self.local(u), self.local(v), t
+        result = self.planner.plan(
+            QueryRequest("eap", self.local(u), self.local(v), t=t)
         )
-        return journey.arr if journey is not None else INF
+        return result.journey.arr if result.journey is not None else INF
 
     def ldp_value(self, u: int, v: int, t: int) -> int:
-        journey = self.planner.latest_departure(
-            self.local(u), self.local(v), t
+        result = self.planner.plan(
+            QueryRequest("ldp", self.local(u), self.local(v), t_end=t)
         )
-        return journey.dep if journey is not None else NEG_INF
+        return (
+            result.journey.dep if result.journey is not None else NEG_INF
+        )
 
     def profile_pairs(
         self, u: int, v: int, t: int, t_end: int
     ) -> List[Tuple[int, int]]:
-        return self.planner.profile(self.local(u), self.local(v), t, t_end)
+        result = self.planner.plan(
+            QueryRequest(
+                "profile", self.local(u), self.local(v), t=t, t_end=t_end
+            )
+        )
+        return [tuple(pair) for pair in result.pairs]
 
 
 class FederatedPlanner(RoutePlanner):

@@ -643,6 +643,30 @@ class LiveOverlayEngine(RoutePlanner):
             index, sketch, source, destination, self._ttl.concise
         )
 
+    def profile(self, source: int, destination: int, t: int, t_end: int):
+        """All non-dominated ``(dep, arr)`` journeys in the window,
+        exact for the live schedule.
+
+        With no active disruptions the sealed index answers directly;
+        under a patch the whole frontier could shift, so rather than
+        certifying every frontier point the engine goes straight to
+        the exact departure-time sweep on the overlay (counted as a
+        punt, like the candidate-flood fallbacks).
+        """
+        self._check_query(source, destination)
+        self._check_window(t, t_end)
+        self._last_fast_path = True
+        if source == destination:
+            return [(t, t)]
+        state = self._ready_state()
+        self.stats.queries += 1
+        if state.patch.is_empty():
+            self.stats.fast_path += 1
+            return self._ttl.profile(source, destination, t, t_end)
+        self._last_fast_path = False
+        self.stats.fallback_flood += 1
+        return state.fallback.profile(source, destination, t, t_end)
+
     def shortest_duration(
         self, source: int, destination: int, t: int, t_end: int
     ) -> Optional[Journey]:

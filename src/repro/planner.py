@@ -1,28 +1,40 @@
 """The planner protocol.
 
-All route-planning backends expose the same three queries (Definitions
-2-4 of the paper) through :class:`RoutePlanner`, so tests and the
-benchmark harness can swap methods freely:
+All route-planning backends expose the same queries (Definitions 2-4
+of the paper, plus profile enumeration) through :class:`RoutePlanner`,
+so tests and the benchmark harness can swap methods freely:
 
 * :meth:`RoutePlanner.earliest_arrival` — EAP.
 * :meth:`RoutePlanner.latest_departure` — LDP.
 * :meth:`RoutePlanner.shortest_duration` — SDP.
+* :meth:`RoutePlanner.profile` — every non-dominated journey in a
+  window; backends without label sets raise
+  :class:`~repro.errors.UnsupportedQueryError`.
 
-Each returns a :class:`~repro.journey.Journey` or ``None`` when no
-feasible path exists.  ``preprocess()`` builds whatever index the
-method needs and returns the elapsed seconds; ``index_bytes()`` reports
-the index footprint used by the Figure 4 experiment.
+The unified entry point is :meth:`RoutePlanner.plan`: it takes a
+frozen :class:`~repro.query.QueryRequest` and dispatches on its
+``query_type``, so the HTTP service, the federation stitcher, the live
+engine, and the benchmark harness never switch-case over method
+signatures themselves.  The per-type methods remain as the
+implementation surface (and as the stable legacy API).
+
+Each journey query returns a :class:`~repro.journey.Journey` or
+``None`` when no feasible path exists.  ``preprocess()`` builds
+whatever index the method needs and returns the elapsed seconds;
+``index_bytes()`` reports the index footprint used by the Figure 4
+experiment.
 """
 
 from __future__ import annotations
 
 import abc
 import time
-from typing import Optional
+from typing import List, Optional, Tuple
 
-from repro.errors import QueryError
+from repro.errors import QueryError, UnsupportedQueryError
 from repro.graph.timetable import TimetableGraph
 from repro.journey import Journey
+from repro.query import QueryRequest, QueryResult
 
 
 class RoutePlanner(abc.ABC):
@@ -92,6 +104,61 @@ class RoutePlanner(abc.ABC):
     ) -> Optional[Journey]:
         """SDP: the minimum-duration path within ``[t, t_end]``
         (Definition 4)."""
+
+    def profile(
+        self, source: int, destination: int, t: int, t_end: int
+    ) -> List[Tuple[int, int]]:
+        """Every non-dominated ``(dep, arr)`` journey within
+        ``[t, t_end]``, ascending by departure.
+
+        Labelling-based planners answer this from their label sets;
+        backends without a feasible implementation inherit this default
+        and raise :class:`~repro.errors.UnsupportedQueryError`.
+        """
+        raise UnsupportedQueryError(self.name, "profile")
+
+    # ------------------------------------------------------------------
+    # Unified entry point
+    # ------------------------------------------------------------------
+
+    def plan(self, request: QueryRequest) -> QueryResult:
+        """Answer any query type from one :class:`QueryRequest`.
+
+        This is the single switch-case over query types in the
+        codebase; every other consumer builds a request and calls here.
+        """
+        request.validated()
+        kind = request.query_type
+        if kind == "eap":
+            return QueryResult(
+                request,
+                journey=self.earliest_arrival(
+                    request.source, request.destination, request.t
+                ),
+            )
+        if kind == "ldp":
+            return QueryResult(
+                request,
+                journey=self.latest_departure(
+                    request.source, request.destination, request.t_end
+                ),
+            )
+        if kind == "sdp":
+            return QueryResult(
+                request,
+                journey=self.shortest_duration(
+                    request.source,
+                    request.destination,
+                    request.t,
+                    request.t_end,
+                ),
+            )
+        pairs = self.profile(
+            request.source, request.destination, request.t, request.t_end
+        )
+        if request.max_results is not None:
+            pairs = pairs[: request.max_results]
+        return QueryResult(request, pairs=tuple(tuple(p) for p in pairs))
 
     # ------------------------------------------------------------------
     # Shared validation helpers

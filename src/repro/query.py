@@ -1,0 +1,156 @@
+"""The unified query request/result surface.
+
+Every planner answers every query type through one entry point —
+:meth:`repro.planner.RoutePlanner.plan` — driven by the frozen
+:class:`QueryRequest` dataclass below.  Before this existed the four
+query types had four differently-shaped method signatures, and every
+consumer (the HTTP service, the federation stitcher, the live engine,
+the benchmark harness, the CLI) carried its own ``if kind == ...``
+switch-case.  Those switch-cases now live in exactly one place:
+``RoutePlanner.plan``.
+
+``QueryRequest`` is deliberately a plain frozen dataclass (hashable,
+usable as a cache key component) rather than a class hierarchy: the
+four query types share almost all fields, and serialization to/from
+the HTTP layer stays a trivial field copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.journey import Journey
+
+#: The four point-to-point query types of the paper (Definitions 2-4
+#: plus the profile extension).
+QUERY_TYPES = ("eap", "ldp", "sdp", "profile")
+
+#: The three batched query kinds accepted by ``/v1/batch``.
+BATCH_KINDS = ("one_to_many", "matrix", "isochrone")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One point-to-point query, any type.
+
+    Field use per ``query_type``:
+
+    * ``"eap"`` — ``t`` is the earliest departure (``t_end`` ignored);
+    * ``"ldp"`` — ``t_end`` is the latest arrival (``t`` ignored);
+    * ``"sdp"`` / ``"profile"`` — ``[t, t_end]`` is the query window;
+    * ``max_results`` — profile only: truncate the returned frontier.
+    """
+
+    query_type: str
+    source: int
+    destination: int
+    t: Optional[int] = None
+    t_end: Optional[int] = None
+    max_results: Optional[int] = None
+
+    def validated(self) -> "QueryRequest":
+        """Raise :class:`QueryError` unless the request is well-formed
+        for its query type; returns ``self`` so calls chain."""
+        if self.query_type not in QUERY_TYPES:
+            raise QueryError(
+                f"unknown query type: {self.query_type!r}",
+                hint=f"one of {', '.join(QUERY_TYPES)}",
+            )
+        if self.query_type in ("eap", "sdp", "profile") and self.t is None:
+            raise QueryError(
+                f"{self.query_type} query requires t (start time)"
+            )
+        if self.query_type in ("ldp", "sdp", "profile") and self.t_end is None:
+            raise QueryError(
+                f"{self.query_type} query requires t_end (end time)"
+            )
+        if self.max_results is not None and self.max_results < 1:
+            raise QueryError(
+                f"max_results must be positive: {self.max_results}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The answer to one :class:`QueryRequest`.
+
+    Exactly one payload field is meaningful per query type: ``journey``
+    for eap/ldp/sdp (``None`` when infeasible), ``pairs`` for profile
+    (the non-dominated ``(dep, arr)`` frontier, ascending by
+    departure, possibly truncated to ``max_results``).
+    """
+
+    request: QueryRequest
+    journey: Optional[Journey] = None
+    pairs: Optional[Tuple[Tuple[int, int], ...]] = None
+
+    @property
+    def feasible(self) -> bool:
+        if self.request.query_type == "profile":
+            return bool(self.pairs)
+        return self.journey is not None
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One item of a batched request (``/v1/batch``).
+
+    Field use per ``kind``:
+
+    * ``"one_to_many"`` — ``sources`` has one entry; arrivals to every
+      ``targets`` entry;
+    * ``"matrix"`` — full ``sources`` × ``targets`` arrival matrix;
+    * ``"isochrone"`` — ``sources`` has one entry; stations reachable
+      within ``budget`` seconds of departing at ``t`` (targets
+      ignored).
+    """
+
+    kind: str
+    sources: Tuple[int, ...]
+    t: int
+    targets: Tuple[int, ...] = ()
+    budget: Optional[int] = None
+
+    def validated(self) -> "BatchQuery":
+        if self.kind not in BATCH_KINDS:
+            raise QueryError(
+                f"unknown batch kind: {self.kind!r}",
+                hint=f"one of {', '.join(BATCH_KINDS)}",
+            )
+        if not self.sources:
+            raise QueryError("batch query requires at least one source")
+        if self.kind in ("one_to_many", "isochrone") and len(self.sources) != 1:
+            raise QueryError(
+                f"{self.kind} takes exactly one source, "
+                f"got {len(self.sources)}"
+            )
+        if self.kind in ("one_to_many", "matrix") and not self.targets:
+            raise QueryError(f"{self.kind} requires targets")
+        if self.kind == "isochrone":
+            if self.budget is None:
+                raise QueryError("isochrone requires a time budget")
+            if self.budget < 0:
+                raise QueryError(f"negative time budget: {self.budget}")
+        return self
+
+
+def journeys_request(
+    query_type: str,
+    source: int,
+    destination: int,
+    t: Optional[int] = None,
+    t_end: Optional[int] = None,
+    max_results: Optional[int] = None,
+) -> QueryRequest:
+    """Convenience constructor that validates eagerly."""
+    return QueryRequest(
+        query_type=query_type,
+        source=source,
+        destination=destination,
+        t=t,
+        t_end=t_end,
+        max_results=max_results,
+    ).validated()

@@ -103,7 +103,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional
 
-from repro.core.batch import eat_matrix, isochrone, one_to_many_eat
+from repro.core.batch import batch_plan
 from repro.errors import (
     ConflictError,
     DeadlineExceeded,
@@ -117,6 +117,7 @@ from repro.errors import (
 from repro.live.engine import LiveOverlayEngine
 from repro.live.events import event_from_dict
 from repro.planner import RoutePlanner
+from repro.query import BATCH_KINDS, BatchQuery, QueryRequest
 from repro.resilience import (
     CircuitBreaker,
     FaultInjector,
@@ -740,22 +741,44 @@ def _make_handler(service: PlannerService):
             the service lock); see PlannerService.revalidate_cache."""
             service.revalidate_cache()
 
-        def _journey_body(self, exact, degraded, cache_ctx=None) -> dict:
-            key = None
-            if cache is not None and cache_ctx is not None:
-                kind, origin, destination, t, t_end = cache_ctx
-                key = self._cache_key(
-                    kind, origin, destination, t, t_end=t_end
-                )
+        def _plan_body(
+            self, request: QueryRequest, t: int, t_end: Optional[int]
+        ) -> dict:
+            """Answer one point-to-point query through the unified
+            :meth:`~repro.planner.RoutePlanner.plan` entry point.
+
+            ``t``/``t_end`` are the endpoint's raw parameters, kept as
+            the cache key's time fields (the taint certifier reads
+            them back as the query window — for LDP the single ``t``
+            is the latest arrival, which the *request* carries as
+            ``t_end``).
+            """
+            key = self._cache_key(
+                request.query_type,
+                request.source,
+                request.destination,
+                t,
+                t_end=t_end,
+            )
+            if key is not None:
                 hit = cache.get(key)
                 if hit is not None:
                     return hit
-            journey, is_degraded = self._query(exact, degraded)
-            body = {"journey": journey.to_dict() if journey else None}
+            result, is_degraded = self._query(
+                lambda: planner.plan(request),
+                (lambda: live.frozen.plan(request))
+                if live is not None
+                else None,
+            )
+            if request.query_type == "profile":
+                body = {"pairs": [list(pair) for pair in result.pairs]}
+            else:
+                journey = result.journey
+                body = {"journey": journey.to_dict() if journey else None}
             if live is not None:
                 body["degraded"] = is_degraded
             if key is not None:
-                self._cache_put(key, body, is_degraded, t_end=cache_ctx[4])
+                self._cache_put(key, body, is_degraded, t_end=t_end)
             return body
 
         def _route_get(self, path: str, params: dict):
@@ -848,67 +871,23 @@ def _make_handler(service: PlannerService):
                         for s in range(graph.n)
                     ]
                 }
-            if path in ("/eap", "/ldp"):
+            if path in ("/eap", "/ldp", "/sdp", "/profile"):
+                kind = path[1:]
                 u = _int_param(params, "from")
                 v = _int_param(params, "to")
                 t = _int_param(params, "t")
-                if path == "/eap":
-                    return self._journey_body(
-                        lambda: planner.earliest_arrival(u, v, t),
-                        lambda: live.frozen.earliest_arrival(u, v, t)
-                        if live is not None
-                        else None,
-                        cache_ctx=("eap", u, v, t, None),
-                    )
-                return self._journey_body(
-                    lambda: planner.latest_departure(u, v, t),
-                    lambda: live.frozen.latest_departure(u, v, t)
-                    if live is not None
-                    else None,
-                    cache_ctx=("ldp", u, v, t, None),
+                windowed = kind in ("sdp", "profile")
+                t_end = _int_param(params, "t_end") if windowed else None
+                # LDP's single time parameter is the latest *arrival*,
+                # which QueryRequest models as the window end.
+                request = QueryRequest(
+                    kind,
+                    u,
+                    v,
+                    t=None if kind == "ldp" else t,
+                    t_end=t if kind == "ldp" else t_end,
                 )
-            if path == "/sdp":
-                u = _int_param(params, "from")
-                v = _int_param(params, "to")
-                t = _int_param(params, "t")
-                t_end = _int_param(params, "t_end")
-                return self._journey_body(
-                    lambda: planner.shortest_duration(u, v, t, t_end),
-                    lambda: live.frozen.shortest_duration(u, v, t, t_end)
-                    if live is not None
-                    else None,
-                    cache_ctx=("sdp", u, v, t, t_end),
-                )
-            if path == "/profile":
-                profile = getattr(planner, "profile", None)
-                if profile is None:
-                    raise ValueError(
-                        f"{planner.name} does not support profile queries"
-                    )
-                u = _int_param(params, "from")
-                v = _int_param(params, "to")
-                t = _int_param(params, "t")
-                t_end = _int_param(params, "t_end")
-                key = self._cache_key("profile", u, v, t, t_end=t_end)
-                if key is not None:
-                    hit = cache.get(key)
-                    if hit is not None:
-                        return hit
-                pairs, is_degraded = self._query(
-                    lambda: profile(u, v, t, t_end),
-                    lambda: live.frozen.profile(u, v, t, t_end)
-                    if live is not None
-                    else None,
-                )
-                body = {"pairs": pairs}
-                if live is not None:
-                    body["degraded"] = is_degraded
-                if key is not None:
-                    # Profile enumerations are not certified across
-                    # generations (static_ok only without a live
-                    # engine, where the generation never moves).
-                    self._cache_put(key, body, is_degraded, t_end=t_end)
-                return body
+                return self._plan_body(request, t, t_end)
             if path == "/live/events":
                 self._require_live()
                 with lock:
@@ -1038,7 +1017,7 @@ def _make_handler(service: PlannerService):
                 if hit is not None:
                     return hit
             kind = body.get("kind")
-            if kind not in ("one_to_many", "matrix", "isochrone"):
+            if kind not in BATCH_KINDS:
                 raise RequestValidationError(
                     "body field 'kind' must be one of 'one_to_many', "
                     f"'matrix', 'isochrone', got {kind!r}",
@@ -1046,6 +1025,20 @@ def _make_handler(service: PlannerService):
                     hint="see docs/api.md for the /v1/batch request "
                     "shapes",
                 )
+            query = self._batch_query(kind, body)
+            answer, is_degraded = self._query(
+                lambda: batch_plan(index, [query])[0], None
+            )
+            result = _batch_result_body(query, answer)
+            if live is not None:
+                result["degraded"] = is_degraded
+            if key is not None and not (live is not None and is_degraded):
+                cache.put(key, result, static_ok=False)
+            return result
+
+        def _batch_query(self, kind: str, body: dict) -> BatchQuery:
+            """Parse one ``/v1/batch`` body into a
+            :class:`~repro.query.BatchQuery`, enforcing the pair cap."""
             t = _int_field(body, "t")
             cap = config.max_batch_pairs
             cap_hint = (
@@ -1055,7 +1048,7 @@ def _make_handler(service: PlannerService):
             )
             if kind == "one_to_many":
                 source = _int_field(body, "source")
-                targets = _int_list_field(body, "targets")
+                targets = tuple(_int_list_field(body, "targets"))
                 if len(targets) > cap:
                     raise RequestValidationError(
                         f"{len(targets)} targets exceed the batch cap "
@@ -1063,19 +1056,12 @@ def _make_handler(service: PlannerService):
                         field="targets",
                         hint=cap_hint,
                     )
-                arrivals, is_degraded = self._query(
-                    lambda: one_to_many_eat(index, source, targets, t),
-                    None,
+                return BatchQuery(
+                    kind=kind, sources=(source,), targets=targets, t=t
                 )
-                result = {
-                    "kind": kind,
-                    "source": source,
-                    "t": t,
-                    "arrivals": arrivals,
-                }
-            elif kind == "matrix":
-                sources = _int_list_field(body, "sources")
-                targets = _int_list_field(body, "targets")
+            if kind == "matrix":
+                sources = tuple(_int_list_field(body, "sources"))
+                targets = tuple(_int_list_field(body, "targets"))
                 if len(sources) * len(targets) > cap:
                     raise RequestValidationError(
                         f"{len(sources)}x{len(targets)} matrix exceeds "
@@ -1083,39 +1069,22 @@ def _make_handler(service: PlannerService):
                         field="sources",
                         hint=cap_hint,
                     )
-                cells, is_degraded = self._query(
-                    lambda: eat_matrix(index, sources, targets, t),
-                    None,
+                return BatchQuery(
+                    kind=kind, sources=sources, targets=targets, t=t
                 )
-                matrix: Dict[int, Dict[int, Optional[int]]] = {}
-                for (s, target), arr in cells.items():
-                    matrix.setdefault(s, {})[target] = arr
-                result = {"kind": kind, "t": t, "matrix": matrix}
-            else:  # isochrone
-                source = _int_field(body, "source")
-                budget = _int_field(body, "budget")
-                if graph.n > cap:
-                    raise RequestValidationError(
-                        f"an isochrone sweeps all {graph.n} stations, "
-                        f"exceeding the batch cap of {cap}",
-                        field="kind",
-                        hint=cap_hint,
-                    )
-                stations, is_degraded = self._query(
-                    lambda: isochrone(index, source, t, budget), None
+            # isochrone
+            source = _int_field(body, "source")
+            budget = _int_field(body, "budget")
+            if graph.n > cap:
+                raise RequestValidationError(
+                    f"an isochrone sweeps all {graph.n} stations, "
+                    f"exceeding the batch cap of {cap}",
+                    field="kind",
+                    hint=cap_hint,
                 )
-                result = {
-                    "kind": kind,
-                    "source": source,
-                    "t": t,
-                    "budget": budget,
-                    "stations": stations,
-                }
-            if live is not None:
-                result["degraded"] = is_degraded
-            if key is not None and not (live is not None and is_degraded):
-                cache.put(key, result, static_ok=False)
-            return result
+            return BatchQuery(
+                kind=kind, sources=(source,), t=t, budget=budget
+            )
 
         def _require_live(self) -> None:
             if live is None:
@@ -1224,6 +1193,30 @@ def _int_list_field(body: dict, name: str) -> list:
                 field=name,
             )
     return value
+
+
+def _batch_result_body(query: BatchQuery, answer) -> dict:
+    """Shape one :func:`~repro.core.batch.batch_plan` answer into the
+    historical ``/v1/batch`` response body for its kind."""
+    if query.kind == "one_to_many":
+        return {
+            "kind": query.kind,
+            "source": query.sources[0],
+            "t": query.t,
+            "arrivals": answer,
+        }
+    if query.kind == "matrix":
+        matrix: Dict[int, Dict[int, Optional[int]]] = {}
+        for (source, target), arr in answer.items():
+            matrix.setdefault(source, {})[target] = arr
+        return {"kind": query.kind, "t": query.t, "matrix": matrix}
+    return {
+        "kind": query.kind,
+        "source": query.sources[0],
+        "t": query.t,
+        "budget": query.budget,
+        "stations": answer,
+    }
 
 
 class _SharedSocketServer(ThreadingHTTPServer):

@@ -45,9 +45,26 @@ def mapped_planner_factory(
 
     def factory() -> RoutePlanner:
         index = load_index(index_path, graph, mmap=True, verify=verify)
+        _warm_kernels(index)
         return TTLPlanner(graph, index=index)
 
     return factory
+
+
+def _warm_kernels(index) -> None:
+    """Materialize the numpy column views (and their derived arrays)
+    once at factory time, so the first request does not pay for it.
+
+    The views are zero-copy over the mapped columns — warming costs a
+    few small allocations, not a page-in of the store.
+    """
+    from repro.core import kernels
+
+    if not kernels.vectorized_available():
+        return
+    for store in (index.in_store, index.out_store):
+        if store is not None:
+            store.ndarray_columns()
 
 
 def live_mapped_planner_factory(
@@ -66,6 +83,7 @@ def live_mapped_planner_factory(
         from repro.live import LiveOverlayEngine
 
         index = load_index(index_path, graph, mmap=True, verify=verify)
+        _warm_kernels(index)
         return LiveOverlayEngine(graph, index=index)
 
     return factory

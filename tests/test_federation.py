@@ -96,7 +96,8 @@ def test_federated_equals_monolithic_heuristic(tmp_path):
 
 def test_one_to_many_matches_monolith(tmp_path):
     from repro.core import build_index
-    from repro.core.batch import one_to_many_eat
+    from repro.core.batch import batch_plan
+    from repro.query import BatchQuery
 
     graph = load_dataset("TwinCities")
     partition = region_map_from_names(graph)
@@ -107,9 +108,18 @@ def test_one_to_many_matches_monolith(tmp_path):
     index = build_index(graph)
     targets = list(range(graph.n))
     for source in (0, graph.n // 2, graph.n - 1):
-        assert fed.one_to_many(source, targets, 30000) == one_to_many_eat(
-            index, source, targets, 30000
+        [expected] = batch_plan(
+            index,
+            [
+                BatchQuery(
+                    kind="one_to_many",
+                    sources=(source,),
+                    targets=tuple(targets),
+                    t=30000,
+                )
+            ],
         )
+        assert fed.one_to_many(source, targets, 30000) == expected
 
 
 class TestManifest:

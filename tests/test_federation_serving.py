@@ -19,7 +19,8 @@ import urllib.request
 import pytest
 
 from repro.core import TTLPlanner, build_index
-from repro.core.batch import isochrone, one_to_many_eat
+from repro.core.batch import batch_plan
+from repro.query import BatchQuery
 from repro.datasets import QueryWorkload, load_dataset
 from repro.federation import (
     build_federation,
@@ -219,10 +220,18 @@ class TestFederatedServing:
             },
         )
         assert status == 200
-        expected = {
-            str(k): v
-            for k, v in one_to_many_eat(index, 0, targets, t).items()
-        }
+        [monolith] = batch_plan(
+            index,
+            [
+                BatchQuery(
+                    kind="one_to_many",
+                    sources=(0,),
+                    targets=tuple(targets),
+                    t=t,
+                )
+            ],
+        )
+        expected = {str(k): v for k, v in monolith.items()}
         assert body["data"]["arrivals"] == expected
 
         status, body = post(
@@ -231,7 +240,11 @@ class TestFederatedServing:
             {"kind": "isochrone", "source": 0, "t": t, "budget": 3600},
         )
         assert status == 200
-        assert body["data"]["stations"] == isochrone(index, 0, t, 3600)
+        [ring] = batch_plan(
+            index,
+            [BatchQuery(kind="isochrone", sources=(0,), t=t, budget=3600)],
+        )
+        assert body["data"]["stations"] == ring
 
     def test_router_metrics_count_both_paths(self, cluster):
         status, body = get(cluster["port"], "/v1/metrics")

@@ -1,0 +1,336 @@
+"""Kernel-vs-scalar equality: the numpy columnar kernels of
+:mod:`repro.core.kernels` must answer byte-identically to the scalar
+selector loops they replace.
+
+Three layers of evidence:
+
+* hypothesis property tests over random sealed stores and query
+  windows (sketch merge, dominance filter, profile enumeration,
+  one-to-many), plus mmap-vs-heap kernel equality;
+* the Berlin equality gate — every query type, the live overlay, and
+  federation stitching answered twice (``REPRO_SCALAR_KERNELS=1`` vs
+  the vectorized default) and diffed;
+* the numpy-absent degrade contract (scalar fallback + one warning).
+"""
+
+import os
+import random
+from unittest import mock
+
+import pytest
+
+np = pytest.importorskip("numpy")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.profiles import ParetoProfile
+from repro.core import TTLPlanner, batch_plan, build_index, kernels
+from repro.core.profile_queries import profile_from_lists
+from repro.core.serialize import load_index, save_index
+from repro.core.sketch import (
+    best_eap_sketch_from_lists,
+    best_ldp_sketch_from_lists,
+    best_sdp_sketch_from_lists,
+)
+from repro.datasets import QueryWorkload, load_dataset
+from repro.query import BatchQuery
+from tests.conftest import make_random_route_graph
+
+FORCE_KERNELS = {kernels.POINT_MIN_LABELS_ENV: "0"}
+FORCE_SCALAR = {kernels.SCALAR_ENV: "1"}
+
+
+@pytest.fixture(scope="module")
+def small():
+    rng = random.Random(99)
+    graph = make_random_route_graph(rng, 14, 10)
+    return graph, build_index(graph)
+
+
+@pytest.fixture(scope="module")
+def mapped(small, tmp_path_factory):
+    graph, index = small
+    path = tmp_path_factory.mktemp("idx") / "small.ttlidx"
+    save_index(index, str(path))
+    return load_index(str(path), graph, mmap=True)
+
+
+def _lists(index, u, v):
+    return index.out_label_groups(u), index.in_label_groups(v)
+
+
+stations = st.integers(min_value=0, max_value=13)
+times = st.integers(min_value=0, max_value=320)
+spans = st.integers(min_value=0, max_value=320)
+
+
+class TestPointKernelProperties:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(u=stations, v=stations, t=times, span=spans)
+    def test_sketches_match_scalar(self, small, u, v, t, span):
+        graph, index = small
+        out_list, in_list = _lists(index, u, v)
+        assert kernels.eap_sketch(index, u, v, t) == (
+            best_eap_sketch_from_lists(out_list, in_list, u, v, t)
+        )
+        assert kernels.ldp_sketch(index, u, v, t) == (
+            best_ldp_sketch_from_lists(out_list, in_list, u, v, t)
+        )
+        assert kernels.sdp_sketch(index, u, v, t, t + span) == (
+            best_sdp_sketch_from_lists(
+                out_list, in_list, u, v, t, t + span
+            )
+        )
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(u=stations, v=stations, t=times, span=spans)
+    def test_profile_matches_scalar(self, small, u, v, t, span):
+        graph, index = small
+        out_list, in_list = _lists(index, u, v)
+        assert kernels.profile_pairs(index, u, v, t, t + span) == (
+            profile_from_lists(out_list, in_list, u, v, t, t + span)
+        )
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(u=stations, t=times)
+    def test_one_to_many_matches_scalar(self, small, u, t):
+        graph, index = small
+        vec = kernels.one_to_many_values(index, u, range(graph.n), t)
+        out_list = index.out_label_groups(u)
+        for v in range(graph.n):
+            if v == u:
+                assert vec[v] == t
+                continue
+            sketch = best_eap_sketch_from_lists(
+                out_list, index.in_label_groups(v), u, v, t
+            )
+            assert vec[v] == (sketch.arr if sketch is not None else None)
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(u=stations, v=stations, t=times, span=spans)
+    def test_mapped_matches_heap(self, small, mapped, u, v, t, span):
+        graph, index = small
+        assert kernels.eap_sketch(index, u, v, t) == kernels.eap_sketch(
+            mapped, u, v, t
+        )
+        assert kernels.ldp_sketch(index, u, v, t) == kernels.ldp_sketch(
+            mapped, u, v, t
+        )
+        assert kernels.profile_pairs(
+            index, u, v, t, t + span
+        ) == kernels.profile_pairs(mapped, u, v, t, t + span)
+        assert kernels.one_to_many_values(
+            index, u, range(graph.n), t
+        ) == kernels.one_to_many_values(mapped, u, range(graph.n), t)
+
+
+class TestParetoFilterProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        raw=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=30),
+            ),
+            max_size=40,
+        )
+    )
+    def test_matches_pareto_profile_fold(self, raw):
+        # ParetoProfile rejects arr < dep, so sample durations.
+        pairs = [(dep, dep + span) for dep, span in raw]
+        profile = ParetoProfile()
+        for dep, arr in pairs:
+            profile.add(dep, arr)
+        deps = np.array([p[0] for p in pairs], dtype=np.int64)
+        arrs = np.array([p[1] for p in pairs], dtype=np.int64)
+        assert kernels.pareto_filter(deps, arrs) == profile.pairs()
+
+
+def _journey_payload(result):
+    if result.request.query_type == "profile":
+        return list(result.pairs)
+    journey = result.journey
+    return None if journey is None else journey.to_dict()
+
+
+def _berlin_requests(graph, count):
+    from repro.bench.harness import query_request
+
+    queries = QueryWorkload(graph, seed=2015).generate(count)
+    return [
+        query_request(q, kind)
+        for q in queries
+        for kind in ("eap", "ldp", "sdp", "profile")
+    ]
+
+
+@pytest.fixture(scope="module")
+def berlin():
+    graph = load_dataset("Berlin")
+    return graph, build_index(graph)
+
+
+class TestBerlinEqualityGate:
+    """Byte-identical journeys on Berlin, vectorized vs scalar."""
+
+    def test_all_query_types_identical(self, berlin):
+        graph, index = berlin
+        requests = _berlin_requests(graph, 25)
+
+        def run():
+            planner = TTLPlanner(graph, index=index)
+            return [
+                _journey_payload(planner.plan(r)) for r in requests
+            ]
+
+        with mock.patch.dict(os.environ, FORCE_KERNELS):
+            vectorized = run()
+        with mock.patch.dict(os.environ, FORCE_SCALAR):
+            scalar = run()
+        assert vectorized == scalar
+
+    def test_batch_identical(self, berlin):
+        graph, index = berlin
+        queries = [
+            BatchQuery(
+                kind="one_to_many",
+                sources=(0,),
+                targets=tuple(range(graph.n)),
+                t=30000,
+            ),
+            BatchQuery(
+                kind="matrix",
+                sources=(0, 1, 2),
+                targets=(3, 4, 5, 6),
+                t=28800,
+            ),
+            BatchQuery(
+                kind="isochrone", sources=(5,), t=30000, budget=3600
+            ),
+        ]
+        with mock.patch.dict(os.environ, FORCE_KERNELS):
+            vectorized = batch_plan(index, queries)
+        with mock.patch.dict(os.environ, FORCE_SCALAR):
+            scalar = batch_plan(index, queries)
+        assert vectorized == scalar
+
+    def test_live_overlay_identical(self, berlin):
+        from repro.live import LiveOverlayEngine, replay, synthetic_feed
+
+        graph, index = berlin
+        requests = _berlin_requests(graph, 10)
+
+        def run():
+            engine = LiveOverlayEngine(graph, index=index)
+            engine.preprocess()
+            feed = synthetic_feed(graph, seed=7)
+            for _ in replay(engine, feed):
+                pass
+            return [_journey_payload(engine.plan(r)) for r in requests]
+
+        with mock.patch.dict(os.environ, FORCE_KERNELS):
+            vectorized = run()
+        with mock.patch.dict(os.environ, FORCE_SCALAR):
+            scalar = run()
+        assert vectorized == scalar
+
+    def test_federation_stitch_identical(self, berlin, tmp_path):
+        from repro.federation import (
+            build_federation,
+            load_federation,
+            partition_graph,
+        )
+
+        graph, index = berlin
+        partition = partition_graph(graph, 2, seed=0)
+        build_federation(graph, partition, str(tmp_path))
+        requests = _berlin_requests(graph, 6)
+        manifest = os.path.join(str(tmp_path), "federation.json")
+
+        def run():
+            fed = load_federation(manifest, graph)
+            return [_journey_payload(fed.plan(r)) for r in requests]
+
+        with mock.patch.dict(os.environ, FORCE_KERNELS):
+            vectorized = run()
+        with mock.patch.dict(os.environ, FORCE_SCALAR):
+            scalar = run()
+        assert vectorized == scalar
+
+
+class TestDegrade:
+    def test_scalar_env_disables_kernels(self):
+        with mock.patch.dict(os.environ, FORCE_SCALAR):
+            assert not kernels.vectorized_available()
+        cleared = {
+            k: v
+            for k, v in os.environ.items()
+            if k != kernels.SCALAR_ENV
+        }
+        with mock.patch.dict(os.environ, cleared, clear=True):
+            assert kernels.vectorized_available()
+
+    def test_numpy_absent_degrades_with_one_warning(self, caplog, small):
+        graph, index = small
+        cleared = {
+            k: v
+            for k, v in os.environ.items()
+            if k != kernels.SCALAR_ENV
+        }
+        with mock.patch.dict(
+            os.environ, cleared, clear=True
+        ), mock.patch.object(kernels, "np", None), mock.patch.object(
+            kernels, "_warned_absent", False
+        ):
+            with caplog.at_level("WARNING", logger="repro.core.kernels"):
+                assert not kernels.vectorized_available()
+                assert not kernels.vectorized_available()
+            warnings = [
+                r for r in caplog.records if "numpy" in r.getMessage()
+            ]
+            assert len(warnings) == 1
+            # Queries still answer (scalar fallback).
+            planner = TTLPlanner(graph, index=index)
+            journey = planner.earliest_arrival(0, 5, 50)
+            [batch] = batch_plan(
+                index,
+                [
+                    BatchQuery(
+                        kind="one_to_many",
+                        sources=(0,),
+                        targets=(5,),
+                        t=50,
+                    )
+                ],
+            )
+            assert batch[5] == (
+                journey.arr if journey is not None else None
+            )
+
+    def test_point_threshold_env(self):
+        with mock.patch.dict(
+            os.environ, {kernels.POINT_MIN_LABELS_ENV: "123"}
+        ):
+            assert kernels.point_min_labels() == 123
+        with mock.patch.dict(
+            os.environ, {kernels.POINT_MIN_LABELS_ENV: "nonsense"}
+        ):
+            assert kernels.point_min_labels() == (
+                kernels._DEFAULT_POINT_MIN_LABELS
+            )
